@@ -1,0 +1,35 @@
+//! Figure 11 / Appendix B: end-to-end latency as a function of the sliding-window size and
+//! LCA pruning, on a ~100-query per-client SDSS log.
+
+use bench::client_log;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pi_core::{PiOptions, PrecisionInterfaces};
+use pi_diff::AncestorPolicy;
+use pi_graph::WindowStrategy;
+use std::time::Duration;
+
+fn bench_window_lca(c: &mut Criterion) {
+    let queries = client_log(100);
+    let mut group = c.benchmark_group("fig11_window_lca");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for policy in [AncestorPolicy::Full, AncestorPolicy::LcaPruned] {
+        for window in [2usize, 10, 50, 100] {
+            let label = format!("{policy:?}/window{window}");
+            group.bench_with_input(BenchmarkId::from_parameter(label), &window, |b, &window| {
+                let pipeline = PrecisionInterfaces::new(PiOptions {
+                    window: WindowStrategy::Sliding(window),
+                    policy,
+                    ..PiOptions::default()
+                });
+                b.iter(|| pipeline.from_queries(queries.clone()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_window_lca);
+criterion_main!(benches);

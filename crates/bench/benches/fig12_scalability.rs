@@ -1,0 +1,27 @@
+//! Figure 12 / Appendix B: scalability with the log size under the optimised configuration
+//! (window = 2, LCA pruning).  The paper's claim: 10,000 queries within 10 seconds,
+//! ~2,000 queries within ~3 seconds.
+
+use bench::interleaved_log;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pi_core::PrecisionInterfaces;
+use std::time::Duration;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_scalability");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(500));
+    for size in [500usize, 1000, 2000, 5000, 10_000] {
+        let queries = interleaved_log(size);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &queries, |b, queries| {
+            let pipeline = PrecisionInterfaces::default();
+            b.iter(|| pipeline.from_queries(queries.clone()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Micro-benchmarks for the per-stage costs: parsing, pairwise tree diffing, closure
+//! membership, and query execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi_diff::{extract_diffs, AncestorPolicy};
+use pi_engine::{exec, Catalog};
+use pi_workloads::sdss;
+use std::time::Duration;
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+
+    let sql = "SELECT TOP 10 g.objID FROM Galaxy AS g, dbo.fGetNearbyObjEq(5.848, 0.352, 2.0616) AS d WHERE d.objID = g.objID";
+    group.bench_function("parse_sdss_query", |b| {
+        b.iter(|| pi_sql::parse(sql).unwrap())
+    });
+
+    let log = sdss::client_log(sdss::ClientArchetype::ObjectLookup, 1, 2).queries;
+    group.bench_function("diff_pair_lca", |b| {
+        b.iter(|| extract_diffs(&log[0], &log[1], 0, 1, AncestorPolicy::LcaPruned))
+    });
+    group.bench_function("diff_pair_full", |b| {
+        b.iter(|| extract_diffs(&log[0], &log[1], 0, 1, AncestorPolicy::Full))
+    });
+
+    let generated =
+        pi_core::PrecisionInterfaces::default().from_queries(sdss::client_log(sdss::ClientArchetype::ObjectLookup, 2, 50).queries);
+    let probe = sdss::client_log(sdss::ClientArchetype::ObjectLookup, 9, 1).queries[0].clone();
+    group.bench_function("closure_membership", |b| {
+        b.iter(|| generated.interface.can_express(&probe))
+    });
+
+    let catalog = Catalog::demo(1);
+    let query =
+        pi_sql::parse("SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 9 GROUP BY DestState")
+            .unwrap();
+    group.bench_function("exec_olap_groupby", |b| b.iter(|| exec(&query, &catalog).unwrap()));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Shared helpers for the Criterion benchmarks.
+//!
+//! The benchmarks mirror the runtime evaluation of the paper (Appendix B): Figure 11 varies
+//! the sliding-window size and LCA pruning on per-client logs, Figure 12 scales the log size
+//! with the optimised configuration, and two extra benches quantify the design choices called
+//! out in DESIGN.md (merging on/off, and the per-stage micro costs).
+
+use pi_ast::Node;
+use pi_workloads::{mix, sdss};
+
+/// A per-client SDSS-style log of the given size (the Figure 11 workload).
+pub fn client_log(n: usize) -> Vec<Node> {
+    sdss::client_log(sdss::ClientArchetype::ObjectLookup, 3, n).queries
+}
+
+/// An interleaved multi-client log of the given size (the Figure 12 workload).
+pub fn interleaved_log(n: usize) -> Vec<Node> {
+    let per_client = n.div_ceil(20).max(1);
+    let logs = sdss::client_logs(20, per_client);
+    let mut queries = mix::interleave(&logs, 1).queries;
+    queries.truncate(n);
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_helpers_produce_requested_sizes() {
+        assert_eq!(client_log(50).len(), 50);
+        assert_eq!(interleaved_log(100).len(), 100);
+        assert_eq!(interleaved_log(999).len(), 999);
+    }
+}

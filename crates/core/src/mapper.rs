@@ -1,0 +1,451 @@
+//! The interaction mapper: the graph-contraction heuristic of §5.
+//!
+//! The interface generation problem (§4.5) is NP-hard, so the mapper uses the two-phase
+//! heuristic from the paper:
+//!
+//! 1. **Initialisation** (Algorithm 1/2): partition the diff records by path, and instantiate
+//!    for every partition the lowest-cost widget type whose rule accepts the partition's
+//!    domain.  The resulting interface expresses every query in the log but usually contains
+//!    redundant widgets.
+//! 2. **Merging** (Algorithm 3): repeatedly compare an ancestor widget against the set of its
+//!    descendant widgets; the diff records whose incident queries are expressed by both sides
+//!    are assigned exclusively to whichever side yields the larger cost reduction, and widgets
+//!    whose record set becomes empty are dropped.  We additionally guard every contraction
+//!    with an explicit log-coverage check so the `g = 1` constraint of the problem statement
+//!    can never be violated by the greedy choice.
+
+use crate::interface::Interface;
+use pi_ast::{Node, NodeKind, Path};
+use pi_diff::{DiffId, DiffStore};
+use pi_graph::InteractionGraph;
+use pi_widgets::{Domain, Widget, WidgetLibrary};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Knobs controlling the mapper (exposed for the ablation experiments).
+#[derive(Debug, Clone, Copy)]
+pub struct MapperOptions {
+    /// Run the merging phase (disable to measure the cost reduction merging provides).
+    pub enable_merging: bool,
+    /// Upper bound on merge passes; each pass sweeps every ancestor widget once.
+    pub max_merge_passes: usize,
+}
+
+impl Default for MapperOptions {
+    fn default() -> Self {
+        MapperOptions {
+            enable_merging: true,
+            max_merge_passes: 10,
+        }
+    }
+}
+
+/// Maps interaction graphs to interfaces.
+#[derive(Debug, Clone, Default)]
+pub struct InteractionMapper {
+    library: WidgetLibrary,
+    options: MapperOptions,
+}
+
+impl InteractionMapper {
+    /// A mapper over the given widget library with default options.
+    pub fn new(library: WidgetLibrary) -> Self {
+        InteractionMapper {
+            library,
+            options: MapperOptions::default(),
+        }
+    }
+
+    /// Sets the mapper options (builder style).
+    pub fn with_options(mut self, options: MapperOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Maps an interaction graph to an interface.
+    pub fn map(&self, graph: &InteractionGraph) -> Interface {
+        let initial_query = graph
+            .initial_query()
+            .cloned()
+            .unwrap_or_else(|| Node::new(NodeKind::Select));
+
+        let mut widgets = self.initialize(graph);
+        if self.options.enable_merging {
+            let pairs = PairIndex::build(&graph.store);
+            for _ in 0..self.options.max_merge_passes {
+                if !self.merge_pass(&mut widgets, &graph.store, &pairs) {
+                    break;
+                }
+            }
+        }
+        widgets.retain(|w| !w.domain.is_empty());
+        Interface::new(initial_query, widgets)
+    }
+
+    /// Algorithm 1: one widget per path partition, instantiated by `pickWidget`.
+    fn initialize(&self, graph: &InteractionGraph) -> Vec<Widget> {
+        let mut widgets = Vec::new();
+        for (path, ids) in graph.store.partition_by_path() {
+            let domain = Domain::from_diffs(ids.iter().map(|id| graph.store.get(*id)));
+            if let Some(widget) = self.library.pick(path, domain, ids) {
+                widgets.push(widget);
+            }
+        }
+        widgets
+    }
+
+    /// Rebuilds a widget from a reduced set of initialising diffs (Algorithm 2 re-applied
+    /// after a merge decision).  Returns `None` when no diffs remain.
+    fn repick(&self, path: &Path, ids: Vec<DiffId>, store: &DiffStore) -> Option<Widget> {
+        if ids.is_empty() {
+            return None;
+        }
+        let domain = Domain::from_diffs(ids.iter().map(|id| store.get(*id)));
+        self.library.pick(path.clone(), domain, ids)
+    }
+
+    /// One sweep of Algorithm 3 over every ancestor widget, deepest first.  Returns whether
+    /// the total interface cost decreased.
+    fn merge_pass(&self, widgets: &mut Vec<Widget>, store: &DiffStore, pairs: &PairIndex) -> bool {
+        let mut improved = false;
+
+        // Deepest ancestors first: this collapses widget chains bottom-up so that the cost of
+        // intermediate redundant widgets does not distort the ancestor/descendant comparison.
+        let mut order: Vec<usize> = (0..widgets.len()).collect();
+        order.sort_by(|&a, &b| {
+            widgets[b]
+                .path
+                .depth()
+                .cmp(&widgets[a].path.depth())
+                .then_with(|| widgets[a].path.cmp(&widgets[b].path))
+        });
+
+        for a_idx in order {
+            if widgets[a_idx].domain.is_empty() {
+                continue;
+            }
+            let a_path = widgets[a_idx].path.clone();
+            let descendant_idxs: Vec<usize> = (0..widgets.len())
+                .filter(|&j| {
+                    j != a_idx
+                        && !widgets[j].domain.is_empty()
+                        && a_path.is_strict_prefix_of(&widgets[j].path)
+                })
+                .collect();
+            if descendant_idxs.is_empty() {
+                continue;
+            }
+
+            // Vertices incident to the two widget groups' diffs, and their intersection V.
+            let vertices_of = |ids: &[DiffId]| -> BTreeSet<usize> {
+                ids.iter()
+                    .flat_map(|id| {
+                        let r = store.get(*id);
+                        [r.q1, r.q2]
+                    })
+                    .collect()
+            };
+            let va = vertices_of(&widgets[a_idx].init_diffs);
+            let vd: BTreeSet<usize> = descendant_idxs
+                .iter()
+                .flat_map(|&j| vertices_of(&widgets[j].init_diffs))
+                .collect();
+            let v: BTreeSet<usize> = va.intersection(&vd).copied().collect();
+            if v.is_empty() {
+                continue;
+            }
+            let in_v = |id: &DiffId| {
+                let r = store.get(*id);
+                v.contains(&r.q1) && v.contains(&r.q2)
+            };
+
+            // ga / gd: overlapping records whose incident queries both lie in V.
+            let ga: Vec<DiffId> = widgets[a_idx]
+                .init_diffs
+                .iter()
+                .copied()
+                .filter(in_v)
+                .collect();
+            let gd: BTreeMap<usize, Vec<DiffId>> = descendant_idxs
+                .iter()
+                .map(|&j| {
+                    (
+                        j,
+                        widgets[j].init_diffs.iter().copied().filter(in_v).collect(),
+                    )
+                })
+                .collect();
+            if ga.is_empty() && gd.values().all(Vec::is_empty) {
+                continue;
+            }
+
+            // Candidate A: remove the overlap from the ancestor.
+            let ancestor_kept: Vec<DiffId> = widgets[a_idx]
+                .init_diffs
+                .iter()
+                .copied()
+                .filter(|id| !ga.contains(id))
+                .collect();
+            let new_ancestor = self.repick(&a_path, ancestor_kept, store);
+            let sa = widgets[a_idx].cost - new_ancestor.as_ref().map(|w| w.cost).unwrap_or(0.0);
+
+            // Candidate B: remove the overlap from every descendant.
+            let mut new_descendants: BTreeMap<usize, Option<Widget>> = BTreeMap::new();
+            let mut sd = 0.0;
+            for &j in &descendant_idxs {
+                let removed = &gd[&j];
+                let kept: Vec<DiffId> = widgets[j]
+                    .init_diffs
+                    .iter()
+                    .copied()
+                    .filter(|id| !removed.contains(id))
+                    .collect();
+                let replacement = self.repick(&widgets[j].path, kept, store);
+                sd += widgets[j].cost - replacement.as_ref().map(|w| w.cost).unwrap_or(0.0);
+                new_descendants.insert(j, replacement);
+            }
+
+            // Affected pairs: only queries touched by the removed records need re-checking.
+            let affected_pairs: BTreeSet<(usize, usize)> = ga
+                .iter()
+                .chain(gd.values().flatten())
+                .map(|id| {
+                    let r = store.get(*id);
+                    (r.q1, r.q2)
+                })
+                .collect();
+
+            // Prefer the larger cost reduction; on a tie keep the fine-grained descendants
+            // (removing from the ancestor), which also preserves generalisation.
+            let try_order: [bool; 2] = if sa >= sd {
+                [true, false] // true = apply candidate A (shrink the ancestor)
+            } else {
+                [false, true]
+            };
+
+            for apply_ancestor_shrink in try_order {
+                let reduction = if apply_ancestor_shrink { sa } else { sd };
+                if reduction <= 0.0 {
+                    continue;
+                }
+                // Build the hypothetical widget set.
+                let mut candidate: Vec<Widget> = Vec::with_capacity(widgets.len());
+                for (idx, w) in widgets.iter().enumerate() {
+                    if apply_ancestor_shrink && idx == a_idx {
+                        if let Some(newer) = &new_ancestor {
+                            candidate.push(newer.clone());
+                        }
+                    } else if !apply_ancestor_shrink && descendant_idxs.contains(&idx) {
+                        if let Some(Some(newer)) = new_descendants.get(&idx) {
+                            candidate.push(newer.clone());
+                        }
+                    } else if !w.domain.is_empty() {
+                        candidate.push(w.clone());
+                    }
+                }
+                if affected_pairs
+                    .iter()
+                    .all(|pair| pairs.pair_expressible(*pair, &candidate, store))
+                {
+                    // Commit.
+                    if apply_ancestor_shrink {
+                        match &new_ancestor {
+                            Some(newer) => widgets[a_idx] = newer.clone(),
+                            None => widgets[a_idx] = empty_widget(&widgets[a_idx]),
+                        }
+                    } else {
+                        for &j in &descendant_idxs {
+                            match new_descendants.get(&j) {
+                                Some(Some(newer)) => widgets[j] = newer.clone(),
+                                _ => widgets[j] = empty_widget(&widgets[j]),
+                            }
+                        }
+                    }
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        improved
+    }
+}
+
+/// A placeholder for a widget whose record set became empty (filtered out at the end).
+fn empty_widget(old: &Widget) -> Widget {
+    Widget::new(old.ty, old.path.clone(), Domain::new(), Vec::new(), 0.0)
+}
+
+/// Per-pair view of the diff store, used to verify that a merge never makes a compared query
+/// pair inexpressible.
+struct PairIndex {
+    pairs: BTreeMap<(usize, usize), Vec<DiffId>>,
+}
+
+impl PairIndex {
+    fn build(store: &DiffStore) -> Self {
+        let mut pairs: BTreeMap<(usize, usize), Vec<DiffId>> = BTreeMap::new();
+        for (id, record) in store.iter() {
+            pairs.entry((record.q1, record.q2)).or_default().push(id);
+        }
+        PairIndex { pairs }
+    }
+
+    /// A pair stays expressible when every one of its leaf-diff paths is covered: either the
+    /// leaf record itself is expressed by a widget, or an ancestor record of the pair whose
+    /// path is a prefix of the leaf path is expressed by a widget (replacing the larger region
+    /// also realises the leaf change).
+    fn pair_expressible(
+        &self,
+        pair: (usize, usize),
+        widgets: &[Widget],
+        store: &DiffStore,
+    ) -> bool {
+        let Some(ids) = self.pairs.get(&pair) else {
+            return true;
+        };
+        let expressed_paths: Vec<&Path> = ids
+            .iter()
+            .filter(|id| {
+                let record = store.get(**id);
+                widgets.iter().any(|w| w.expresses(record))
+            })
+            .map(|id| &store.get(*id).path)
+            .collect();
+        ids.iter()
+            .map(|id| store.get(*id))
+            .filter(|r| r.is_leaf)
+            .all(|leaf| {
+                expressed_paths
+                    .iter()
+                    .any(|p| p.is_prefix_of(&leaf.path))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_graph::{GraphBuilder, WindowStrategy};
+    use pi_sql::parse;
+    use pi_widgets::WidgetType;
+
+    fn graph(queries: &[&str], window: WindowStrategy) -> InteractionGraph {
+        let parsed: Vec<Node> = queries.iter().map(|q| parse(q).unwrap()).collect();
+        GraphBuilder::new().window(window).build(&parsed)
+    }
+
+    #[test]
+    fn initialization_covers_every_query_before_merging() {
+        let g = graph(
+            &[
+                "SELECT sales FROM t WHERE cty = 'USA'",
+                "SELECT costs FROM t WHERE cty = 'EUR'",
+                "SELECT sales FROM t WHERE cty = 'CHN'",
+            ],
+            WindowStrategy::AllPairs,
+        );
+        let mapper = InteractionMapper::new(WidgetLibrary::standard()).with_options(MapperOptions {
+            enable_merging: false,
+            ..MapperOptions::default()
+        });
+        let iface = mapper.map(&g);
+        assert!(iface.expressiveness(&g.queries) >= 1.0, "{}", iface.describe());
+        // Initialization instantiates one widget per path partition.
+        assert!(iface.widgets().len() >= 2);
+    }
+
+    #[test]
+    fn merging_removes_the_redundant_whole_query_widget() {
+        // Figure 4's situation: per-literal widgets plus a whole-query widget.  Merging keeps
+        // the fine-grained pair and drops the expensive whole-query options.
+        let g = graph(
+            &[
+                "SELECT sales FROM t WHERE cty = 'USA'",
+                "SELECT costs FROM t WHERE cty = 'EUR'",
+                "SELECT sales FROM t WHERE cty = 'CHN'",
+                "SELECT costs FROM t WHERE cty = 'USA'",
+            ],
+            WindowStrategy::AllPairs,
+        );
+        let mapper = InteractionMapper::new(WidgetLibrary::standard());
+        let iface = mapper.map(&g);
+        assert!(iface.expressiveness(&g.queries) >= 1.0, "{}", iface.describe());
+        assert_eq!(iface.widgets().len(), 2, "{}", iface.describe());
+        assert!(iface.widgets().iter().all(|w| !w.path.is_root()));
+        // Both widgets operate on string literals.
+        assert!(iface
+            .widgets()
+            .iter()
+            .all(|w| matches!(w.ty, WidgetType::Dropdown | WidgetType::ToggleButton)));
+    }
+
+    #[test]
+    fn merging_never_reduces_coverage() {
+        let logs: Vec<Vec<&str>> = vec![
+            vec![
+                "SELECT avg(a)",
+                "SELECT count(b)",
+                "SELECT count(c)",
+                "SELECT avg(d)",
+            ],
+            vec![
+                "SELECT * FROM T",
+                "SELECT * FROM (SELECT a FROM T WHERE b > 10)",
+                "SELECT * FROM (SELECT a FROM T WHERE b > 20)",
+                "SELECT * FROM (SELECT b FROM T WHERE b > 20)",
+            ],
+            vec![
+                "SELECT * FROM SpecLineIndex WHERE specObjId = 0x400",
+                "SELECT * FROM XCRedshift WHERE specObjId = 0x199",
+                "SELECT * FROM SpecLineIndex WHERE specObjId = 0x3",
+            ],
+        ];
+        for log in logs {
+            for window in [WindowStrategy::AllPairs, WindowStrategy::Sliding(2)] {
+                let g = graph(&log, window);
+                let iface = InteractionMapper::new(WidgetLibrary::standard()).map(&g);
+                assert!(
+                    iface.expressiveness(&g.queries) >= 1.0,
+                    "window {window:?}, log {log:?}:\n{}",
+                    iface.describe()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merging_is_monotone_in_cost() {
+        let g = graph(
+            &[
+                "SELECT sales, day FROM t WHERE cty = 'USA' AND y = 1",
+                "SELECT costs, day FROM t WHERE cty = 'EUR' AND y = 2",
+                "SELECT sales, day FROM t WHERE cty = 'EUR' AND y = 3",
+            ],
+            WindowStrategy::AllPairs,
+        );
+        let merged = InteractionMapper::new(WidgetLibrary::standard()).map(&g);
+        let unmerged = InteractionMapper::new(WidgetLibrary::standard())
+            .with_options(MapperOptions {
+                enable_merging: false,
+                ..MapperOptions::default()
+            })
+            .map(&g);
+        assert!(merged.cost() <= unmerged.cost());
+        assert!(merged.widgets().len() <= unmerged.widgets().len());
+    }
+
+    #[test]
+    fn empty_graph_maps_to_an_empty_interface() {
+        let g = GraphBuilder::new().build(&[]);
+        let iface = InteractionMapper::new(WidgetLibrary::standard()).map(&g);
+        assert!(iface.widgets().is_empty());
+        assert_eq!(iface.cost(), 0.0);
+    }
+
+    #[test]
+    fn single_query_log_needs_no_widgets() {
+        let g = graph(&["SELECT a FROM t"], WindowStrategy::AllPairs);
+        let iface = InteractionMapper::new(WidgetLibrary::standard()).map(&g);
+        assert!(iface.widgets().is_empty());
+        assert!(iface.can_express(&g.queries[0]));
+    }
+}

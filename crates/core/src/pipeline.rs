@@ -1,0 +1,256 @@
+//! The end-to-end Precision Interfaces pipeline (Figure 2a).
+//!
+//! `query log → parse → interaction mining (graph) → interaction mapping (widgets) → interface`
+//!
+//! The pipeline reports per-stage wall-clock timings and graph statistics because the runtime
+//! experiments (Figures 11 and 12, Appendix B) are defined in exactly those terms: number of
+//! interaction-graph edges, interaction mining time, and interface mapping time.
+
+use crate::interface::Interface;
+use crate::mapper::{InteractionMapper, MapperOptions};
+use pi_ast::Node;
+use pi_diff::AncestorPolicy;
+use pi_graph::{GraphBuilder, GraphStats, InteractionGraph, WindowStrategy};
+use pi_sql::parse_log;
+use pi_widgets::WidgetLibrary;
+use std::fmt;
+use std::time::Instant;
+
+/// Configuration of the end-to-end pipeline.
+#[derive(Debug, Clone)]
+pub struct PiOptions {
+    /// Pair enumeration strategy (sliding window vs all pairs, §6.1).
+    pub window: WindowStrategy,
+    /// Ancestor materialisation policy (LCA pruning, §6.2).
+    pub policy: AncestorPolicy,
+    /// Parallelise pairwise diffing across cores.
+    pub parallel: bool,
+    /// The widget type library (and cost functions) available to the mapper.
+    pub library: WidgetLibrary,
+    /// Mapper options (merging on/off, pass budget).
+    pub mapper: MapperOptions,
+}
+
+impl Default for PiOptions {
+    fn default() -> Self {
+        PiOptions {
+            window: WindowStrategy::Sliding(2),
+            policy: AncestorPolicy::LcaPruned,
+            parallel: false,
+            library: WidgetLibrary::standard(),
+            mapper: MapperOptions::default(),
+        }
+    }
+}
+
+impl PiOptions {
+    /// The unoptimised baseline configuration: all pairs, full ancestor closure.
+    pub fn baseline() -> Self {
+        PiOptions {
+            window: WindowStrategy::AllPairs,
+            policy: AncestorPolicy::Full,
+            ..PiOptions::default()
+        }
+    }
+}
+
+/// Wall-clock timings of the pipeline stages, in milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Parsing the SQL text into ASTs (zero when the input was already parsed).
+    pub parse_ms: f64,
+    /// Interaction mining: pairwise tree alignment and interaction-graph construction.
+    pub mining_ms: f64,
+    /// Interaction mapping: widget initialisation and merging.
+    pub mapping_ms: f64,
+}
+
+impl StageTimings {
+    /// Total end-to-end latency.
+    pub fn total_ms(&self) -> f64 {
+        self.parse_ms + self.mining_ms + self.mapping_ms
+    }
+}
+
+impl fmt::Display for StageTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse {:.1}ms, mining {:.1}ms, mapping {:.1}ms (total {:.1}ms)",
+            self.parse_ms,
+            self.mining_ms,
+            self.mapping_ms,
+            self.total_ms()
+        )
+    }
+}
+
+/// Errors the pipeline can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The log contained no parsable queries at all.
+    EmptyLog,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::EmptyLog => write!(f, "the query log contains no parsable queries"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// The output of a pipeline run: the interface plus everything the experiments report.
+#[derive(Debug, Clone)]
+pub struct GeneratedInterface {
+    /// The generated interactive interface.
+    pub interface: Interface,
+    /// The parsed queries that were used (unparseable log entries are dropped and counted).
+    pub queries: Vec<Node>,
+    /// Number of log entries that failed to parse and were skipped.
+    pub skipped: usize,
+    /// Interaction-graph statistics (edge and record counts).
+    pub graph_stats: GraphStats,
+    /// Per-stage timings.
+    pub timings: StageTimings,
+}
+
+/// The Precision Interfaces system: configure once, run over query logs.
+#[derive(Debug, Clone, Default)]
+pub struct PrecisionInterfaces {
+    options: PiOptions,
+}
+
+impl PrecisionInterfaces {
+    /// Creates a pipeline with the given options.
+    pub fn new(options: PiOptions) -> Self {
+        PrecisionInterfaces { options }
+    }
+
+    /// The options this pipeline runs with.
+    pub fn options(&self) -> &PiOptions {
+        &self.options
+    }
+
+    /// Runs the pipeline over a textual SQL log (statements separated by semicolons).
+    ///
+    /// Unparseable statements are skipped (and counted in
+    /// [`GeneratedInterface::skipped`]) rather than aborting the run — real query logs contain
+    /// typos and statements in unsupported dialects.
+    pub fn from_sql_log(&self, log: &str) -> Result<GeneratedInterface, PipelineError> {
+        let start = Instant::now();
+        let parsed = parse_log(log);
+        let skipped = parsed.iter().filter(|r| r.is_err()).count();
+        let queries: Vec<Node> = parsed.into_iter().filter_map(Result::ok).collect();
+        let parse_ms = start.elapsed().as_secs_f64() * 1e3;
+        if queries.is_empty() {
+            return Err(PipelineError::EmptyLog);
+        }
+        let mut out = self.from_queries(queries);
+        out.timings.parse_ms = parse_ms;
+        out.skipped = skipped;
+        Ok(out)
+    }
+
+    /// Runs the pipeline over an already-parsed query log.
+    pub fn from_queries(&self, queries: Vec<Node>) -> GeneratedInterface {
+        let mining_start = Instant::now();
+        let graph = self.mine(&queries);
+        let mining_ms = mining_start.elapsed().as_secs_f64() * 1e3;
+
+        let mapping_start = Instant::now();
+        let interface = self.map(&graph);
+        let mapping_ms = mapping_start.elapsed().as_secs_f64() * 1e3;
+
+        GeneratedInterface {
+            interface,
+            graph_stats: graph.stats(),
+            queries,
+            skipped: 0,
+            timings: StageTimings {
+                parse_ms: 0.0,
+                mining_ms,
+                mapping_ms,
+            },
+        }
+    }
+
+    /// The interaction-mining stage alone (exposed for the runtime experiments).
+    pub fn mine(&self, queries: &[Node]) -> InteractionGraph {
+        GraphBuilder::new()
+            .window(self.options.window)
+            .policy(self.options.policy)
+            .parallel(self.options.parallel)
+            .build(queries)
+    }
+
+    /// The interaction-mapping stage alone (exposed for the runtime experiments).
+    pub fn map(&self, graph: &InteractionGraph) -> Interface {
+        InteractionMapper::new(self.options.library.clone())
+            .with_options(self.options.mapper)
+            .map(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_reports_timings_and_stats() {
+        let log = "
+            SELECT a FROM t WHERE x = 1;
+            SELECT a FROM t WHERE x = 2;
+            SELECT a FROM t WHERE x = 3;
+        ";
+        let out = PrecisionInterfaces::default().from_sql_log(log).unwrap();
+        assert_eq!(out.queries.len(), 3);
+        assert_eq!(out.skipped, 0);
+        assert!(out.graph_stats.edges >= 2);
+        assert!(out.timings.total_ms() >= 0.0);
+        assert!(out.timings.to_string().contains("total"));
+    }
+
+    #[test]
+    fn unparseable_statements_are_skipped_not_fatal() {
+        let log = "
+            SELECT a FROM t WHERE x = 1;
+            THIS IS NOT SQL AT ALL;
+            SELECT a FROM t WHERE x = 2;
+        ";
+        let out = PrecisionInterfaces::default().from_sql_log(log).unwrap();
+        assert_eq!(out.queries.len(), 2);
+        assert_eq!(out.skipped, 1);
+    }
+
+    #[test]
+    fn an_empty_log_is_an_error() {
+        let err = PrecisionInterfaces::default().from_sql_log("   ").unwrap_err();
+        assert_eq!(err, PipelineError::EmptyLog);
+        assert!(err.to_string().contains("no parsable"));
+        let err = PrecisionInterfaces::default()
+            .from_sql_log("completely broken;")
+            .unwrap_err();
+        assert_eq!(err, PipelineError::EmptyLog);
+    }
+
+    #[test]
+    fn baseline_options_use_all_pairs_and_full_ancestors() {
+        let options = PiOptions::baseline();
+        assert_eq!(options.window, WindowStrategy::AllPairs);
+        assert_eq!(options.policy, AncestorPolicy::Full);
+    }
+
+    #[test]
+    fn baseline_has_more_edges_and_records_than_the_optimised_pipeline() {
+        let queries: Vec<Node> = (0..20)
+            .map(|i| pi_sql::parse(&format!("SELECT a FROM t WHERE x = {i}")).unwrap())
+            .collect();
+        let optimised = PrecisionInterfaces::default().from_queries(queries.clone());
+        let baseline = PrecisionInterfaces::new(PiOptions::baseline()).from_queries(queries);
+        assert!(baseline.graph_stats.edges > optimised.graph_stats.edges);
+        assert!(baseline.graph_stats.diff_records > optimised.graph_stats.diff_records);
+    }
+}

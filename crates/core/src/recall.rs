@@ -1,0 +1,188 @@
+//! Hold-out recall: how well an interface generated from training queries expresses unseen
+//! queries from the same (or a different) analysis (§7.2).
+//!
+//! For an input log the experiments split off the last `n_holdout` queries, generate an
+//! interface from a growing prefix of the remaining training queries, and report the fraction
+//! of hold-out queries within the interface's closure ("recall").
+
+use crate::pipeline::{GeneratedInterface, PiOptions, PrecisionInterfaces};
+use pi_ast::Node;
+
+/// One point of a recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecallPoint {
+    /// Number of training queries used to generate the interface.
+    pub training: usize,
+    /// Fraction of hold-out queries the interface can express.
+    pub recall: f64,
+}
+
+/// A train/hold-out split of a query log.
+#[derive(Debug, Clone)]
+pub struct Split<'a> {
+    /// The training portion (interface generation input).
+    pub train: &'a [Node],
+    /// The hold-out portion (evaluation only).
+    pub holdout: &'a [Node],
+}
+
+/// Splits a log into training and hold-out portions: the last `n_holdout` queries are held
+/// out, everything before them is available for training.
+pub fn split_log(log: &[Node], n_holdout: usize) -> Split<'_> {
+    let n_holdout = n_holdout.min(log.len());
+    let cut = log.len() - n_holdout;
+    Split {
+        train: &log[..cut],
+        holdout: &log[cut..],
+    }
+}
+
+/// Generates an interface from the training queries and measures recall on the hold-out set.
+///
+/// Returns the recall together with the generated interface so callers can also inspect the
+/// widgets (Figures 6b and 6d show the interfaces themselves).
+pub fn holdout_recall(
+    train: &[Node],
+    holdout: &[Node],
+    options: &PiOptions,
+) -> (f64, GeneratedInterface) {
+    let generated = PrecisionInterfaces::new(options.clone()).from_queries(train.to_vec());
+    let recall = if holdout.is_empty() {
+        1.0
+    } else {
+        generated.interface.expressiveness(holdout)
+    };
+    (recall, generated)
+}
+
+/// Computes a recall curve: for each training size, generate an interface from that prefix of
+/// the training queries and evaluate it on the hold-out set.
+pub fn recall_curve(
+    log: &[Node],
+    training_sizes: &[usize],
+    n_holdout: usize,
+    options: &PiOptions,
+) -> Vec<RecallPoint> {
+    let split = split_log(log, n_holdout);
+    training_sizes
+        .iter()
+        .map(|&n| {
+            let n = n.min(split.train.len());
+            let (recall, _) = holdout_recall(&split.train[..n], split.holdout, options);
+            RecallPoint {
+                training: n,
+                recall,
+            }
+        })
+        .collect()
+}
+
+/// The smallest training size (among the given candidates) whose recall reaches `target`,
+/// if any — the "rate that the recall reaches 100%" summary the paper reports.
+pub fn training_size_reaching(
+    curve: &[RecallPoint],
+    target: f64,
+) -> Option<usize> {
+    curve
+        .iter()
+        .find(|p| p.recall >= target)
+        .map(|p| p.training)
+}
+
+/// Cross-client recall (§7.2.4): generate an interface from one client's log and measure how
+/// much of *another* client's log it expresses.
+pub fn cross_recall(train_log: &[Node], other_log: &[Node], options: &PiOptions) -> f64 {
+    let (_, generated) = holdout_recall(train_log, &[], options);
+    if other_log.is_empty() {
+        return 1.0;
+    }
+    generated.interface.expressiveness(other_log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_sql::parse;
+
+    fn structured_log(n: usize) -> Vec<Node> {
+        // An SDSS-style log: the table alternates, the id literal keeps changing.
+        (0..n)
+            .map(|i| {
+                let table = if i % 2 == 0 { "SpecLineIndex" } else { "XCRedshift" };
+                parse(&format!(
+                    "SELECT * FROM {table} WHERE specObjId = {}",
+                    100 + (i as i64 % 7) * 5
+                ))
+                .unwrap()
+            })
+            .collect()
+    }
+
+    fn adhoc_log(n: usize) -> Vec<Node> {
+        // Every query has a different structure: recall should stay low.
+        (0..n)
+            .map(|i| match i % 5 {
+                0 => parse(&format!("SELECT a{i} FROM t{i}")).unwrap(),
+                1 => parse(&format!("SELECT SUM(b{i}) FROM u GROUP BY c{i}")).unwrap(),
+                2 => parse(&format!("SELECT * FROM v WHERE d{i} > {i} ORDER BY e{i}")).unwrap(),
+                3 => parse(&format!("SELECT CAST(f{i}) AS x FROM w HAVING SUM(g) > {i}")).unwrap(),
+                _ => parse(&format!("SELECT CASE WHEN h{i} = 1 THEN 'a' ELSE 'b' END FROM z")).unwrap(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_respects_sizes_and_degenerate_inputs() {
+        let log = structured_log(10);
+        let split = split_log(&log, 4);
+        assert_eq!(split.train.len(), 6);
+        assert_eq!(split.holdout.len(), 4);
+        let all_holdout = split_log(&log, 100);
+        assert_eq!(all_holdout.train.len(), 0);
+        assert_eq!(all_holdout.holdout.len(), 10);
+    }
+
+    #[test]
+    fn structured_logs_reach_full_recall_with_few_training_queries() {
+        let log = structured_log(60);
+        let curve = recall_curve(&log, &[2, 5, 10, 20, 40], 20, &PiOptions::default());
+        assert_eq!(curve.len(), 5);
+        // Recall is (weakly) increasing for this log and reaches 1.0 well before the full
+        // training set (paper: "10 queries is sufficient ... for the majority of client logs").
+        for pair in curve.windows(2) {
+            assert!(pair[1].recall >= pair[0].recall - 1e-9);
+        }
+        let reached = training_size_reaching(&curve, 1.0);
+        assert!(reached.is_some(), "{curve:?}");
+        assert!(reached.unwrap() <= 20, "{curve:?}");
+    }
+
+    #[test]
+    fn adhoc_logs_have_low_recall() {
+        let log = adhoc_log(60);
+        let curve = recall_curve(&log, &[10, 30, 40], 20, &PiOptions::default());
+        let last = curve.last().unwrap();
+        assert!(
+            last.recall < 0.5,
+            "ad-hoc logs should not generalise: {curve:?}"
+        );
+    }
+
+    #[test]
+    fn cross_recall_is_high_for_similar_clients_and_low_for_different_ones() {
+        let a = structured_log(40);
+        let b = structured_log(30); // same analysis archetype
+        let c = adhoc_log(30); // completely different
+        let options = PiOptions::default();
+        assert!(cross_recall(&a, &b, &options) > 0.9);
+        assert!(cross_recall(&a, &c, &options) < 0.2);
+    }
+
+    #[test]
+    fn empty_holdout_counts_as_perfect_recall() {
+        let log = structured_log(5);
+        let (recall, generated) = holdout_recall(&log, &[], &PiOptions::default());
+        assert_eq!(recall, 1.0);
+        assert_eq!(generated.queries.len(), 5);
+    }
+}

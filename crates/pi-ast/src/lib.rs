@@ -1,0 +1,54 @@
+//! # pi-ast — query abstract syntax trees for Precision Interfaces
+//!
+//! Precision Interfaces (Zhang et al., SIGMOD 2019) performs *syntactic* analysis of a query
+//! log: every query is parsed into an abstract syntax tree (AST) and the system reasons purely
+//! about subtree differences between those trees.  This crate defines the tree model shared by
+//! the whole workspace:
+//!
+//! * [`Node`] — a tree node with a [`NodeKind`], a set of attribute/value pairs and an ordered
+//!   list of children (paper §4.1, Figure 3),
+//! * [`Path`] — the `0/1/0`-style location of a subtree inside a query AST (paper Table 1),
+//! * [`PrimitiveType`] — the minimal type system (`str`, `num`, `tree`) used by widget rules to
+//!   decide which widget types may express a set of subtrees (paper §4.3),
+//! * grammar annotations: which node kinds are terminal literals, and which node kinds are
+//!   *collections* of sub-expressions (e.g. the projection list), mirroring the "lightly
+//!   annotated grammar" assumption of §4.1.
+//!
+//! The crate is deliberately independent of SQL: `pi-sql` produces these trees from SQL text,
+//! but any other front-end (SPARQL, a dataframe API, …) could target the same model, which is
+//! one of the design goals stated in the paper.
+//!
+//! ```
+//! use pi_ast::{Node, NodeKind, Path};
+//!
+//! // SELECT cty FROM t  (hand-built; usually produced by pi-sql)
+//! let query = Node::new(NodeKind::Select)
+//!     .with_child(
+//!         Node::new(NodeKind::Project)
+//!             .with_child(Node::new(NodeKind::ProjClause).with_child(Node::column("cty"))),
+//!     )
+//!     .with_child(Node::new(NodeKind::From).with_child(Node::table("t")));
+//!
+//! let path: Path = "0/0/0".parse().unwrap();
+//! assert_eq!(query.get(&path).unwrap().kind(), NodeKind::ColExpr);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod kind;
+mod node;
+mod path;
+mod print;
+mod value;
+
+pub mod builder;
+
+pub use kind::{CollectionKind, NodeKind, PrimitiveType};
+pub use node::{Node, NodeId, ReplaceError};
+pub use path::{ParsePathError, Path};
+pub use print::{pretty, TreePrinter};
+pub use value::AttrValue;
+
+/// Result alias used by fallible tree operations in this crate.
+pub type Result<T, E = ReplaceError> = std::result::Result<T, E>;

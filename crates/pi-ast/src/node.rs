@@ -1,0 +1,583 @@
+//! The AST node type and tree manipulation primitives.
+//!
+//! Every query in the log is one [`Node`] tree.  Nodes follow the model of paper §4.1: a node
+//! consists of its kind, a set of attribute/value pairs, and an ordered list of children.
+//! Interactions are implemented by *replacing* the subtree at a widget's path with a subtree
+//! from the widget's domain ([`Node::replaced`]), which is exactly the `d(q) = q'` semantics
+//! of Example 4.2.
+
+use crate::kind::{NodeKind, PrimitiveType};
+use crate::path::Path;
+use crate::value::AttrValue;
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A stable identity for a subtree, derived from its structural hash.
+///
+/// Two subtrees have equal [`NodeId`]s iff they are structurally identical (same kinds,
+/// attributes and child order).  Used for cheap deduplication of widget domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{:016x}", self.0)
+    }
+}
+
+/// Error returned when a path-based mutation cannot be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplaceError {
+    /// The path does not designate an existing node (and is not a valid append location).
+    PathNotFound {
+        /// The offending path.
+        path: Path,
+    },
+    /// Removal of the root node was requested, which would leave no tree.
+    CannotRemoveRoot,
+}
+
+impl fmt::Display for ReplaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplaceError::PathNotFound { path } => write!(f, "path {path} not found in tree"),
+            ReplaceError::CannotRemoveRoot => write!(f, "cannot remove the root node"),
+        }
+    }
+}
+
+impl std::error::Error for ReplaceError {}
+
+/// A node of a query abstract syntax tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Node {
+    kind: NodeKind,
+    attrs: Vec<(String, AttrValue)>,
+    children: Vec<Node>,
+}
+
+impl Node {
+    /// Creates a node of the given kind with no attributes and no children.
+    pub fn new(kind: NodeKind) -> Self {
+        Node {
+            kind,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------ constructors
+
+    /// A column reference node.
+    pub fn column(name: &str) -> Self {
+        Node::new(NodeKind::ColExpr).with_attr("name", name)
+    }
+
+    /// A column reference qualified by a table name (`t.col`).
+    pub fn qualified_column(table: &str, name: &str) -> Self {
+        Node::new(NodeKind::ColExpr)
+            .with_attr("name", name)
+            .with_attr("table", table)
+    }
+
+    /// A string literal node.
+    pub fn string(value: &str) -> Self {
+        Node::new(NodeKind::StrExpr).with_attr("value", value)
+    }
+
+    /// An integer literal node.
+    pub fn int(value: i64) -> Self {
+        Node::new(NodeKind::NumExpr).with_attr("value", AttrValue::Int(value))
+    }
+
+    /// A floating point literal node.
+    pub fn float(value: f64) -> Self {
+        Node::new(NodeKind::NumExpr).with_attr("value", AttrValue::Float(value))
+    }
+
+    /// A hexadecimal literal node (`0x400`), as found throughout the SDSS log.
+    pub fn hex(value: i64) -> Self {
+        Node::new(NodeKind::HexExpr).with_attr("value", AttrValue::Int(value))
+    }
+
+    /// A base table reference.
+    pub fn table(name: &str) -> Self {
+        Node::new(NodeKind::TableRef).with_attr("name", name)
+    }
+
+    /// The `*` projection.
+    pub fn star() -> Self {
+        Node::new(NodeKind::Star)
+    }
+
+    // ------------------------------------------------------------------ builder-style setters
+
+    /// Adds an attribute (builder style).
+    pub fn with_attr<V: Into<AttrValue>>(mut self, key: &str, value: V) -> Self {
+        self.set_attr(key, value);
+        self
+    }
+
+    /// Adds a child (builder style).
+    pub fn with_child(mut self, child: Node) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Adds several children (builder style).
+    pub fn with_children<I: IntoIterator<Item = Node>>(mut self, children: I) -> Self {
+        self.children.extend(children);
+        self
+    }
+
+    /// Sets (or overwrites) an attribute.
+    pub fn set_attr<V: Into<AttrValue>>(&mut self, key: &str, value: V) {
+        let value = value.into();
+        if let Some(slot) = self.attrs.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.attrs.push((key.to_string(), value));
+        }
+    }
+
+    /// Appends a child.
+    pub fn push_child(&mut self, child: Node) {
+        self.children.push(child);
+    }
+
+    // ------------------------------------------------------------------ accessors
+
+    /// The node kind.
+    pub fn kind(&self) -> NodeKind {
+        self.kind.clone()
+    }
+
+    /// A reference to the node kind (no clone).
+    pub fn kind_ref(&self) -> &NodeKind {
+        &self.kind
+    }
+
+    /// The attribute/value pairs, in insertion order.
+    pub fn attrs(&self) -> &[(String, AttrValue)] {
+        &self.attrs
+    }
+
+    /// Looks up an attribute value by key.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Looks up a string attribute by key.
+    pub fn attr_str(&self, key: &str) -> Option<&str> {
+        self.attr(key).and_then(AttrValue::as_str)
+    }
+
+    /// Looks up a numeric attribute by key (ints are widened to `f64`).
+    pub fn attr_num(&self, key: &str) -> Option<f64> {
+        self.attr(key).and_then(AttrValue::as_num)
+    }
+
+    /// The ordered children.
+    pub fn children(&self) -> &[Node] {
+        &self.children
+    }
+
+    /// Mutable access to the ordered children.
+    pub fn children_mut(&mut self) -> &mut Vec<Node> {
+        &mut self.children
+    }
+
+    /// Number of direct children.
+    pub fn arity(&self) -> usize {
+        self.children.len()
+    }
+
+    /// True when the node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    // ------------------------------------------------------------------ tree metrics
+
+    /// Total number of nodes in the subtree rooted here.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(Node::size).sum::<usize>()
+    }
+
+    /// Height of the subtree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(Node::depth).max().unwrap_or(0)
+    }
+
+    /// Number of leaves in the subtree.
+    pub fn leaf_count(&self) -> usize {
+        if self.children.is_empty() {
+            1
+        } else {
+            self.children.iter().map(Node::leaf_count).sum()
+        }
+    }
+
+    // ------------------------------------------------------------------ identity & typing
+
+    /// Structural hash of the subtree; equal trees hash equally.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+
+    /// The structural identity of the subtree.
+    pub fn id(&self) -> NodeId {
+        NodeId(self.structural_hash())
+    }
+
+    /// True when two nodes agree on kind and attributes (children are ignored).
+    pub fn same_label(&self, other: &Node) -> bool {
+        self.kind == other.kind && self.attrs == other.attrs
+    }
+
+    /// The primitive type of this subtree as seen by widget rules.
+    ///
+    /// Terminal literal kinds use the grammar annotation; anything with children, or any
+    /// non-annotated kind, is a `tree`.
+    pub fn primitive_type(&self) -> PrimitiveType {
+        if self.children.is_empty() {
+            self.kind.terminal_type().unwrap_or(PrimitiveType::Tree)
+        } else {
+            PrimitiveType::Tree
+        }
+    }
+
+    /// For numeric terminals, the numeric value (used for slider range extrapolation).
+    pub fn numeric_value(&self) -> Option<f64> {
+        if self.primitive_type() == PrimitiveType::Num {
+            self.attr_num("value")
+        } else {
+            None
+        }
+    }
+
+    /// A short human-readable label for this subtree, used in widget option lists.
+    pub fn label(&self) -> String {
+        match &self.kind {
+            NodeKind::ColExpr => {
+                let name = self.attr_str("name").unwrap_or("?");
+                match self.attr_str("table") {
+                    Some(t) => format!("{t}.{name}"),
+                    None => name.to_string(),
+                }
+            }
+            NodeKind::StrExpr | NodeKind::BoolExpr => {
+                self.attr_str("value").unwrap_or("?").to_string()
+            }
+            NodeKind::NumExpr => self
+                .attr("value")
+                .map(|v| v.render())
+                .unwrap_or_else(|| "?".into()),
+            NodeKind::HexExpr => self
+                .attr("value")
+                .and_then(AttrValue::as_int)
+                .map(|v| format!("0x{v:x}"))
+                .unwrap_or_else(|| "?".into()),
+            NodeKind::TableRef => self.attr_str("name").unwrap_or("?").to_string(),
+            NodeKind::Star => "*".to_string(),
+            NodeKind::Null => "NULL".to_string(),
+            NodeKind::FuncName => self.attr_str("name").unwrap_or("?").to_string(),
+            NodeKind::FuncCall | NodeKind::AggCall => {
+                let name = self
+                    .children
+                    .first()
+                    .filter(|c| c.kind == NodeKind::FuncName)
+                    .and_then(|c| c.attr_str("name"))
+                    .or_else(|| self.attr_str("name"))
+                    .unwrap_or("?");
+                format!("{name}(…)")
+            }
+            other => format!("{}[{}]", other.name(), self.size()),
+        }
+    }
+
+    // ------------------------------------------------------------------ navigation & mutation
+
+    /// The subtree at `path`, if it exists.
+    pub fn get(&self, path: &Path) -> Option<&Node> {
+        let mut cur = self;
+        for &step in path.steps() {
+            cur = cur.children.get(step)?;
+        }
+        Some(cur)
+    }
+
+    /// Mutable access to the subtree at `path`, if it exists.
+    pub fn get_mut(&mut self, path: &Path) -> Option<&mut Node> {
+        let mut cur = self;
+        for &step in path.steps() {
+            cur = cur.children.get_mut(step)?;
+        }
+        Some(cur)
+    }
+
+    /// Replaces the subtree at `path` with `subtree`, in place.
+    ///
+    /// If `path` designates a position exactly one past the end of an existing node's child
+    /// list, the subtree is *appended* there; this is how additions (diffs whose "before" side
+    /// is null) are applied.
+    pub fn replace_at(&mut self, path: &Path, subtree: Node) -> Result<(), ReplaceError> {
+        if path.is_root() {
+            *self = subtree;
+            return Ok(());
+        }
+        let parent_path = path.parent().expect("non-root path has a parent");
+        let idx = path.last().expect("non-root path has a last step");
+        let parent = self
+            .get_mut(&parent_path)
+            .ok_or_else(|| ReplaceError::PathNotFound { path: path.clone() })?;
+        if idx < parent.children.len() {
+            parent.children[idx] = subtree;
+            Ok(())
+        } else if idx == parent.children.len() {
+            parent.children.push(subtree);
+            Ok(())
+        } else {
+            Err(ReplaceError::PathNotFound { path: path.clone() })
+        }
+    }
+
+    /// Returns a copy of this tree with the subtree at `path` replaced by `subtree`.
+    pub fn replaced(&self, path: &Path, subtree: Node) -> Result<Node, ReplaceError> {
+        let mut out = self.clone();
+        out.replace_at(path, subtree)?;
+        Ok(out)
+    }
+
+    /// Removes the subtree at `path`, shifting later siblings left.  Used to apply deletions
+    /// (diffs whose "after" side is null).
+    pub fn remove_at(&mut self, path: &Path) -> Result<Node, ReplaceError> {
+        if path.is_root() {
+            return Err(ReplaceError::CannotRemoveRoot);
+        }
+        let parent_path = path.parent().expect("non-root path has a parent");
+        let idx = path.last().expect("non-root path has a last step");
+        let parent = self
+            .get_mut(&parent_path)
+            .ok_or_else(|| ReplaceError::PathNotFound { path: path.clone() })?;
+        if idx < parent.children.len() {
+            Ok(parent.children.remove(idx))
+        } else {
+            Err(ReplaceError::PathNotFound { path: path.clone() })
+        }
+    }
+
+    /// Returns a copy of this tree with the subtree at `path` removed.
+    pub fn removed(&self, path: &Path) -> Result<Node, ReplaceError> {
+        let mut out = self.clone();
+        out.remove_at(path)?;
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------ traversal
+
+    /// Pre-order traversal of `(path, node)` pairs, root first.
+    pub fn preorder(&self) -> Vec<(Path, &Node)> {
+        let mut out = Vec::with_capacity(self.size());
+        self.preorder_into(Path::root(), &mut out);
+        out
+    }
+
+    fn preorder_into<'a>(&'a self, path: Path, out: &mut Vec<(Path, &'a Node)>) {
+        out.push((path.clone(), self));
+        for (i, child) in self.children.iter().enumerate() {
+            child.preorder_into(path.child(i), out);
+        }
+    }
+
+    /// Paths of all nodes whose kind satisfies `pred`.
+    pub fn find_paths<F: Fn(&Node) -> bool>(&self, pred: F) -> Vec<Path> {
+        self.preorder()
+            .into_iter()
+            .filter(|(_, n)| pred(n))
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// Iterates over every node in the subtree (pre-order) without materialising paths.
+    pub fn visit<F: FnMut(&Node)>(&self, f: &mut F) {
+        f(self);
+        for child in &self.children {
+            child.visit(f);
+        }
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind.name())?;
+        if !self.attrs.is_empty() {
+            write!(f, "(")?;
+            for (i, (k, v)) in self.attrs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{k}={v}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> Node {
+        // SELECT sales, costs FROM t WHERE cty = 'USA'
+        Node::new(NodeKind::Select)
+            .with_child(
+                Node::new(NodeKind::Project)
+                    .with_child(Node::new(NodeKind::ProjClause).with_child(Node::column("sales")))
+                    .with_child(Node::new(NodeKind::ProjClause).with_child(Node::column("costs"))),
+            )
+            .with_child(Node::new(NodeKind::From).with_child(Node::table("t")))
+            .with_child(
+                Node::new(NodeKind::Where).with_child(
+                    Node::new(NodeKind::BiExpr)
+                        .with_attr("op", "=")
+                        .with_child(Node::column("cty"))
+                        .with_child(Node::string("USA")),
+                ),
+            )
+    }
+
+    #[test]
+    fn constructors_set_expected_attrs() {
+        assert_eq!(Node::column("a").attr_str("name"), Some("a"));
+        assert_eq!(Node::string("x").attr_str("value"), Some("x"));
+        assert_eq!(Node::int(5).attr_num("value"), Some(5.0));
+        assert_eq!(Node::hex(0x400).attr("value").unwrap().as_int(), Some(0x400));
+        assert_eq!(Node::table("t").attr_str("name"), Some("t"));
+    }
+
+    #[test]
+    fn get_follows_paths_like_the_paper() {
+        let t = sample_tree();
+        // 0/1/0 is the second projection clause's column (paper Table 1, d1).
+        let p: Path = "0/1/0".parse().unwrap();
+        let n = t.get(&p).unwrap();
+        assert_eq!(n.kind(), NodeKind::ColExpr);
+        assert_eq!(n.attr_str("name"), Some("costs"));
+        // 2/0/1 is the string literal in the predicate (paper Table 1, d2 uses 2/0/0/1 with an
+        // extra level; our WHERE has one fewer wrapper).
+        let p2: Path = "2/0/1".parse().unwrap();
+        assert_eq!(t.get(&p2).unwrap().attr_str("value"), Some("USA"));
+        assert!(t.get(&"9/9".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn replace_at_swaps_subtrees() {
+        let t = sample_tree();
+        let p: Path = "2/0/1".parse().unwrap();
+        let t2 = t.replaced(&p, Node::string("EUR")).unwrap();
+        assert_eq!(t2.get(&p).unwrap().attr_str("value"), Some("EUR"));
+        // original untouched
+        assert_eq!(t.get(&p).unwrap().attr_str("value"), Some("USA"));
+        // replacing the root swaps the whole query
+        let swapped = t.replaced(&Path::root(), Node::star()).unwrap();
+        assert_eq!(swapped.kind(), NodeKind::Star);
+    }
+
+    #[test]
+    fn replace_at_appends_when_index_is_one_past_end() {
+        let mut t = sample_tree();
+        // Append a GROUP BY clause as the 4th child of the root.
+        let p: Path = "3".parse().unwrap();
+        t.replace_at(&p, Node::new(NodeKind::GroupBy)).unwrap();
+        assert_eq!(t.arity(), 4);
+        // Far past the end is an error.
+        let err = t.replace_at(&"9".parse().unwrap(), Node::star());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn remove_at_deletes_and_shifts() {
+        let mut t = sample_tree();
+        let removed = t.remove_at(&"0/0".parse().unwrap()).unwrap();
+        assert_eq!(removed.kind(), NodeKind::ProjClause);
+        // The remaining projection clause shifted into slot 0.
+        assert_eq!(
+            t.get(&"0/0/0".parse().unwrap()).unwrap().attr_str("name"),
+            Some("costs")
+        );
+        assert!(t.remove_at(&Path::root()).is_err());
+        assert!(t.remove_at(&"0/7".parse().unwrap()).is_err());
+    }
+
+    #[test]
+    fn metrics_and_traversal_agree() {
+        let t = sample_tree();
+        let pre = t.preorder();
+        assert_eq!(pre.len(), t.size());
+        assert_eq!(pre[0].0, Path::root());
+        // Each (path, node) pair is consistent with get().
+        for (p, n) in &pre {
+            assert!(std::ptr::eq(t.get(p).unwrap(), *n));
+        }
+        assert!(t.depth() >= 4);
+        assert!(t.leaf_count() >= 4);
+    }
+
+    #[test]
+    fn structural_hash_tracks_equality() {
+        let a = sample_tree();
+        let b = sample_tree();
+        assert_eq!(a, b);
+        assert_eq!(a.structural_hash(), b.structural_hash());
+        assert_eq!(a.id(), b.id());
+        let c = a
+            .replaced(&"2/0/1".parse().unwrap(), Node::string("EUR"))
+            .unwrap();
+        assert_ne!(a, c);
+        assert_ne!(a.structural_hash(), c.structural_hash());
+    }
+
+    #[test]
+    fn primitive_types_follow_annotations() {
+        assert_eq!(Node::string("x").primitive_type(), PrimitiveType::Str);
+        assert_eq!(Node::int(5).primitive_type(), PrimitiveType::Num);
+        assert_eq!(Node::hex(16).primitive_type(), PrimitiveType::Num);
+        assert_eq!(Node::column("c").primitive_type(), PrimitiveType::Str);
+        assert_eq!(sample_tree().primitive_type(), PrimitiveType::Tree);
+        // A column expression *with* children would be a tree.
+        let weird = Node::column("c").with_child(Node::int(1));
+        assert_eq!(weird.primitive_type(), PrimitiveType::Tree);
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        assert_eq!(Node::column("a").label(), "a");
+        assert_eq!(Node::qualified_column("g", "objID").label(), "g.objID");
+        assert_eq!(Node::string("USA").label(), "USA");
+        assert_eq!(Node::int(42).label(), "42");
+        assert_eq!(Node::hex(0x400).label(), "0x400");
+        assert_eq!(Node::star().label(), "*");
+    }
+
+    #[test]
+    fn set_attr_overwrites() {
+        let mut n = Node::column("a");
+        n.set_attr("name", "b");
+        assert_eq!(n.attr_str("name"), Some("b"));
+        assert_eq!(n.attrs().len(), 1);
+    }
+
+    #[test]
+    fn numeric_value_only_for_numeric_terminals() {
+        assert_eq!(Node::int(7).numeric_value(), Some(7.0));
+        assert_eq!(Node::float(2.5).numeric_value(), Some(2.5));
+        assert_eq!(Node::hex(0x10).numeric_value(), Some(16.0));
+        assert_eq!(Node::string("7").numeric_value(), None);
+        assert_eq!(sample_tree().numeric_value(), None);
+    }
+}

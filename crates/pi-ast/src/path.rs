@@ -1,0 +1,252 @@
+//! Paths locate subtrees within a query AST.
+//!
+//! The paper writes paths as slash-separated child indices: `0/1/0` follows the first child of
+//! the root, then its second child, then its first child (Table 1, Example 4.2).  The widget
+//! mapping heuristic relies heavily on the *prefix* relation between paths — an ancestor widget
+//! has a path that is a prefix of its descendants' paths — so [`Path`] provides cheap prefix
+//! tests in addition to parsing/printing.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The location of a subtree inside an AST: a sequence of 0-based child indices from the root.
+///
+/// The empty path designates the root node itself.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path(Vec<usize>);
+
+/// Error produced when parsing a textual path fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePathError {
+    /// The offending path segment.
+    pub segment: String,
+}
+
+impl fmt::Display for ParsePathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid path segment `{}`", self.segment)
+    }
+}
+
+impl std::error::Error for ParsePathError {}
+
+impl Path {
+    /// The root path (empty sequence of steps).
+    pub fn root() -> Self {
+        Path(Vec::new())
+    }
+
+    /// Builds a path from explicit steps.
+    pub fn from_steps<I: IntoIterator<Item = usize>>(steps: I) -> Self {
+        Path(steps.into_iter().collect())
+    }
+
+    /// The steps of the path, outermost first.
+    pub fn steps(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of steps; the root has depth 0.
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when this is the root path.
+    pub fn is_root(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns a new path with `child` appended.
+    pub fn child(&self, child: usize) -> Path {
+        let mut steps = self.0.clone();
+        steps.push(child);
+        Path(steps)
+    }
+
+    /// Appends a step in place.
+    pub fn push(&mut self, child: usize) {
+        self.0.push(child);
+    }
+
+    /// Removes and returns the last step.
+    pub fn pop(&mut self) -> Option<usize> {
+        self.0.pop()
+    }
+
+    /// The parent path, or `None` if this is the root.
+    pub fn parent(&self) -> Option<Path> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(Path(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// The last step of the path (the index of this subtree within its parent).
+    pub fn last(&self) -> Option<usize> {
+        self.0.last().copied()
+    }
+
+    /// True when `self` is a (non-strict) prefix of `other`, i.e. `self` is an ancestor-or-self
+    /// location of `other`.
+    pub fn is_prefix_of(&self, other: &Path) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// True when `self` is a strict prefix of `other`.
+    pub fn is_strict_prefix_of(&self, other: &Path) -> bool {
+        other.0.len() > self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// The longest common prefix of two paths (their least common ancestor location).
+    pub fn common_prefix(&self, other: &Path) -> Path {
+        let n = self
+            .0
+            .iter()
+            .zip(other.0.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        Path(self.0[..n].to_vec())
+    }
+
+    /// The suffix of `other` relative to `self`, if `self` is a prefix of `other`.
+    pub fn relative_to(&self, ancestor: &Path) -> Option<Path> {
+        if ancestor.is_prefix_of(self) {
+            Some(Path(self.0[ancestor.0.len()..].to_vec()))
+        } else {
+            None
+        }
+    }
+
+    /// Concatenates two paths.
+    pub fn join(&self, suffix: &Path) -> Path {
+        let mut steps = self.0.clone();
+        steps.extend_from_slice(&suffix.0);
+        Path(steps)
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str("/");
+        }
+        let mut first = true;
+        for step in &self.0 {
+            if !first {
+                f.write_str("/")?;
+            }
+            write!(f, "{step}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Path {
+    type Err = ParsePathError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() || s == "/" {
+            return Ok(Path::root());
+        }
+        let mut steps = Vec::new();
+        for seg in s.trim_matches('/').split('/') {
+            let idx: usize = seg.parse().map_err(|_| ParsePathError {
+                segment: seg.to_string(),
+            })?;
+            steps.push(idx);
+        }
+        Ok(Path(steps))
+    }
+}
+
+impl From<Vec<usize>> for Path {
+    fn from(steps: Vec<usize>) -> Self {
+        Path(steps)
+    }
+}
+
+impl From<&[usize]> for Path {
+    fn from(steps: &[usize]) -> Self {
+        Path(steps.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for text in ["0/1/0", "2/0/0/1", "0", "7/3"] {
+            let p: Path = text.parse().unwrap();
+            assert_eq!(p.to_string(), text);
+        }
+        let root: Path = "/".parse().unwrap();
+        assert!(root.is_root());
+        assert_eq!(root.to_string(), "/");
+        let empty: Path = "".parse().unwrap();
+        assert!(empty.is_root());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("0/x/1".parse::<Path>().is_err());
+        assert!("a".parse::<Path>().is_err());
+    }
+
+    #[test]
+    fn prefix_relations() {
+        let a: Path = "0/1".parse().unwrap();
+        let b: Path = "0/1/0".parse().unwrap();
+        let c: Path = "0/2".parse().unwrap();
+        assert!(a.is_prefix_of(&b));
+        assert!(a.is_prefix_of(&a));
+        assert!(!a.is_strict_prefix_of(&a));
+        assert!(a.is_strict_prefix_of(&b));
+        assert!(!b.is_prefix_of(&a));
+        assert!(!a.is_prefix_of(&c));
+        assert!(Path::root().is_prefix_of(&c));
+    }
+
+    #[test]
+    fn parent_child_navigation() {
+        let p: Path = "0/1/2".parse().unwrap();
+        assert_eq!(p.parent().unwrap().to_string(), "0/1");
+        assert_eq!(p.last(), Some(2));
+        assert_eq!(p.depth(), 3);
+        assert_eq!(Path::root().parent(), None);
+        assert_eq!(Path::root().child(4).to_string(), "4");
+    }
+
+    #[test]
+    fn common_prefix_is_lca_location() {
+        let a: Path = "0/1/0".parse().unwrap();
+        let b: Path = "0/1/3/2".parse().unwrap();
+        let c: Path = "2/0".parse().unwrap();
+        assert_eq!(a.common_prefix(&b).to_string(), "0/1");
+        assert_eq!(a.common_prefix(&c), Path::root());
+        assert_eq!(a.common_prefix(&a), a);
+    }
+
+    #[test]
+    fn relative_and_join_are_inverses() {
+        let anc: Path = "0/1".parse().unwrap();
+        let full: Path = "0/1/3/2".parse().unwrap();
+        let rel = full.relative_to(&anc).unwrap();
+        assert_eq!(rel.to_string(), "3/2");
+        assert_eq!(anc.join(&rel), full);
+        assert_eq!(full.relative_to(&"4".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a: Path = "0/1".parse().unwrap();
+        let b: Path = "0/1/0".parse().unwrap();
+        let c: Path = "1".parse().unwrap();
+        assert!(a < b);
+        assert!(b < c);
+    }
+}

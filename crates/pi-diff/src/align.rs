@@ -1,0 +1,230 @@
+//! Ordered tree matching and extraction of minimal changed subtrees ("leaf diffs").
+//!
+//! The matcher preserves ancestor relationships and left-to-right sibling order, in the spirit
+//! of the ordered tree matching algorithm the paper references (Bille's survey).  It proceeds
+//! top-down:
+//!
+//! * two nodes with different labels (kind or attributes) are reported as a single replacement
+//!   of the whole subtree;
+//! * two nodes with the same label have their child lists aligned — exactly-equal subtrees are
+//!   anchored with a longest-common-subsequence pass over structural hashes, and whatever sits
+//!   between anchors is paired positionally and recursed into (or reported as an insertion /
+//!   deletion when one side runs out).
+
+use pi_ast::{Node, Path};
+
+/// One minimal changed subtree between two trees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafChange {
+    /// Location of the change.  For replacements and deletions this is the subtree's path in
+    /// the *source* tree; for insertions it is the position (in source coordinates) where the
+    /// new subtree appears.
+    pub path: Path,
+    /// The subtree in the source tree (`None` for insertions).
+    pub before: Option<Node>,
+    /// The subtree in the target tree (`None` for deletions).
+    pub after: Option<Node>,
+}
+
+impl LeafChange {
+    /// True when this change replaces one subtree by another.
+    pub fn is_replacement(&self) -> bool {
+        self.before.is_some() && self.after.is_some()
+    }
+}
+
+/// Computes the minimal changed subtrees that transform `a` into `b`.
+pub fn leaf_changes(a: &Node, b: &Node) -> Vec<LeafChange> {
+    let mut out = Vec::new();
+    diff_nodes(a, b, &Path::root(), &mut out);
+    out
+}
+
+/// Convenience alias of [`leaf_changes`], named after its role in the pipeline.
+pub fn diff_trees(a: &Node, b: &Node) -> Vec<LeafChange> {
+    leaf_changes(a, b)
+}
+
+fn diff_nodes(a: &Node, b: &Node, path: &Path, out: &mut Vec<LeafChange>) {
+    if a == b {
+        return;
+    }
+    if !a.same_label(b) {
+        out.push(LeafChange {
+            path: path.clone(),
+            before: Some(a.clone()),
+            after: Some(b.clone()),
+        });
+        return;
+    }
+    align_children(a, b, path, out);
+}
+
+/// Aligns the child lists of two same-labelled nodes and recurses.
+fn align_children(a: &Node, b: &Node, path: &Path, out: &mut Vec<LeafChange>) {
+    let ac = a.children();
+    let bc = b.children();
+
+    // Anchor exactly-equal subtrees with an LCS over structural hashes.
+    let ah: Vec<u64> = ac.iter().map(Node::structural_hash).collect();
+    let bh: Vec<u64> = bc.iter().map(Node::structural_hash).collect();
+    let anchors = lcs_pairs(&ah, &bh);
+
+    let mut ai = 0usize;
+    let mut bi = 0usize;
+    for &(anchor_a, anchor_b) in anchors.iter().chain(std::iter::once(&(ac.len(), bc.len()))) {
+        // Everything between the previous anchor and this one is a "gap" of unmatched children.
+        let gap_a = &ac[ai..anchor_a];
+        let gap_b = &bc[bi..anchor_b];
+        let paired = gap_a.len().min(gap_b.len());
+        for k in 0..paired {
+            diff_nodes(&gap_a[k], &gap_b[k], &path.child(ai + k), out);
+        }
+        // Source has extra children: deletions.
+        for (k, extra) in gap_a.iter().enumerate().skip(paired) {
+            out.push(LeafChange {
+                path: path.child(ai + k),
+                before: Some(extra.clone()),
+                after: None,
+            });
+        }
+        // Target has extra children: insertions.  Their path records where they would be
+        // inserted, expressed in source coordinates.
+        for (k, extra) in gap_b.iter().enumerate().skip(paired) {
+            out.push(LeafChange {
+                path: path.child(ai + k),
+                before: None,
+                after: Some(extra.clone()),
+            });
+        }
+        ai = anchor_a + 1;
+        bi = anchor_b + 1;
+    }
+}
+
+/// Longest common subsequence over two hash sequences, returned as index pairs.
+fn lcs_pairs(a: &[u64], b: &[u64]) -> Vec<(usize, usize)> {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 || m == 0 {
+        return Vec::new();
+    }
+    // dp[i][j] = LCS length of a[i..], b[j..]
+    let mut dp = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[i][j] = if a[i] == b[j] {
+                dp[i + 1][j + 1] + 1
+            } else {
+                dp[i + 1][j].max(dp[i][j + 1])
+            };
+        }
+    }
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            out.push((i, j));
+            i += 1;
+            j += 1;
+        } else if dp[i + 1][j] >= dp[i][j + 1] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_ast::NodeKind;
+    use pi_sql::parse;
+
+    #[test]
+    fn equal_trees_have_no_changes() {
+        let q = parse("SELECT a, b FROM t WHERE c = 1").unwrap();
+        assert!(leaf_changes(&q, &q).is_empty());
+    }
+
+    #[test]
+    fn single_literal_change_is_one_leaf() {
+        let a = parse("SELECT a FROM t WHERE c = 1").unwrap();
+        let b = parse("SELECT a FROM t WHERE c = 2").unwrap();
+        let changes = leaf_changes(&a, &b);
+        assert_eq!(changes.len(), 1);
+        assert!(changes[0].is_replacement());
+        assert_eq!(changes[0].before.as_ref().unwrap().numeric_value(), Some(1.0));
+        assert_eq!(changes[0].after.as_ref().unwrap().numeric_value(), Some(2.0));
+    }
+
+    #[test]
+    fn completely_different_roots_collapse_to_one_change() {
+        let a = parse("SELECT a FROM t").unwrap();
+        let b = parse("SELECT DISTINCT a FROM t").unwrap();
+        // The DISTINCT flag lives in the root's attributes, so the whole tree is replaced.
+        let changes = leaf_changes(&a, &b);
+        assert_eq!(changes.len(), 1);
+        assert!(changes[0].path.is_root());
+    }
+
+    #[test]
+    fn insertion_in_the_middle_is_detected_without_spurious_changes() {
+        let a = parse("SELECT a, c FROM t").unwrap();
+        let b = parse("SELECT a, b, c FROM t").unwrap();
+        let changes = leaf_changes(&a, &b);
+        assert_eq!(changes.len(), 1, "{changes:#?}");
+        assert!(changes[0].before.is_none());
+        assert_eq!(changes[0].after.as_ref().unwrap().kind(), NodeKind::ProjClause);
+        // Inserted at index 1 of the projection list.
+        assert_eq!(changes[0].path.to_string(), "0/1");
+    }
+
+    #[test]
+    fn deletion_at_the_front_is_detected() {
+        let a = parse("SELECT COUNT(Delay), DestState FROM ontime").unwrap();
+        let b = parse("SELECT DestState FROM ontime").unwrap();
+        let changes = leaf_changes(&a, &b);
+        assert_eq!(changes.len(), 1, "{changes:#?}");
+        assert!(changes[0].after.is_none());
+        assert_eq!(changes[0].path.to_string(), "0/0");
+    }
+
+    #[test]
+    fn multiple_independent_changes_are_all_reported() {
+        let a = parse("SELECT sales, day FROM t WHERE cty = 'USA' AND y = 1").unwrap();
+        let b = parse("SELECT costs, day FROM t WHERE cty = 'EUR' AND y = 1").unwrap();
+        let changes = leaf_changes(&a, &b);
+        assert_eq!(changes.len(), 2);
+        assert!(changes.iter().all(|c| c.is_replacement()));
+    }
+
+    #[test]
+    fn sibling_swap_reports_localised_changes() {
+        let a = parse("SELECT a, b FROM t").unwrap();
+        let b = parse("SELECT b, a FROM t").unwrap();
+        let changes = leaf_changes(&a, &b);
+        // An ordered matcher cannot "move" nodes; it reports the columns as changed in place
+        // (either two replacements, or one anchor plus an insert/delete pair).
+        assert!(!changes.is_empty() && changes.len() <= 2, "{changes:#?}");
+    }
+
+    #[test]
+    fn lcs_matches_longest_anchor_sequence() {
+        assert_eq!(lcs_pairs(&[1, 2, 3], &[1, 2, 3]), vec![(0, 0), (1, 1), (2, 2)]);
+        assert_eq!(lcs_pairs(&[1, 9, 3], &[1, 3]), vec![(0, 0), (2, 1)]);
+        assert_eq!(lcs_pairs(&[], &[1]), vec![]);
+        assert_eq!(lcs_pairs(&[5, 1, 2], &[1, 2, 5]).len(), 2);
+    }
+
+    #[test]
+    fn nested_subquery_changes_stay_local() {
+        let a = parse("SELECT * FROM (SELECT a FROM T WHERE b > 10)").unwrap();
+        let b = parse("SELECT * FROM (SELECT a FROM T WHERE b > 20)").unwrap();
+        let changes = leaf_changes(&a, &b);
+        assert_eq!(changes.len(), 1);
+        // The path dives into the subquery: FROM -> SubqueryRef -> Select -> Where -> ...
+        assert!(changes[0].path.depth() >= 5);
+    }
+}

@@ -1,0 +1,377 @@
+//! The `diffs` table: records of subtree transformations between pairs of log queries.
+
+use crate::align::{leaf_changes, LeafChange};
+use pi_ast::{Node, Path, PrimitiveType, ReplaceError};
+use std::collections::BTreeSet;
+
+/// How the ancestor closure of leaf diffs is materialised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AncestorPolicy {
+    /// Every proper ancestor of a leaf diff becomes a record (baseline behaviour, §4.2).
+    Full,
+    /// Least-common-ancestor pruning (§6.2): keep leaf diffs, LCAs of pairs of leaf diffs,
+    /// and the whole-query (root) transformation — the "replace the entire AST" option the
+    /// paper always keeps available (Figure 4's d3/d4).  Produces the same final interfaces
+    /// as [`AncestorPolicy::Full`] at a fraction of the cost.
+    #[default]
+    LcaPruned,
+}
+
+/// The nature of a transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChangeKind {
+    /// A subtree is replaced by a different subtree.
+    Replacement,
+    /// A subtree is inserted (the `t1` side is null).
+    Addition,
+    /// A subtree is removed (the `t2` side is null).
+    Deletion,
+}
+
+/// One row of the `diffs` table: `d = (q1, q2, p, t1, t2, type)` (paper Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRecord {
+    /// Index of the source query in the log.
+    pub q1: usize,
+    /// Index of the target query in the log.
+    pub q2: usize,
+    /// Path of the transformed subtree.
+    pub path: Path,
+    /// Subtree in the source query (`t1`); `None` for additions.
+    pub before: Option<Node>,
+    /// Subtree in the target query (`t2`); `None` for deletions.
+    pub after: Option<Node>,
+    /// True when this is a minimal changed subtree (leaf diff) rather than an ancestor record.
+    pub is_leaf: bool,
+}
+
+impl DiffRecord {
+    /// Whether the record replaces, adds, or removes a subtree.
+    pub fn change_kind(&self) -> ChangeKind {
+        match (&self.before, &self.after) {
+            (Some(_), Some(_)) => ChangeKind::Replacement,
+            (None, Some(_)) => ChangeKind::Addition,
+            (Some(_), None) => ChangeKind::Deletion,
+            (None, None) => unreachable!("a diff record must have at least one side"),
+        }
+    }
+
+    /// The primitive type of the transformation (the `type` column of Table 1).
+    ///
+    /// Replacements take the join of both sides' types; additions and deletions are typed by
+    /// whichever side exists.  Ancestor records are always `tree`.
+    pub fn primitive(&self) -> PrimitiveType {
+        if !self.is_leaf {
+            return PrimitiveType::Tree;
+        }
+        match (&self.before, &self.after) {
+            (Some(a), Some(b)) => a.primitive_type().join(b.primitive_type()),
+            (Some(a), None) => a.primitive_type().join(PrimitiveType::Tree),
+            (None, Some(b)) => b.primitive_type().join(PrimitiveType::Tree),
+            (None, None) => PrimitiveType::Tree,
+        }
+    }
+
+    /// Applies the transformation to a query: `d(q) = q'` (Example 4.2).
+    pub fn apply(&self, q: &Node) -> Result<Node, ReplaceError> {
+        match self.change_kind() {
+            ChangeKind::Replacement => {
+                q.replaced(&self.path, self.after.clone().expect("after side"))
+            }
+            ChangeKind::Addition => {
+                insert_subtree(q, &self.path, self.after.as_ref().expect("after side"))
+            }
+            ChangeKind::Deletion => q.removed(&self.path),
+        }
+    }
+
+    /// Applies the inverse transformation: `d⁻¹(q') = q`.
+    pub fn apply_inverse(&self, q: &Node) -> Result<Node, ReplaceError> {
+        match self.change_kind() {
+            ChangeKind::Replacement => {
+                q.replaced(&self.path, self.before.clone().expect("before side"))
+            }
+            ChangeKind::Deletion => {
+                insert_subtree(q, &self.path, self.before.as_ref().expect("before side"))
+            }
+            ChangeKind::Addition => q.removed(&self.path),
+        }
+    }
+
+    /// The subtrees this record contributes to a widget domain (both sides when present).
+    pub fn domain_subtrees(&self) -> Vec<&Node> {
+        self.before.iter().chain(self.after.iter()).collect()
+    }
+
+    /// A one-line human-readable summary, used by experiment output and debugging.
+    pub fn summary(&self) -> String {
+        let fmt_side = |side: &Option<Node>| match side {
+            Some(n) => n.label(),
+            None => "∅".to_string(),
+        };
+        format!(
+            "{} @{}: {} → {} [{}]",
+            match self.change_kind() {
+                ChangeKind::Replacement => "repl",
+                ChangeKind::Addition => "add ",
+                ChangeKind::Deletion => "del ",
+            },
+            self.path,
+            fmt_side(&self.before),
+            fmt_side(&self.after),
+            self.primitive()
+        )
+    }
+}
+
+/// Inserts `subtree` at `path` in `q`, shifting later siblings right.
+///
+/// Paths pointing one slot past the end of the parent's child list append; in-range paths
+/// insert before the existing child, matching the source-coordinate convention of the aligner.
+fn insert_subtree(q: &Node, path: &Path, subtree: &Node) -> Result<Node, ReplaceError> {
+    let Some(parent_path) = path.parent() else {
+        return q.replaced(path, subtree.clone());
+    };
+    let idx = path.last().expect("non-root path");
+    let mut out = q.clone();
+    let parent = out
+        .get_mut(&parent_path)
+        .ok_or(ReplaceError::PathNotFound { path: path.clone() })?;
+    let len = parent.children().len();
+    if idx <= len {
+        parent.children_mut().insert(idx.min(len), subtree.clone());
+        Ok(out)
+    } else {
+        Err(ReplaceError::PathNotFound { path: path.clone() })
+    }
+}
+
+/// Applies a set of *leaf* records (all extracted from the same query pair) to a query.
+///
+/// Record paths are expressed in the source query's coordinates, so applying them one by one
+/// in arbitrary order can shift sibling indices out from under later records.  This helper
+/// applies them in a safe order: replacements first (index-stable), then deletions from the
+/// highest path down (so earlier removals cannot shift later ones), then additions from the
+/// lowest path up (so earlier insertions create the slots later ones expect).
+pub fn apply_leaf_changes(base: &Node, records: &[DiffRecord]) -> Result<Node, ReplaceError> {
+    let mut out = base.clone();
+    for record in records.iter().filter(|r| r.is_leaf) {
+        if record.change_kind() == ChangeKind::Replacement {
+            out = record.apply(&out)?;
+        }
+    }
+    let mut deletions: Vec<&DiffRecord> = records
+        .iter()
+        .filter(|r| r.is_leaf && r.change_kind() == ChangeKind::Deletion)
+        .collect();
+    deletions.sort_by(|a, b| b.path.cmp(&a.path));
+    for record in deletions {
+        out = record.apply(&out)?;
+    }
+    let mut additions: Vec<&DiffRecord> = records
+        .iter()
+        .filter(|r| r.is_leaf && r.change_kind() == ChangeKind::Addition)
+        .collect();
+    additions.sort_by(|a, b| a.path.cmp(&b.path));
+    for record in additions {
+        out = record.apply(&out)?;
+    }
+    Ok(out)
+}
+
+/// Builds the diff records between two queries, expanding (and optionally pruning) ancestors.
+pub fn build_records(
+    a: &Node,
+    b: &Node,
+    q1_idx: usize,
+    q2_idx: usize,
+    policy: AncestorPolicy,
+) -> Vec<DiffRecord> {
+    let leaves = leaf_changes(a, b);
+    if leaves.is_empty() {
+        return Vec::new();
+    }
+
+    let ancestor_paths = ancestor_paths(&leaves, policy);
+
+    let mut out: Vec<DiffRecord> = leaves
+        .into_iter()
+        .map(|LeafChange { path, before, after }| DiffRecord {
+            q1: q1_idx,
+            q2: q2_idx,
+            path,
+            before,
+            after,
+            is_leaf: true,
+        })
+        .collect();
+
+    for path in ancestor_paths {
+        // Skip ancestors that coincide with an existing leaf record (a root-level replacement
+        // already *is* the whole-tree transformation).
+        if out.iter().any(|d| d.is_leaf && d.path == path) {
+            continue;
+        }
+        let (before, after) = (a.get(&path), b.get(&path));
+        // Both sides must exist: an ancestor of a change always exists in the source tree, and
+        // in the target tree unless sibling shifts moved it; such rare cases are simply skipped.
+        if let (Some(before), Some(after)) = (before, after) {
+            if before == after {
+                continue;
+            }
+            out.push(DiffRecord {
+                q1: q1_idx,
+                q2: q2_idx,
+                path: path.clone(),
+                before: Some(before.clone()),
+                after: Some(after.clone()),
+                is_leaf: false,
+            });
+        }
+    }
+    out
+}
+
+/// Computes the set of ancestor paths to materialise for a set of leaf changes.
+fn ancestor_paths(leaves: &[LeafChange], policy: AncestorPolicy) -> BTreeSet<Path> {
+    let leaf_paths: Vec<&Path> = leaves.iter().map(|l| &l.path).collect();
+    let mut out = BTreeSet::new();
+    match policy {
+        AncestorPolicy::Full => {
+            for path in &leaf_paths {
+                let mut cur = (*path).clone();
+                while let Some(parent) = cur.parent() {
+                    out.insert(parent.clone());
+                    cur = parent;
+                }
+            }
+        }
+        AncestorPolicy::LcaPruned => {
+            // The whole-query transformation is always a viable interaction (Figure 4).
+            out.insert(Path::root());
+            // Keep paths that are the least common ancestor of at least two leaf diffs.
+            for i in 0..leaf_paths.len() {
+                for j in (i + 1)..leaf_paths.len() {
+                    let lca = leaf_paths[i].common_prefix(leaf_paths[j]);
+                    // The LCA of a path with itself (duplicate paths) adds nothing useful.
+                    if &lca != leaf_paths[i] && &lca != leaf_paths[j] {
+                        out.insert(lca);
+                    } else if leaf_paths[i] == leaf_paths[j] {
+                        continue;
+                    } else {
+                        out.insert(lca);
+                    }
+                }
+            }
+        }
+    }
+    // Leaf paths themselves are emitted as leaf records, not ancestors.
+    for p in leaf_paths {
+        out.remove(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_sql::parse;
+
+    #[test]
+    fn change_kind_covers_all_shapes() {
+        let n = Node::int(1);
+        let repl = DiffRecord {
+            q1: 0,
+            q2: 1,
+            path: Path::root(),
+            before: Some(n.clone()),
+            after: Some(Node::int(2)),
+            is_leaf: true,
+        };
+        assert_eq!(repl.change_kind(), ChangeKind::Replacement);
+        let add = DiffRecord {
+            before: None,
+            after: Some(n.clone()),
+            ..repl.clone()
+        };
+        assert_eq!(add.change_kind(), ChangeKind::Addition);
+        let del = DiffRecord {
+            before: Some(n),
+            after: None,
+            ..repl
+        };
+        assert_eq!(del.change_kind(), ChangeKind::Deletion);
+    }
+
+    #[test]
+    fn ancestor_records_are_tree_typed() {
+        let a = parse("SELECT sales FROM t WHERE cty = 'USA'").unwrap();
+        let b = parse("SELECT costs FROM t WHERE cty = 'EUR'").unwrap();
+        let records = build_records(&a, &b, 0, 1, AncestorPolicy::Full);
+        for r in records.iter().filter(|r| !r.is_leaf) {
+            assert_eq!(r.primitive(), PrimitiveType::Tree);
+            assert_eq!(r.change_kind(), ChangeKind::Replacement);
+        }
+    }
+
+    #[test]
+    fn lca_pruning_keeps_only_lcas() {
+        let a = parse("SELECT sales FROM t WHERE cty = 'USA'").unwrap();
+        let b = parse("SELECT costs FROM t WHERE cty = 'EUR'").unwrap();
+        let records = build_records(&a, &b, 0, 1, AncestorPolicy::LcaPruned);
+        let ancestors: Vec<&DiffRecord> = records.iter().filter(|r| !r.is_leaf).collect();
+        // Exactly one ancestor: the root, the LCA of the projection change and the predicate
+        // change.
+        assert_eq!(ancestors.len(), 1);
+        assert!(ancestors[0].path.is_root());
+    }
+
+    #[test]
+    fn single_leaf_change_keeps_only_the_leaf_and_the_root_under_pruning() {
+        let a = parse("SELECT a FROM t WHERE x = 1").unwrap();
+        let b = parse("SELECT a FROM t WHERE x = 2").unwrap();
+        let records = build_records(&a, &b, 0, 1, AncestorPolicy::LcaPruned);
+        // The leaf itself plus the whole-query transformation; the intermediate Where/BiExpr
+        // ancestors are pruned.
+        assert_eq!(records.len(), 2);
+        assert_eq!(records.iter().filter(|r| r.is_leaf).count(), 1);
+        assert!(records.iter().any(|r| !r.is_leaf && r.path.is_root()));
+        let full = build_records(&a, &b, 0, 1, AncestorPolicy::Full);
+        assert!(full.len() > records.len());
+    }
+
+    #[test]
+    fn addition_apply_inserts_and_inverse_removes() {
+        let a = parse("SELECT a, c FROM t").unwrap();
+        let b = parse("SELECT a, b, c FROM t").unwrap();
+        let records = build_records(&a, &b, 0, 1, AncestorPolicy::LcaPruned);
+        let add = records
+            .iter()
+            .find(|r| r.change_kind() == ChangeKind::Addition)
+            .unwrap();
+        let applied = add.apply(&a).unwrap();
+        assert_eq!(applied, b);
+        let undone = add.apply_inverse(&applied).unwrap();
+        assert_eq!(undone, a);
+    }
+
+    #[test]
+    fn summary_is_informative() {
+        let a = parse("SELECT a FROM t WHERE x = 1").unwrap();
+        let b = parse("SELECT a FROM t WHERE x = 2").unwrap();
+        let records = build_records(&a, &b, 3, 4, AncestorPolicy::LcaPruned);
+        let s = records[0].summary();
+        assert!(s.contains("repl"));
+        assert!(s.contains("1"));
+        assert!(s.contains("2"));
+        assert!(s.contains("num"));
+    }
+
+    #[test]
+    fn domain_subtrees_returns_both_sides() {
+        let a = parse("SELECT a FROM t WHERE x = 1").unwrap();
+        let b = parse("SELECT a FROM t WHERE x = 2").unwrap();
+        let records = build_records(&a, &b, 0, 1, AncestorPolicy::LcaPruned);
+        assert_eq!(records[0].domain_subtrees().len(), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! An arena of diff records shared by the interaction graph and the widget mapper.
+//!
+//! The paper notes that the `diffs` table is *logical* and need not be materialised in full;
+//! in practice the interaction graph references diff records by id, and the mapper groups
+//! those ids by path, so a simple append-only arena with by-id lookup is all that is needed.
+
+use crate::record::DiffRecord;
+use pi_ast::Path;
+use std::collections::BTreeMap;
+
+/// Identifier of a diff record inside a [`DiffStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DiffId(pub usize);
+
+impl std::fmt::Display for DiffId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// Append-only arena of diff records.
+#[derive(Debug, Default, Clone)]
+pub struct DiffStore {
+    records: Vec<DiffRecord>,
+}
+
+impl DiffStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a record and returns its id.
+    pub fn push(&mut self, record: DiffRecord) -> DiffId {
+        let id = DiffId(self.records.len());
+        self.records.push(record);
+        id
+    }
+
+    /// Adds many records, returning their ids in order.
+    pub fn extend<I: IntoIterator<Item = DiffRecord>>(&mut self, records: I) -> Vec<DiffId> {
+        records.into_iter().map(|r| self.push(r)).collect()
+    }
+
+    /// Looks up a record.
+    pub fn get(&self, id: DiffId) -> &DiffRecord {
+        &self.records[id.0]
+    }
+
+    /// Number of records in the store.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over `(id, record)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DiffId, &DiffRecord)> {
+        self.records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (DiffId(i), r))
+    }
+
+    /// Groups record ids by path — the partition `W_p` used by the mapper's initialisation
+    /// (Algorithm 1, line 3).
+    pub fn partition_by_path(&self) -> BTreeMap<Path, Vec<DiffId>> {
+        let mut out: BTreeMap<Path, Vec<DiffId>> = BTreeMap::new();
+        for (id, record) in self.iter() {
+            out.entry(record.path.clone()).or_default().push(id);
+        }
+        out
+    }
+
+    /// All record ids whose record is a leaf diff.
+    pub fn leaf_ids(&self) -> Vec<DiffId> {
+        self.iter()
+            .filter(|(_, r)| r.is_leaf)
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{build_records, AncestorPolicy};
+    use pi_sql::parse;
+
+    fn populated_store() -> DiffStore {
+        let mut store = DiffStore::new();
+        let a = parse("SELECT sales FROM t WHERE cty = 'USA'").unwrap();
+        let b = parse("SELECT costs FROM t WHERE cty = 'EUR'").unwrap();
+        let c = parse("SELECT costs FROM t WHERE cty = 'CHN'").unwrap();
+        store.extend(build_records(&a, &b, 0, 1, AncestorPolicy::Full));
+        store.extend(build_records(&b, &c, 1, 2, AncestorPolicy::Full));
+        store
+    }
+
+    #[test]
+    fn push_and_get_round_trip() {
+        let store = populated_store();
+        assert!(!store.is_empty());
+        for (id, record) in store.iter() {
+            assert_eq!(store.get(id), record);
+        }
+    }
+
+    #[test]
+    fn partition_groups_by_path() {
+        let store = populated_store();
+        let partition = store.partition_by_path();
+        let total: usize = partition.values().map(Vec::len).sum();
+        assert_eq!(total, store.len());
+        // The predicate literal path appears in both query pairs, so its partition has
+        // records from both.
+        let lit_partition = partition
+            .iter()
+            .find(|(p, _)| p.to_string() == "2/0/1")
+            .map(|(_, ids)| ids.clone())
+            .expect("literal path partition");
+        let qs: std::collections::BTreeSet<usize> = lit_partition
+            .iter()
+            .map(|id| store.get(*id).q1)
+            .collect();
+        assert_eq!(qs.len(), 2);
+    }
+
+    #[test]
+    fn leaf_ids_only_returns_leaves() {
+        let store = populated_store();
+        let leaves = store.leaf_ids();
+        assert!(!leaves.is_empty());
+        assert!(leaves.iter().all(|id| store.get(*id).is_leaf));
+        assert!(leaves.len() < store.len());
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let store = populated_store();
+        let ids: Vec<usize> = store.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, (0..store.len()).collect::<Vec<_>>());
+        assert_eq!(DiffId(3).to_string(), "d3");
+    }
+}

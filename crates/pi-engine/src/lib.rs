@@ -1,0 +1,42 @@
+//! # pi-engine — the `exec()` / `render()` substrate
+//!
+//! Precision Interfaces assumes "two available functions `exec()` and `render()` that
+//! respectively execute a query AST and render the output" (§3.3).  This crate provides both
+//! on top of a small, self-contained in-memory columnar engine:
+//!
+//! * [`storage`] — typed values and columnar tables,
+//! * [`catalog`] — a catalog pre-populated with synthetic OnTime and SDSS-subset data (the
+//!   datasets the paper's interfaces query), plus the generic tables used by the paper's
+//!   examples,
+//! * [`exec`] — a straightforward executor for the SQL subset produced by `pi-sql`:
+//!   projections with expressions, WHERE filters, comma joins and explicit joins, derived
+//!   tables, the `dbo.fGetNearbyObjEq` cone-search UDF, GROUP BY / aggregates / HAVING,
+//!   ORDER BY, DISTINCT and TOP/LIMIT,
+//! * [`render`] — ASCII table and bar-chart rendering of query results (the `render()` half
+//!   of the contract; the paper defers fancier visualisation to auto-vis systems).
+//!
+//! ```
+//! use pi_engine::{Catalog, exec, render};
+//!
+//! let catalog = Catalog::demo(42);
+//! let query = pi_sql::parse(
+//!     "SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 9 GROUP BY DestState",
+//! ).unwrap();
+//! let result = exec(&query, &catalog).unwrap();
+//! assert!(result.num_rows() > 0);
+//! let text = render(&result);
+//! assert!(text.contains("DestState"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod catalog;
+pub mod exec;
+pub mod render;
+pub mod storage;
+
+pub use catalog::Catalog;
+pub use exec::{exec, ExecError};
+pub use render::{render, render_bar_chart};
+pub use storage::{Column, Table, Value};

@@ -1,0 +1,135 @@
+//! The `render()` half of the paper's execution contract.
+//!
+//! The paper assumes `render()` "either generates a simple visualization or renders a table"
+//! (§3.3) and defers sophisticated chart selection to automatic visualisation systems.  We
+//! provide both fallbacks: an ASCII table, and a simple horizontal bar chart for two-column
+//! (label, numeric) results — the shape produced by the OLAP group-by queries of Figure 1.
+
+use crate::storage::{Table, Value};
+use std::fmt::Write as _;
+
+/// Renders a result table as an ASCII table (header, separator, rows).
+pub fn render(table: &Table) -> String {
+    let headers: Vec<String> = table.columns().iter().map(|c| c.display()).collect();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(table.num_rows());
+    for row in 0..table.num_rows() {
+        let rendered: Vec<String> = table.row(row).iter().map(Value::to_string).collect();
+        for (i, cell) in rendered.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+        rows.push(rendered);
+    }
+
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String], widths: &[usize]| {
+        out.push('|');
+        for (cell, width) in cells.iter().zip(widths) {
+            let _ = write!(out, " {cell:<width$} |");
+        }
+        out.push('\n');
+    };
+    write_row(&mut out, &headers, &widths);
+    out.push('|');
+    for width in &widths {
+        let _ = write!(out, "{}|", "-".repeat(width + 2));
+    }
+    out.push('\n');
+    for row in &rows {
+        write_row(&mut out, row, &widths);
+    }
+    let _ = writeln!(out, "({} rows)", table.num_rows());
+    out
+}
+
+/// Renders a two-column (label, numeric) result as a horizontal bar chart; falls back to the
+/// plain table when the shape does not match.
+pub fn render_bar_chart(table: &Table) -> String {
+    if table.num_columns() != 2 || table.is_empty() {
+        return render(table);
+    }
+    // Decide which column is the measure.
+    let numeric_col = (0..2).find(|&c| {
+        (0..table.num_rows()).all(|r| table.value(r, c).as_f64().is_some())
+    });
+    let Some(numeric_col) = numeric_col else {
+        return render(table);
+    };
+    let label_col = 1 - numeric_col;
+    let max = (0..table.num_rows())
+        .filter_map(|r| table.value(r, numeric_col).as_f64())
+        .fold(f64::MIN, f64::max)
+        .max(1e-9);
+    let label_width = (0..table.num_rows())
+        .map(|r| table.value(r, label_col).to_string().len())
+        .max()
+        .unwrap_or(4)
+        .max(table.columns()[label_col].display().len());
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} by {}",
+        table.columns()[numeric_col].display(),
+        table.columns()[label_col].display()
+    );
+    for row in 0..table.num_rows() {
+        let label = table.value(row, label_col).to_string();
+        let value = table.value(row, numeric_col).as_f64().unwrap_or(0.0);
+        let bar_len = ((value / max) * 40.0).round().max(0.0) as usize;
+        let _ = writeln!(
+            out,
+            "{label:>label_width$} | {} {value:.1}",
+            "█".repeat(bar_len)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::Column;
+
+    fn grouped_result() -> Table {
+        let mut t = Table::new(vec![Column::new("DestState"), Column::new("count")]);
+        t.push_row(vec![Value::Str("CA".into()), Value::Int(40)]);
+        t.push_row(vec![Value::Str("NY".into()), Value::Int(10)]);
+        t
+    }
+
+    #[test]
+    fn table_rendering_includes_headers_rows_and_count() {
+        let text = render(&grouped_result());
+        assert!(text.contains("DestState"));
+        assert!(text.contains("CA"));
+        assert!(text.contains("(2 rows)"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn empty_tables_render_without_panicking() {
+        let text = render(&Table::with_columns(&["a"]));
+        assert!(text.contains("(0 rows)"));
+    }
+
+    #[test]
+    fn bar_chart_scales_bars_by_value() {
+        let text = render_bar_chart(&grouped_result());
+        let ca_line = text.lines().find(|l| l.contains("CA")).unwrap();
+        let ny_line = text.lines().find(|l| l.contains("NY")).unwrap();
+        let bars = |line: &str| line.matches('█').count();
+        assert!(bars(ca_line) > bars(ny_line));
+        assert_eq!(bars(ca_line), 40);
+    }
+
+    #[test]
+    fn bar_chart_falls_back_to_table_for_other_shapes() {
+        let mut three_cols = Table::with_columns(&["a", "b", "c"]);
+        three_cols.push_row(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert!(render_bar_chart(&three_cols).contains("(1 rows)"));
+        let mut text_only = Table::with_columns(&["a", "b"]);
+        text_only.push_row(vec![Value::Str("x".into()), Value::Str("y".into())]);
+        assert!(render_bar_chart(&text_only).contains("(1 rows)"));
+    }
+}

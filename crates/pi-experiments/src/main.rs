@@ -1,0 +1,62 @@
+//! `experiments` — command-line driver for the reproduction harness.
+//!
+//! ```text
+//! experiments --list          # list experiment ids
+//! experiments --exp fig6a     # run one experiment
+//! experiments --exp all       # run every experiment, in paper order
+//! ```
+
+use pi_experiments::{experiment_ids, run_experiment};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut selected: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for id in experiment_ids() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--exp" => {
+                selected = args.get(i + 1).cloned();
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!("usage: experiments [--list] [--exp <id>|all]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let selected = selected.unwrap_or_else(|| "all".to_string());
+    let ids: Vec<&str> = if selected == "all" {
+        experiment_ids()
+    } else {
+        vec![Box::leak(selected.into_boxed_str())]
+    };
+
+    let overall = Instant::now();
+    for id in ids {
+        let start = Instant::now();
+        match run_experiment(id) {
+            Some(report) => {
+                print!("{}", report.render());
+                println!("   [took {:.1}s]\n", start.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment `{id}`; use --list to see the available ids");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!("total: {:.1}s", overall.elapsed().as_secs_f64());
+}

@@ -1,0 +1,244 @@
+//! Graph construction: pair enumeration strategies and (optionally parallel) pairwise diffing.
+
+use crate::graph::{Edge, InteractionGraph};
+use parking_lot::Mutex;
+use pi_ast::Node;
+use pi_diff::{extract_diffs, AncestorPolicy, DiffRecord, DiffStore};
+
+/// Which query pairs are compared when building the interaction graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowStrategy {
+    /// Compare every pair of queries (`O(|Q|²)` alignments) — the unoptimised baseline.
+    AllPairs,
+    /// Compare only queries within a sliding window of the given size over the log order
+    /// (§6.1).  A window of 2 compares consecutive queries only.
+    Sliding(usize),
+}
+
+impl WindowStrategy {
+    /// Enumerates the `(i, j)` pairs (with `i < j`) this strategy compares for a log of
+    /// `n` queries.
+    pub fn pairs(&self, n: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        match *self {
+            WindowStrategy::AllPairs => {
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        out.push((i, j));
+                    }
+                }
+            }
+            WindowStrategy::Sliding(w) => {
+                let w = w.max(2);
+                for i in 0..n {
+                    for j in (i + 1)..n.min(i + w) {
+                        out.push((i, j));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds [`InteractionGraph`]s from parsed query logs.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    window: WindowStrategy,
+    policy: AncestorPolicy,
+    parallel: bool,
+}
+
+impl Default for GraphBuilder {
+    fn default() -> Self {
+        GraphBuilder {
+            window: WindowStrategy::Sliding(2),
+            policy: AncestorPolicy::LcaPruned,
+            parallel: false,
+        }
+    }
+}
+
+impl GraphBuilder {
+    /// A builder with the paper's recommended defaults (window = 2, LCA pruning on).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pair enumeration strategy.
+    pub fn window(mut self, window: WindowStrategy) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the ancestor materialisation policy.
+    pub fn policy(mut self, policy: AncestorPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables or disables multi-threaded pairwise diffing.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Builds the interaction graph for a log of parsed queries.
+    pub fn build(&self, queries: &[Node]) -> InteractionGraph {
+        let pairs = self.window.pairs(queries.len());
+        let per_pair = if self.parallel && pairs.len() > 32 {
+            self.diff_pairs_parallel(queries, &pairs)
+        } else {
+            pairs
+                .iter()
+                .map(|&(i, j)| (i, j, extract_diffs(&queries[i], &queries[j], i, j, self.policy)))
+                .collect()
+        };
+
+        let mut store = DiffStore::new();
+        let mut edges = Vec::new();
+        for (i, j, records) in per_pair {
+            if records.is_empty() {
+                continue;
+            }
+            let (leaves, ancestors): (Vec<DiffRecord>, Vec<DiffRecord>) =
+                records.into_iter().partition(|r| r.is_leaf);
+            let leaf_ids = store.extend(leaves);
+            store.extend(ancestors);
+            edges.push(Edge {
+                from: i,
+                to: j,
+                diffs: leaf_ids,
+            });
+        }
+
+        InteractionGraph {
+            queries: queries.to_vec(),
+            store,
+            edges,
+        }
+    }
+
+    /// Fans pairwise diffing out over the available cores.  Results are re-ordered by pair
+    /// index so the resulting graph is identical to a serial build.
+    fn diff_pairs_parallel(
+        &self,
+        queries: &[Node],
+        pairs: &[(usize, usize)],
+    ) -> Vec<(usize, usize, Vec<DiffRecord>)> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(pairs.len().max(1));
+        let results: Mutex<Vec<(usize, usize, usize, Vec<DiffRecord>)>> =
+            Mutex::new(Vec::with_capacity(pairs.len()));
+        let policy = self.policy;
+
+        crossbeam::scope(|scope| {
+            let chunk = pairs.len().div_ceil(threads);
+            for (t, slice) in pairs.chunks(chunk).enumerate() {
+                let results = &results;
+                scope.spawn(move |_| {
+                    let base = t * chunk;
+                    let mut local = Vec::with_capacity(slice.len());
+                    for (k, &(i, j)) in slice.iter().enumerate() {
+                        let records = extract_diffs(&queries[i], &queries[j], i, j, policy);
+                        local.push((base + k, i, j, records));
+                    }
+                    results.lock().extend(local);
+                });
+            }
+        })
+        .expect("diff worker panicked");
+
+        let mut collected = results.into_inner();
+        collected.sort_by_key(|(order, _, _, _)| *order);
+        collected
+            .into_iter()
+            .map(|(_, i, j, records)| (i, j, records))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_sql::parse;
+
+    #[test]
+    fn pair_enumeration_counts() {
+        assert_eq!(WindowStrategy::AllPairs.pairs(4).len(), 6);
+        assert_eq!(WindowStrategy::Sliding(2).pairs(4).len(), 3);
+        assert_eq!(WindowStrategy::Sliding(3).pairs(4).len(), 5);
+        // degenerate windows are clamped to 2
+        assert_eq!(WindowStrategy::Sliding(0).pairs(4).len(), 3);
+        assert_eq!(WindowStrategy::AllPairs.pairs(0).len(), 0);
+        assert_eq!(WindowStrategy::AllPairs.pairs(1).len(), 0);
+    }
+
+    #[test]
+    fn sliding_window_pairs_stay_within_window() {
+        for (i, j) in WindowStrategy::Sliding(3).pairs(10) {
+            assert!(j > i && j - i < 3);
+        }
+    }
+
+    #[test]
+    fn builder_skips_identical_pairs() {
+        let q = parse("SELECT a FROM t").unwrap();
+        let r = parse("SELECT b FROM t").unwrap();
+        let g = GraphBuilder::new()
+            .window(WindowStrategy::AllPairs)
+            .build(&[q.clone(), q, r]);
+        // (0,1) identical -> skipped; (0,2) and (1,2) differ.
+        assert_eq!(g.edges.len(), 2);
+    }
+
+    #[test]
+    fn parallel_threshold_does_not_change_small_builds() {
+        let log: Vec<Node> = (0..5)
+            .map(|i| parse(&format!("SELECT a FROM t WHERE x = {i}")).unwrap())
+            .collect();
+        let a = GraphBuilder::new().parallel(true).build(&log);
+        let b = GraphBuilder::new().parallel(false).build(&log);
+        assert_eq!(a.edges.len(), b.edges.len());
+    }
+
+    #[test]
+    fn parallel_large_build_matches_serial() {
+        let log: Vec<Node> = (0..40)
+            .map(|i| parse(&format!("SELECT a FROM t WHERE x = {}", i % 7)).unwrap())
+            .collect();
+        let a = GraphBuilder::new()
+            .window(WindowStrategy::AllPairs)
+            .parallel(true)
+            .build(&log);
+        let b = GraphBuilder::new()
+            .window(WindowStrategy::AllPairs)
+            .parallel(false)
+            .build(&log);
+        assert_eq!(a.edges.len(), b.edges.len());
+        assert_eq!(a.store.len(), b.store.len());
+        for (ea, eb) in a.edges.iter().zip(b.edges.iter()) {
+            assert_eq!((ea.from, ea.to), (eb.from, eb.to));
+        }
+    }
+
+    #[test]
+    fn edge_diffs_reference_leaf_records_only() {
+        let log: Vec<Node> = vec![
+            parse("SELECT sales FROM t WHERE cty = 'USA'").unwrap(),
+            parse("SELECT costs FROM t WHERE cty = 'EUR'").unwrap(),
+        ];
+        let g = GraphBuilder::new()
+            .window(WindowStrategy::AllPairs)
+            .policy(AncestorPolicy::Full)
+            .build(&log);
+        assert_eq!(g.edges.len(), 1);
+        for id in &g.edges[0].diffs {
+            assert!(g.store.get(*id).is_leaf);
+        }
+        // Ancestor records are still in the store for the mapper to consider.
+        assert!(g.store.iter().any(|(_, r)| !r.is_leaf));
+    }
+}

@@ -1,0 +1,172 @@
+//! The interaction graph data structure.
+
+use pi_ast::Node;
+use pi_diff::{DiffId, DiffStore};
+use std::collections::{BTreeSet, VecDeque};
+
+/// A labelled edge of the interaction graph: the interaction `t_k` (a set of leaf diffs)
+/// transforms query `from` into query `to`.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Index of the source query in the log.
+    pub from: usize,
+    /// Index of the target query in the log.
+    pub to: usize,
+    /// The leaf diff records making up the interaction.
+    pub diffs: Vec<DiffId>,
+}
+
+/// Summary statistics about a graph, reported by the runtime experiments (Figures 11/12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Number of vertices (queries).
+    pub queries: usize,
+    /// Number of labelled edges.
+    pub edges: usize,
+    /// Number of materialised diff records (leaf + ancestors).
+    pub diff_records: usize,
+    /// Number of distinct paths across all records (the mapper's partition count).
+    pub distinct_paths: usize,
+}
+
+/// The interaction graph: queries as vertices, interactions as labelled edges, plus the
+/// shared arena of diff records the edges refer to.
+#[derive(Debug, Clone, Default)]
+pub struct InteractionGraph {
+    /// The input queries, in log order.
+    pub queries: Vec<Node>,
+    /// The arena of diff records (leaf and ancestor) discovered while diffing pairs.
+    pub store: DiffStore,
+    /// The labelled edges.
+    pub edges: Vec<Edge>,
+}
+
+impl InteractionGraph {
+    /// Summary statistics.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats {
+            queries: self.queries.len(),
+            edges: self.edges.len(),
+            diff_records: self.store.len(),
+            distinct_paths: self.store.partition_by_path().len(),
+        }
+    }
+
+    /// Edges incident to a query.
+    pub fn edges_of(&self, query: usize) -> impl Iterator<Item = &Edge> {
+        self.edges
+            .iter()
+            .filter(move |e| e.from == query || e.to == query)
+    }
+
+    /// True when every *distinct* query is reachable from the first query, treating edges as
+    /// undirected (each interaction has an inverse).  Duplicate queries share their vertex's
+    /// connectivity.
+    pub fn is_connected(&self) -> bool {
+        if self.queries.is_empty() {
+            return true;
+        }
+        if self.edges.is_empty() {
+            return self.queries.len() <= 1
+                || self
+                    .queries
+                    .iter()
+                    .all(|q| q.structural_hash() == self.queries[0].structural_hash());
+        }
+        let mut adjacent: Vec<Vec<usize>> = vec![Vec::new(); self.queries.len()];
+        for e in &self.edges {
+            adjacent[e.from].push(e.to);
+            adjacent[e.to].push(e.from);
+        }
+        // Identical queries are implicitly connected (zero-cost self loop).
+        let mut by_hash: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+        for (i, q) in self.queries.iter().enumerate() {
+            by_hash.entry(q.structural_hash()).or_default().push(i);
+        }
+        for group in by_hash.values() {
+            for pair in group.windows(2) {
+                adjacent[pair[0]].push(pair[1]);
+                adjacent[pair[1]].push(pair[0]);
+            }
+        }
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut queue = VecDeque::from([0usize]);
+        seen.insert(0);
+        while let Some(v) = queue.pop_front() {
+            for &n in &adjacent[v] {
+                if seen.insert(n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+        seen.len() == self.queries.len()
+    }
+
+    /// The earliest query in the log, used as the interface's initial query `q0` (§4.4).
+    pub fn initial_query(&self) -> Option<&Node> {
+        self.queries.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_diff::{extract_diffs, AncestorPolicy};
+    use pi_sql::parse;
+
+    fn tiny_graph() -> InteractionGraph {
+        let q0 = parse("SELECT a FROM t WHERE x = 1").unwrap();
+        let q1 = parse("SELECT a FROM t WHERE x = 2").unwrap();
+        let q2 = parse("SELECT b FROM t WHERE x = 2").unwrap();
+        let mut store = DiffStore::new();
+        let mut edges = Vec::new();
+        for (i, j) in [(0usize, 1usize), (1, 2)] {
+            let qs = [&q0, &q1, &q2];
+            let records = extract_diffs(qs[i], qs[j], i, j, AncestorPolicy::LcaPruned);
+            let leaf_only: Vec<_> = records.iter().filter(|r| r.is_leaf).cloned().collect();
+            let ids = store.extend(leaf_only);
+            edges.push(Edge {
+                from: i,
+                to: j,
+                diffs: ids,
+            });
+            store.extend(records.into_iter().filter(|r| !r.is_leaf));
+        }
+        InteractionGraph {
+            queries: vec![q0, q1, q2],
+            store,
+            edges,
+        }
+    }
+
+    #[test]
+    fn stats_count_vertices_edges_and_records() {
+        let g = tiny_graph();
+        let s = g.stats();
+        assert_eq!(s.queries, 3);
+        assert_eq!(s.edges, 2);
+        assert!(s.diff_records >= 2);
+        assert!(s.distinct_paths >= 2);
+    }
+
+    #[test]
+    fn edges_of_filters_by_incidence() {
+        let g = tiny_graph();
+        assert_eq!(g.edges_of(0).count(), 1);
+        assert_eq!(g.edges_of(1).count(), 2);
+        assert_eq!(g.edges_of(2).count(), 1);
+    }
+
+    #[test]
+    fn connectivity_and_initial_query() {
+        let g = tiny_graph();
+        assert!(g.is_connected());
+        assert_eq!(
+            g.initial_query().unwrap().structural_hash(),
+            g.queries[0].structural_hash()
+        );
+        let empty = InteractionGraph::default();
+        assert!(empty.is_connected());
+        assert!(empty.initial_query().is_none());
+    }
+}

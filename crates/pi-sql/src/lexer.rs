@@ -1,0 +1,602 @@
+//! SQL tokenizer.
+//!
+//! A small hand-rolled lexer that understands the token shapes present in the SDSS, OLAP and
+//! ad-hoc logs: identifiers (optionally quoted with `"` or `[]`), keywords, string literals in
+//! single quotes, integer / float / hexadecimal numbers, and the usual punctuation and
+//! comparison operators.  Comments (`-- …` and `/* … */`) are skipped.
+
+use crate::error::{ParseError, ParseErrorKind};
+
+/// SQL keywords recognised by the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    Distinct,
+    Top,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    Order,
+    Limit,
+    Asc,
+    Desc,
+    As,
+    And,
+    Or,
+    Not,
+    In,
+    Between,
+    Like,
+    Is,
+    Null,
+    True,
+    False,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    Cast,
+    Join,
+    Inner,
+    Left,
+    Right,
+    Outer,
+    On,
+    Union,
+    All,
+}
+
+impl Keyword {
+    /// Looks up a keyword from an identifier, case-insensitively.
+    pub fn from_ident(s: &str) -> Option<Keyword> {
+        let up = s.to_ascii_uppercase();
+        Some(match up.as_str() {
+            "SELECT" => Keyword::Select,
+            "DISTINCT" => Keyword::Distinct,
+            "TOP" => Keyword::Top,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "GROUP" => Keyword::Group,
+            "BY" => Keyword::By,
+            "HAVING" => Keyword::Having,
+            "ORDER" => Keyword::Order,
+            "LIMIT" => Keyword::Limit,
+            "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
+            "AS" => Keyword::As,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "IN" => Keyword::In,
+            "BETWEEN" => Keyword::Between,
+            "LIKE" => Keyword::Like,
+            "IS" => Keyword::Is,
+            "NULL" => Keyword::Null,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            "CASE" => Keyword::Case,
+            "WHEN" => Keyword::When,
+            "THEN" => Keyword::Then,
+            "ELSE" => Keyword::Else,
+            "END" => Keyword::End,
+            "CAST" => Keyword::Cast,
+            "JOIN" => Keyword::Join,
+            "INNER" => Keyword::Inner,
+            "LEFT" => Keyword::Left,
+            "RIGHT" => Keyword::Right,
+            "OUTER" => Keyword::Outer,
+            "ON" => Keyword::On,
+            "UNION" => Keyword::Union,
+            "ALL" => Keyword::All,
+            _ => return None,
+        })
+    }
+
+    /// The canonical upper-case spelling of the keyword.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Keyword::Select => "SELECT",
+            Keyword::Distinct => "DISTINCT",
+            Keyword::Top => "TOP",
+            Keyword::From => "FROM",
+            Keyword::Where => "WHERE",
+            Keyword::Group => "GROUP",
+            Keyword::By => "BY",
+            Keyword::Having => "HAVING",
+            Keyword::Order => "ORDER",
+            Keyword::Limit => "LIMIT",
+            Keyword::Asc => "ASC",
+            Keyword::Desc => "DESC",
+            Keyword::As => "AS",
+            Keyword::And => "AND",
+            Keyword::Or => "OR",
+            Keyword::Not => "NOT",
+            Keyword::In => "IN",
+            Keyword::Between => "BETWEEN",
+            Keyword::Like => "LIKE",
+            Keyword::Is => "IS",
+            Keyword::Null => "NULL",
+            Keyword::True => "TRUE",
+            Keyword::False => "FALSE",
+            Keyword::Case => "CASE",
+            Keyword::When => "WHEN",
+            Keyword::Then => "THEN",
+            Keyword::Else => "ELSE",
+            Keyword::End => "END",
+            Keyword::Cast => "CAST",
+            Keyword::Join => "JOIN",
+            Keyword::Inner => "INNER",
+            Keyword::Left => "LEFT",
+            Keyword::Right => "RIGHT",
+            Keyword::Outer => "OUTER",
+            Keyword::On => "ON",
+            Keyword::Union => "UNION",
+            Keyword::All => "ALL",
+        }
+    }
+}
+
+/// The kind (and payload) of a token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A recognised SQL keyword.
+    Keyword(Keyword),
+    /// An identifier (table, column, function name).
+    Ident(String),
+    /// A single-quoted string literal (quotes stripped, `''` unescaped).
+    String(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating point literal.
+    Float(f64),
+    /// A hexadecimal literal, e.g. `0x400`.
+    Hex(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// An operator: `=`, `<>`, `!=`, `<`, `<=`, `>`, `>=`, `+`, `-`, `/`, `%`, `||`.
+    Op(String),
+}
+
+impl TokenKind {
+    /// A compact rendering used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Keyword(k) => k.as_str().to_string(),
+            TokenKind::Ident(s) => s.clone(),
+            TokenKind::String(s) => format!("'{s}'"),
+            TokenKind::Int(i) => i.to_string(),
+            TokenKind::Float(f) => f.to_string(),
+            TokenKind::Hex(h) => format!("0x{h:x}"),
+            TokenKind::LParen => "(".into(),
+            TokenKind::RParen => ")".into(),
+            TokenKind::Comma => ",".into(),
+            TokenKind::Dot => ".".into(),
+            TokenKind::Semicolon => ";".into(),
+            TokenKind::Star => "*".into(),
+            TokenKind::Op(o) => o.clone(),
+        }
+    }
+}
+
+/// A token together with its byte offset in the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token.
+    pub offset: usize,
+}
+
+/// The tokenizer.
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over the given SQL text.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenizes the whole input.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        while let Some(tok) = self.next_token()? {
+            out.push(tok);
+        }
+        Ok(out)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'-') if self.peek_at(1) == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    self.pos += 2;
+                    while self.pos < self.bytes.len() {
+                        if self.peek() == Some(b'*') && self.peek_at(1) == Some(b'/') {
+                            self.pos += 2;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, ParseError> {
+        self.skip_trivia();
+        let start = self.pos;
+        let Some(b) = self.peek() else {
+            return Ok(None);
+        };
+
+        let kind = match b {
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semicolon
+            }
+            b'.' if !self
+                .peek_at(1)
+                .map(|c| c.is_ascii_digit())
+                .unwrap_or(false) =>
+            {
+                self.bump();
+                TokenKind::Dot
+            }
+            b'*' => {
+                self.bump();
+                TokenKind::Star
+            }
+            b'\'' => self.lex_string(start)?,
+            b'"' | b'[' => self.lex_quoted_ident(start)?,
+            b'0'..=b'9' | b'.' => self.lex_number(start)?,
+            b'=' => {
+                self.bump();
+                TokenKind::Op("=".into())
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        TokenKind::Op("<=".into())
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        TokenKind::Op("<>".into())
+                    }
+                    _ => TokenKind::Op("<".into()),
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Op(">=".into())
+                } else {
+                    TokenKind::Op(">".into())
+                }
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Op("!=".into())
+                } else {
+                    return Err(ParseError::new(ParseErrorKind::UnexpectedChar('!'), start));
+                }
+            }
+            b'|' if self.peek_at(1) == Some(b'|') => {
+                self.bump();
+                self.bump();
+                TokenKind::Op("||".into())
+            }
+            b'+' | b'-' | b'/' | b'%' => {
+                self.bump();
+                TokenKind::Op((b as char).to_string())
+            }
+            b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.lex_ident(start),
+            other => {
+                return Err(ParseError::new(
+                    ParseErrorKind::UnexpectedChar(other as char),
+                    start,
+                ))
+            }
+        };
+
+        Ok(Some(Token {
+            kind,
+            offset: start,
+        }))
+    }
+
+    fn lex_ident(&mut self, start: usize) -> TokenKind {
+        while let Some(b) = self.peek() {
+            if b == b'_' || b.is_ascii_alphanumeric() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        match Keyword::from_ident(text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text.to_string()),
+        }
+    }
+
+    fn lex_quoted_ident(&mut self, start: usize) -> Result<TokenKind, ParseError> {
+        let open = self.bump().expect("caller checked");
+        let close = if open == b'[' { b']' } else { open };
+        let ident_start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == close {
+                let text = self.src[ident_start..self.pos].to_string();
+                self.pos += 1;
+                return Ok(TokenKind::Ident(text));
+            }
+            self.pos += 1;
+        }
+        Err(ParseError::new(ParseErrorKind::UnterminatedString, start))
+    }
+
+    fn lex_string(&mut self, start: usize) -> Result<TokenKind, ParseError> {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    // doubled quote escapes a single quote
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        value.push('\'');
+                    } else {
+                        return Ok(TokenKind::String(value));
+                    }
+                }
+                Some(b) => value.push(b as char),
+                None => {
+                    return Err(ParseError::new(ParseErrorKind::UnterminatedString, start))
+                }
+            }
+        }
+    }
+
+    fn lex_number(&mut self, start: usize) -> Result<TokenKind, ParseError> {
+        // Hexadecimal: 0x.... (used for SDSS object ids)
+        if self.peek() == Some(b'0')
+            && matches!(self.peek_at(1), Some(b'x') | Some(b'X'))
+            && self
+                .peek_at(2)
+                .map(|c| c.is_ascii_hexdigit())
+                .unwrap_or(false)
+        {
+            self.pos += 2;
+            let hstart = self.pos;
+            while let Some(b) = self.peek() {
+                if b.is_ascii_hexdigit() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = &self.src[hstart..self.pos];
+            let value = i64::from_str_radix(text, 16).map_err(|_| {
+                ParseError::new(ParseErrorKind::BadNumber(text.to_string()), start)
+            })?;
+            return Ok(TokenKind::Hex(value));
+        }
+
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' if !saw_dot && !saw_exp => {
+                    saw_dot = true;
+                    self.pos += 1;
+                }
+                b'e' | b'E' if !saw_exp => {
+                    saw_exp = true;
+                    self.pos += 1;
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if saw_dot || saw_exp {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| ParseError::new(ParseErrorKind::BadNumber(text.to_string()), start))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|_| ParseError::new(ParseErrorKind::BadNumber(text.to_string()), start))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        Lexer::new(sql)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_keywords_case_insensitively() {
+        let toks = kinds("select FROM wHeRe");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Keyword(Keyword::Where),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_identifiers_and_punctuation() {
+        let toks = kinds("ontime.DestState, g");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("ontime".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("DestState".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("g".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_hex_and_floats() {
+        let toks = kinds("42 5.848 0x400 1e3");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(5.848),
+                TokenKind::Hex(0x400),
+                TokenKind::Float(1000.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        let toks = kinds("'USA' 'O''Brien'");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::String("USA".into()),
+                TokenKind::String("O'Brien".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = kinds("= <> != <= >= < > + - / %");
+        let ops: Vec<String> = toks
+            .into_iter()
+            .map(|t| match t {
+                TokenKind::Op(o) => o,
+                other => panic!("not an op: {other:?}"),
+            })
+            .collect();
+        assert_eq!(ops, vec!["=", "<>", "!=", "<=", ">=", "<", ">", "+", "-", "/", "%"]);
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = kinds("SELECT -- the projection\n a /* block */ FROM t");
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = kinds("\"Dest State\" [Delay Minutes]");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("Dest State".into()),
+                TokenKind::Ident("Delay Minutes".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = Lexer::new("SELECT ?").tokenize().unwrap_err();
+        assert_eq!(err.offset, 7);
+        assert!(matches!(err.kind, ParseErrorKind::UnexpectedChar('?')));
+        let err = Lexer::new("'oops").tokenize().unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnterminatedString));
+    }
+
+    #[test]
+    fn star_and_semicolon() {
+        let toks = kinds("SELECT * FROM t;");
+        assert_eq!(toks[1], TokenKind::Star);
+        assert_eq!(*toks.last().unwrap(), TokenKind::Semicolon);
+    }
+
+    #[test]
+    fn leading_dot_number() {
+        // ".5" style literals
+        let toks = kinds("SELECT .5");
+        assert_eq!(toks[1], TokenKind::Float(0.5));
+    }
+}

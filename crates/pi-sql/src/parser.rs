@@ -1,0 +1,968 @@
+//! Recursive-descent SQL parser producing `pi_ast` trees.
+//!
+//! The tree shapes produced here are identical to the ones produced by
+//! [`pi_ast::builder::SelectBuilder`], so query logs that are generated programmatically and
+//! logs that arrive as SQL text flow into the same downstream pipeline and diff cleanly against
+//! each other.
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::lexer::{Keyword, Lexer, Token, TokenKind};
+use pi_ast::{Node, NodeKind};
+
+/// Parses a single SQL statement into an AST.
+pub fn parse(sql: &str) -> Result<Node, ParseError> {
+    let tokens = Lexer::new(sql).tokenize()?;
+    let mut parser = Parser::new(tokens);
+    let node = parser.parse_statement()?;
+    parser.expect_end()?;
+    Ok(node)
+}
+
+/// Parses a query log: statements separated by semicolons (and/or blank lines).
+///
+/// Each statement parses independently; the result preserves log order and reports per-query
+/// outcomes so that a single malformed query does not discard the rest of the log — real query
+/// logs routinely contain typos.
+pub fn parse_log(text: &str) -> Vec<Result<Node, ParseError>> {
+    text.split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse)
+        .collect()
+}
+
+/// The recursive-descent parser state.
+#[derive(Debug)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+const AGGREGATES: &[&str] = &["COUNT", "SUM", "AVG", "MIN", "MAX", "STDDEV", "VARIANCE"];
+
+impl Parser {
+    /// Creates a parser over a token stream.
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    // ------------------------------------------------------------------ token helpers
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + n).map(|t| &t.kind)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.offset)
+            .unwrap_or_else(|| self.tokens.last().map(|t| t.offset + 1).unwrap_or(0))
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_keyword(&self, kw: Keyword) -> bool {
+        matches!(self.peek(), Some(TokenKind::Keyword(k)) if *k == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(kw.as_str()))
+        }
+    }
+
+    fn eat_token(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, kind: TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.eat_token(&kind) {
+            Ok(())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        match self.peek() {
+            Some(tok) => ParseError::new(
+                ParseErrorKind::UnexpectedToken {
+                    found: tok.describe(),
+                    expected: expected.to_string(),
+                },
+                self.offset(),
+            ),
+            None => ParseError::new(
+                ParseErrorKind::UnexpectedEnd {
+                    expected: expected.to_string(),
+                },
+                self.offset(),
+            ),
+        }
+    }
+
+    /// Consumes an optional trailing semicolon and verifies nothing else follows.
+    pub fn expect_end(&mut self) -> Result<(), ParseError> {
+        while self.eat_token(&TokenKind::Semicolon) {}
+        match self.peek() {
+            None => Ok(()),
+            Some(tok) => Err(ParseError::new(
+                ParseErrorKind::TrailingInput(tok.describe()),
+                self.offset(),
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------ statements
+
+    /// Parses one SELECT statement.
+    pub fn parse_statement(&mut self) -> Result<Node, ParseError> {
+        self.parse_select()
+    }
+
+    fn parse_select(&mut self) -> Result<Node, ParseError> {
+        self.expect_keyword(Keyword::Select)?;
+        let mut root = Node::new(NodeKind::Select);
+
+        if self.eat_keyword(Keyword::Distinct) {
+            root.set_attr("distinct", true);
+        }
+
+        // TOP n (SQL Server / SDSS style)
+        let mut top_limit: Option<Node> = None;
+        if self.eat_keyword(Keyword::Top) {
+            let expr = self.parse_expr()?;
+            top_limit = Some(
+                Node::new(NodeKind::Limit)
+                    .with_attr("style", "top")
+                    .with_child(expr),
+            );
+        }
+
+        // projection list
+        let mut project = Node::new(NodeKind::Project);
+        loop {
+            project.push_child(self.parse_proj_clause()?);
+            if !self.eat_token(&TokenKind::Comma) {
+                break;
+            }
+        }
+        root.push_child(project);
+
+        // FROM
+        let mut from = Node::new(NodeKind::From);
+        if self.eat_keyword(Keyword::From) {
+            loop {
+                from.push_child(self.parse_relation()?);
+                if !self.eat_token(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        root.push_child(from);
+
+        // WHERE
+        if self.eat_keyword(Keyword::Where) {
+            let pred = self.parse_expr()?;
+            root.push_child(Node::new(NodeKind::Where).with_child(pred));
+        }
+
+        // GROUP BY
+        if self.at_keyword(Keyword::Group) {
+            self.bump();
+            self.expect_keyword(Keyword::By)?;
+            let mut gb = Node::new(NodeKind::GroupBy);
+            loop {
+                let expr = self.parse_expr()?;
+                gb.push_child(Node::new(NodeKind::GroupClause).with_child(expr));
+                if !self.eat_token(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            root.push_child(gb);
+        }
+
+        // HAVING
+        if self.eat_keyword(Keyword::Having) {
+            let pred = self.parse_expr()?;
+            root.push_child(Node::new(NodeKind::Having).with_child(pred));
+        }
+
+        // ORDER BY
+        if self.at_keyword(Keyword::Order) {
+            self.bump();
+            self.expect_keyword(Keyword::By)?;
+            let mut ob = Node::new(NodeKind::OrderBy);
+            loop {
+                let expr = self.parse_expr()?;
+                let dir = if self.eat_keyword(Keyword::Desc) {
+                    "desc"
+                } else {
+                    self.eat_keyword(Keyword::Asc);
+                    "asc"
+                };
+                ob.push_child(
+                    Node::new(NodeKind::OrderClause)
+                        .with_attr("dir", dir)
+                        .with_child(expr),
+                );
+                if !self.eat_token(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            root.push_child(ob);
+        }
+
+        // LIMIT
+        if self.eat_keyword(Keyword::Limit) {
+            let expr = self.parse_expr()?;
+            root.push_child(Node::new(NodeKind::Limit).with_child(expr));
+        } else if let Some(limit) = top_limit {
+            root.push_child(limit);
+        }
+
+        Ok(root)
+    }
+
+    fn parse_proj_clause(&mut self) -> Result<Node, ParseError> {
+        let expr = self.parse_expr()?;
+        let mut clause = Node::new(NodeKind::ProjClause);
+        if self.eat_keyword(Keyword::As) {
+            let alias = self.expect_ident("projection alias")?;
+            clause.set_attr("alias", alias);
+        }
+        clause.push_child(expr);
+        Ok(clause)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Ident(_)) => {
+                let Some(TokenKind::Ident(s)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(s)
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    // ------------------------------------------------------------------ relations
+
+    fn parse_relation(&mut self) -> Result<Node, ParseError> {
+        let mut rel = self.parse_relation_primary()?;
+        // explicit JOINs bind tighter than the comma list
+        loop {
+            let join_type = if self.at_keyword(Keyword::Join) {
+                self.bump();
+                "inner".to_string()
+            } else if self.at_keyword(Keyword::Inner)
+                && self.peek_at(1) == Some(&TokenKind::Keyword(Keyword::Join))
+            {
+                self.bump();
+                self.bump();
+                "inner".to_string()
+            } else if (self.at_keyword(Keyword::Left) || self.at_keyword(Keyword::Right))
+                && matches!(
+                    self.peek_at(1),
+                    Some(TokenKind::Keyword(Keyword::Join)) | Some(TokenKind::Keyword(Keyword::Outer))
+                )
+            {
+                let side = if self.at_keyword(Keyword::Left) {
+                    "left"
+                } else {
+                    "right"
+                };
+                self.bump();
+                self.eat_keyword(Keyword::Outer);
+                self.expect_keyword(Keyword::Join)?;
+                side.to_string()
+            } else {
+                break;
+            };
+            let right = self.parse_relation_primary()?;
+            self.expect_keyword(Keyword::On)?;
+            let on = self.parse_expr()?;
+            rel = Node::new(NodeKind::Join)
+                .with_attr("join_type", join_type.as_str())
+                .with_child(rel)
+                .with_child(right)
+                .with_child(on);
+        }
+        Ok(rel)
+    }
+
+    fn parse_relation_primary(&mut self) -> Result<Node, ParseError> {
+        if self.eat_token(&TokenKind::LParen) {
+            // derived table
+            let sub = self.parse_select()?;
+            self.expect_token(TokenKind::RParen, ")")?;
+            let mut rel = Node::new(NodeKind::SubqueryRef).with_child(sub);
+            if let Some(alias) = self.parse_optional_alias()? {
+                rel.set_attr("alias", alias);
+            }
+            return Ok(rel);
+        }
+
+        // dotted name: schema.table or schema.func(...)
+        let name = self.parse_dotted_name()?;
+        if self.peek() == Some(&TokenKind::LParen) {
+            // table-valued function
+            self.bump();
+            let mut args = Vec::new();
+            if self.peek() != Some(&TokenKind::RParen) {
+                loop {
+                    args.push(self.parse_expr()?);
+                    if !self.eat_token(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect_token(TokenKind::RParen, ")")?;
+            let mut rel = Node::new(NodeKind::TableFunc)
+                .with_attr("name", name.as_str())
+                .with_children(args);
+            if let Some(alias) = self.parse_optional_alias()? {
+                rel.set_attr("alias", alias);
+            }
+            Ok(rel)
+        } else {
+            let mut rel = Node::table(&name);
+            if let Some(alias) = self.parse_optional_alias()? {
+                rel.set_attr("alias", alias);
+            }
+            Ok(rel)
+        }
+    }
+
+    fn parse_optional_alias(&mut self) -> Result<Option<String>, ParseError> {
+        if self.eat_keyword(Keyword::As) {
+            return self.expect_ident("alias").map(Some);
+        }
+        if let Some(TokenKind::Ident(_)) = self.peek() {
+            let Some(TokenKind::Ident(s)) = self.bump() else {
+                unreachable!()
+            };
+            return Ok(Some(s));
+        }
+        Ok(None)
+    }
+
+    fn parse_dotted_name(&mut self) -> Result<String, ParseError> {
+        let mut name = self.expect_ident("table name")?;
+        while self.peek() == Some(&TokenKind::Dot) {
+            // only continue if followed by an identifier
+            if let Some(TokenKind::Ident(_)) = self.peek_at(1) {
+                self.bump();
+                let part = self.expect_ident("name part")?;
+                name.push('.');
+                name.push_str(&part);
+            } else {
+                break;
+            }
+        }
+        Ok(name)
+    }
+
+    // ------------------------------------------------------------------ expressions
+
+    /// Parses a full boolean expression (entry point also used for arguments and predicates).
+    pub fn parse_expr(&mut self) -> Result<Node, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Node, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword(Keyword::Or) {
+            let right = self.parse_and()?;
+            left = binop("OR", left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Node, ParseError> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword(Keyword::And) {
+            let right = self.parse_not()?;
+            left = binop("AND", left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Node, ParseError> {
+        if self.eat_keyword(Keyword::Not) {
+            let inner = self.parse_not()?;
+            Ok(Node::new(NodeKind::UnExpr)
+                .with_attr("op", "NOT")
+                .with_child(inner))
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Node, ParseError> {
+        let left = self.parse_additive()?;
+
+        // IS [NOT] NULL
+        if self.at_keyword(Keyword::Is) {
+            self.bump();
+            let negated = self.eat_keyword(Keyword::Not);
+            self.expect_keyword(Keyword::Null)?;
+            let op = if negated { "IS NOT NULL" } else { "IS NULL" };
+            return Ok(Node::new(NodeKind::UnExpr)
+                .with_attr("op", op)
+                .with_child(left));
+        }
+
+        // [NOT] IN / BETWEEN / LIKE
+        let negated = if self.at_keyword(Keyword::Not)
+            && matches!(
+                self.peek_at(1),
+                Some(TokenKind::Keyword(Keyword::In))
+                    | Some(TokenKind::Keyword(Keyword::Between))
+                    | Some(TokenKind::Keyword(Keyword::Like))
+            ) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+
+        if self.eat_keyword(Keyword::In) {
+            self.expect_token(TokenKind::LParen, "(")?;
+            let mut list = Node::new(NodeKind::ExprList);
+            if self.at_keyword(Keyword::Select) {
+                let sub = self.parse_select()?;
+                list.push_child(Node::new(NodeKind::ScalarSubquery).with_child(sub));
+            } else {
+                loop {
+                    list.push_child(self.parse_expr()?);
+                    if !self.eat_token(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect_token(TokenKind::RParen, ")")?;
+            let op = if negated { "NOT IN" } else { "IN" };
+            return Ok(binop(op, left, list));
+        }
+        if self.eat_keyword(Keyword::Between) {
+            let lo = self.parse_additive()?;
+            self.expect_keyword(Keyword::And)?;
+            let hi = self.parse_additive()?;
+            let list = Node::new(NodeKind::ExprList)
+                .with_child(lo)
+                .with_child(hi);
+            let op = if negated { "NOT BETWEEN" } else { "BETWEEN" };
+            return Ok(binop(op, left, list));
+        }
+        if self.eat_keyword(Keyword::Like) {
+            let pattern = self.parse_additive()?;
+            let op = if negated { "NOT LIKE" } else { "LIKE" };
+            return Ok(binop(op, left, pattern));
+        }
+        if negated {
+            return Err(self.unexpected("IN, BETWEEN or LIKE after NOT"));
+        }
+
+        // plain comparison operators
+        if let Some(TokenKind::Op(op)) = self.peek() {
+            let op = op.clone();
+            if matches!(op.as_str(), "=" | "<" | ">" | "<=" | ">=" | "<>" | "!=") {
+                self.bump();
+                let right = self.parse_additive()?;
+                return Ok(binop(&op, left, right));
+            }
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Node, ParseError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Op(o)) if o == "+" || o == "-" || o == "||" => o.clone(),
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_multiplicative()?;
+            left = binop(&op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Node, ParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Op(o)) if o == "/" || o == "%" => o.clone(),
+                Some(TokenKind::Star) => "*".to_string(),
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = binop(&op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Node, ParseError> {
+        if let Some(TokenKind::Op(o)) = self.peek() {
+            if o == "-" {
+                self.bump();
+                let inner = self.parse_unary()?;
+                // Fold negation into numeric literals so `-5` is a single NumExpr.
+                if inner.kind() == NodeKind::NumExpr {
+                    if let Some(v) = inner.attr("value") {
+                        return Ok(match v {
+                            pi_ast::AttrValue::Int(i) => Node::int(-i),
+                            pi_ast::AttrValue::Float(f) => Node::float(-f),
+                            _ => Node::new(NodeKind::UnExpr)
+                                .with_attr("op", "-")
+                                .with_child(inner),
+                        });
+                    }
+                }
+                return Ok(Node::new(NodeKind::UnExpr)
+                    .with_attr("op", "-")
+                    .with_child(inner));
+            }
+            if o == "+" {
+                self.bump();
+                return self.parse_unary();
+            }
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Node, ParseError> {
+        match self.peek().cloned() {
+            Some(TokenKind::Int(i)) => {
+                self.bump();
+                Ok(Node::int(i))
+            }
+            Some(TokenKind::Float(f)) => {
+                self.bump();
+                Ok(Node::float(f))
+            }
+            Some(TokenKind::Hex(h)) => {
+                self.bump();
+                Ok(Node::hex(h))
+            }
+            Some(TokenKind::String(s)) => {
+                self.bump();
+                Ok(Node::string(&s))
+            }
+            Some(TokenKind::Star) => {
+                self.bump();
+                Ok(Node::star())
+            }
+            Some(TokenKind::Keyword(Keyword::Null)) => {
+                self.bump();
+                Ok(Node::new(NodeKind::Null))
+            }
+            Some(TokenKind::Keyword(Keyword::True)) => {
+                self.bump();
+                Ok(Node::new(NodeKind::BoolExpr).with_attr("value", "true"))
+            }
+            Some(TokenKind::Keyword(Keyword::False)) => {
+                self.bump();
+                Ok(Node::new(NodeKind::BoolExpr).with_attr("value", "false"))
+            }
+            Some(TokenKind::Keyword(Keyword::Cast)) => self.parse_cast(),
+            Some(TokenKind::Keyword(Keyword::Case)) => self.parse_case(),
+            Some(TokenKind::LParen) => {
+                self.bump();
+                if self.at_keyword(Keyword::Select) {
+                    let sub = self.parse_select()?;
+                    self.expect_token(TokenKind::RParen, ")")?;
+                    Ok(Node::new(NodeKind::ScalarSubquery).with_child(sub))
+                } else {
+                    let inner = self.parse_expr()?;
+                    self.expect_token(TokenKind::RParen, ")")?;
+                    Ok(inner)
+                }
+            }
+            Some(TokenKind::Ident(_)) => self.parse_name_or_call(),
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+
+    fn parse_cast(&mut self) -> Result<Node, ParseError> {
+        self.expect_keyword(Keyword::Cast)?;
+        self.expect_token(TokenKind::LParen, "(")?;
+        let expr = self.parse_expr()?;
+        // The target type is optional in some of the ad-hoc student queries
+        // (`CAST(uniquecarrier)`); default to "varchar" in that case.
+        let ty = if self.eat_keyword(Keyword::As) {
+            self.parse_dotted_name()?
+        } else {
+            "varchar".to_string()
+        };
+        self.expect_token(TokenKind::RParen, ")")?;
+        Ok(Node::new(NodeKind::Cast)
+            .with_attr("ty", ty.as_str())
+            .with_child(expr))
+    }
+
+    fn parse_case(&mut self) -> Result<Node, ParseError> {
+        self.expect_keyword(Keyword::Case)?;
+        let mut node = Node::new(NodeKind::CaseExpr);
+        // simple form: CASE operand WHEN v THEN r ...
+        if !self.at_keyword(Keyword::When) {
+            node.set_attr("form", "simple");
+            let operand = self.parse_expr()?;
+            node.push_child(operand);
+        } else {
+            node.set_attr("form", "searched");
+        }
+        while self.eat_keyword(Keyword::When) {
+            let cond = self.parse_expr()?;
+            self.expect_keyword(Keyword::Then)?;
+            let result = self.parse_expr()?;
+            node.push_child(
+                Node::new(NodeKind::WhenArm)
+                    .with_child(cond)
+                    .with_child(result),
+            );
+        }
+        if self.eat_keyword(Keyword::Else) {
+            let result = self.parse_expr()?;
+            node.push_child(Node::new(NodeKind::ElseArm).with_child(result));
+        }
+        self.expect_keyword(Keyword::End)?;
+        Ok(node)
+    }
+
+    fn parse_name_or_call(&mut self) -> Result<Node, ParseError> {
+        let first = self.expect_ident("identifier")?;
+
+        // qualified column or dotted function name
+        let mut parts = vec![first];
+        while self.peek() == Some(&TokenKind::Dot) {
+            match self.peek_at(1) {
+                Some(TokenKind::Ident(_)) => {
+                    self.bump();
+                    parts.push(self.expect_ident("name part")?);
+                }
+                Some(TokenKind::Star) => {
+                    // t.* projection
+                    self.bump();
+                    self.bump();
+                    return Ok(Node::star().with_attr("table", parts.join(".").as_str()));
+                }
+                _ => break,
+            }
+        }
+
+        if self.peek() == Some(&TokenKind::LParen) {
+            // function call
+            self.bump();
+            let name = parts.join(".");
+            let is_agg = AGGREGATES.contains(&name.to_ascii_uppercase().as_str());
+            let mut distinct = false;
+            let mut args = Vec::new();
+            if self.peek() != Some(&TokenKind::RParen) {
+                if is_agg && self.eat_keyword(Keyword::Distinct) {
+                    distinct = true;
+                }
+                loop {
+                    args.push(self.parse_expr()?);
+                    if !self.eat_token(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect_token(TokenKind::RParen, ")")?;
+            // The function name is modelled as a FuncName child (not an attribute) so that
+            // changing only the function name yields a small string-typed leaf diff.
+            let (kind, canonical_name) = if is_agg {
+                (NodeKind::AggCall, name.to_ascii_uppercase())
+            } else {
+                (NodeKind::FuncCall, name)
+            };
+            let mut node = Node::new(kind)
+                .with_child(Node::new(NodeKind::FuncName).with_attr("name", canonical_name.as_str()));
+            if distinct {
+                node.set_attr("distinct", true);
+            }
+            Ok(node.with_children(args))
+        } else {
+            // column reference
+            match parts.len() {
+                1 => Ok(Node::column(&parts[0])),
+                _ => {
+                    let name = parts.pop().expect("at least two parts");
+                    Ok(Node::qualified_column(&parts.join("."), &name))
+                }
+            }
+        }
+    }
+}
+
+fn binop(op: &str, left: Node, right: Node) -> Node {
+    Node::new(NodeKind::BiExpr)
+        .with_attr("op", op)
+        .with_child(left)
+        .with_child(right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_ast::Path;
+
+    #[test]
+    fn parses_listing2_olap_query() {
+        let q = parse(
+            "SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 9 and Day = 3 GROUP BY DestState",
+        )
+        .unwrap();
+        assert_eq!(q.kind(), NodeKind::Select);
+        assert_eq!(q.arity(), 4);
+        let agg = q.get(&"0/0/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(agg.kind(), NodeKind::AggCall);
+        assert_eq!(agg.children()[0].kind(), NodeKind::FuncName);
+        assert_eq!(agg.children()[0].attr_str("name"), Some("COUNT"));
+        let and = q.get(&"2/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(and.attr_str("op"), Some("AND"));
+    }
+
+    #[test]
+    fn parses_listing1_sdss_query() {
+        let q = parse("SELECT * FROM SpecLineIndex WHERE specObjId = 0x400").unwrap();
+        let pred = q.get(&"2/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(pred.attr_str("op"), Some("="));
+        assert_eq!(pred.children()[1].kind(), NodeKind::HexExpr);
+        assert_eq!(pred.children()[1].attr("value").unwrap().as_int(), Some(0x400));
+    }
+
+    #[test]
+    fn parses_listing6_top_and_udf() {
+        let q = parse(
+            "SELECT TOP 10 g.objID FROM Galaxy as g, dbo.fGetNearbyObjEq(5.848, 0.352, 2.0616) as d WHERE d.objID = g.objID",
+        )
+        .unwrap();
+        // TOP becomes a trailing Limit node with style=top
+        let last = q.children().last().unwrap();
+        assert_eq!(last.kind(), NodeKind::Limit);
+        assert_eq!(last.attr_str("style"), Some("top"));
+        assert_eq!(last.children()[0].attr_num("value"), Some(10.0));
+        // FROM has a table and a table function
+        let from = q.get(&"1".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(from.arity(), 2);
+        assert_eq!(from.children()[0].attr_str("alias"), Some("g"));
+        assert_eq!(from.children()[1].kind(), NodeKind::TableFunc);
+        assert_eq!(
+            from.children()[1].attr_str("name"),
+            Some("dbo.fGetNearbyObjEq")
+        );
+        // qualified columns
+        let pred = q.get(&"2/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(pred.children()[0].attr_str("table"), Some("d"));
+    }
+
+    #[test]
+    fn parses_listing7_subquery_in_from() {
+        let q = parse("SELECT * FROM (SELECT a FROM T WHERE b > 10)").unwrap();
+        let sub = q.get(&"1/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(sub.kind(), NodeKind::SubqueryRef);
+        assert_eq!(sub.children()[0].kind(), NodeKind::Select);
+    }
+
+    #[test]
+    fn parses_listing3_adhoc_case_and_floor() {
+        let q = parse(
+            "SELECT (CASE carrier WHEN 'AA' THEN 'AA' ELSE 'Other' END) AS carrier, FLOOR(distance/5) AS distance FROM ontime",
+        )
+        .unwrap();
+        let case = q.get(&"0/0/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(case.kind(), NodeKind::CaseExpr);
+        assert_eq!(case.attr_str("form"), Some("simple"));
+        // operand + 1 when-arm + else
+        assert_eq!(case.arity(), 3);
+        let proj1 = q.get(&"0/1".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(proj1.attr_str("alias"), Some("distance"));
+        assert_eq!(proj1.children()[0].kind(), NodeKind::FuncCall);
+    }
+
+    #[test]
+    fn parses_listing2_having_and_sum() {
+        let q = parse(
+            "SELECT SUM(flights) FROM ontime WHERE canceled = 1 HAVING SUM(flights) > 149 and SUM(flights) < 1354",
+        )
+        .unwrap();
+        let having = q
+            .children()
+            .iter()
+            .find(|c| c.kind() == NodeKind::Having)
+            .unwrap();
+        assert_eq!(having.children()[0].attr_str("op"), Some("AND"));
+    }
+
+    #[test]
+    fn parses_listing4_nested_subquery_with_params() {
+        let q = parse(
+            "SELECT spec_ts, sum(price) FROM (SELECT action, sum(customer) FROM t WHERE spec_ts > now and spec_ts < now + 3) WHERE cust = 'Alice' and country = 'China' GROUP BY spec_ts",
+        )
+        .unwrap();
+        assert_eq!(q.arity(), 4);
+        let inner = q.get(&"1/0/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(inner.kind(), NodeKind::Select);
+        // the `now + 3` arithmetic lives inside the inner where clause
+        let inner_where = inner
+            .children()
+            .iter()
+            .find(|c| c.kind() == NodeKind::Where)
+            .unwrap();
+        assert!(inner_where.size() > 5);
+    }
+
+    #[test]
+    fn parses_distinct_count_and_aliases() {
+        let q = parse("SELECT COUNT(DISTINCT carrier) AS c FROM ontime").unwrap();
+        let agg = q.get(&"0/0/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(agg.attr("distinct").and_then(|v| v.as_bool()), Some(true));
+        let clause = q.get(&"0/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(clause.attr_str("alias"), Some("c"));
+    }
+
+    #[test]
+    fn parses_in_between_like_not() {
+        let q = parse(
+            "SELECT * FROM t WHERE a IN (1, 2, 3) AND b BETWEEN 5 AND 10 AND c LIKE 'x%' AND NOT d = 4 AND e NOT IN (7)",
+        )
+        .unwrap();
+        let w = q.get(&"2/0".parse::<Path>().unwrap()).unwrap();
+        // conjunction tree contains all five operators somewhere
+        let mut ops = Vec::new();
+        w.visit(&mut |n| {
+            if let Some(op) = n.attr_str("op") {
+                ops.push(op.to_string());
+            }
+        });
+        for needle in ["IN", "BETWEEN", "LIKE", "NOT", "NOT IN"] {
+            assert!(ops.iter().any(|o| o == needle), "missing {needle} in {ops:?}");
+        }
+    }
+
+    #[test]
+    fn parses_is_null_and_order_by() {
+        let q = parse("SELECT a FROM t WHERE b IS NOT NULL ORDER BY a DESC, c").unwrap();
+        let ob = q
+            .children()
+            .iter()
+            .find(|c| c.kind() == NodeKind::OrderBy)
+            .unwrap();
+        assert_eq!(ob.arity(), 2);
+        assert_eq!(ob.children()[0].attr_str("dir"), Some("desc"));
+        assert_eq!(ob.children()[1].attr_str("dir"), Some("asc"));
+    }
+
+    #[test]
+    fn parses_explicit_join() {
+        let q = parse("SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id").unwrap();
+        let from = q.get(&"1".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(from.arity(), 1);
+        let join = &from.children()[0];
+        assert_eq!(join.kind(), NodeKind::Join);
+        assert_eq!(join.attr_str("join_type"), Some("left"));
+        assert_eq!(join.children()[0].kind(), NodeKind::Join);
+    }
+
+    #[test]
+    fn parses_negative_numbers_and_arithmetic() {
+        let q = parse("SELECT a + b * 2, -5, FLOOR(distance / 5) FROM t").unwrap();
+        let neg = q.get(&"0/1/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(neg.attr("value").unwrap().as_int(), Some(-5));
+        let sum = q.get(&"0/0/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(sum.attr_str("op"), Some("+"));
+        // precedence: the right operand of + is the * expression
+        assert_eq!(sum.children()[1].attr_str("op"), Some("*"));
+    }
+
+    #[test]
+    fn parses_scalar_subquery_in_predicate() {
+        let q = parse("SELECT a FROM t WHERE b > (SELECT MAX(b) FROM t)").unwrap();
+        let pred = q.get(&"2/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(pred.children()[1].kind(), NodeKind::ScalarSubquery);
+    }
+
+    #[test]
+    fn parse_matches_select_builder_output() {
+        use pi_ast::builder::SelectBuilder;
+        let parsed = parse(
+            "SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 9 AND Day = 3 GROUP BY DestState",
+        )
+        .unwrap();
+        let built = SelectBuilder::new()
+            .project_agg("COUNT", Node::column("Delay"))
+            .project(Node::column("DestState"))
+            .from_table("ontime")
+            .where_pred(SelectBuilder::eq(Node::column("Month"), Node::int(9)))
+            .where_pred(SelectBuilder::eq(Node::column("Day"), Node::int(3)))
+            .group_by(Node::column("DestState"))
+            .build();
+        assert_eq!(parsed, built);
+    }
+
+    #[test]
+    fn parse_log_splits_statements_and_reports_errors_individually() {
+        let log = "SELECT a FROM t; SELECT b FROM; SELECT c FROM t;";
+        let results = parse_log(log);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("SELECT a FROM t GROUP").is_err());
+        assert!(parse("SELECT a FROM t) x").is_err());
+        assert!(parse("FROM t").is_err());
+    }
+
+    #[test]
+    fn parses_cast_without_target_type() {
+        // Listing 3: SELECT CAST(uniquecarrier) AS uniquecarrier FROM ontime
+        let q = parse("SELECT CAST(uniquecarrier) AS uniquecarrier FROM ontime").unwrap();
+        let cast = q.get(&"0/0/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(cast.kind(), NodeKind::Cast);
+        assert_eq!(cast.attr_str("ty"), Some("varchar"));
+    }
+
+    #[test]
+    fn star_with_table_qualifier() {
+        let q = parse("SELECT g.* FROM Galaxy g").unwrap();
+        let star = q.get(&"0/0/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(star.kind(), NodeKind::Star);
+        assert_eq!(star.attr_str("table"), Some("g"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Compiling an interface (plus its layout) into a self-contained HTML + JavaScript page.
+//!
+//! The page renders the widget grid; every interaction substitutes the chosen option's SQL
+//! fragment into the current query at the widget's path and updates the displayed query,
+//! mirroring Figure 2b.  Executing the query is delegated to a `window.exec` hook so the page
+//! works both standalone (showing the query text) and embedded next to a real backend.
+
+use crate::editor::EditorLayout;
+use crate::json::Json;
+use pi_core::Interface;
+use pi_sql::render;
+use pi_widgets::WidgetType;
+use std::fmt::Write as _;
+
+/// Compiles the interface into a single HTML document.
+pub fn compile_html(interface: &Interface, layout: &EditorLayout, title: &str) -> String {
+    let spec = interface_spec(interface, layout);
+    let mut widgets_html = String::new();
+    for placement in layout.placements() {
+        let widget = &interface.widgets()[placement.widget];
+        let _ = write!(
+            widgets_html,
+            "<div class=\"widget\" style=\"grid-row:{};grid-column:{}\" data-widget=\"{}\">\
+             <label>{}</label>{}</div>",
+            placement.row + 1,
+            placement.col + 1,
+            placement.widget,
+            escape(&placement.label),
+            widget_markup(placement.widget, widget)
+        );
+    }
+
+    format!(
+        r#"<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+body {{ font-family: sans-serif; margin: 1.5em; }}
+.grid {{ display: grid; gap: 0.8em; max-width: 720px; }}
+.widget {{ border: 1px solid #ccc; border-radius: 6px; padding: 0.6em; }}
+.widget label {{ display: block; font-weight: bold; margin-bottom: 0.3em; }}
+#query {{ margin-top: 1.2em; padding: 0.8em; background: #f4f4f4; font-family: monospace; white-space: pre-wrap; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+<div class="grid">{widgets}</div>
+<div id="query"></div>
+<script>
+const SPEC = {spec};
+const state = SPEC.widgets.map(() => null);
+function currentQuery() {{
+  let sql = SPEC.initialQuery;
+  SPEC.widgets.forEach((w, i) => {{
+    const choice = state[i];
+    if (choice === null || choice === undefined) return;
+    if (choice.absent) {{
+      sql = sql.split(w.currentFragment).join("");
+    }} else if (w.currentFragment && choice.sql !== undefined) {{
+      sql = sql.split(w.currentFragment).join(choice.sql);
+    }}
+  }});
+  return sql;
+}}
+function refresh() {{
+  const sql = currentQuery();
+  document.getElementById("query").textContent = sql;
+  if (window.exec) {{ window.exec(sql); }}
+}}
+document.querySelectorAll("[data-option]").forEach(el => {{
+  el.addEventListener("change", () => {{
+    const widget = parseInt(el.closest(".widget").dataset.widget, 10);
+    const spec = SPEC.widgets[widget];
+    const idx = parseInt(el.value, 10);
+    state[widget] = isNaN(idx) ? {{ sql: el.value }} : spec.options[idx];
+    refresh();
+  }});
+}});
+refresh();
+</script>
+</body>
+</html>
+"#,
+        title = escape(title),
+        widgets = widgets_html,
+        spec = spec.to_string(),
+    )
+}
+
+/// The JSON specification embedded in the page: the initial query plus, for every widget, its
+/// type, path, option fragments and the fragment currently in the initial query.
+fn interface_spec(interface: &Interface, layout: &EditorLayout) -> Json {
+    let widgets = layout
+        .placements()
+        .iter()
+        .map(|placement| {
+            let widget = &interface.widgets()[placement.widget];
+            let current_fragment = interface
+                .initial_query()
+                .get(&widget.path)
+                .map(render)
+                .unwrap_or_default();
+            let options: Vec<Json> = widget
+                .domain
+                .subtrees()
+                .iter()
+                .map(|subtree| {
+                    Json::Object(vec![
+                        ("label".into(), Json::string(&subtree.label())),
+                        ("sql".into(), Json::string(&render(subtree))),
+                        ("absent".into(), Json::Bool(false)),
+                    ])
+                })
+                .chain(widget.domain.includes_absent().then(|| {
+                    Json::Object(vec![
+                        ("label".into(), Json::string("(none)")),
+                        ("absent".into(), Json::Bool(true)),
+                    ])
+                }))
+                .collect();
+            Json::Object(vec![
+                ("label".into(), Json::string(&placement.label)),
+                ("type".into(), Json::string(widget.ty.slug())),
+                ("path".into(), Json::string(&widget.path.to_string())),
+                ("currentFragment".into(), Json::string(&current_fragment)),
+                ("options".into(), Json::Array(options)),
+            ])
+        })
+        .collect();
+    Json::Object(vec![
+        (
+            "initialQuery".into(),
+            Json::string(&render(interface.initial_query())),
+        ),
+        ("widgets".into(), Json::Array(widgets)),
+    ])
+}
+
+/// The HTML control for one widget, according to its type.
+fn widget_markup(index: usize, widget: &pi_widgets::Widget) -> String {
+    let options = widget.domain.option_labels();
+    match widget.ty {
+        WidgetType::Slider | WidgetType::RangeSlider => {
+            let (lo, hi) = widget.domain.numeric_range().unwrap_or((0.0, 100.0));
+            format!(
+                "<input type=\"range\" min=\"{lo}\" max=\"{hi}\" step=\"any\" data-option=\"w{index}\">"
+            )
+        }
+        WidgetType::Textbox => format!("<input type=\"text\" data-option=\"w{index}\">"),
+        WidgetType::ToggleButton | WidgetType::Checkbox => {
+            format!("<input type=\"checkbox\" data-option=\"w{index}\">")
+        }
+        WidgetType::RadioButton | WidgetType::CheckboxList => {
+            let input_type = if widget.ty == WidgetType::RadioButton {
+                "radio"
+            } else {
+                "checkbox"
+            };
+            options
+                .iter()
+                .enumerate()
+                .map(|(i, label)| {
+                    format!(
+                        "<label><input type=\"{input_type}\" name=\"w{index}\" value=\"{i}\" data-option=\"w{index}\"> {}</label>",
+                        escape(label)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("<br>")
+        }
+        WidgetType::Dropdown | WidgetType::DragAndDrop => {
+            let mut out = format!("<select data-option=\"w{index}\">");
+            for (i, label) in options.iter().enumerate() {
+                let _ = write!(out, "<option value=\"{i}\">{}</option>", escape(label));
+            }
+            out.push_str("</select>");
+            out
+        }
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_core::PrecisionInterfaces;
+
+    fn sample() -> Interface {
+        let log = "
+            SELECT a FROM t WHERE x = 1 AND c = 'US';
+            SELECT a FROM t WHERE x = 5 AND c = 'EU';
+            SELECT a FROM t WHERE x = 9 AND c = 'CN';
+            SELECT a FROM t WHERE x = 12 AND c = 'BR';
+        ";
+        PrecisionInterfaces::default()
+            .from_sql_log(log)
+            .unwrap()
+            .interface
+    }
+
+    #[test]
+    fn compiles_a_complete_page() {
+        let iface = sample();
+        let layout = EditorLayout::new(&iface, 2);
+        let html = compile_html(&iface, &layout, "OnTime explorer");
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("OnTime explorer"));
+        assert!(html.contains("const SPEC ="));
+        assert!(html.contains("initialQuery"));
+        // every widget appears in the grid
+        for (i, _) in iface.widgets().iter().enumerate() {
+            assert!(html.contains(&format!("data-widget=\"{i}\"")));
+        }
+        // a slider renders as a range input, a dropdown as a select
+        assert!(html.contains("type=\"range\""));
+        assert!(html.contains("<select") || html.contains("type=\"radio\""));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let iface = sample();
+        let mut layout = EditorLayout::new(&iface, 1);
+        layout.set_label(0, "a <b> & \"c\"");
+        let html = compile_html(&iface, &layout, "t");
+        assert!(html.contains("a &lt;b&gt; &amp; &quot;c&quot;"));
+    }
+
+    #[test]
+    fn spec_embeds_every_option() {
+        let iface = sample();
+        let layout = EditorLayout::new(&iface, 2);
+        let spec = interface_spec(&iface, &layout).to_string();
+        for widget in iface.widgets() {
+            for label in widget.domain.option_labels() {
+                if label != "(none)" {
+                    assert!(spec.contains(&label), "missing option {label}");
+                }
+            }
+        }
+    }
+}

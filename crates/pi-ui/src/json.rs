@@ -1,0 +1,124 @@
+//! A minimal JSON writer (no third-party dependency) used to embed interface specifications
+//! inside the generated HTML page.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A number (always rendered as f64).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience string constructor.
+    pub fn string(value: &str) -> Json {
+        Json::String(value.to_string())
+    }
+
+    /// Serialises the value to compact JSON text.
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(n) => {
+                if n.fract() == 0.0 && n.is_finite() && n.abs() < 1e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::String(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::String(key.clone()).write(out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialises_scalars() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::Number(3.0).to_string(), "3");
+        assert_eq!(Json::Number(3.5).to_string(), "3.5");
+        assert_eq!(Json::string("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(
+            Json::string("a\"b\\c\nd").to_string(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
+        assert_eq!(Json::String("\u{1}".into()).to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn serialises_nested_structures() {
+        let value = Json::Object(vec![
+            ("name".into(), Json::string("slider")),
+            ("options".into(), Json::Array(vec![Json::Number(1.0), Json::Number(2.0)])),
+            ("absent".into(), Json::Bool(false)),
+        ]);
+        assert_eq!(
+            value.to_string(),
+            "{\"name\":\"slider\",\"options\":[1,2],\"absent\":false}"
+        );
+    }
+}

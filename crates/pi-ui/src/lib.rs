@@ -1,0 +1,23 @@
+//! # pi-ui — compiling interfaces into an editable layout and a web application
+//!
+//! After mapping (§5.3), "an editor interface renders the widgets in a grid.  The user can
+//! optionally edit, add labels, or change the widget type for each widget … We then compile
+//! the interface into a web application".  This crate provides both halves:
+//!
+//! * [`editor`] — an editable grid model: per-widget labels, positions, and widget-type
+//!   overrides (validated against the widget rules),
+//! * [`html`] — the compiler that emits a self-contained HTML + JavaScript page.  The page
+//!   embeds the initial query AST and every widget's path/options as JSON (written by a small
+//!   built-in writer, [`json`]); interacting with a widget swaps the corresponding subtree and
+//!   re-renders the query string, mirroring Figure 2b's `interaction → exec(q2) → render()`
+//!   loop (the `exec()` call is left as a hook for the hosting application).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod editor;
+pub mod html;
+pub mod json;
+
+pub use editor::{EditorLayout, WidgetPlacement};
+pub use html::compile_html;

@@ -1,0 +1,113 @@
+//! Polynomial widget cost functions.
+//!
+//! Following §4.3, the cost of interacting with a widget is modelled as a low-dimensional
+//! polynomial of the domain size, `c(n) = a0 + a1·n + a2·n²`, with non-negative coefficients.
+//! The paper fits these from human interaction timing traces (in milliseconds); Example 4.4
+//! publishes the fitted constants for drop-downs and text boxes, which are reproduced in
+//! [`CostFunction::paper_dropdown`] and [`CostFunction::paper_textbox`].
+
+/// A quadratic cost model `c(n) = a0 + a1·n + a2·n²` (milliseconds as a function of domain
+/// size).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostFunction {
+    /// Constant term (fixed cost of locating and activating the widget).
+    pub a0: f64,
+    /// Linear term (scanning the options).
+    pub a1: f64,
+    /// Quadratic term (search difficulty in long lists).
+    pub a2: f64,
+}
+
+impl CostFunction {
+    /// Creates a cost function, clamping coefficients to be non-negative (the paper requires
+    /// `a_i ≥ 0` so that cost grows monotonically with domain size).
+    pub fn new(a0: f64, a1: f64, a2: f64) -> Self {
+        CostFunction {
+            a0: a0.max(0.0),
+            a1: a1.max(0.0),
+            a2: a2.max(0.0),
+        }
+    }
+
+    /// A constant cost function.
+    pub fn constant(a0: f64) -> Self {
+        Self::new(a0, 0.0, 0.0)
+    }
+
+    /// The drop-down cost function published in Example 4.4: `276 + 125·n + 0.07·n²`.
+    pub fn paper_dropdown() -> Self {
+        Self::new(276.0, 125.0, 0.07)
+    }
+
+    /// The text-box cost function published in Example 4.4: a constant `4790`.
+    pub fn paper_textbox() -> Self {
+        Self::constant(4790.0)
+    }
+
+    /// Evaluates the cost for a domain of size `n`.
+    pub fn eval(&self, n: usize) -> f64 {
+        let n = n as f64;
+        self.a0 + self.a1 * n + self.a2 * n * n
+    }
+
+    /// The domain size at which `self` becomes more expensive than `other`, if any
+    /// (searched over 1..=10_000).  Used to sanity-check crossover behaviour, e.g. drop-down
+    /// vs text box crossing near n ≈ 34.
+    pub fn crossover_with(&self, other: &CostFunction) -> Option<usize> {
+        (1..=10_000).find(|&n| self.eval(n) > other.eval(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluates_the_polynomial() {
+        let c = CostFunction::new(10.0, 2.0, 0.5);
+        assert_eq!(c.eval(0), 10.0);
+        assert_eq!(c.eval(2), 10.0 + 4.0 + 2.0);
+    }
+
+    #[test]
+    fn coefficients_are_clamped_non_negative() {
+        let c = CostFunction::new(-5.0, -1.0, 2.0);
+        assert_eq!(c.a0, 0.0);
+        assert_eq!(c.a1, 0.0);
+        assert_eq!(c.a2, 2.0);
+    }
+
+    #[test]
+    fn paper_constants_match_example_4_4() {
+        let d = CostFunction::paper_dropdown();
+        assert_eq!(d.eval(1), 276.0 + 125.0 + 0.07);
+        let t = CostFunction::paper_textbox();
+        assert_eq!(t.eval(1), 4790.0);
+        assert_eq!(t.eval(100), 4790.0);
+    }
+
+    #[test]
+    fn dropdown_beats_textbox_only_for_small_domains() {
+        // Example 4.4: a drop-down is cheaper for small domains, a text box for large ones.
+        let d = CostFunction::paper_dropdown();
+        let t = CostFunction::paper_textbox();
+        assert!(d.eval(3) < t.eval(3));
+        assert!(d.eval(100) > t.eval(100));
+        let crossover = d.crossover_with(&t).unwrap();
+        assert!(
+            (30..=40).contains(&crossover),
+            "crossover at {crossover}, expected ≈ 34-36"
+        );
+    }
+
+    #[test]
+    fn monotone_in_domain_size() {
+        let c = CostFunction::paper_dropdown();
+        let mut prev = c.eval(0);
+        for n in 1..200 {
+            let cur = c.eval(n);
+            assert!(cur >= prev);
+            prev = cur;
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Widget domains: the set of subtrees a widget can put at its path.
+
+use pi_ast::{Node, NodeId, PrimitiveType};
+use pi_diff::DiffRecord;
+use std::collections::BTreeSet;
+
+/// The domain `w.d` of a widget: the subtrees the widget can substitute at its path, plus
+/// metadata the widget rules and cost functions need (primitive type, numeric range,
+/// whether "no subtree at all" is one of the options).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Domain {
+    subtrees: Vec<Node>,
+    ids: BTreeSet<NodeId>,
+    prim: PrimitiveType,
+    includes_absent: bool,
+    numeric_range: Option<(f64, f64)>,
+}
+
+impl Default for Domain {
+    fn default() -> Self {
+        Domain {
+            subtrees: Vec::new(),
+            ids: BTreeSet::new(),
+            prim: PrimitiveType::Num,
+            includes_absent: false,
+            numeric_range: None,
+        }
+    }
+}
+
+impl Domain {
+    /// An empty domain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a domain from the diff records of one path partition (the `w.D ⊆ diffs`
+    /// initialisation of §4.3): both sides of every record are collected, deduplicated by
+    /// structural identity, and typed by the join of the member types.
+    pub fn from_diffs<'a, I: IntoIterator<Item = &'a DiffRecord>>(records: I) -> Self {
+        let mut domain = Domain::new();
+        for record in records {
+            match &record.before {
+                Some(node) => domain.insert(node.clone()),
+                None => domain.includes_absent = true,
+            }
+            match &record.after {
+                Some(node) => domain.insert(node.clone()),
+                None => domain.includes_absent = true,
+            }
+        }
+        domain
+    }
+
+    /// Builds a domain from explicit subtrees.
+    pub fn from_subtrees<I: IntoIterator<Item = Node>>(subtrees: I) -> Self {
+        let mut domain = Domain::new();
+        for node in subtrees {
+            domain.insert(node);
+        }
+        domain
+    }
+
+    /// Adds one subtree to the domain (deduplicated).
+    pub fn insert(&mut self, node: Node) {
+        let id = node.id();
+        if !self.ids.insert(id) {
+            return;
+        }
+        // Update the primitive type (join over all members) and numeric range.
+        self.prim = if self.subtrees.is_empty() {
+            node.primitive_type()
+        } else {
+            self.prim.join(node.primitive_type())
+        };
+        if let Some(v) = node.numeric_value() {
+            self.numeric_range = Some(match self.numeric_range {
+                Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                None => (v, v),
+            });
+        }
+        self.subtrees.push(node);
+    }
+
+    /// Marks "absent" (no subtree at the path) as one of the selectable options.
+    pub fn set_includes_absent(&mut self, value: bool) {
+        self.includes_absent = value;
+    }
+
+    /// The explicit subtrees of the domain, in first-seen order.
+    pub fn subtrees(&self) -> &[Node] {
+        &self.subtrees
+    }
+
+    /// Number of selectable options (explicit subtrees, plus one for "absent" when allowed).
+    pub fn size(&self) -> usize {
+        self.subtrees.len() + usize::from(self.includes_absent)
+    }
+
+    /// True when the domain has no options at all.
+    pub fn is_empty(&self) -> bool {
+        self.size() == 0
+    }
+
+    /// The primitive type of the domain: the join of all member types (paper: a rule will
+    /// "enforce that the elements in a domain d are all of a particular type").
+    pub fn primitive(&self) -> PrimitiveType {
+        self.prim
+    }
+
+    /// True when one of the options is "no subtree at this path" (came from an
+    /// addition/deletion diff).
+    pub fn includes_absent(&self) -> bool {
+        self.includes_absent
+    }
+
+    /// The numeric range spanned by the domain's numeric literals, if all values are numeric.
+    /// Sliders extrapolate their domain to this full range (Example 4.3).
+    pub fn numeric_range(&self) -> Option<(f64, f64)> {
+        if self.prim == PrimitiveType::Num {
+            self.numeric_range
+        } else {
+            None
+        }
+    }
+
+    /// Exact membership: is this subtree one of the explicit options?
+    pub fn contains_exact(&self, node: &Node) -> bool {
+        self.ids.contains(&node.id())
+    }
+
+    /// Membership with numeric-range extrapolation: numeric literals within the domain's range
+    /// are considered expressible even if they were never observed (the slider semantics of
+    /// Example 4.3).
+    pub fn contains_extrapolated(&self, node: &Node) -> bool {
+        if self.contains_exact(node) {
+            return true;
+        }
+        match (self.numeric_range(), node.numeric_value()) {
+            (Some((lo, hi)), Some(v)) => v >= lo && v <= hi,
+            _ => false,
+        }
+    }
+
+    /// Human-readable option labels, used by the interface editor and the HTML compiler.
+    pub fn option_labels(&self) -> Vec<String> {
+        let mut labels: Vec<String> = self.subtrees.iter().map(Node::label).collect();
+        if self.includes_absent {
+            labels.push("(none)".to_string());
+        }
+        labels
+    }
+
+    /// Merges another domain into this one.
+    pub fn merge(&mut self, other: &Domain) {
+        for node in &other.subtrees {
+            self.insert(node.clone());
+        }
+        if other.includes_absent {
+            self.includes_absent = true;
+        }
+    }
+
+    /// Returns a copy of this domain without the subtrees that appear in `other`.
+    /// Used by the merging heuristic when overlapping diffs are re-assigned exclusively to the
+    /// ancestor or the descendant widgets (Algorithm 3).
+    pub fn without(&self, other: &Domain) -> Domain {
+        let mut out = Domain::new();
+        for node in &self.subtrees {
+            if !other.contains_exact(node) {
+                out.insert(node.clone());
+            }
+        }
+        out.includes_absent = self.includes_absent && !other.includes_absent;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_diff::{extract_diffs, AncestorPolicy};
+    use pi_sql::parse;
+
+    #[test]
+    fn dedupes_and_types_members() {
+        let d = Domain::from_subtrees(vec![
+            Node::string("USA"),
+            Node::string("EUR"),
+            Node::string("USA"),
+        ]);
+        assert_eq!(d.size(), 2);
+        assert_eq!(d.primitive(), PrimitiveType::Str);
+        assert!(d.contains_exact(&Node::string("EUR")));
+        assert!(!d.contains_exact(&Node::string("CHN")));
+    }
+
+    #[test]
+    fn numeric_domains_extrapolate_to_a_range() {
+        // Example 4.3: a slider initialised with {1, 5, 100} extrapolates to [1, 100].
+        let d = Domain::from_subtrees(vec![Node::int(1), Node::int(5), Node::int(100)]);
+        assert_eq!(d.numeric_range(), Some((1.0, 100.0)));
+        assert!(d.contains_extrapolated(&Node::int(42)));
+        assert!(d.contains_extrapolated(&Node::float(99.5)));
+        assert!(!d.contains_extrapolated(&Node::int(101)));
+        assert!(!d.contains_exact(&Node::int(42)));
+    }
+
+    #[test]
+    fn mixed_type_domains_join_to_str_or_tree() {
+        let d = Domain::from_subtrees(vec![Node::int(1), Node::string("x")]);
+        assert_eq!(d.primitive(), PrimitiveType::Str);
+        assert_eq!(d.numeric_range(), None);
+        let d = Domain::from_subtrees(vec![
+            Node::int(1),
+            parse("SELECT a FROM t").unwrap(),
+        ]);
+        assert_eq!(d.primitive(), PrimitiveType::Tree);
+    }
+
+    #[test]
+    fn from_diffs_collects_both_sides_and_absence() {
+        let q1 = parse("SELECT g FROM t").unwrap();
+        let q2 = parse("SELECT TOP 1 g FROM t").unwrap();
+        let records = extract_diffs(&q1, &q2, 0, 1, AncestorPolicy::LcaPruned);
+        let d = Domain::from_diffs(records.iter());
+        assert!(d.includes_absent());
+        assert_eq!(d.size(), d.subtrees().len() + 1);
+        assert!(d.option_labels().contains(&"(none)".to_string()));
+    }
+
+    #[test]
+    fn merge_and_without_are_inverses_on_disjoint_domains() {
+        let mut a = Domain::from_subtrees(vec![Node::string("x"), Node::string("y")]);
+        let b = Domain::from_subtrees(vec![Node::string("z")]);
+        a.merge(&b);
+        assert_eq!(a.size(), 3);
+        let removed = a.without(&b);
+        assert_eq!(removed.size(), 2);
+        assert!(!removed.contains_exact(&Node::string("z")));
+    }
+
+    #[test]
+    fn empty_domain_reports_itself() {
+        let d = Domain::new();
+        assert!(d.is_empty());
+        assert_eq!(d.size(), 0);
+        assert_eq!(d.option_labels().len(), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Least-squares fitting of widget cost functions from interaction timing traces.
+//!
+//! The paper derives each widget type's cost coefficients by timing interactions with widgets
+//! instantiated at different domain sizes and fitting the quadratic model to the traces
+//! ("following prior interface personalization literature", §4.3).  We do not have the human
+//! traces, so `pi-workloads` *simulates* them (per-widget base times plus scan/search terms
+//! with noise), and this module provides the ordinary-least-squares fit used for both
+//! simulated and real traces.
+
+use crate::cost::CostFunction;
+
+/// One timing observation: interacting with a widget whose domain held `n` options took
+/// `millis` milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Domain size during the interaction.
+    pub n: usize,
+    /// Observed interaction time in milliseconds.
+    pub millis: f64,
+}
+
+/// Fits `c(n) = a0 + a1·n + a2·n²` to timing observations by ordinary least squares.
+///
+/// Negative coefficients (which can arise from noise) are clamped to zero, matching the
+/// paper's non-negativity constraint.  Returns a constant zero-cost function for an empty
+/// trace.
+pub fn fit_cost(points: &[TracePoint]) -> CostFunction {
+    if points.is_empty() {
+        return CostFunction::constant(0.0);
+    }
+    if points.len() < 3 {
+        // Not enough observations to identify three coefficients: fall back to the mean.
+        let mean = points.iter().map(|p| p.millis).sum::<f64>() / points.len() as f64;
+        return CostFunction::constant(mean);
+    }
+
+    // Build the normal equations (XᵀX) a = Xᵀy for the design matrix X = [1, n, n²].
+    let mut xtx = [[0.0f64; 3]; 3];
+    let mut xty = [0.0f64; 3];
+    for p in points {
+        let n = p.n as f64;
+        let row = [1.0, n, n * n];
+        for i in 0..3 {
+            for j in 0..3 {
+                xtx[i][j] += row[i] * row[j];
+            }
+            xty[i] += row[i] * p.millis;
+        }
+    }
+
+    match solve3(xtx, xty) {
+        Some([a0, a1, a2]) => CostFunction::new(a0, a1, a2),
+        None => {
+            // Singular system (e.g. all observations share one domain size): fit the mean.
+            let mean = points.iter().map(|p| p.millis).sum::<f64>() / points.len() as f64;
+            CostFunction::constant(mean)
+        }
+    }
+}
+
+/// Solves a 3×3 linear system by Gaussian elimination with partial pivoting.
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        // pivot
+        let pivot_row = (col..3)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        if a[pivot_row][col].abs() < 1e-9 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        // eliminate
+        for row in (col + 1)..3 {
+            let factor = a[row][col] / a[col][col];
+            for k in col..3 {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // back substitution
+    let mut x = [0.0f64; 3];
+    for row in (0..3).rev() {
+        let mut sum = b[row];
+        for k in (row + 1)..3 {
+            sum -= a[row][k] * x[k];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+/// Mean squared error of a cost function against a trace, for goodness-of-fit reporting.
+pub fn mse(cost: &CostFunction, points: &[TracePoint]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    points
+        .iter()
+        .map(|p| {
+            let err = cost.eval(p.n) - p.millis;
+            err * err
+        })
+        .sum::<f64>()
+        / points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(points: &[(usize, f64)]) -> Vec<TracePoint> {
+        points
+            .iter()
+            .map(|&(n, millis)| TracePoint { n, millis })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_exact_quadratic() {
+        let truth = CostFunction::new(300.0, 120.0, 0.5);
+        let pts: Vec<TracePoint> = (1..=40)
+            .map(|n| TracePoint {
+                n,
+                millis: truth.eval(n),
+            })
+            .collect();
+        let fitted = fit_cost(&pts);
+        assert!((fitted.a0 - truth.a0).abs() < 1e-6, "{fitted:?}");
+        assert!((fitted.a1 - truth.a1).abs() < 1e-6);
+        assert!((fitted.a2 - truth.a2).abs() < 1e-6);
+        assert!(mse(&fitted, &pts) < 1e-6);
+    }
+
+    #[test]
+    fn recovers_constant_model_for_textbox_like_traces() {
+        let pts = synth(&[(1, 4800.0), (5, 4770.0), (20, 4810.0), (50, 4780.0)]);
+        let fitted = fit_cost(&pts);
+        // a constant dominates; linear/quadratic terms are tiny
+        assert!(fitted.eval(1) > 4000.0 && fitted.eval(1) < 5500.0);
+        assert!(fitted.eval(50) > 4000.0 && fitted.eval(50) < 5500.0);
+    }
+
+    #[test]
+    fn noisy_fit_stays_close_to_truth() {
+        let truth = CostFunction::paper_dropdown();
+        // deterministic "noise" of ±40ms
+        let pts: Vec<TracePoint> = (1..=60)
+            .map(|n| TracePoint {
+                n,
+                millis: truth.eval(n) + if n % 2 == 0 { 40.0 } else { -40.0 },
+            })
+            .collect();
+        let fitted = fit_cost(&pts);
+        for n in [2usize, 10, 30, 60] {
+            let rel = (fitted.eval(n) - truth.eval(n)).abs() / truth.eval(n);
+            assert!(rel < 0.15, "n={n} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn degenerate_traces_fall_back_gracefully() {
+        assert_eq!(fit_cost(&[]).eval(10), 0.0);
+        let single = synth(&[(3, 500.0)]);
+        assert_eq!(fit_cost(&single).eval(10), 500.0);
+        // all observations at the same n -> singular system -> mean
+        let same_n = synth(&[(5, 100.0), (5, 200.0), (5, 300.0)]);
+        assert!((fit_cost(&same_n).eval(5) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_negative_coefficients() {
+        // A decreasing trace would fit a negative slope; the constraint clamps it.
+        let pts = synth(&[(1, 1000.0), (10, 800.0), (20, 600.0), (30, 400.0)]);
+        let fitted = fit_cost(&pts);
+        assert!(fitted.a1 >= 0.0);
+        assert!(fitted.a2 >= 0.0);
+    }
+}

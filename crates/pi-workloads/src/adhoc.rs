@@ -1,0 +1,101 @@
+//! The ad-hoc exploration log (§7, Listing 3).
+//!
+//! The paper's ad-hoc log comes from students exploring the OnTime dataset with Tableau;
+//! "there is considerable variation in queries and changes in this log", and the generated
+//! interfaces consequently fail to generalise (Figure 6c's flat red line).  The generator
+//! below draws every query from a wide family of structurally different templates so that
+//! consecutive queries rarely share a transformation.
+
+use crate::QueryLog;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CARRIERS: &[&str] = &["AA", "UA", "DL", "WN", "B6", "AS"];
+const STATES: &[&str] = &["CA", "NY", "TX", "WA", "IL", "GA"];
+const MEASURES: &[&str] = &["flights", "distance", "arrdelay", "depdelay"];
+const DIMENSIONS: &[&str] = &["carrier", "origin", "dest", "dayofweek", "deststate"];
+
+/// Generates an ad-hoc exploration log of `n` queries.
+pub fn exploration_log(seed: u64, n: usize) -> QueryLog {
+    let mut rng = StdRng::seed_from_u64(0xadc0_0000 ^ seed);
+    let sql: Vec<String> = (0..n).map(|_| next_query(&mut rng)).collect();
+    QueryLog::from_sql(&format!("adhoc-{seed}"), sql)
+}
+
+fn pick<'a>(rng: &mut StdRng, options: &[&'a str]) -> &'a str {
+    options[rng.gen_range(0..options.len())]
+}
+
+fn next_query(rng: &mut StdRng) -> String {
+    let measure = pick(rng, MEASURES);
+    let dim = pick(rng, DIMENSIONS);
+    let dim2 = pick(rng, DIMENSIONS);
+    let carrier = pick(rng, CARRIERS);
+    let state = pick(rng, STATES);
+    let threshold = rng.gen_range(10..2000);
+    let bucket = [5, 10, 50, 100][rng.gen_range(0..4)];
+    match rng.gen_range(0..8) {
+        0 => format!("SELECT CAST({dim}) AS {dim} FROM ontime"),
+        1 => format!(
+            "SELECT SUM({measure}) FROM ontime WHERE cancelled = 1 HAVING SUM({measure}) > {threshold} AND SUM({measure}) < {}",
+            threshold + rng.gen_range(100..2000)
+        ),
+        2 => format!(
+            "SELECT (CASE {dim} WHEN '{carrier}' THEN '{carrier}' ELSE 'Other' END) AS {dim}, FLOOR({measure} / {bucket}) AS {measure} FROM ontime"
+        ),
+        3 => format!(
+            "SELECT {dim}, {dim2}, AVG({measure}) FROM ontime WHERE deststate = '{state}' GROUP BY {dim}, {dim2} ORDER BY {dim}"
+        ),
+        4 => format!(
+            "SELECT COUNT(DISTINCT {dim}) FROM ontime WHERE {measure} BETWEEN {threshold} AND {}",
+            threshold + bucket
+        ),
+        5 => format!(
+            "SELECT {dim} FROM (SELECT {dim}, SUM({measure}) AS total FROM ontime GROUP BY {dim}) WHERE total > {threshold}"
+        ),
+        6 => format!(
+            "SELECT TOP {bucket} {dim}, MAX({measure}) FROM ontime WHERE carrier = '{carrier}' GROUP BY {dim}"
+        ),
+        _ => format!(
+            "SELECT {dim}, COUNT({measure}) FROM ontime WHERE dayofweek IN (1, 7) AND deststate = '{state}' GROUP BY {dim}"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_has_high_structural_variety() {
+        let log = exploration_log(1, 60);
+        assert_eq!(log.len(), 60);
+        // Most consecutive pairs differ by several subtrees (unlike the SDSS/OLAP logs).
+        let big_changes = log
+            .queries
+            .windows(2)
+            .filter(|pair| pi_diff::leaf_changes(&pair[0], &pair[1]).len() >= 2 || !pair[0].same_label(&pair[1]))
+            .count();
+        assert!(
+            big_changes as f64 / 59.0 > 0.6,
+            "only {big_changes}/59 pairs changed substantially"
+        );
+    }
+
+    #[test]
+    fn every_template_family_appears() {
+        let log = exploration_log(2, 200);
+        let has = |needle: &str| log.sql.iter().any(|q| q.contains(needle));
+        assert!(has("CASE"));
+        assert!(has("CAST"));
+        assert!(has("HAVING"));
+        assert!(has("BETWEEN"));
+        assert!(has("TOP"));
+        assert!(has("FLOOR"));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(exploration_log(1, 20).sql, exploration_log(2, 20).sql);
+    }
+}

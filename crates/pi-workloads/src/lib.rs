@@ -1,0 +1,111 @@
+//! # pi-workloads — synthetic query logs standing in for the paper's datasets
+//!
+//! The paper evaluates on three query logs we cannot redistribute: a sample of the Sloan
+//! Digital Sky Survey (SDSS) SkyServer log, a synthetic OLAP random-walk log over the OnTime
+//! flight-delay dataset, and ad-hoc logs exported from students' Tableau sessions.  This crate
+//! generates statistically similar stand-ins:
+//!
+//! * [`sdss`] — per-client logs built from client *archetypes* distilled from the paper's own
+//!   SDSS examples (Listing 1, Listing 6): object lookups that change only the table / id
+//!   attribute / literal, TOP-clause toggles over UDF joins, spectro range scans.  Within a
+//!   client the transformations are highly structured and recurring; across clients they are
+//!   heterogeneous — exactly the properties the recall/precision/runtime experiments rely on.
+//! * [`olap`] — the random walk of §7 (Listing 2): each step adds, removes, or modifies a
+//!   random dimension, aggregate, or filter of an OnTime OLAP query.
+//! * [`adhoc`] — open-ended exploration with little recurring structure (Listing 3), used to
+//!   show when Precision Interfaces does *not* generalise.
+//! * [`traces`] — simulated widget interaction timing traces used to fit the widget cost
+//!   functions (§4.3, Example 4.4).
+//! * [`mix`] — multi-client interleaving and train/hold-out splitting utilities used by the
+//!   multi-client and cross-client experiments (§7.2.3, §7.2.4).
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adhoc;
+pub mod mix;
+pub mod olap;
+pub mod sdss;
+pub mod traces;
+
+use pi_ast::Node;
+
+/// A generated query log: parsed queries in log order, plus the SQL text they came from.
+#[derive(Debug, Clone, Default)]
+pub struct QueryLog {
+    /// Parsed queries in log order.
+    pub queries: Vec<Node>,
+    /// The SQL text of each query (same order).
+    pub sql: Vec<String>,
+    /// A label describing the log (client id, generator name…).
+    pub label: String,
+}
+
+impl QueryLog {
+    /// Creates a log from SQL strings, parsing each one (panics on generator bugs — the
+    /// generators only emit SQL the `pi-sql` dialect supports).
+    pub fn from_sql<I: IntoIterator<Item = String>>(label: &str, sql: I) -> Self {
+        let sql: Vec<String> = sql.into_iter().collect();
+        let queries = sql
+            .iter()
+            .map(|q| pi_sql::parse(q).unwrap_or_else(|e| panic!("generator produced bad SQL `{q}`: {e}")))
+            .collect();
+        QueryLog {
+            queries,
+            sql,
+            label: label.to_string(),
+        }
+    }
+
+    /// Number of queries in the log.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The log truncated to its first `n` queries.
+    pub fn truncated(&self, n: usize) -> QueryLog {
+        QueryLog {
+            queries: self.queries.iter().take(n).cloned().collect(),
+            sql: self.sql.iter().take(n).cloned().collect(),
+            label: self.label.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_sql_parses_and_preserves_order() {
+        let log = QueryLog::from_sql(
+            "demo",
+            ["SELECT a FROM t".to_string(), "SELECT b FROM t".to_string()],
+        );
+        assert_eq!(log.len(), 2);
+        assert!(!log.is_empty());
+        assert_eq!(log.sql[0], "SELECT a FROM t");
+        assert_eq!(log.truncated(1).len(), 1);
+        assert_eq!(log.truncated(10).len(), 2);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = sdss::client_log(sdss::ClientArchetype::ObjectLookup, 7, 40);
+        let b = sdss::client_log(sdss::ClientArchetype::ObjectLookup, 7, 40);
+        assert_eq!(a.sql, b.sql);
+        let a = olap::random_walk(3, 30);
+        let b = olap::random_walk(3, 30);
+        assert_eq!(a.sql, b.sql);
+        let a = adhoc::exploration_log(11, 25);
+        let b = adhoc::exploration_log(11, 25);
+        assert_eq!(a.sql, b.sql);
+    }
+}

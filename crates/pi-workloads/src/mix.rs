@@ -1,0 +1,77 @@
+//! Multi-client log composition: interleaving and train/hold-out splits (§7.2.3, §7.2.4).
+
+use crate::QueryLog;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Interleaves several client logs into one heterogeneous log, preserving each client's
+/// internal order (the multi-client experiment randomly interleaves M client logs).
+pub fn interleave(logs: &[QueryLog], seed: u64) -> QueryLog {
+    let mut rng = StdRng::seed_from_u64(0x2417_0000 ^ seed);
+    let mut cursors = vec![0usize; logs.len()];
+    let total: usize = logs.iter().map(QueryLog::len).sum();
+    let mut queries = Vec::with_capacity(total);
+    let mut sql = Vec::with_capacity(total);
+    while queries.len() < total {
+        // Pick a client that still has queries, weighted by how many remain.
+        let remaining: Vec<usize> = logs
+            .iter()
+            .enumerate()
+            .filter(|(i, log)| cursors[*i] < log.len())
+            .map(|(i, _)| i)
+            .collect();
+        let client = remaining[rng.gen_range(0..remaining.len())];
+        queries.push(logs[client].queries[cursors[client]].clone());
+        sql.push(logs[client].sql[cursors[client]].clone());
+        cursors[client] += 1;
+    }
+    QueryLog {
+        queries,
+        sql,
+        label: format!("interleaved-{}-clients", logs.len()),
+    }
+}
+
+/// Takes the first `per_client` queries of each client and interleaves them — the
+/// "training queries per client" axis of Figure 7b.
+pub fn interleave_prefixes(logs: &[QueryLog], per_client: usize, seed: u64) -> QueryLog {
+    let truncated: Vec<QueryLog> = logs.iter().map(|l| l.truncated(per_client)).collect();
+    interleave(&truncated, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sdss;
+
+    #[test]
+    fn interleaving_preserves_every_query_and_per_client_order() {
+        let logs = sdss::client_logs(3, 20);
+        let mixed = interleave(&logs, 1);
+        assert_eq!(mixed.len(), 60);
+        // Per-client order is preserved: each client's queries appear as a subsequence.
+        for log in &logs {
+            let mut cursor = 0;
+            for sql in &mixed.sql {
+                if cursor < log.sql.len() && sql == &log.sql[cursor] {
+                    cursor += 1;
+                }
+            }
+            assert_eq!(cursor, log.sql.len(), "client {} not a subsequence", log.label);
+        }
+    }
+
+    #[test]
+    fn interleave_is_deterministic_and_seed_sensitive() {
+        let logs = sdss::client_logs(2, 15);
+        assert_eq!(interleave(&logs, 5).sql, interleave(&logs, 5).sql);
+        assert_ne!(interleave(&logs, 5).sql, interleave(&logs, 6).sql);
+    }
+
+    #[test]
+    fn prefix_interleaving_limits_each_client() {
+        let logs = sdss::client_logs(4, 30);
+        let mixed = interleave_prefixes(&logs, 10, 2);
+        assert_eq!(mixed.len(), 40);
+    }
+}

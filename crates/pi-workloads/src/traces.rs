@@ -1,0 +1,126 @@
+//! Simulated widget interaction timing traces.
+//!
+//! The paper fits each widget type's cost function from human interaction timing traces
+//! (§4.3).  We do not have those traces, so this module simulates them from simple
+//! interaction models (a fixed acquisition time, a per-option scan time, a quadratic search
+//! penalty for long lists, plus noise) whose parameters were chosen so that the published
+//! drop-down/text-box constants of Example 4.4 are recovered by the fit.
+
+use pi_widgets::fit::TracePoint;
+use pi_widgets::WidgetType;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The ground-truth interaction model a simulated user follows for one widget type.
+#[derive(Debug, Clone, Copy)]
+pub struct InteractionModel {
+    /// Time to locate and activate the widget (ms).
+    pub base_ms: f64,
+    /// Time to scan / consider one option (ms).
+    pub per_option_ms: f64,
+    /// Quadratic search penalty for long option lists (ms per option²).
+    pub search_ms: f64,
+    /// Standard deviation of the observation noise (ms).
+    pub noise_ms: f64,
+}
+
+impl InteractionModel {
+    /// The model used for a widget type.  Drop-down and text box match Example 4.4.
+    pub fn for_widget(ty: WidgetType) -> InteractionModel {
+        let (base_ms, per_option_ms, search_ms) = match ty {
+            WidgetType::Dropdown => (276.0, 125.0, 0.07),
+            WidgetType::Textbox => (4790.0, 0.0, 0.0),
+            WidgetType::ToggleButton => (320.0, 15.0, 0.0),
+            WidgetType::Checkbox => (350.0, 20.0, 0.0),
+            WidgetType::RadioButton => (200.0, 255.0, 2.0),
+            WidgetType::Slider => (250.0, 30.0, 0.05),
+            WidgetType::RangeSlider => (420.0, 35.0, 0.05),
+            WidgetType::CheckboxList => (450.0, 260.0, 6.0),
+            WidgetType::DragAndDrop => (2000.0, 260.0, 6.0),
+        };
+        InteractionModel {
+            base_ms,
+            per_option_ms,
+            search_ms,
+            noise_ms: 25.0,
+        }
+    }
+
+    /// The expected interaction time for a domain of `n` options.
+    pub fn expected_ms(&self, n: usize) -> f64 {
+        let n = n as f64;
+        self.base_ms + self.per_option_ms * n + self.search_ms * n * n
+    }
+}
+
+/// Simulates a timing trace for one widget type: `repeats` interactions at each domain size
+/// in `sizes`.
+pub fn simulate_trace(
+    ty: WidgetType,
+    sizes: &[usize],
+    repeats: usize,
+    seed: u64,
+) -> Vec<TracePoint> {
+    let model = InteractionModel::for_widget(ty);
+    let mut rng = StdRng::seed_from_u64(0x7ace_0000 ^ seed ^ ty.slug().len() as u64);
+    let mut out = Vec::with_capacity(sizes.len() * repeats);
+    for &n in sizes {
+        for _ in 0..repeats {
+            // Symmetric triangular noise around the expected time (cheap stand-in for a
+            // Gaussian; mean-zero so the least-squares fit converges to the model).
+            let noise = (rng.gen_range(-1.0..1.0f64) + rng.gen_range(-1.0..1.0f64)) * model.noise_ms;
+            let millis = (model.expected_ms(n) + noise).max(1.0);
+            out.push(TracePoint { n, millis });
+        }
+    }
+    out
+}
+
+/// The default domain sizes at which traces are collected.
+pub fn default_sizes() -> Vec<usize> {
+    vec![1, 2, 3, 5, 8, 12, 20, 30, 50, 80]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_widgets::fit::fit_cost;
+
+    #[test]
+    fn fitted_dropdown_matches_the_paper_constants() {
+        let trace = simulate_trace(WidgetType::Dropdown, &default_sizes(), 8, 1);
+        let fitted = fit_cost(&trace);
+        let paper = pi_widgets::CostFunction::paper_dropdown();
+        for n in [2usize, 5, 20, 50] {
+            let rel = (fitted.eval(n) - paper.eval(n)).abs() / paper.eval(n);
+            assert!(rel < 0.12, "n={n}: fitted {} vs paper {}", fitted.eval(n), paper.eval(n));
+        }
+    }
+
+    #[test]
+    fn fitted_textbox_is_roughly_constant() {
+        let trace = simulate_trace(WidgetType::Textbox, &default_sizes(), 8, 2);
+        let fitted = fit_cost(&trace);
+        assert!((fitted.eval(1) - 4790.0).abs() < 300.0);
+        assert!((fitted.eval(80) - 4790.0).abs() < 300.0);
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let a = simulate_trace(WidgetType::Slider, &[1, 5], 3, 7);
+        let b = simulate_trace(WidgetType::Slider, &[1, 5], 3, 7);
+        assert_eq!(a, b);
+        let c = simulate_trace(WidgetType::Slider, &[1, 5], 3, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_widget_type_has_a_model() {
+        for ty in WidgetType::all() {
+            let model = InteractionModel::for_widget(ty);
+            assert!(model.expected_ms(1) > 0.0);
+            assert!(model.expected_ms(50) >= model.expected_ms(1));
+            assert!(!simulate_trace(ty, &[1, 2, 3], 2, 0).is_empty());
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Where Precision Interfaces does *not* work: ad-hoc exploration logs.
+//!
+//! The paper is explicit that a purely syntactic approach only pays off when the log contains
+//! recurring, predictable transformations; for open-ended exploration the generated interface
+//! barely generalises (Figure 6c's flat recall curve).  This example reproduces that negative
+//! result side by side with a structured log of the same size.
+//!
+//! ```sh
+//! cargo run --example adhoc_limits
+//! ```
+
+use precision_interfaces::core::recall::recall_curve;
+use precision_interfaces::core::PiOptions;
+use precision_interfaces::workloads::{adhoc, sdss};
+
+fn main() {
+    let options = PiOptions::default();
+    let sizes = [5usize, 10, 20, 50, 100];
+
+    let structured = sdss::client_log(sdss::ClientArchetype::RedshiftRange, 4, 200);
+    let exploratory = adhoc::exploration_log(4, 200);
+
+    println!("hold-out recall (100 hold-out queries) vs number of training queries\n");
+    println!("training   structured(SDSS)   ad-hoc(Tableau-style)");
+    let structured_curve = recall_curve(&structured.queries, &sizes, 100, &options);
+    let adhoc_curve = recall_curve(&exploratory.queries, &sizes, 100, &options);
+    for (s, a) in structured_curve.iter().zip(adhoc_curve.iter()) {
+        println!("{:>8}   {:>16.2}   {:>20.2}", s.training, s.recall, a.recall);
+    }
+
+    println!(
+        "\nTakeaway: the structured analysis reaches full recall with a few dozen examples, \
+         while the ad-hoc log stays far from it — matching the paper's Figure 6c and its \
+         'not suitable for ad-hoc, non-repetitive settings' conclusion."
+    );
+}

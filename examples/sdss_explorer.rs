@@ -1,0 +1,60 @@
+//! SDSS explorer: mine per-client interfaces from SkyServer-style logs (the paper's main
+//! evaluation workload), measure how well each interface generalises to the client's future
+//! queries, and export the richest one as an HTML page.
+//!
+//! ```sh
+//! cargo run --example sdss_explorer
+//! ```
+
+use precision_interfaces::core::recall::{holdout_recall, split_log};
+use precision_interfaces::core::PiOptions;
+use precision_interfaces::prelude::*;
+use precision_interfaces::workloads::sdss;
+
+fn main() {
+    let options = PiOptions::default();
+    let mut best: Option<(String, Interface)> = None;
+
+    for (i, log) in sdss::client_logs(6, 150).iter().enumerate() {
+        // Train on the first 50 queries, evaluate on the last 100 (the §7.2 protocol).
+        let split = split_log(&log.queries, 100);
+        let train = &split.train[..split.train.len().min(50)];
+        let (recall, generated) = holdout_recall(train, split.holdout, &options);
+        println!(
+            "client C{:<2} [{}]: {} training queries -> {} widgets, hold-out recall {:.2}",
+            i + 1,
+            log.label,
+            train.len(),
+            generated.interface.widgets().len(),
+            recall
+        );
+        for line in generated.interface.describe().lines().skip(1) {
+            println!("    {line}");
+        }
+        if best
+            .as_ref()
+            .map(|(_, iface)| generated.interface.widgets().len() > iface.widgets().len())
+            .unwrap_or(true)
+        {
+            best = Some((log.label.clone(), generated.interface));
+        }
+    }
+
+    // Export the richest client interface as a standalone web page and execute its initial
+    // query against the synthetic SkyServer tables.
+    if let Some((label, interface)) = best {
+        let layout = EditorLayout::new(&interface, 2);
+        let html = compile_html(&interface, &layout, &format!("SDSS explorer — {label}"));
+        let path = std::env::temp_dir().join("precision_interfaces_sdss_explorer.html");
+        if std::fs::write(&path, &html).is_ok() {
+            println!("\nwrote the {label} interface to {}", path.display());
+        }
+        let catalog = Catalog::demo(1);
+        if let Ok(result) = exec(interface.initial_query(), &catalog) {
+            println!(
+                "initial query returns {} rows over the synthetic SkyServer catalog",
+                result.num_rows()
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! # precision-interfaces — mining precision interfaces from query logs
+//!
+//! A from-scratch Rust reproduction of *Mining Precision Interfaces From Query Logs*
+//! (Zhang, Zhang, Sellam & Wu, SIGMOD 2019).  The system takes a log of SQL queries from one
+//! analysis, mines the recurring structural transformations between them, and generates a
+//! tailored interactive interface whose widgets express exactly those transformations.
+//!
+//! This facade crate re-exports the public API of the workspace crates:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`ast`] | `pi-ast` | query ASTs, paths, primitive types |
+//! | [`sql`] | `pi-sql` | SQL lexer/parser/renderer |
+//! | [`diff`] | `pi-diff` | subtree differences (the `diffs` table) |
+//! | [`graph`] | `pi-graph` | the interaction graph and its optimisations |
+//! | [`widgets`] | `pi-widgets` | widget types, rules, cost functions |
+//! | [`core`] | `pi-core` | interface generation, closure, recall, precision |
+//! | [`engine`] | `pi-engine` | `exec()` / `render()` over an in-memory catalog |
+//! | [`workloads`] | `pi-workloads` | synthetic SDSS / OLAP / ad-hoc query logs |
+//! | [`ui`] | `pi-ui` | editable layout + HTML compiler |
+//! | [`study`] | `pi-study` | simulated user study + ANOVA |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use precision_interfaces::prelude::*;
+//!
+//! let log = "
+//!     SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 9 GROUP BY DestState;
+//!     SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 8 GROUP BY DestState;
+//!     SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 3 GROUP BY DestState;
+//! ";
+//! let generated = PrecisionInterfaces::default().from_sql_log(log).unwrap();
+//! assert_eq!(generated.interface.widgets().len(), 1);
+//! assert!(generated.interface.expressiveness(&generated.queries) >= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+/// Query ASTs, paths and primitive types (`pi-ast`).
+pub mod ast {
+    pub use pi_ast::*;
+}
+
+/// SQL lexing, parsing and rendering (`pi-sql`).
+pub mod sql {
+    pub use pi_sql::*;
+}
+
+/// Subtree differences between queries (`pi-diff`).
+pub mod diff {
+    pub use pi_diff::*;
+}
+
+/// The interaction graph (`pi-graph`).
+pub mod graph {
+    pub use pi_graph::*;
+}
+
+/// Widget types, rules and cost functions (`pi-widgets`).
+pub mod widgets {
+    pub use pi_widgets::*;
+}
+
+/// Interface generation, closure, recall and precision (`pi-core`).
+pub mod core {
+    pub use pi_core::*;
+}
+
+/// The in-memory execution substrate (`pi-engine`).
+pub mod engine {
+    pub use pi_engine::*;
+}
+
+/// Synthetic query-log generators (`pi-workloads`).
+pub mod workloads {
+    pub use pi_workloads::*;
+}
+
+/// Interface layout editing and HTML compilation (`pi-ui`).
+pub mod ui {
+    pub use pi_ui::*;
+}
+
+/// The simulated user study (`pi-study`).
+pub mod study {
+    pub use pi_study::*;
+}
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use pi_ast::{Node, NodeKind, Path};
+    pub use pi_core::{GeneratedInterface, Interface, PiOptions, PrecisionInterfaces};
+    pub use pi_engine::{exec, render, Catalog};
+    pub use pi_sql::{parse, parse_log, render as render_sql};
+    pub use pi_ui::{compile_html, EditorLayout};
+    pub use pi_widgets::{Widget, WidgetLibrary, WidgetType};
+}

@@ -1,0 +1,161 @@
+//! Cross-crate integration tests: the full pipeline from SQL text to an executable,
+//! renderable, schema-checked interface.
+
+use precision_interfaces::core::precision::{query_is_schema_valid, SchemaMap};
+use precision_interfaces::core::recall::{holdout_recall, split_log};
+use precision_interfaces::core::PiOptions;
+use precision_interfaces::prelude::*;
+use precision_interfaces::workloads::{mix, olap, sdss};
+
+fn catalog_schema(catalog: &Catalog) -> SchemaMap {
+    let mut schema = SchemaMap::new();
+    for (table, columns) in catalog.schema() {
+        schema.add_table(&table, columns.iter().map(String::as_str));
+    }
+    schema
+}
+
+#[test]
+fn end_to_end_olap_interface_queries_all_execute() {
+    // Log -> interface -> closure -> every closure query parses, renders, round-trips, passes
+    // the schema check, and executes on the engine.
+    let log = olap::random_walk(3, 120);
+    let generated = PrecisionInterfaces::default().from_queries(log.queries.clone());
+    // The OLAP walk keeps adding/removing clauses, so reaching a late query from the very
+    // first one can take several interactions; the single-pass membership check therefore
+    // reports a large fraction, not necessarily all, of the log as directly reachable.
+    assert!(generated.interface.expressiveness(&log.queries) >= 0.5);
+    // The edge-level guarantee does hold: for each step of the walk, every changed subtree is
+    // expressed by some widget, either directly or through a widget at an ancestor path (the
+    // coverage invariant the merging phase preserves).
+    for pair in log.queries.windows(2).take(30) {
+        let records = pi_diff::extract_diffs(&pair[0], &pair[1], 0, 1, pi_diff::AncestorPolicy::LcaPruned);
+        let expressed_paths: Vec<_> = records
+            .iter()
+            .filter(|r| generated.interface.widgets().iter().any(|w| w.expresses(r)))
+            .map(|r| r.path.clone())
+            .collect();
+        for leaf in records.iter().filter(|r| r.is_leaf) {
+            assert!(
+                expressed_paths.iter().any(|p| p.is_prefix_of(&leaf.path)),
+                "leaf change at {} not covered:\n{}",
+                leaf.path,
+                generated.interface.describe()
+            );
+        }
+    }
+
+    let catalog = Catalog::demo(5);
+    let schema = catalog_schema(&catalog);
+    let closure = generated.interface.enumerate_closure(300);
+    assert!(!closure.is_empty());
+    let mut executed = 0;
+    for query in &closure {
+        let sql = render_sql(query);
+        let reparsed = parse(&sql).expect("closure queries render to parsable SQL");
+        assert_eq!(&reparsed, query);
+        if query_is_schema_valid(query, &schema) {
+            let result = exec(query, &catalog).expect("schema-valid closure queries execute");
+            let _ = render(&result);
+            executed += 1;
+        }
+    }
+    assert!(executed > 0, "at least some closure queries must be executable");
+}
+
+#[test]
+fn sdss_client_interface_generalises_and_compiles_to_html() {
+    let log = sdss::client_log(sdss::ClientArchetype::ObjectLookup, 11, 150);
+    let split = split_log(&log.queries, 50);
+    let (recall, generated) = holdout_recall(&split.train[..60], split.holdout, &PiOptions::default());
+    assert!(
+        recall >= 0.9,
+        "structured SDSS analyses should generalise, got {recall}"
+    );
+
+    // The interface compiles into a self-contained web page mentioning every widget.
+    let layout = EditorLayout::new(&generated.interface, 2);
+    let html = compile_html(&generated.interface, &layout, "SDSS client");
+    assert!(html.contains("<!DOCTYPE html>"));
+    for widget in generated.interface.widgets() {
+        assert!(html.contains(widget.ty.slug()) || html.contains("input"));
+    }
+
+    // The initial query runs against the synthetic SkyServer catalog.
+    let catalog = Catalog::demo(11);
+    let result = exec(generated.interface.initial_query(), &catalog).unwrap();
+    let _ = render(&result);
+}
+
+#[test]
+fn heterogeneous_logs_lose_precision_but_the_filter_restores_it() {
+    use precision_interfaces::core::precision::{closure_precision, filtered_closure};
+    let logs = sdss::client_logs(4, 80);
+    let mixed = mix::interleave(&logs, 9);
+    let generated = PrecisionInterfaces::default().from_queries(mixed.queries.clone());
+
+    let catalog = Catalog::demo(2);
+    let schema = catalog_schema(&catalog);
+    let precision = closure_precision(&generated.interface, &schema, 5_000);
+    assert!(precision < 1.0, "mixed-client closures should contain invalid queries");
+    let filtered = filtered_closure(&generated.interface, &schema, 5_000);
+    assert!(filtered.iter().all(|q| query_is_schema_valid(q, &schema)));
+}
+
+#[test]
+fn optimised_and_baseline_configurations_express_the_same_log() {
+    use pi_diff::AncestorPolicy;
+    use pi_graph::WindowStrategy;
+    let log = sdss::client_log(sdss::ClientArchetype::ConeSearchTop, 2, 60);
+    let optimised = PrecisionInterfaces::default().from_queries(log.queries.clone());
+    let baseline = PrecisionInterfaces::new(PiOptions {
+        window: WindowStrategy::AllPairs,
+        policy: AncestorPolicy::Full,
+        ..PiOptions::default()
+    })
+    .from_queries(log.queries.clone());
+
+    assert!(optimised.interface.expressiveness(&log.queries) >= 1.0);
+    assert!(baseline.interface.expressiveness(&log.queries) >= 1.0);
+    // The optimisations shrink the mined graph dramatically.
+    assert!(baseline.graph_stats.diff_records > optimised.graph_stats.diff_records);
+    assert!(baseline.graph_stats.edges > optimised.graph_stats.edges);
+}
+
+#[test]
+fn generated_interfaces_execute_under_user_interaction_sequences() {
+    // Simulate a user driving the Listing 6 interface: toggle the TOP clause, move the limit
+    // slider, and run the query after each interaction (the exec() loop of Figure 2b).
+    let log = "
+      SELECT g.objID FROM Galaxy AS g, dbo.fGetNearbyObjEq(180.0, 0.0, 3000.0) AS d WHERE d.objID = g.objID;
+      SELECT TOP 1 g.objID FROM Galaxy AS g, dbo.fGetNearbyObjEq(180.0, 0.0, 3000.0) AS d WHERE d.objID = g.objID;
+      SELECT TOP 10 g.objID FROM Galaxy AS g, dbo.fGetNearbyObjEq(180.0, 0.0, 3000.0) AS d WHERE d.objID = g.objID;
+      SELECT TOP 5 g.objID FROM Galaxy AS g, dbo.fGetNearbyObjEq(180.0, 0.0, 3000.0) AS d WHERE d.objID = g.objID;
+    ";
+    let generated = PrecisionInterfaces::default().from_sql_log(log).unwrap();
+    let catalog = Catalog::demo(3);
+    let mut seen_row_counts = std::collections::BTreeSet::new();
+    for query in generated.interface.enumerate_closure(50) {
+        let result = exec(&query, &catalog).expect("closure query executes");
+        seen_row_counts.insert(result.num_rows());
+    }
+    // Different TOP values produce different result sizes.
+    assert!(seen_row_counts.len() > 1, "{seen_row_counts:?}");
+}
+
+#[test]
+fn study_and_interface_agree_on_task_support() {
+    // The generated SDSS interface has widgets for the object-id lookup task that the SDSS
+    // form lacks; check the simulated study reflects exactly that asymmetry.
+    use precision_interfaces::study::{run_study, summarize, Condition, StudyConfig, Task};
+    let summaries = summarize(&run_study(StudyConfig::default()));
+    let t1_pi = summaries
+        .iter()
+        .find(|s| s.task == Task::ObjectIdLookup && s.condition == Condition::PrecisionInterface)
+        .unwrap();
+    let t1_sdss = summaries
+        .iter()
+        .find(|s| s.task == Task::ObjectIdLookup && s.condition == Condition::SdssForm)
+        .unwrap();
+    assert!(t1_sdss.mean_time_s > 3.0 * t1_pi.mean_time_s);
+}

@@ -1,0 +1,172 @@
+//! Property-based tests over the core data structures and invariants.
+
+use pi_ast::builder::SelectBuilder;
+use pi_ast::{Node, Path};
+use pi_diff::{extract_diffs, AncestorPolicy, ChangeKind};
+use precision_interfaces::prelude::*;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- generators
+
+/// A random OLAP-style query over a small vocabulary (always within the pi-sql dialect).
+fn arb_query() -> impl Strategy<Value = Node> {
+    let dims = prop::sample::select(vec!["DestState", "OriginState", "Carrier", "DayOfWeek"]);
+    let measures = prop::sample::select(vec!["Delay", "Distance", "Flights"]);
+    let aggs = prop::sample::select(vec!["COUNT", "SUM", "AVG", "MAX"]);
+    (
+        aggs,
+        measures,
+        dims,
+        prop::option::of(1i64..12),
+        prop::option::of(1i64..28),
+        prop::bool::ANY,
+    )
+        .prop_map(|(agg, measure, dim, month, day, grouped)| {
+            let mut builder = SelectBuilder::new()
+                .project_agg(agg, Node::column(measure))
+                .project(Node::column(dim))
+                .from_table("ontime");
+            if let Some(month) = month {
+                builder = builder.where_pred(SelectBuilder::eq(Node::column("Month"), Node::int(month)));
+            }
+            if let Some(day) = day {
+                builder = builder.where_pred(SelectBuilder::eq(Node::column("Day"), Node::int(day)));
+            }
+            if grouped {
+                builder = builder.group_by(Node::column(dim));
+            }
+            builder.build()
+        })
+}
+
+fn arb_path() -> impl Strategy<Value = Path> {
+    prop::collection::vec(0usize..6, 0..6).prop_map(Path::from_steps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------ SQL round trips
+
+    /// Rendering any generated query and re-parsing it yields the identical AST.
+    #[test]
+    fn sql_render_parse_round_trip(query in arb_query()) {
+        let sql = render_sql(&query);
+        let reparsed = parse(&sql).expect("rendered SQL parses");
+        prop_assert_eq!(reparsed, query);
+    }
+
+    // ------------------------------------------------------------ paths
+
+    /// Path display/parse round-trips, and prefix/LCA relations are consistent.
+    #[test]
+    fn path_round_trip_and_prefix_laws(a in arb_path(), b in arb_path()) {
+        let reparsed: Path = a.to_string().parse().expect("path parses");
+        prop_assert_eq!(&reparsed, &a);
+        let lca = a.common_prefix(&b);
+        prop_assert!(lca.is_prefix_of(&a));
+        prop_assert!(lca.is_prefix_of(&b));
+        if a.is_prefix_of(&b) && b.is_prefix_of(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        // relative_to and join are inverses below an ancestor.
+        if lca.is_prefix_of(&a) {
+            let rel = a.relative_to(&lca).expect("lca is an ancestor");
+            prop_assert_eq!(lca.join(&rel), a);
+        }
+    }
+
+    // ------------------------------------------------------------ diffs
+
+    /// Applying every leaf diff between two queries transforms the first into the second, in
+    /// both directions.  The diff of a query with itself is empty.
+    #[test]
+    fn leaf_diffs_transform_between_queries(a in arb_query(), b in arb_query()) {
+        prop_assert!(extract_diffs(&a, &a, 0, 0, AncestorPolicy::Full).is_empty());
+        let records = extract_diffs(&a, &b, 0, 1, AncestorPolicy::Full);
+        let forward = pi_diff::apply_leaf_changes(&a, &records).expect("diffs apply");
+        prop_assert_eq!(&forward, &b);
+
+        let reverse_records = extract_diffs(&b, &a, 1, 0, AncestorPolicy::Full);
+        let backward = pi_diff::apply_leaf_changes(&b, &reverse_records).expect("reverse diffs apply");
+        prop_assert_eq!(&backward, &a);
+
+        // Every record is classified, and replacements keep both sides.
+        for record in &records {
+            match record.change_kind() {
+                ChangeKind::Replacement => prop_assert!(record.before.is_some() && record.after.is_some()),
+                ChangeKind::Addition => prop_assert!(record.before.is_none()),
+                ChangeKind::Deletion => prop_assert!(record.after.is_none()),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ interface generation
+
+    /// Whatever log we hand the pipeline, every *compared* query pair stays covered: for each
+    /// consecutive pair, every changed subtree is expressed by some widget, either at its own
+    /// path or through a widget at an ancestor path (the coverage invariant behind the g = 1
+    /// constraint, which the merging phase must preserve).  Merging never increases the
+    /// interface cost.
+    #[test]
+    fn generated_interfaces_cover_every_compared_pair(queries in prop::collection::vec(arb_query(), 2..10)) {
+        let generated = PrecisionInterfaces::default().from_queries(queries.clone());
+        for pair in queries.windows(2) {
+            let records = extract_diffs(&pair[0], &pair[1], 0, 1, AncestorPolicy::LcaPruned);
+            let expressed_paths: Vec<Path> = records
+                .iter()
+                .filter(|r| generated.interface.widgets().iter().any(|w| w.expresses(r)))
+                .map(|r| r.path.clone())
+                .collect();
+            for leaf in records.iter().filter(|r| r.is_leaf) {
+                prop_assert!(
+                    expressed_paths.iter().any(|p| p.is_prefix_of(&leaf.path)),
+                    "change at {} between `{}` and `{}` not covered:\n{}",
+                    leaf.path,
+                    render_sql(&pair[0]),
+                    render_sql(&pair[1]),
+                    generated.interface.describe()
+                );
+            }
+        }
+
+        let unmerged = PrecisionInterfaces::new(precision_interfaces::core::PiOptions {
+            mapper: precision_interfaces::core::MapperOptions {
+                enable_merging: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .from_queries(queries.clone());
+        prop_assert!(generated.interface.cost() <= unmerged.interface.cost() + 1e-6);
+    }
+
+    // ------------------------------------------------------------ widget domains
+
+    /// Slider extrapolation: any value between the observed minimum and maximum is considered
+    /// expressible; values outside are not.
+    #[test]
+    fn slider_extrapolation_respects_the_observed_range(
+        mut values in prop::collection::vec(-1000i64..1000, 2..8),
+        probe in -1000i64..1000,
+    ) {
+        use precision_interfaces::widgets::{Domain, WidgetLibrary};
+        let domain = Domain::from_subtrees(values.iter().map(|v| Node::int(*v)));
+        values.sort_unstable();
+        let (lo, hi) = (values[0], values[values.len() - 1]);
+        let widget = WidgetLibrary::standard()
+            .pick(Path::root(), domain, vec![])
+            .expect("numeric domains always map to a widget");
+        let expressible = widget.can_express_subtree(Some(&Node::int(probe)));
+        if probe >= lo && probe <= hi {
+            prop_assert!(expressible);
+        }
+        if probe < lo || probe > hi {
+            // Enumerating widgets may still express an exact member; anything else outside the
+            // range must be rejected.
+            if !values.contains(&probe) {
+                prop_assert!(!expressible);
+            }
+        }
+    }
+}

@@ -22,12 +22,11 @@ fn bench_merging(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("merging={merging}")),
             &merging,
             |b, &merging| {
-                let mapper = InteractionMapper::new(WidgetLibrary::standard()).with_options(
-                    MapperOptions {
+                let mapper =
+                    InteractionMapper::new(WidgetLibrary::standard()).with_options(MapperOptions {
                         enable_merging: merging,
                         ..MapperOptions::default()
-                    },
-                );
+                    });
                 b.iter(|| mapper.map(&graph));
             },
         );

@@ -18,6 +18,29 @@ fn bench_stages(c: &mut Criterion) {
         b.iter(|| pi_sql::parse(sql).unwrap())
     });
 
+    // The memoized hash must be O(1) — a field read — while the from-scratch recompute walks
+    // the whole subtree.  The gap between these two numbers is the memo at work.
+    let big = {
+        let mut q = pi_sql::parse(sql).unwrap();
+        for _ in 0..6 {
+            let wrapped = q.clone();
+            q = pi_ast::builder::SelectBuilder::new()
+                .project_star()
+                .from_subquery(wrapped.clone())
+                .from_subquery(wrapped)
+                .build();
+        }
+        q
+    };
+    group.bench_function(
+        &format!("structural_hash_memoized_{}_nodes", big.size()),
+        |b| b.iter(|| big.structural_hash()),
+    );
+    group.bench_function(
+        &format!("structural_hash_recompute_{}_nodes", big.size()),
+        |b| b.iter(|| big.recomputed_hash()),
+    );
+
     let log = sdss::client_log(sdss::ClientArchetype::ObjectLookup, 1, 2).queries;
     group.bench_function("diff_pair_lca", |b| {
         b.iter(|| extract_diffs(&log[0], &log[1], 0, 1, AncestorPolicy::LcaPruned))
@@ -26,18 +49,21 @@ fn bench_stages(c: &mut Criterion) {
         b.iter(|| extract_diffs(&log[0], &log[1], 0, 1, AncestorPolicy::Full))
     });
 
-    let generated =
-        pi_core::PrecisionInterfaces::default().from_queries(sdss::client_log(sdss::ClientArchetype::ObjectLookup, 2, 50).queries);
+    let generated = pi_core::PrecisionInterfaces::default()
+        .from_queries(sdss::client_log(sdss::ClientArchetype::ObjectLookup, 2, 50).queries);
     let probe = sdss::client_log(sdss::ClientArchetype::ObjectLookup, 9, 1).queries[0].clone();
     group.bench_function("closure_membership", |b| {
         b.iter(|| generated.interface.can_express(&probe))
     });
 
     let catalog = Catalog::demo(1);
-    let query =
-        pi_sql::parse("SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 9 GROUP BY DestState")
-            .unwrap();
-    group.bench_function("exec_olap_groupby", |b| b.iter(|| exec(&query, &catalog).unwrap()));
+    let query = pi_sql::parse(
+        "SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 9 GROUP BY DestState",
+    )
+    .unwrap();
+    group.bench_function("exec_olap_groupby", |b| {
+        b.iter(|| exec(&query, &catalog).unwrap())
+    });
 
     group.finish();
 }

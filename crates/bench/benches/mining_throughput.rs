@@ -1,0 +1,108 @@
+//! Interaction-mining throughput over a 512-query synthetic OLAP log.
+//!
+//! This is the headline perf number for the AST-core refactor (memoized structural hashes,
+//! interned attribute names, `Arc`-shared diff subtrees): it measures the mining stage alone —
+//! pairwise tree alignment plus graph construction, the cost the paper's Figures 11/12 are
+//! about — serial and parallel, and the full pipeline for context.  Results are written to
+//! `BENCH_mining.json` at the workspace root so successive PRs can track the trajectory.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use pi_core::{PiOptions, PrecisionInterfaces};
+use pi_graph::{GraphBuilder, IntoQueryLog, QueryLog, WindowStrategy};
+use pi_workloads::olap;
+use std::time::Duration;
+
+const LOG_SIZE: usize = 512;
+
+fn olap_log() -> QueryLog {
+    olap::random_walk(3, LOG_SIZE).queries.into_query_log()
+}
+
+fn bench_mining_throughput(c: &mut Criterion) {
+    let queries = olap_log();
+    let mut group = c.benchmark_group("mining_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    for (label, parallel) in [("serial", false), ("parallel", true)] {
+        group.bench_with_input(
+            BenchmarkId::new("mine_sliding16", label),
+            &parallel,
+            |b, &parallel| {
+                let builder = GraphBuilder::new()
+                    .window(WindowStrategy::Sliding(16))
+                    .parallel(parallel);
+                b.iter(|| builder.build(&queries));
+            },
+        );
+    }
+
+    group.bench_function("mine_all_pairs_serial", |b| {
+        let builder = GraphBuilder::new().window(WindowStrategy::AllPairs);
+        b.iter(|| builder.build(&queries));
+    });
+
+    group.bench_function("pipeline_default", |b| {
+        let pipeline = PrecisionInterfaces::new(PiOptions::default());
+        b.iter(|| pipeline.from_queries(&queries));
+    });
+
+    group.finish();
+}
+
+/// Sanity-checks the determinism contract before publishing numbers: parallel and serial
+/// builds of the same log must produce identical edges and diff stores.
+fn assert_parallel_matches_serial(queries: &QueryLog) {
+    let serial = GraphBuilder::new()
+        .window(WindowStrategy::Sliding(16))
+        .parallel(false)
+        .build(queries);
+    let parallel = GraphBuilder::new()
+        .window(WindowStrategy::Sliding(16))
+        .parallel(true)
+        .build(queries);
+    assert_eq!(serial.edges.len(), parallel.edges.len());
+    assert_eq!(serial.store.len(), parallel.store.len());
+    for (a, b) in serial.edges.iter().zip(parallel.edges.iter()) {
+        assert_eq!((a.from, a.to, &a.diffs), (b.from, b.to, &b.diffs));
+    }
+    for ((ida, ra), (idb, rb)) in serial.store.iter().zip(parallel.store.iter()) {
+        assert_eq!(ida, idb);
+        assert_eq!(ra, rb);
+    }
+}
+
+fn export_json(c: &Criterion) {
+    let mut out = String::from("{\n  \"log\": \"olap_random_walk\",\n");
+    out.push_str(&format!("  \"queries\": {LOG_SIZE},\n  \"benches\": [\n"));
+    let measurements = c.measurements();
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"iterations\": {}}}{}\n",
+            m.id,
+            m.mean_ns,
+            m.min_ns,
+            m.max_ns,
+            m.iterations,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    // crates/bench -> workspace root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mining.json");
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_mining_throughput);
+
+fn main() {
+    assert_parallel_matches_serial(&olap_log());
+    let mut c = Criterion::new();
+    benches(&mut c);
+    export_json(&c);
+}

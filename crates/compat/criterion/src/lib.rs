@@ -1,0 +1,298 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the `Criterion` / benchmark-group / `Bencher` API surface used by this
+//! workspace's benches, with a plain wall-clock measurement loop: a short warm-up, then
+//! `sample_size` samples, each timing a batch of iterations sized so the whole group stays
+//! within `measurement_time`.  Results (mean / min / max per iteration) are printed to
+//! stdout, and each run is appended to the in-process report so callers can export JSON.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark, as captured by the harness.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample, in nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, in nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+/// Drives benchmark execution and collects [`Measurement`]s.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// A fresh harness.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Benches a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    /// All measurements captured so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+}
+
+/// A named parameterised benchmark id.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from one parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new<P: Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Benches a closure under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = self.full_id(id);
+        let m = run_bench(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            |b| f(b),
+        );
+        self.criterion.measurements.push(m);
+        self
+    }
+
+    /// Benches a closure that receives an input value, under `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = self.full_id(&id.label);
+        let m = run_bench(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            |b| f(b, input),
+        );
+        self.criterion.measurements.push(m);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; measurements are already recorded).
+    pub fn finish(&mut self) {}
+
+    fn full_id(&self, id: &str) -> String {
+        if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        }
+    }
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` `self.iters` times and records the total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// An identity function that defeats constant-propagation of benchmark results.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mut f: F,
+) -> Measurement {
+    // Warm up while estimating the per-iteration cost.
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < warm_up_time {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = b.elapsed.max(Duration::from_nanos(1));
+    }
+
+    // Size each sample's batch so all samples fit in the measurement budget.
+    let budget_per_sample = measurement_time.as_secs_f64() / sample_size as f64;
+    let iters_per_sample =
+        ((budget_per_sample / per_iter.as_secs_f64()).floor() as u64).clamp(1, 1_000_000);
+
+    let mut total_iters = 0u64;
+    let mut total = Duration::ZERO;
+    let mut min_ns = f64::INFINITY;
+    let mut max_ns = 0.0f64;
+    let overall = Instant::now();
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64 / iters_per_sample as f64;
+        min_ns = min_ns.min(ns);
+        max_ns = max_ns.max(ns);
+        total += b.elapsed;
+        total_iters += iters_per_sample;
+        // Never exceed twice the budget even when the warm-up estimate was off.
+        if overall.elapsed() > measurement_time * 2 {
+            break;
+        }
+    }
+
+    let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    println!(
+        "bench {id:<50} mean {:>12}  (min {}, max {}, {} iters)",
+        fmt_ns(mean_ns),
+        fmt_ns(min_ns),
+        fmt_ns(max_ns),
+        total_iters
+    );
+    Measurement {
+        id: id.to_string(),
+        mean_ns,
+        min_ns,
+        max_ns,
+        iterations: total_iters,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` function, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::new();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_and_records() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert_eq!(c.measurements().len(), 2);
+        assert_eq!(c.measurements()[0].id, "g/noop");
+        assert_eq!(c.measurements()[1].id, "g/7");
+        assert!(c.measurements().iter().all(|m| m.mean_ns > 0.0));
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+    }
+}

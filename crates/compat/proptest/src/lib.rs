@@ -1,0 +1,306 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy combinators and the `proptest!` macro surface this workspace's
+//! property tests use: range strategies, tuples, `prop_map`, `prop::sample::select`,
+//! `prop::option::of`, `prop::bool::ANY` and `prop::collection::vec`.  Cases are generated
+//! from a seed derived deterministically from the test name and case index, so failures are
+//! reproducible; there is no shrinking — the failing case index is part of the panic message
+//! instead.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+use std::ops::Range;
+
+/// Runner configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Builds the deterministic generator for one test case.
+#[doc(hidden)]
+pub fn test_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// A generator of random values of an output type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T: SampleUniform + Copy + PartialOrd> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+
+/// The `prop::*` strategy constructors.
+pub mod prop {
+    /// Strategies drawing from explicit value sets.
+    pub mod sample {
+        use super::super::*;
+
+        /// A strategy that picks one element of `options` uniformly.
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        /// Picks uniformly from a non-empty vector of options.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select requires at least one option");
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut StdRng) -> T {
+                self.options[rng.gen_range(0..self.options.len())].clone()
+            }
+        }
+    }
+
+    /// Strategies over `Option<T>`.
+    pub mod option {
+        use super::super::*;
+
+        /// A strategy producing `None` a quarter of the time and `Some(inner)` otherwise.
+        #[derive(Debug, Clone)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// Wraps a strategy to also produce `None`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+                if rng.gen_bool(0.25) {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+
+    /// Strategies over `bool`.
+    pub mod bool {
+        use super::super::*;
+
+        /// The uniform boolean strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Uniformly random booleans.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut StdRng) -> bool {
+                rng.gen_bool(0.5)
+            }
+        }
+    }
+
+    /// Strategies over collections.
+    pub mod collection {
+        use super::super::*;
+
+        /// A strategy producing vectors with length drawn from a range.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// Vectors of `element` values with a length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property (plain `assert!` under the hood).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property (plain `assert_eq!` under the hood).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property (plain `assert_ne!` under the hood).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }` item becomes a
+/// `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = ( $($strat,)+ );
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_rng(stringify!($name), case);
+                    let ( $($pat,)+ ) = $crate::Strategy::generate(&strategy, &mut rng);
+                    // No shrinking: case indices are deterministic, so a failing case number
+                    // printed by the panic location reproduces with the same seed.
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_case() {
+        let s = (0i64..100, prop::bool::ANY);
+        let a = Strategy::generate(&s, &mut crate::test_rng("t", 3));
+        let b = Strategy::generate(&s, &mut crate::test_rng("t", 3));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn generated_values_respect_their_strategies(
+            x in 0i64..10,
+            opt in prop::option::of(0usize..3),
+            v in prop::collection::vec(0i32..5, 2..6),
+            pick in prop::sample::select(vec!["a", "b"]),
+            flag in prop::bool::ANY,
+        ) {
+            prop_assert!((0..10).contains(&x));
+            if let Some(o) = opt { prop_assert!(o < 3); }
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|e| (0..5).contains(e)));
+            prop_assert!(pick == "a" || pick == "b");
+            let _ = flag;
+        }
+
+        #[test]
+        fn prop_map_applies(mut doubled in (0i64..10).prop_map(|v| v * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+            doubled += 1;
+            prop_assert_ne!(doubled % 2, 0);
+        }
+    }
+}

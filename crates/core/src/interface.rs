@@ -116,8 +116,9 @@ impl Interface {
                             .widgets
                             .iter()
                             .any(|other| widget.path.is_strict_prefix_of(&other.path));
-                        let before =
-                            current_sub.map(|c| difference_size(c, t_sub)).unwrap_or(usize::MAX);
+                        let before = current_sub
+                            .map(|c| difference_size(c, t_sub))
+                            .unwrap_or(usize::MAX);
                         let after = difference_size(&best, t_sub);
                         if has_deeper_widgets || after < before {
                             let _ = place(&mut current, &widget.path, best);
@@ -160,7 +161,7 @@ impl Interface {
                 push(base.clone());
                 for option in widget.domain.subtrees() {
                     let mut candidate = base.clone();
-                    if place(&mut candidate, &widget.path, option.clone()).is_ok() {
+                    if place(&mut candidate, &widget.path, Node::clone(option)).is_ok() {
                         push(candidate);
                     }
                 }
@@ -202,17 +203,17 @@ impl Interface {
     }
 }
 
-/// Inserts `subtree` at `path`, shifting later siblings right (addition semantics).
+/// Inserts `subtree` at `path`, shifting later siblings right (addition semantics).  Indices
+/// past the end of the parent's child list clamp to an append.
 fn insert_at(query: &mut Node, path: &Path, subtree: Node) -> Result<(), pi_ast::ReplaceError> {
     let Some(parent_path) = path.parent() else {
         return query.replace_at(path, subtree);
     };
     let idx = path.last().expect("non-root path");
-    match query.get_mut(&parent_path) {
+    match query.get(&parent_path) {
         Some(parent) => {
-            let len = parent.children().len();
-            parent.children_mut().insert(idx.min(len), subtree);
-            Ok(())
+            let slot = parent_path.child(idx.min(parent.arity()));
+            query.insert_at(&slot, subtree)
         }
         None => Err(pi_ast::ReplaceError::PathNotFound { path: path.clone() }),
     }
@@ -224,18 +225,7 @@ fn place(query: &mut Node, path: &Path, subtree: Node) -> Result<(), pi_ast::Rep
         return query.replace_at(path, subtree);
     }
     // The path does not exist: insert at the parent if possible (addition semantics).
-    let Some(parent_path) = path.parent() else {
-        return query.replace_at(path, subtree);
-    };
-    let idx = path.last().expect("non-root path");
-    match query.get_mut(&parent_path) {
-        Some(parent) => {
-            let len = parent.children().len();
-            parent.children_mut().insert(idx.min(len), subtree);
-            Ok(())
-        }
-        None => Err(pi_ast::ReplaceError::PathNotFound { path: path.clone() }),
-    }
+    insert_at(query, path, subtree)
 }
 
 /// The widget's domain member closest to the target subtree (fewest differing leaf regions).
@@ -246,14 +236,14 @@ fn closest_member(widget: &Widget, target: &Node, current: Option<&Node>) -> Opt
         .domain
         .subtrees()
         .iter()
-        .filter(|member| current != Some(*member))
+        .filter(|member| current != Some(member.as_ref()))
         .min_by_key(|member| difference_size(member, target))
-        .cloned()
+        .map(|member| Node::clone(member))
 }
 
 /// Number of minimal changed subtrees between two trees (0 when equal).
 fn difference_size(a: &Node, b: &Node) -> usize {
-    if a == b {
+    if a.same_tree(b) {
         0
     } else {
         pi_diff::leaf_changes(a, b).len()
@@ -268,8 +258,12 @@ mod tests {
 
     fn widget_for(path: &str, subtrees: Vec<Node>) -> Widget {
         let lib = WidgetLibrary::standard();
-        lib.pick(path.parse().unwrap(), Domain::from_subtrees(subtrees), vec![])
-            .unwrap()
+        lib.pick(
+            path.parse().unwrap(),
+            Domain::from_subtrees(subtrees),
+            vec![],
+        )
+        .unwrap()
     }
 
     #[test]

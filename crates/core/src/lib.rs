@@ -94,9 +94,17 @@ mod tests {
             ..PiOptions::default()
         };
         let generated = PrecisionInterfaces::new(options).from_sql_log(log).unwrap();
-        assert_eq!(generated.interface.widgets().len(), 1, "{}", generated.interface.describe());
+        assert_eq!(
+            generated.interface.widgets().len(),
+            1,
+            "{}",
+            generated.interface.describe()
+        );
         let w = &generated.interface.widgets()[0];
-        assert!(matches!(w.ty, WidgetType::RadioButton | WidgetType::Dropdown));
+        assert!(matches!(
+            w.ty,
+            WidgetType::RadioButton | WidgetType::Dropdown
+        ));
         assert!(generated.interface.expressiveness(&generated.queries) >= 1.0);
     }
 
@@ -133,7 +141,9 @@ mod tests {
         let generated = generate(log);
         let types: Vec<WidgetType> = generated.interface.widgets().iter().map(|w| w.ty).collect();
         assert!(
-            types.iter().any(|t| matches!(t, WidgetType::ToggleButton | WidgetType::Checkbox)),
+            types
+                .iter()
+                .any(|t| matches!(t, WidgetType::ToggleButton | WidgetType::Checkbox)),
             "no toggle in {}",
             generated.interface.describe()
         );

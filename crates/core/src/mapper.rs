@@ -105,7 +105,7 @@ impl InteractionMapper {
 
     /// One sweep of Algorithm 3 over every ancestor widget, deepest first.  Returns whether
     /// the total interface cost decreased.
-    fn merge_pass(&self, widgets: &mut Vec<Widget>, store: &DiffStore, pairs: &PairIndex) -> bool {
+    fn merge_pass(&self, widgets: &mut [Widget], store: &DiffStore, pairs: &PairIndex) -> bool {
         let mut improved = false;
 
         // Deepest ancestors first: this collapses widget chains bottom-up so that the cost of
@@ -313,11 +313,7 @@ impl PairIndex {
         ids.iter()
             .map(|id| store.get(*id))
             .filter(|r| r.is_leaf)
-            .all(|leaf| {
-                expressed_paths
-                    .iter()
-                    .any(|p| p.is_prefix_of(&leaf.path))
-            })
+            .all(|leaf| expressed_paths.iter().any(|p| p.is_prefix_of(&leaf.path)))
     }
 }
 
@@ -343,12 +339,17 @@ mod tests {
             ],
             WindowStrategy::AllPairs,
         );
-        let mapper = InteractionMapper::new(WidgetLibrary::standard()).with_options(MapperOptions {
-            enable_merging: false,
-            ..MapperOptions::default()
-        });
+        let mapper =
+            InteractionMapper::new(WidgetLibrary::standard()).with_options(MapperOptions {
+                enable_merging: false,
+                ..MapperOptions::default()
+            });
         let iface = mapper.map(&g);
-        assert!(iface.expressiveness(&g.queries) >= 1.0, "{}", iface.describe());
+        assert!(
+            iface.expressiveness(&g.queries) >= 1.0,
+            "{}",
+            iface.describe()
+        );
         // Initialization instantiates one widget per path partition.
         assert!(iface.widgets().len() >= 2);
     }
@@ -368,7 +369,11 @@ mod tests {
         );
         let mapper = InteractionMapper::new(WidgetLibrary::standard());
         let iface = mapper.map(&g);
-        assert!(iface.expressiveness(&g.queries) >= 1.0, "{}", iface.describe());
+        assert!(
+            iface.expressiveness(&g.queries) >= 1.0,
+            "{}",
+            iface.describe()
+        );
         assert_eq!(iface.widgets().len(), 2, "{}", iface.describe());
         assert!(iface.widgets().iter().all(|w| !w.path.is_root()));
         // Both widgets operate on string literals.

@@ -10,7 +10,9 @@ use crate::interface::Interface;
 use crate::mapper::{InteractionMapper, MapperOptions};
 use pi_ast::Node;
 use pi_diff::AncestorPolicy;
-use pi_graph::{GraphBuilder, GraphStats, InteractionGraph, WindowStrategy};
+use pi_graph::{
+    GraphBuilder, GraphStats, InteractionGraph, IntoQueryLog, QueryLog, WindowStrategy,
+};
 use pi_sql::parse_log;
 use pi_widgets::WidgetLibrary;
 use std::fmt;
@@ -107,8 +109,9 @@ impl std::error::Error for PipelineError {}
 pub struct GeneratedInterface {
     /// The generated interactive interface.
     pub interface: Interface,
-    /// The parsed queries that were used (unparseable log entries are dropped and counted).
-    pub queries: Vec<Node>,
+    /// The parsed queries that were used (unparseable log entries are dropped and counted),
+    /// shared with the interaction graph rather than cloned out of it.
+    pub queries: QueryLog,
     /// Number of log entries that failed to parse and were skipped.
     pub skipped: usize,
     /// Interaction-graph statistics (edge and record counts).
@@ -155,7 +158,12 @@ impl PrecisionInterfaces {
     }
 
     /// Runs the pipeline over an already-parsed query log.
-    pub fn from_queries(&self, queries: Vec<Node>) -> GeneratedInterface {
+    ///
+    /// Owned `Vec<Node>` logs are moved into a shared [`QueryLog`]; existing `QueryLog`s are
+    /// shared as-is.  Either way the graph, the result and the caller all reference one
+    /// allocation — the log is never deep-cloned.
+    pub fn from_queries(&self, queries: impl IntoQueryLog) -> GeneratedInterface {
+        let queries: QueryLog = queries.into_query_log();
         let mining_start = Instant::now();
         let graph = self.mine(&queries);
         let mining_ms = mining_start.elapsed().as_secs_f64() * 1e3;
@@ -178,7 +186,7 @@ impl PrecisionInterfaces {
     }
 
     /// The interaction-mining stage alone (exposed for the runtime experiments).
-    pub fn mine(&self, queries: &[Node]) -> InteractionGraph {
+    pub fn mine(&self, queries: impl IntoQueryLog) -> InteractionGraph {
         GraphBuilder::new()
             .window(self.options.window)
             .policy(self.options.policy)
@@ -227,7 +235,9 @@ mod tests {
 
     #[test]
     fn an_empty_log_is_an_error() {
-        let err = PrecisionInterfaces::default().from_sql_log("   ").unwrap_err();
+        let err = PrecisionInterfaces::default()
+            .from_sql_log("   ")
+            .unwrap_err();
         assert_eq!(err, PipelineError::EmptyLog);
         assert!(err.to_string().contains("no parsable"));
         let err = PrecisionInterfaces::default()

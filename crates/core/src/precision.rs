@@ -34,7 +34,11 @@ impl SchemaMap {
     }
 
     /// Builder-style [`SchemaMap::add_table`].
-    pub fn with_table<'a, I: IntoIterator<Item = &'a str>>(mut self, table: &str, columns: I) -> Self {
+    pub fn with_table<'a, I: IntoIterator<Item = &'a str>>(
+        mut self,
+        table: &str,
+        columns: I,
+    ) -> Self {
         self.add_table(table, columns);
         self
     }

@@ -79,10 +79,7 @@ pub fn recall_curve(
 
 /// The smallest training size (among the given candidates) whose recall reaches `target`,
 /// if any — the "rate that the recall reaches 100%" summary the paper reports.
-pub fn training_size_reaching(
-    curve: &[RecallPoint],
-    target: f64,
-) -> Option<usize> {
+pub fn training_size_reaching(curve: &[RecallPoint], target: f64) -> Option<usize> {
     curve
         .iter()
         .find(|p| p.recall >= target)
@@ -108,7 +105,11 @@ mod tests {
         // An SDSS-style log: the table alternates, the id literal keeps changing.
         (0..n)
             .map(|i| {
-                let table = if i % 2 == 0 { "SpecLineIndex" } else { "XCRedshift" };
+                let table = if i % 2 == 0 {
+                    "SpecLineIndex"
+                } else {
+                    "XCRedshift"
+                };
                 parse(&format!(
                     "SELECT * FROM {table} WHERE specObjId = {}",
                     100 + (i as i64 % 7) * 5
@@ -125,8 +126,14 @@ mod tests {
                 0 => parse(&format!("SELECT a{i} FROM t{i}")).unwrap(),
                 1 => parse(&format!("SELECT SUM(b{i}) FROM u GROUP BY c{i}")).unwrap(),
                 2 => parse(&format!("SELECT * FROM v WHERE d{i} > {i} ORDER BY e{i}")).unwrap(),
-                3 => parse(&format!("SELECT CAST(f{i}) AS x FROM w HAVING SUM(g) > {i}")).unwrap(),
-                _ => parse(&format!("SELECT CASE WHEN h{i} = 1 THEN 'a' ELSE 'b' END FROM z")).unwrap(),
+                3 => parse(&format!(
+                    "SELECT CAST(f{i}) AS x FROM w HAVING SUM(g) > {i}"
+                ))
+                .unwrap(),
+                _ => parse(&format!(
+                    "SELECT CASE WHEN h{i} = 1 THEN 'a' ELSE 'b' END FROM z"
+                ))
+                .unwrap(),
             })
             .collect()
     }

@@ -173,9 +173,7 @@ impl SelectBuilder {
             root.push_child(gb);
         }
         if !self.having.is_empty() {
-            root.push_child(
-                Node::new(NodeKind::Having).with_child(Self::conjunction(self.having)),
-            );
+            root.push_child(Node::new(NodeKind::Having).with_child(Self::conjunction(self.having)));
         }
         if !self.orderings.is_empty() {
             let mut ob = Node::new(NodeKind::OrderBy);
@@ -322,7 +320,10 @@ mod tests {
 
     #[test]
     fn table_func_and_subquery_relations() {
-        let inner = SelectBuilder::new().project(Node::column("a")).from_table("T").build();
+        let inner = SelectBuilder::new()
+            .project(Node::column("a"))
+            .from_table("T")
+            .build();
         let q = SelectBuilder::new()
             .project_star()
             .from_subquery(inner)

@@ -1,0 +1,192 @@
+//! A process-wide interned table of attribute names.
+//!
+//! Query ASTs carry a tiny vocabulary of attribute keys (`name`, `value`, `op`, `alias`, …)
+//! repeated across millions of nodes.  Interning replaces the per-node `String` keys with a
+//! copyable [`Sym`] handle: equality is a `u32` compare, and each symbol's 64-bit string hash
+//! is computed once at interning time so structural hashing never re-reads key bytes.
+//!
+//! Two design points matter for the rest of the workspace:
+//!
+//! * Interned strings are leaked (`Box::leak`) and the handle carries the `&'static str` and
+//!   its precomputed hash **inline**, so [`Sym::as_str`] and [`Sym::hash64`] are field reads —
+//!   the table lock is only touched when translating a `&str` into a `Sym`.  The vocabulary is
+//!   bounded by the grammar, so the leak is a few hundred bytes per process.
+//! * [`Sym::hash64`] is derived from the *string*, not the intern id, so structural hashes are
+//!   independent of interning order — parallel and serial pipelines that intern symbols in
+//!   different orders still produce byte-identical hashes.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{OnceLock, RwLock};
+
+/// An interned attribute name.
+///
+/// `Sym` is a cheap copyable handle; two `Sym`s are equal iff their strings are equal
+/// (within one process), and equality/ordering compare only the `u32` id.  Obtain one with
+/// [`Sym::intern`] and read it back with [`Sym::as_str`] (a field read, no lock).
+#[derive(Debug, Clone, Copy)]
+pub struct Sym {
+    id: u32,
+    hash: u64,
+    text: &'static str,
+}
+
+impl PartialEq for Sym {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Sym {}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Sym {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.id.cmp(&other.id)
+    }
+}
+
+impl Hash for Sym {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u32(self.id);
+    }
+}
+
+struct Interner {
+    /// Leaked name → fully materialised symbol.
+    by_name: HashMap<&'static str, Sym>,
+}
+
+fn table() -> &'static RwLock<Interner> {
+    static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(Interner {
+            by_name: HashMap::new(),
+        })
+    })
+}
+
+/// FNV-1a over a string; deterministic across runs and platforms, `const`-evaluable so
+/// domain-separator seeds can be baked in at compile time.
+pub(crate) const fn str_hash64(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut i = 0;
+    while i < bytes.len() {
+        h ^= bytes[i] as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+        i += 1;
+    }
+    h
+}
+
+impl Sym {
+    /// Interns a string, returning its symbol (inserting it on first sight).
+    pub fn intern(name: &str) -> Sym {
+        if let Some(sym) = Sym::lookup(name) {
+            return sym;
+        }
+        let mut t = table().write().expect("interner poisoned");
+        // Re-check under the write lock: another thread may have inserted meanwhile.
+        if let Some(&sym) = t.by_name.get(name) {
+            return sym;
+        }
+        let id = u32::try_from(t.by_name.len()).expect("interner overflow");
+        let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+        let sym = Sym {
+            id,
+            hash: str_hash64(leaked),
+            text: leaked,
+        };
+        t.by_name.insert(leaked, sym);
+        sym
+    }
+
+    /// Looks a string up without interning it; `None` when it was never interned.
+    pub fn lookup(name: &str) -> Option<Sym> {
+        let t = table().read().expect("interner poisoned");
+        t.by_name.get(name).copied()
+    }
+
+    /// The interned string (a field read, no lock).
+    pub fn as_str(self) -> &'static str {
+        self.text
+    }
+
+    /// The symbol's precomputed 64-bit string hash (independent of interning order; a field
+    /// read, no lock).
+    pub fn hash64(self) -> u64 {
+        self.hash
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Sym::intern("name");
+        let b = Sym::intern("name");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "name");
+        assert_eq!(a.to_string(), "name");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = Sym::intern("alpha_key");
+        let b = Sym::intern("beta_key");
+        assert_ne!(a, b);
+        assert_ne!(a.hash64(), b.hash64());
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        assert!(Sym::lookup("never_interned_key_xyzzy").is_none());
+        let s = Sym::intern("now_interned_key_xyzzy");
+        assert_eq!(Sym::lookup("now_interned_key_xyzzy"), Some(s));
+    }
+
+    #[test]
+    fn hash_matches_direct_fnv() {
+        let s = Sym::intern("op");
+        assert_eq!(s.hash64(), str_hash64("op"));
+    }
+
+    #[test]
+    fn interning_is_thread_safe() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|i| Sym::intern(&format!("threaded_{}", (t + i) % 20)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Every thread resolved the same strings to the same symbols.
+        for w in all.windows(2) {
+            let strs_a: Vec<_> = w[0].iter().map(|s| s.as_str()).collect();
+            let strs_b: Vec<_> = w[1].iter().map(|s| s.as_str()).collect();
+            for (sa, sb) in strs_a.iter().zip(&strs_b) {
+                if sa == sb {
+                    assert_eq!(Sym::lookup(sa), Sym::lookup(sb));
+                }
+            }
+        }
+    }
+}

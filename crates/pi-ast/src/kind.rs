@@ -307,10 +307,7 @@ mod tests {
 
     #[test]
     fn terminal_annotations() {
-        assert_eq!(
-            NodeKind::StrExpr.terminal_type(),
-            Some(PrimitiveType::Str)
-        );
+        assert_eq!(NodeKind::StrExpr.terminal_type(), Some(PrimitiveType::Str));
         assert_eq!(NodeKind::NumExpr.terminal_type(), Some(PrimitiveType::Num));
         assert_eq!(NodeKind::HexExpr.terminal_type(), Some(PrimitiveType::Num));
         assert_eq!(NodeKind::BiExpr.terminal_type(), None);

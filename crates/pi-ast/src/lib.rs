@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod intern;
 mod kind;
 mod node;
 mod path;
@@ -44,6 +45,7 @@ mod value;
 
 pub mod builder;
 
+pub use intern::Sym;
 pub use kind::{CollectionKind, NodeKind, PrimitiveType};
 pub use node::{Node, NodeId, ReplaceError};
 pub use path::{ParsePathError, Path};

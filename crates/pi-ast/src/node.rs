@@ -5,11 +5,24 @@
 //! Interactions are implemented by *replacing* the subtree at a widget's path with a subtree
 //! from the widget's domain ([`Node::replaced`]), which is exactly the `d(q) = q'` semantics
 //! of Example 4.2.
+//!
+//! Two representation choices make the mining pipeline fast:
+//!
+//! * every node carries a **memoized structural hash**, maintained bottom-up by the
+//!   constructors and the path-based mutators, so [`Node::structural_hash`] and [`Node::id`]
+//!   are O(1) — pairwise tree alignment (the dominant cost in the paper's Figures 11/12)
+//!   compares subtrees by cached hash instead of deep traversal;
+//! * attribute names are **interned** ([`Sym`]), so the per-node key storage is a copyable
+//!   `u32` and label comparison never touches string bytes.
+//!
+//! To keep the memo sound, all mutation goes through methods that restore the hash invariant
+//! ([`Node::set_attr`], [`Node::push_child`], [`Node::replace_at`], [`Node::insert_at`],
+//! [`Node::remove_at`]); there is deliberately no public `&mut` access to the child list.
 
+use crate::intern::{str_hash64, Sym};
 use crate::kind::{NodeKind, PrimitiveType};
 use crate::path::Path;
 use crate::value::AttrValue;
-use std::collections::hash_map::DefaultHasher;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
@@ -50,21 +63,92 @@ impl fmt::Display for ReplaceError {
 impl std::error::Error for ReplaceError {}
 
 /// A node of a query abstract syntax tree.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct Node {
     kind: NodeKind,
-    attrs: Vec<(String, AttrValue)>,
+    attrs: Vec<(Sym, AttrValue)>,
     children: Vec<Node>,
+    /// Memoized structural hash of the subtree rooted here; maintained by every mutator.
+    hash: u64,
+}
+
+// ---------------------------------------------------------------------- hashing internals
+
+/// FNV-1a accumulator used to hash node kinds and attribute values deterministically
+/// (no per-process random state, unlike `DefaultHasher` keys obtained via `RandomState`).
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// One splitmix64-style mixing step; order-sensitive, so sibling order matters.
+fn mix(acc: u64, v: u64) -> u64 {
+    let mut x = acc
+        .rotate_left(5)
+        .wrapping_add(v)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^ (x >> 27)
+}
+
+fn hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = Fnv64::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Domain separator baked in at compile time (str_hash64 is `const`).
+const NODE_HASH_SEED: u64 = str_hash64("pi-ast.node");
+
+/// Computes a subtree hash from a node's label and its children's *cached* hashes — O(arity),
+/// not O(subtree).
+fn label_and_children_hash(kind: &NodeKind, attrs: &[(Sym, AttrValue)], children: &[Node]) -> u64 {
+    let mut h = mix(NODE_HASH_SEED, hash_of(kind));
+    h = mix(h, attrs.len() as u64);
+    for (key, value) in attrs {
+        h = mix(h, key.hash64());
+        h = mix(h, hash_of(value));
+    }
+    h = mix(h, children.len() as u64);
+    for child in children {
+        h = mix(h, child.hash);
+    }
+    h
 }
 
 impl Node {
     /// Creates a node of the given kind with no attributes and no children.
     pub fn new(kind: NodeKind) -> Self {
+        let hash = label_and_children_hash(&kind, &[], &[]);
         Node {
             kind,
             attrs: Vec::new(),
             children: Vec::new(),
+            hash,
         }
+    }
+
+    /// Restores the hash invariant for this node after a local change (attributes or direct
+    /// children).  Children must already satisfy the invariant.
+    fn refresh_hash(&mut self) {
+        self.hash = label_and_children_hash(&self.kind, &self.attrs, &self.children);
     }
 
     // ------------------------------------------------------------------ constructors
@@ -121,29 +205,33 @@ impl Node {
 
     /// Adds a child (builder style).
     pub fn with_child(mut self, child: Node) -> Self {
-        self.children.push(child);
+        self.push_child(child);
         self
     }
 
     /// Adds several children (builder style).
     pub fn with_children<I: IntoIterator<Item = Node>>(mut self, children: I) -> Self {
         self.children.extend(children);
+        self.refresh_hash();
         self
     }
 
     /// Sets (or overwrites) an attribute.
     pub fn set_attr<V: Into<AttrValue>>(&mut self, key: &str, value: V) {
+        let key = Sym::intern(key);
         let value = value.into();
-        if let Some(slot) = self.attrs.iter_mut().find(|(k, _)| k == key) {
+        if let Some(slot) = self.attrs.iter_mut().find(|(k, _)| *k == key) {
             slot.1 = value;
         } else {
-            self.attrs.push((key.to_string(), value));
+            self.attrs.push((key, value));
         }
+        self.refresh_hash();
     }
 
     /// Appends a child.
     pub fn push_child(&mut self, child: Node) {
         self.children.push(child);
+        self.refresh_hash();
     }
 
     // ------------------------------------------------------------------ accessors
@@ -158,14 +246,16 @@ impl Node {
         &self.kind
     }
 
-    /// The attribute/value pairs, in insertion order.
-    pub fn attrs(&self) -> &[(String, AttrValue)] {
+    /// The attribute/value pairs, in insertion order, with interned keys.
+    pub fn attrs(&self) -> &[(Sym, AttrValue)] {
         &self.attrs
     }
 
     /// Looks up an attribute value by key.
     pub fn attr(&self, key: &str) -> Option<&AttrValue> {
-        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        // `lookup` (not `intern`) so probing with never-seen keys doesn't grow the table.
+        let key = Sym::lookup(key)?;
+        self.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
     }
 
     /// Looks up a string attribute by key.
@@ -181,11 +271,6 @@ impl Node {
     /// The ordered children.
     pub fn children(&self) -> &[Node] {
         &self.children
-    }
-
-    /// Mutable access to the ordered children.
-    pub fn children_mut(&mut self) -> &mut Vec<Node> {
-        &mut self.children
     }
 
     /// Number of direct children.
@@ -222,15 +307,45 @@ impl Node {
     // ------------------------------------------------------------------ identity & typing
 
     /// Structural hash of the subtree; equal trees hash equally.
+    ///
+    /// O(1): the hash is memoized at construction and maintained by every mutator.
+    #[inline]
     pub fn structural_hash(&self) -> u64 {
-        let mut h = DefaultHasher::new();
-        self.hash(&mut h);
-        h.finish()
+        self.hash
     }
 
-    /// The structural identity of the subtree.
+    /// The structural identity of the subtree (O(1), backed by the memoized hash).
+    #[inline]
     pub fn id(&self) -> NodeId {
-        NodeId(self.structural_hash())
+        NodeId(self.hash)
+    }
+
+    /// True when two subtrees are structurally identical, decided by the memoized hash alone.
+    ///
+    /// This is the O(1) comparison the aligner uses to skip equal subtrees; a 64-bit
+    /// collision would merge two distinct subtrees, which the paper's purely syntactic
+    /// pipeline tolerates (the same assumption underlies its hash-anchored LCS).
+    #[inline]
+    pub fn same_tree(&self, other: &Node) -> bool {
+        self.hash == other.hash
+    }
+
+    /// Recomputes the structural hash from scratch, ignoring the memo (O(subtree)).
+    ///
+    /// Exists so tests and debug assertions can validate the memo invariant; production code
+    /// should always use [`Node::structural_hash`].
+    pub fn recomputed_hash(&self) -> u64 {
+        let mut h = mix(NODE_HASH_SEED, hash_of(&self.kind));
+        h = mix(h, self.attrs.len() as u64);
+        for (key, value) in &self.attrs {
+            h = mix(h, key.hash64());
+            h = mix(h, hash_of(value));
+        }
+        h = mix(h, self.children.len() as u64);
+        for child in &self.children {
+            h = mix(h, child.recomputed_hash());
+        }
+        h
     }
 
     /// True when two nodes agree on kind and attributes (children are ignored).
@@ -310,38 +425,34 @@ impl Node {
         Some(cur)
     }
 
-    /// Mutable access to the subtree at `path`, if it exists.
-    pub fn get_mut(&mut self, path: &Path) -> Option<&mut Node> {
-        let mut cur = self;
-        for &step in path.steps() {
-            cur = cur.children.get_mut(step)?;
-        }
-        Some(cur)
-    }
-
     /// Replaces the subtree at `path` with `subtree`, in place.
     ///
     /// If `path` designates a position exactly one past the end of an existing node's child
     /// list, the subtree is *appended* there; this is how additions (diffs whose "before" side
     /// is null) are applied.
     pub fn replace_at(&mut self, path: &Path, subtree: Node) -> Result<(), ReplaceError> {
-        if path.is_root() {
-            *self = subtree;
-            return Ok(());
-        }
-        let parent_path = path.parent().expect("non-root path has a parent");
-        let idx = path.last().expect("non-root path has a last step");
-        let parent = self
-            .get_mut(&parent_path)
-            .ok_or_else(|| ReplaceError::PathNotFound { path: path.clone() })?;
-        if idx < parent.children.len() {
-            parent.children[idx] = subtree;
-            Ok(())
-        } else if idx == parent.children.len() {
-            parent.children.push(subtree);
-            Ok(())
-        } else {
-            Err(ReplaceError::PathNotFound { path: path.clone() })
+        self.replace_steps(path.steps(), subtree)
+            .map_err(|_| ReplaceError::PathNotFound { path: path.clone() })
+    }
+
+    fn replace_steps(&mut self, steps: &[usize], subtree: Node) -> Result<(), ()> {
+        match steps {
+            [] => {
+                *self = subtree;
+                Ok(())
+            }
+            [idx, rest @ ..] => {
+                if rest.is_empty() && *idx == self.children.len() {
+                    self.children.push(subtree);
+                } else {
+                    self.children
+                        .get_mut(*idx)
+                        .ok_or(())?
+                        .replace_steps(rest, subtree)?;
+                }
+                self.refresh_hash();
+                Ok(())
+            }
         }
     }
 
@@ -352,21 +463,73 @@ impl Node {
         Ok(out)
     }
 
+    /// Inserts `subtree` so that it ends up *at* `path`, shifting later siblings right.
+    /// A path pointing one slot past the end of the parent's child list appends.
+    pub fn insert_at(&mut self, path: &Path, subtree: Node) -> Result<(), ReplaceError> {
+        let Some(parent_path) = path.parent() else {
+            // Inserting at the root is a whole-tree replacement.
+            *self = subtree;
+            return Ok(());
+        };
+        let idx = path.last().expect("non-root path has a last step");
+        self.insert_steps(parent_path.steps(), idx, subtree)
+            .map_err(|_| ReplaceError::PathNotFound { path: path.clone() })
+    }
+
+    fn insert_steps(&mut self, steps: &[usize], idx: usize, subtree: Node) -> Result<(), ()> {
+        match steps {
+            [] => {
+                if idx > self.children.len() {
+                    return Err(());
+                }
+                self.children.insert(idx, subtree);
+                self.refresh_hash();
+                Ok(())
+            }
+            [step, rest @ ..] => {
+                self.children
+                    .get_mut(*step)
+                    .ok_or(())?
+                    .insert_steps(rest, idx, subtree)?;
+                self.refresh_hash();
+                Ok(())
+            }
+        }
+    }
+
+    /// Returns a copy of this tree with `subtree` inserted at `path`.
+    pub fn inserted(&self, path: &Path, subtree: Node) -> Result<Node, ReplaceError> {
+        let mut out = self.clone();
+        out.insert_at(path, subtree)?;
+        Ok(out)
+    }
+
     /// Removes the subtree at `path`, shifting later siblings left.  Used to apply deletions
     /// (diffs whose "after" side is null).
     pub fn remove_at(&mut self, path: &Path) -> Result<Node, ReplaceError> {
         if path.is_root() {
             return Err(ReplaceError::CannotRemoveRoot);
         }
-        let parent_path = path.parent().expect("non-root path has a parent");
-        let idx = path.last().expect("non-root path has a last step");
-        let parent = self
-            .get_mut(&parent_path)
-            .ok_or_else(|| ReplaceError::PathNotFound { path: path.clone() })?;
-        if idx < parent.children.len() {
-            Ok(parent.children.remove(idx))
-        } else {
-            Err(ReplaceError::PathNotFound { path: path.clone() })
+        self.remove_steps(path.steps())
+            .map_err(|_| ReplaceError::PathNotFound { path: path.clone() })
+    }
+
+    fn remove_steps(&mut self, steps: &[usize]) -> Result<Node, ()> {
+        match steps {
+            [] => unreachable!("remove_at rejects the root path"),
+            [idx] => {
+                if *idx >= self.children.len() {
+                    return Err(());
+                }
+                let removed = self.children.remove(*idx);
+                self.refresh_hash();
+                Ok(removed)
+            }
+            [step, rest @ ..] => {
+                let removed = self.children.get_mut(*step).ok_or(())?.remove_steps(rest)?;
+                self.refresh_hash();
+                Ok(removed)
+            }
         }
     }
 
@@ -408,6 +571,25 @@ impl Node {
         for child in &self.children {
             child.visit(f);
         }
+    }
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        // The memoized hash filters out almost all unequal pairs in O(1); the structural
+        // compare below keeps `Eq` sound in the (vanishingly unlikely) event of a collision.
+        self.hash == other.hash
+            && self.kind == other.kind
+            && self.attrs == other.attrs
+            && self.children == other.children
+    }
+}
+
+impl Eq for Node {}
+
+impl Hash for Node {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
     }
 }
 
@@ -456,7 +638,10 @@ mod tests {
         assert_eq!(Node::column("a").attr_str("name"), Some("a"));
         assert_eq!(Node::string("x").attr_str("value"), Some("x"));
         assert_eq!(Node::int(5).attr_num("value"), Some(5.0));
-        assert_eq!(Node::hex(0x400).attr("value").unwrap().as_int(), Some(0x400));
+        assert_eq!(
+            Node::hex(0x400).attr("value").unwrap().as_int(),
+            Some(0x400)
+        );
         assert_eq!(Node::table("t").attr_str("name"), Some("t"));
     }
 
@@ -515,6 +700,33 @@ mod tests {
     }
 
     #[test]
+    fn insert_at_shifts_right_and_appends() {
+        let mut t = sample_tree();
+        t.insert_at(
+            &"0/1".parse().unwrap(),
+            Node::new(NodeKind::ProjClause).with_child(Node::column("day")),
+        )
+        .unwrap();
+        assert_eq!(t.get(&"0".parse().unwrap()).unwrap().arity(), 3);
+        assert_eq!(
+            t.get(&"0/1/0".parse().unwrap()).unwrap().attr_str("name"),
+            Some("day")
+        );
+        assert_eq!(
+            t.get(&"0/2/0".parse().unwrap()).unwrap().attr_str("name"),
+            Some("costs")
+        );
+        assert_eq!(t.hash, t.recomputed_hash());
+        // Appending one past the end works; beyond is an error.
+        assert!(t.insert_at(&"3".parse().unwrap(), Node::star()).is_ok());
+        assert!(t.insert_at(&"9".parse().unwrap(), Node::star()).is_err());
+        // An inserted() copy leaves the original alone.
+        let t2 = t.inserted(&"0/0".parse().unwrap(), Node::star()).unwrap();
+        assert_eq!(t2.get(&"0".parse().unwrap()).unwrap().arity(), 4);
+        assert_eq!(t.get(&"0".parse().unwrap()).unwrap().arity(), 3);
+    }
+
+    #[test]
     fn metrics_and_traversal_agree() {
         let t = sample_tree();
         let pre = t.preorder();
@@ -535,11 +747,44 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.structural_hash(), b.structural_hash());
         assert_eq!(a.id(), b.id());
+        assert!(a.same_tree(&b));
         let c = a
             .replaced(&"2/0/1".parse().unwrap(), Node::string("EUR"))
             .unwrap();
         assert_ne!(a, c);
         assert_ne!(a.structural_hash(), c.structural_hash());
+        assert!(!a.same_tree(&c));
+    }
+
+    #[test]
+    fn memoized_hash_survives_every_mutator() {
+        // The memo must equal a from-scratch recompute after arbitrary mutation sequences.
+        let mut t = sample_tree();
+        assert_eq!(t.structural_hash(), t.recomputed_hash());
+
+        t.replace_at(&"2/0/1".parse().unwrap(), Node::string("EUR"))
+            .unwrap();
+        assert_eq!(t.structural_hash(), t.recomputed_hash());
+
+        t.remove_at(&"0/0".parse().unwrap()).unwrap();
+        assert_eq!(t.structural_hash(), t.recomputed_hash());
+
+        t.insert_at(&"0/0".parse().unwrap(), Node::new(NodeKind::ProjClause))
+            .unwrap();
+        assert_eq!(t.structural_hash(), t.recomputed_hash());
+
+        t.set_attr("distinct", true);
+        assert_eq!(t.structural_hash(), t.recomputed_hash());
+
+        t.push_child(Node::new(NodeKind::Limit).with_child(Node::int(5)));
+        assert_eq!(t.structural_hash(), t.recomputed_hash());
+
+        // Mutated copies and their sources both stay consistent.
+        let copy = t
+            .replaced(&"1/0".parse().unwrap(), Node::table("u"))
+            .unwrap();
+        assert_eq!(copy.structural_hash(), copy.recomputed_hash());
+        assert_eq!(t.structural_hash(), t.recomputed_hash());
     }
 
     #[test]
@@ -570,6 +815,7 @@ mod tests {
         n.set_attr("name", "b");
         assert_eq!(n.attr_str("name"), Some("b"));
         assert_eq!(n.attrs().len(), 1);
+        assert_eq!(n.structural_hash(), n.recomputed_hash());
     }
 
     #[test]
@@ -579,5 +825,13 @@ mod tests {
         assert_eq!(Node::hex(0x10).numeric_value(), Some(16.0));
         assert_eq!(Node::string("7").numeric_value(), None);
         assert_eq!(sample_tree().numeric_value(), None);
+    }
+
+    #[test]
+    fn attr_probe_with_unknown_key_is_none() {
+        // attr() must not intern unseen keys; either way it reports absence.
+        let n = Node::column("a");
+        assert_eq!(n.attr("this_key_is_never_set_anywhere"), None);
+        assert_eq!(n.attr_str("another_never_set_key"), None);
     }
 }

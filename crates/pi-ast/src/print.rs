@@ -17,19 +17,10 @@ use crate::path::Path;
 use std::fmt::Write as _;
 
 /// Configurable tree printer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct TreePrinter {
     show_paths: bool,
     max_depth: Option<usize>,
-}
-
-impl Default for TreePrinter {
-    fn default() -> Self {
-        TreePrinter {
-            show_paths: false,
-            max_depth: None,
-        }
-    }
 }
 
 impl TreePrinter {

@@ -12,8 +12,13 @@
 //!   deletion when one side runs out).
 
 use pi_ast::{Node, Path};
+use std::sync::Arc;
 
 /// One minimal changed subtree between two trees.
+///
+/// Both sides are `Arc`-shared: a changed subtree is cloned out of its query exactly once at
+/// extraction time, after which diff records, stores, widget domains and applied interactions
+/// all share the same allocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LeafChange {
     /// Location of the change.  For replacements and deletions this is the subtree's path in
@@ -21,9 +26,9 @@ pub struct LeafChange {
     /// new subtree appears.
     pub path: Path,
     /// The subtree in the source tree (`None` for insertions).
-    pub before: Option<Node>,
+    pub before: Option<Arc<Node>>,
     /// The subtree in the target tree (`None` for deletions).
-    pub after: Option<Node>,
+    pub after: Option<Arc<Node>>,
 }
 
 impl LeafChange {
@@ -46,14 +51,16 @@ pub fn diff_trees(a: &Node, b: &Node) -> Vec<LeafChange> {
 }
 
 fn diff_nodes(a: &Node, b: &Node, path: &Path, out: &mut Vec<LeafChange>) {
-    if a == b {
+    // O(1) equal-subtree short-circuit on the memoized structural hash — this, not the deep
+    // `==`, is what makes pairwise alignment cheap on mostly-identical log queries.
+    if a.same_tree(b) {
         return;
     }
     if !a.same_label(b) {
         out.push(LeafChange {
             path: path.clone(),
-            before: Some(a.clone()),
-            after: Some(b.clone()),
+            before: Some(Arc::new(a.clone())),
+            after: Some(Arc::new(b.clone())),
         });
         return;
     }
@@ -84,7 +91,7 @@ fn align_children(a: &Node, b: &Node, path: &Path, out: &mut Vec<LeafChange>) {
         for (k, extra) in gap_a.iter().enumerate().skip(paired) {
             out.push(LeafChange {
                 path: path.child(ai + k),
-                before: Some(extra.clone()),
+                before: Some(Arc::new(extra.clone())),
                 after: None,
             });
         }
@@ -94,7 +101,7 @@ fn align_children(a: &Node, b: &Node, path: &Path, out: &mut Vec<LeafChange>) {
             out.push(LeafChange {
                 path: path.child(ai + k),
                 before: None,
-                after: Some(extra.clone()),
+                after: Some(Arc::new(extra.clone())),
             });
         }
         ai = anchor_a + 1;
@@ -155,8 +162,14 @@ mod tests {
         let changes = leaf_changes(&a, &b);
         assert_eq!(changes.len(), 1);
         assert!(changes[0].is_replacement());
-        assert_eq!(changes[0].before.as_ref().unwrap().numeric_value(), Some(1.0));
-        assert_eq!(changes[0].after.as_ref().unwrap().numeric_value(), Some(2.0));
+        assert_eq!(
+            changes[0].before.as_ref().unwrap().numeric_value(),
+            Some(1.0)
+        );
+        assert_eq!(
+            changes[0].after.as_ref().unwrap().numeric_value(),
+            Some(2.0)
+        );
     }
 
     #[test]
@@ -176,7 +189,10 @@ mod tests {
         let changes = leaf_changes(&a, &b);
         assert_eq!(changes.len(), 1, "{changes:#?}");
         assert!(changes[0].before.is_none());
-        assert_eq!(changes[0].after.as_ref().unwrap().kind(), NodeKind::ProjClause);
+        assert_eq!(
+            changes[0].after.as_ref().unwrap().kind(),
+            NodeKind::ProjClause
+        );
         // Inserted at index 1 of the projection list.
         assert_eq!(changes[0].path.to_string(), "0/1");
     }
@@ -212,7 +228,10 @@ mod tests {
 
     #[test]
     fn lcs_matches_longest_anchor_sequence() {
-        assert_eq!(lcs_pairs(&[1, 2, 3], &[1, 2, 3]), vec![(0, 0), (1, 1), (2, 2)]);
+        assert_eq!(
+            lcs_pairs(&[1, 2, 3], &[1, 2, 3]),
+            vec![(0, 0), (1, 1), (2, 2)]
+        );
         assert_eq!(lcs_pairs(&[1, 9, 3], &[1, 3]), vec![(0, 0), (2, 1)]);
         assert_eq!(lcs_pairs(&[], &[1]), vec![]);
         assert_eq!(lcs_pairs(&[5, 1, 2], &[1, 2, 5]).len(), 2);

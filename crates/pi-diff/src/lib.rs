@@ -70,7 +70,9 @@ mod tests {
         // ancestor records for the projection clause, the predicate, and the whole query.
         let leaves: Vec<_> = diffs.iter().filter(|d| d.is_leaf).collect();
         assert_eq!(leaves.len(), 2, "{diffs:#?}");
-        assert!(leaves.iter().all(|d| d.primitive() == pi_ast::PrimitiveType::Str));
+        assert!(leaves
+            .iter()
+            .all(|d| d.primitive() == pi_ast::PrimitiveType::Str));
 
         let col = leaves
             .iter()

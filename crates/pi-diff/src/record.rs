@@ -3,6 +3,7 @@
 use crate::align::{leaf_changes, LeafChange};
 use pi_ast::{Node, Path, PrimitiveType, ReplaceError};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// How the ancestor closure of leaf diffs is materialised.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -29,6 +30,9 @@ pub enum ChangeKind {
 }
 
 /// One row of the `diffs` table: `d = (q1, q2, p, t1, t2, type)` (paper Table 1).
+///
+/// Subtree sides are `Arc`-shared with the leaf changes they came from: cloning a record (or
+/// the whole store) copies pointers, never trees.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffRecord {
     /// Index of the source query in the log.
@@ -38,9 +42,9 @@ pub struct DiffRecord {
     /// Path of the transformed subtree.
     pub path: Path,
     /// Subtree in the source query (`t1`); `None` for additions.
-    pub before: Option<Node>,
+    pub before: Option<Arc<Node>>,
     /// Subtree in the target query (`t2`); `None` for deletions.
-    pub after: Option<Node>,
+    pub after: Option<Arc<Node>>,
     /// True when this is a minimal changed subtree (leaf diff) rather than an ancestor record.
     pub is_leaf: bool,
 }
@@ -76,10 +80,11 @@ impl DiffRecord {
     pub fn apply(&self, q: &Node) -> Result<Node, ReplaceError> {
         match self.change_kind() {
             ChangeKind::Replacement => {
-                q.replaced(&self.path, self.after.clone().expect("after side"))
+                let after = self.after.as_deref().expect("after side");
+                q.replaced(&self.path, after.clone())
             }
             ChangeKind::Addition => {
-                insert_subtree(q, &self.path, self.after.as_ref().expect("after side"))
+                insert_subtree(q, &self.path, self.after.as_deref().expect("after side"))
             }
             ChangeKind::Deletion => q.removed(&self.path),
         }
@@ -89,23 +94,24 @@ impl DiffRecord {
     pub fn apply_inverse(&self, q: &Node) -> Result<Node, ReplaceError> {
         match self.change_kind() {
             ChangeKind::Replacement => {
-                q.replaced(&self.path, self.before.clone().expect("before side"))
+                let before = self.before.as_deref().expect("before side");
+                q.replaced(&self.path, before.clone())
             }
             ChangeKind::Deletion => {
-                insert_subtree(q, &self.path, self.before.as_ref().expect("before side"))
+                insert_subtree(q, &self.path, self.before.as_deref().expect("before side"))
             }
             ChangeKind::Addition => q.removed(&self.path),
         }
     }
 
     /// The subtrees this record contributes to a widget domain (both sides when present).
-    pub fn domain_subtrees(&self) -> Vec<&Node> {
+    pub fn domain_subtrees(&self) -> Vec<&Arc<Node>> {
         self.before.iter().chain(self.after.iter()).collect()
     }
 
     /// A one-line human-readable summary, used by experiment output and debugging.
     pub fn summary(&self) -> String {
-        let fmt_side = |side: &Option<Node>| match side {
+        let fmt_side = |side: &Option<Arc<Node>>| match side {
             Some(n) => n.label(),
             None => "∅".to_string(),
         };
@@ -129,21 +135,7 @@ impl DiffRecord {
 /// Paths pointing one slot past the end of the parent's child list append; in-range paths
 /// insert before the existing child, matching the source-coordinate convention of the aligner.
 fn insert_subtree(q: &Node, path: &Path, subtree: &Node) -> Result<Node, ReplaceError> {
-    let Some(parent_path) = path.parent() else {
-        return q.replaced(path, subtree.clone());
-    };
-    let idx = path.last().expect("non-root path");
-    let mut out = q.clone();
-    let parent = out
-        .get_mut(&parent_path)
-        .ok_or(ReplaceError::PathNotFound { path: path.clone() })?;
-    let len = parent.children().len();
-    if idx <= len {
-        parent.children_mut().insert(idx.min(len), subtree.clone());
-        Ok(out)
-    } else {
-        Err(ReplaceError::PathNotFound { path: path.clone() })
-    }
+    q.inserted(path, subtree.clone())
 }
 
 /// Applies a set of *leaf* records (all extracted from the same query pair) to a query.
@@ -196,14 +188,20 @@ pub fn build_records(
 
     let mut out: Vec<DiffRecord> = leaves
         .into_iter()
-        .map(|LeafChange { path, before, after }| DiffRecord {
-            q1: q1_idx,
-            q2: q2_idx,
-            path,
-            before,
-            after,
-            is_leaf: true,
-        })
+        .map(
+            |LeafChange {
+                 path,
+                 before,
+                 after,
+             }| DiffRecord {
+                q1: q1_idx,
+                q2: q2_idx,
+                path,
+                before,
+                after,
+                is_leaf: true,
+            },
+        )
         .collect();
 
     for path in ancestor_paths {
@@ -216,15 +214,15 @@ pub fn build_records(
         // Both sides must exist: an ancestor of a change always exists in the source tree, and
         // in the target tree unless sibling shifts moved it; such rare cases are simply skipped.
         if let (Some(before), Some(after)) = (before, after) {
-            if before == after {
+            if before.same_tree(after) {
                 continue;
             }
             out.push(DiffRecord {
                 q1: q1_idx,
                 q2: q2_idx,
                 path: path.clone(),
-                before: Some(before.clone()),
-                after: Some(after.clone()),
+                before: Some(Arc::new(before.clone())),
+                after: Some(Arc::new(after.clone())),
                 is_leaf: false,
             });
         }
@@ -279,13 +277,13 @@ mod tests {
 
     #[test]
     fn change_kind_covers_all_shapes() {
-        let n = Node::int(1);
+        let n = Arc::new(Node::int(1));
         let repl = DiffRecord {
             q1: 0,
             q2: 1,
             path: Path::root(),
             before: Some(n.clone()),
-            after: Some(Node::int(2)),
+            after: Some(Arc::new(Node::int(2))),
             is_leaf: true,
         };
         assert_eq!(repl.change_kind(), ChangeKind::Replacement);

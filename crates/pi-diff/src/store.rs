@@ -59,10 +59,7 @@ impl DiffStore {
 
     /// Iterates over `(id, record)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (DiffId, &DiffRecord)> {
-        self.records
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (DiffId(i), r))
+        self.records.iter().enumerate().map(|(i, r)| (DiffId(i), r))
     }
 
     /// Groups record ids by path — the partition `W_p` used by the mapper's initialisation
@@ -122,10 +119,8 @@ mod tests {
             .find(|(p, _)| p.to_string() == "2/0/1")
             .map(|(_, ids)| ids.clone())
             .expect("literal path partition");
-        let qs: std::collections::BTreeSet<usize> = lit_partition
-            .iter()
-            .map(|id| store.get(*id).q1)
-            .collect();
+        let qs: std::collections::BTreeSet<usize> =
+            lit_partition.iter().map(|id| store.get(*id).q1).collect();
         assert_eq!(qs.len(), 2);
     }
 

@@ -77,10 +77,31 @@ const CARRIERS: &[&str] = &["AA", "UA", "DL", "WN", "B6", "AS"];
 
 fn ontime_table(rng: &mut StdRng, rows: usize) -> Table {
     let mut t = Table::with_columns(&[
-        "Delay", "ArrDelay", "DepDelay", "Distance", "Flights", "DestState", "OriginState",
-        "Carrier", "DayOfWeek", "DistanceGroup", "Month", "Day", "Year", "Cancelled",
-        "carrier", "origin", "dest", "dayofweek", "deststate", "flights", "distance",
-        "arrdelay", "depdelay", "cancelled", "uniquecarrier",
+        "Delay",
+        "ArrDelay",
+        "DepDelay",
+        "Distance",
+        "Flights",
+        "DestState",
+        "OriginState",
+        "Carrier",
+        "DayOfWeek",
+        "DistanceGroup",
+        "Month",
+        "Day",
+        "Year",
+        "Cancelled",
+        "carrier",
+        "origin",
+        "dest",
+        "dayofweek",
+        "deststate",
+        "flights",
+        "distance",
+        "arrdelay",
+        "depdelay",
+        "cancelled",
+        "uniquecarrier",
     ]);
     for _ in 0..rows {
         let carrier = CARRIERS[rng.gen_range(0..CARRIERS.len())];
@@ -144,8 +165,7 @@ fn galaxy_table(rng: &mut StdRng, rows: usize) -> Table {
 }
 
 fn photoobj_table(rng: &mut StdRng, rows: usize) -> Table {
-    let mut t =
-        Table::with_columns(&["objID", "ra", "dec", "u", "g", "r", "i", "modelMag_r"]);
+    let mut t = Table::with_columns(&["objID", "ra", "dec", "u", "g", "r", "i", "modelMag_r"]);
     for i in 0..rows {
         t.push_row(vec![
             Value::Int(0x8000 + i as i64),
@@ -256,11 +276,23 @@ mod tests {
     #[test]
     fn demo_catalog_registers_all_paper_tables() {
         let catalog = Catalog::demo(1);
-        for table in ["ontime", "Galaxy", "SpecLineIndex", "XCRedshift", "SpecObj", "PhotoObj", "T", "t"] {
+        for table in [
+            "ontime",
+            "Galaxy",
+            "SpecLineIndex",
+            "XCRedshift",
+            "SpecObj",
+            "PhotoObj",
+            "T",
+            "t",
+        ] {
             assert!(catalog.table(table).is_some(), "missing {table}");
             assert!(!catalog.table(table).unwrap().is_empty());
         }
-        assert!(catalog.table("ONTIME").is_some(), "lookup is case-insensitive");
+        assert!(
+            catalog.table("ONTIME").is_some(),
+            "lookup is case-insensitive"
+        );
         assert!(catalog.table("nope").is_none());
     }
 

@@ -41,7 +41,7 @@ pub fn exec(query: &Node, catalog: &Catalog) -> Result<Table, ExecError> {
     exec_select(query, catalog)
 }
 
-fn clause<'a>(query: &'a Node, kind: NodeKind) -> Option<&'a Node> {
+fn clause(query: &Node, kind: NodeKind) -> Option<&Node> {
     query.children().iter().find(|c| c.kind_ref() == &kind)
 }
 
@@ -186,7 +186,13 @@ fn exec_select(query: &Node, catalog: &Catalog) -> Result<Table, ExecError> {
         for row in 0..filtered.num_rows() {
             let row_values = project_row(&projections, &filtered, row, None, catalog)?;
             output.push_row(row_values);
-            order_keys.push(eval_order_keys(&order_exprs, &filtered, row, None, catalog)?);
+            order_keys.push(eval_order_keys(
+                &order_exprs,
+                &filtered,
+                row,
+                None,
+                catalog,
+            )?);
         }
     }
 
@@ -517,7 +523,10 @@ fn eval_expr(
         NodeKind::FuncCall => eval_function(expr, input, row, aggregates, catalog),
         NodeKind::Cast => {
             let inner = eval_expr(&expr.children()[0], input, row, aggregates, catalog)?;
-            let ty = expr.attr_str("ty").unwrap_or("varchar").to_ascii_lowercase();
+            let ty = expr
+                .attr_str("ty")
+                .unwrap_or("varchar")
+                .to_ascii_lowercase();
             Ok(if ty.contains("int") {
                 match inner.as_f64() {
                     Some(v) => Value::Int(v as i64),
@@ -748,9 +757,7 @@ fn like_match(text: &str, pattern: &str) -> bool {
                 let _ = tc;
                 rec(&t[1..], &p[1..])
             }
-            (Some(tc), Some(pc)) => {
-                tc.eq_ignore_ascii_case(pc) && rec(&t[1..], &p[1..])
-            }
+            (Some(tc), Some(pc)) => tc.eq_ignore_ascii_case(pc) && rec(&t[1..], &p[1..]),
             (None, Some(_)) => false,
         }
     }
@@ -786,7 +793,8 @@ mod tests {
 
     #[test]
     fn group_by_with_aggregates_matches_manual_computation() {
-        let t = run("SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 9 GROUP BY DestState");
+        let t =
+            run("SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 9 GROUP BY DestState");
         assert_eq!(t.num_columns(), 2);
         assert!(t.num_rows() > 1);
         let total: f64 = (0..t.num_rows())
@@ -799,8 +807,9 @@ mod tests {
     #[test]
     fn having_filters_groups() {
         let unfiltered = run("SELECT SUM(flights), carrier FROM ontime GROUP BY carrier");
-        let filtered =
-            run("SELECT SUM(flights), carrier FROM ontime GROUP BY carrier HAVING SUM(flights) > 100");
+        let filtered = run(
+            "SELECT SUM(flights), carrier FROM ontime GROUP BY carrier HAVING SUM(flights) > 100",
+        );
         assert!(filtered.num_rows() <= unfiltered.num_rows());
         for r in 0..filtered.num_rows() {
             assert!(filtered.value(r, 0).as_f64().unwrap() > 100.0);
@@ -812,9 +821,7 @@ mod tests {
         let t = run("SELECT Delay FROM ontime ORDER BY Delay DESC LIMIT 5");
         assert_eq!(t.num_rows(), 5);
         for pair in 0..4 {
-            assert!(
-                t.value(pair, 0).as_f64().unwrap() >= t.value(pair + 1, 0).as_f64().unwrap()
-            );
+            assert!(t.value(pair, 0).as_f64().unwrap() >= t.value(pair + 1, 0).as_f64().unwrap());
         }
         let top = run("SELECT TOP 3 Delay FROM ontime");
         assert_eq!(top.num_rows(), 3);
@@ -848,7 +855,10 @@ mod tests {
             "SELECT TOP 10 g.objID FROM Galaxy AS g, dbo.fGetNearbyObjEq(180.0, 0.0, 600.0) AS d WHERE d.objID = g.objID",
         );
         assert!(cone.num_rows() <= 10);
-        assert!(cone.num_rows() > 0, "a 10-degree cone should catch something");
+        assert!(
+            cone.num_rows() > 0,
+            "a 10-degree cone should catch something"
+        );
     }
 
     #[test]

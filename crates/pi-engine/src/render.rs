@@ -49,9 +49,8 @@ pub fn render_bar_chart(table: &Table) -> String {
         return render(table);
     }
     // Decide which column is the measure.
-    let numeric_col = (0..2).find(|&c| {
-        (0..table.num_rows()).all(|r| table.value(r, c).as_f64().is_some())
-    });
+    let numeric_col =
+        (0..2).find(|&c| (0..table.num_rows()).all(|r| table.value(r, c).as_f64().is_some()));
     let Some(numeric_col) = numeric_col else {
         return render(table);
     };

@@ -210,9 +210,7 @@ impl Table {
     /// references resolve to the first match (SQL engines error here; for the synthetic
     /// workloads first-match is sufficient and keeps the executor simple).
     pub fn column_index(&self, qualifier: Option<&str>, name: &str) -> Option<usize> {
-        self.columns
-            .iter()
-            .position(|c| c.matches(qualifier, name))
+        self.columns.iter().position(|c| c.matches(qualifier, name))
     }
 
     /// Builds a new table with the same columns containing only the selected rows.
@@ -262,10 +260,7 @@ mod tests {
     #[test]
     fn value_comparisons_follow_sql_semantics() {
         assert!(Value::Int(3).sql_eq(&Value::Float(3.0)));
-        assert_eq!(
-            Value::Int(2).compare(&Value::Int(5)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Int(2).compare(&Value::Int(5)), Some(Ordering::Less));
         assert_eq!(Value::Null.compare(&Value::Int(1)), None);
         assert!(!Value::Null.is_truthy());
         assert!(Value::Str("x".into()).is_truthy());

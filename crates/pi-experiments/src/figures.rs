@@ -6,7 +6,9 @@ use pi_core::recall::{cross_recall, holdout_recall, recall_curve, split_log};
 use pi_core::{PiOptions, PrecisionInterfaces};
 use pi_diff::{extract_diffs, AncestorPolicy};
 use pi_graph::WindowStrategy;
-use pi_study::{group_times, one_way_anova, run_study, summarize, summarize_by_order, Condition, StudyConfig};
+use pi_study::{
+    group_times, one_way_anova, run_study, summarize, summarize_by_order, Condition, StudyConfig,
+};
 use pi_widgets::fit::fit_cost;
 use pi_widgets::{CostFunction, WidgetType};
 use pi_workloads::{adhoc, mix, olap, sdss, traces, QueryLog};
@@ -77,7 +79,12 @@ pub fn cost_fit() -> ExperimentReport {
             fitted.eval(30)
         ));
     }
-    let dropdown = fit_cost(&traces::simulate_trace(WidgetType::Dropdown, &sizes, 10, 42));
+    let dropdown = fit_cost(&traces::simulate_trace(
+        WidgetType::Dropdown,
+        &sizes,
+        10,
+        42,
+    ));
     let crossover = dropdown.crossover_with(&CostFunction::paper_textbox());
     report.push(format!(
         "dropdown/textbox crossover at n = {:?} (paper: ≈ 34-36)",
@@ -171,7 +178,12 @@ pub fn fig6a() -> ExperimentReport {
             .iter()
             .map(|p| format!("{}:{:.2}", p.training, p.recall))
             .collect();
-        report.push(format!("client C{:<2} [{:<18}]  {}", i + 1, log.label, rendered.join("  ")));
+        report.push(format!(
+            "client C{:<2} [{:<18}]  {}",
+            i + 1,
+            log.label,
+            rendered.join("  ")
+        ));
     }
     report
 }
@@ -252,7 +264,12 @@ pub fn fig6d() -> ExperimentReport {
         .interface
         .widgets()
         .iter()
-        .filter(|w| matches!(w.ty, WidgetType::Slider | WidgetType::RangeSlider | WidgetType::Textbox))
+        .filter(|w| {
+            matches!(
+                w.ty,
+                WidgetType::Slider | WidgetType::RangeSlider | WidgetType::Textbox
+            )
+        })
         .count();
     let choices = generated.interface.widgets().len() - numeric;
     report.push(format!(
@@ -392,7 +409,10 @@ pub fn fig10() -> ExperimentReport {
         }
     }
     for (bucket, count) in buckets.iter().enumerate() {
-        report.push(format!("recall {:.1}: {count:>4} client pairs", bucket as f64 / 10.0));
+        report.push(format!(
+            "recall {:.1}: {count:>4} client pairs",
+            bucket as f64 / 10.0
+        ));
     }
     report
 }
@@ -451,7 +471,11 @@ pub fn anova() -> ExperimentReport {
         ("task", group_times(&trials, |t| t.task, |t| t.time_s)),
         (
             "interface",
-            group_times(&trials, |t| t.condition == Condition::SdssForm, |t| t.time_s),
+            group_times(
+                &trials,
+                |t| t.condition == Condition::SdssForm,
+                |t| t.time_s,
+            ),
         ),
         ("order", group_times(&trials, |t| t.order, |t| t.time_s)),
     ];

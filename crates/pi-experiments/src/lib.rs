@@ -94,7 +94,9 @@ mod tests {
     fn every_registered_experiment_runs_and_produces_output() {
         // The heavyweight scaling experiments (fig11/fig12) are exercised by the benches and
         // by `--exp all`; here we smoke-test the cheap ones so `cargo test` stays fast.
-        for id in ["table1", "cost-fit", "fig5", "fig6b", "fig8c", "fig13", "anova"] {
+        for id in [
+            "table1", "cost-fit", "fig5", "fig6b", "fig8c", "fig13", "anova",
+        ] {
             let report = run_experiment(id).unwrap_or_else(|| panic!("unknown id {id}"));
             assert_eq!(report.id, id);
             assert!(!report.lines.is_empty(), "{id} produced no output");

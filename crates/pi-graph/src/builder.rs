@@ -1,9 +1,8 @@
 //! Graph construction: pair enumeration strategies and (optionally parallel) pairwise diffing.
 
-use crate::graph::{Edge, InteractionGraph};
-use parking_lot::Mutex;
-use pi_ast::Node;
+use crate::graph::{Edge, InteractionGraph, IntoQueryLog, QueryLog};
 use pi_diff::{extract_diffs, AncestorPolicy, DiffRecord, DiffStore};
+use std::ops::Range;
 
 /// Which query pairs are compared when building the interaction graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,28 +15,37 @@ pub enum WindowStrategy {
 }
 
 impl WindowStrategy {
+    /// The `j` partners compared with query `i` (always `j > i`) in a log of `n` queries.
+    pub fn row_pairs(self, i: usize, n: usize) -> Range<usize> {
+        match self {
+            WindowStrategy::AllPairs => (i + 1)..n,
+            WindowStrategy::Sliding(w) => (i + 1)..n.min(i + w.max(2)),
+        }
+    }
+
     /// Enumerates the `(i, j)` pairs (with `i < j`) this strategy compares for a log of
-    /// `n` queries.
-    pub fn pairs(&self, n: usize) -> Vec<(usize, usize)> {
-        let mut out = Vec::new();
-        match *self {
-            WindowStrategy::AllPairs => {
-                for i in 0..n {
-                    for j in (i + 1)..n {
-                        out.push((i, j));
-                    }
-                }
-            }
+    /// `n` queries, in row-major order.
+    ///
+    /// Lazily: `AllPairs` over a large log never materialises its `O(n²)` pair list.
+    pub fn pairs(self, n: usize) -> impl Iterator<Item = (usize, usize)> {
+        (0..n).flat_map(move |i| self.row_pairs(i, n).map(move |j| (i, j)))
+    }
+
+    /// The exact number of pairs [`WindowStrategy::pairs`] yields, in closed form.
+    pub fn pair_count(self, n: usize) -> usize {
+        match self {
+            WindowStrategy::AllPairs => n * n.saturating_sub(1) / 2,
             WindowStrategy::Sliding(w) => {
-                let w = w.max(2);
-                for i in 0..n {
-                    for j in (i + 1)..n.min(i + w) {
-                        out.push((i, j));
-                    }
+                // Each row i contributes min(k, (n-1) - i) pairs, where k is the max offset.
+                let k = w.max(2) - 1;
+                let m = n.saturating_sub(1);
+                if m <= k {
+                    m * (m + 1) / 2
+                } else {
+                    k * (m - k) + k * (k + 1) / 2
                 }
             }
         }
-        out
     }
 }
 
@@ -84,14 +92,24 @@ impl GraphBuilder {
     }
 
     /// Builds the interaction graph for a log of parsed queries.
-    pub fn build(&self, queries: &[Node]) -> InteractionGraph {
-        let pairs = self.window.pairs(queries.len());
-        let per_pair = if self.parallel && pairs.len() > 32 {
-            self.diff_pairs_parallel(queries, &pairs)
+    ///
+    /// The log is taken as (or converted into) a [`QueryLog`], so graphs built from an
+    /// existing `Arc`'d log share it instead of cloning every query.
+    pub fn build(&self, queries: impl IntoQueryLog) -> InteractionGraph {
+        let queries: QueryLog = queries.into_query_log();
+        let n = queries.len();
+        let per_pair = if self.parallel && self.window.pair_count(n) > 32 {
+            self.diff_pairs_parallel(&queries)
         } else {
-            pairs
-                .iter()
-                .map(|&(i, j)| (i, j, extract_diffs(&queries[i], &queries[j], i, j, self.policy)))
+            self.window
+                .pairs(n)
+                .map(|(i, j)| {
+                    (
+                        i,
+                        j,
+                        extract_diffs(&queries[i], &queries[j], i, j, self.policy),
+                    )
+                })
                 .collect()
         };
 
@@ -113,67 +131,99 @@ impl GraphBuilder {
         }
 
         InteractionGraph {
-            queries: queries.to_vec(),
+            queries,
             store,
             edges,
         }
     }
 
-    /// Fans pairwise diffing out over the available cores.  Results are re-ordered by pair
-    /// index so the resulting graph is identical to a serial build.
-    fn diff_pairs_parallel(
-        &self,
-        queries: &[Node],
-        pairs: &[(usize, usize)],
-    ) -> Vec<(usize, usize, Vec<DiffRecord>)> {
+    /// Fans pairwise diffing out over the available cores with scoped threads.
+    ///
+    /// The row space is cut into small chunks (4 per worker) and exactly `threads` workers
+    /// each process every `threads`-th chunk — the stride balances the triangular AllPairs
+    /// workload (early rows have more partners than late ones) without oversubscribing the
+    /// CPU.  Workers collect results per chunk, and the chunks are re-assembled in row order
+    /// afterwards, so the output is *identical* to the serial row-major enumeration — no
+    /// shared mutable state, no lock contention.
+    fn diff_pairs_parallel(&self, queries: &QueryLog) -> Vec<(usize, usize, Vec<DiffRecord>)> {
+        let n = queries.len();
         let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
+            .map(|t| t.get())
             .unwrap_or(4)
-            .min(pairs.len().max(1));
-        let results: Mutex<Vec<(usize, usize, usize, Vec<DiffRecord>)>> =
-            Mutex::new(Vec::with_capacity(pairs.len()));
+            .min(n.max(1));
+        let chunk = n.div_ceil(threads * 4).max(1);
+        let chunk_count = n.div_ceil(chunk);
+        let window = self.window;
         let policy = self.policy;
 
-        crossbeam::scope(|scope| {
-            let chunk = pairs.len().div_ceil(threads);
-            for (t, slice) in pairs.chunks(chunk).enumerate() {
-                let results = &results;
-                scope.spawn(move |_| {
-                    let base = t * chunk;
-                    let mut local = Vec::with_capacity(slice.len());
-                    for (k, &(i, j)) in slice.iter().enumerate() {
-                        let records = extract_diffs(&queries[i], &queries[j], i, j, policy);
-                        local.push((base + k, i, j, records));
-                    }
-                    results.lock().extend(local);
-                });
-            }
-        })
-        .expect("diff worker panicked");
-
-        let mut collected = results.into_inner();
-        collected.sort_by_key(|(order, _, _, _)| *order);
-        collected
-            .into_iter()
-            .map(|(_, i, j, records)| (i, j, records))
-            .collect()
+        type ChunkResults = Vec<(usize, Vec<(usize, usize, Vec<DiffRecord>)>)>;
+        let mut chunks: ChunkResults = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        for c in (worker..chunk_count).step_by(threads) {
+                            let start = c * chunk;
+                            let end = (start + chunk).min(n);
+                            let mut local = Vec::new();
+                            for i in start..end {
+                                for j in window.row_pairs(i, n) {
+                                    let records =
+                                        extract_diffs(&queries[i], &queries[j], i, j, policy);
+                                    local.push((i, j, records));
+                                }
+                            }
+                            mine.push((c, local));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("diff worker panicked"))
+                .collect()
+        });
+        chunks.sort_unstable_by_key(|(c, _)| *c);
+        chunks.into_iter().flat_map(|(_, local)| local).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pi_ast::Node;
     use pi_sql::parse;
 
     #[test]
     fn pair_enumeration_counts() {
-        assert_eq!(WindowStrategy::AllPairs.pairs(4).len(), 6);
-        assert_eq!(WindowStrategy::Sliding(2).pairs(4).len(), 3);
-        assert_eq!(WindowStrategy::Sliding(3).pairs(4).len(), 5);
+        assert_eq!(WindowStrategy::AllPairs.pairs(4).count(), 6);
+        assert_eq!(WindowStrategy::Sliding(2).pairs(4).count(), 3);
+        assert_eq!(WindowStrategy::Sliding(3).pairs(4).count(), 5);
         // degenerate windows are clamped to 2
-        assert_eq!(WindowStrategy::Sliding(0).pairs(4).len(), 3);
-        assert_eq!(WindowStrategy::AllPairs.pairs(0).len(), 0);
-        assert_eq!(WindowStrategy::AllPairs.pairs(1).len(), 0);
+        assert_eq!(WindowStrategy::Sliding(0).pairs(4).count(), 3);
+        assert_eq!(WindowStrategy::AllPairs.pairs(0).count(), 0);
+        assert_eq!(WindowStrategy::AllPairs.pairs(1).count(), 0);
+    }
+
+    #[test]
+    fn pair_count_matches_enumeration() {
+        for n in 0..40 {
+            for strategy in [
+                WindowStrategy::AllPairs,
+                WindowStrategy::Sliding(0),
+                WindowStrategy::Sliding(2),
+                WindowStrategy::Sliding(3),
+                WindowStrategy::Sliding(7),
+                WindowStrategy::Sliding(100),
+            ] {
+                assert_eq!(
+                    strategy.pair_count(n),
+                    strategy.pairs(n).count(),
+                    "{strategy:?} n={n}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -189,9 +239,20 @@ mod tests {
         let r = parse("SELECT b FROM t").unwrap();
         let g = GraphBuilder::new()
             .window(WindowStrategy::AllPairs)
-            .build(&[q.clone(), q, r]);
+            .build(vec![q.clone(), q, r]);
         // (0,1) identical -> skipped; (0,2) and (1,2) differ.
         assert_eq!(g.edges.len(), 2);
+    }
+
+    #[test]
+    fn building_from_an_arc_log_shares_it() {
+        let log: crate::QueryLog = vec![
+            parse("SELECT a FROM t WHERE x = 1").unwrap(),
+            parse("SELECT a FROM t WHERE x = 2").unwrap(),
+        ]
+        .into_query_log();
+        let g = GraphBuilder::new().build(&log);
+        assert!(std::sync::Arc::ptr_eq(&g.queries, &log));
     }
 
     #[test]
@@ -233,7 +294,7 @@ mod tests {
         let g = GraphBuilder::new()
             .window(WindowStrategy::AllPairs)
             .policy(AncestorPolicy::Full)
-            .build(&log);
+            .build(log);
         assert_eq!(g.edges.len(), 1);
         for id in &g.edges[0].diffs {
             assert!(g.store.get(*id).is_leaf);

@@ -3,6 +3,58 @@
 use pi_ast::Node;
 use pi_diff::{DiffId, DiffStore};
 use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// A shared, immutable query log.
+///
+/// Every structure that needs the log (the graph, the generated interface, experiment
+/// harnesses) holds one of these; cloning it copies a pointer, never the queries.
+pub type QueryLog = Arc<[Node]>;
+
+/// Conversion into a [`QueryLog`].
+///
+/// Owned vectors convert by *moving* their queries into the shared allocation; borrowed logs
+/// are cloned once; an existing `QueryLog` (or a reference to one) is shared for free.
+pub trait IntoQueryLog {
+    /// Performs the conversion.
+    fn into_query_log(self) -> QueryLog;
+}
+
+impl IntoQueryLog for QueryLog {
+    fn into_query_log(self) -> QueryLog {
+        self
+    }
+}
+
+impl IntoQueryLog for &QueryLog {
+    fn into_query_log(self) -> QueryLog {
+        Arc::clone(self)
+    }
+}
+
+impl IntoQueryLog for Vec<Node> {
+    fn into_query_log(self) -> QueryLog {
+        Arc::from(self)
+    }
+}
+
+impl IntoQueryLog for &[Node] {
+    fn into_query_log(self) -> QueryLog {
+        Arc::from(self)
+    }
+}
+
+impl IntoQueryLog for &Vec<Node> {
+    fn into_query_log(self) -> QueryLog {
+        Arc::from(self.as_slice())
+    }
+}
+
+impl<const N: usize> IntoQueryLog for &[Node; N] {
+    fn into_query_log(self) -> QueryLog {
+        Arc::from(self.as_slice())
+    }
+}
 
 /// A labelled edge of the interaction graph: the interaction `t_k` (a set of leaf diffs)
 /// transforms query `from` into query `to`.
@@ -33,8 +85,8 @@ pub struct GraphStats {
 /// shared arena of diff records the edges refer to.
 #[derive(Debug, Clone, Default)]
 pub struct InteractionGraph {
-    /// The input queries, in log order.
-    pub queries: Vec<Node>,
+    /// The input queries, in log order, shared (not cloned) with whoever built the graph.
+    pub queries: QueryLog,
     /// The arena of diff records (leaf and ancestor) discovered while diffing pairs.
     pub store: DiffStore,
     /// The labelled edges.
@@ -133,7 +185,7 @@ mod tests {
             store.extend(records.into_iter().filter(|r| !r.is_leaf));
         }
         InteractionGraph {
-            queries: vec![q0, q1, q2],
+            queries: vec![q0, q1, q2].into(),
             store,
             edges,
         }

@@ -14,8 +14,9 @@
 //!   ancestor records (and therefore the mapper's input size) small.
 //!
 //! Pairwise diffing is embarrassingly parallel; the builder optionally fans the work out over
-//! all available cores with `crossbeam` scoped threads while keeping the resulting graph
-//! deterministic.
+//! all available cores with `std::thread::scope`: each worker owns a contiguous chunk of log
+//! rows and returns its results by value, which are concatenated in spawn order — the parallel
+//! build is byte-identical to the serial one by construction.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -24,7 +25,7 @@ mod builder;
 mod graph;
 
 pub use builder::{GraphBuilder, WindowStrategy};
-pub use graph::{Edge, GraphStats, InteractionGraph};
+pub use graph::{Edge, GraphStats, InteractionGraph, IntoQueryLog, QueryLog};
 
 #[cfg(test)]
 mod tests {

@@ -88,7 +88,7 @@ mod tests {
 
     #[test]
     fn all_kinds_have_distinct_messages() {
-        let kinds = vec![
+        let kinds = [
             ParseErrorKind::UnexpectedChar('!'),
             ParseErrorKind::UnterminatedString,
             ParseErrorKind::BadNumber("1.2.3".into()),
@@ -101,8 +101,7 @@ mod tests {
             },
             ParseErrorKind::TrailingInput("GROUP".into()),
         ];
-        let msgs: std::collections::HashSet<String> =
-            kinds.iter().map(|k| k.to_string()).collect();
+        let msgs: std::collections::HashSet<String> = kinds.iter().map(|k| k.to_string()).collect();
         assert_eq!(msgs.len(), kinds.len());
     }
 }

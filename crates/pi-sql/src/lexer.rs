@@ -295,11 +295,7 @@ impl<'a> Lexer<'a> {
                 self.bump();
                 TokenKind::Semicolon
             }
-            b'.' if !self
-                .peek_at(1)
-                .map(|c| c.is_ascii_digit())
-                .unwrap_or(false) =>
-            {
+            b'.' if !self.peek_at(1).map(|c| c.is_ascii_digit()).unwrap_or(false) => {
                 self.bump();
                 TokenKind::Dot
             }
@@ -415,9 +411,7 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 Some(b) => value.push(b as char),
-                None => {
-                    return Err(ParseError::new(ParseErrorKind::UnterminatedString, start))
-                }
+                None => return Err(ParseError::new(ParseErrorKind::UnterminatedString, start)),
             }
         }
     }
@@ -441,9 +435,8 @@ impl<'a> Lexer<'a> {
                 }
             }
             let text = &self.src[hstart..self.pos];
-            let value = i64::from_str_radix(text, 16).map_err(|_| {
-                ParseError::new(ParseErrorKind::BadNumber(text.to_string()), start)
-            })?;
+            let value = i64::from_str_radix(text, 16)
+                .map_err(|_| ParseError::new(ParseErrorKind::BadNumber(text.to_string()), start))?;
             return Ok(TokenKind::Hex(value));
         }
 
@@ -556,7 +549,10 @@ mod tests {
                 other => panic!("not an op: {other:?}"),
             })
             .collect();
-        assert_eq!(ops, vec!["=", "<>", "!=", "<=", ">=", "<", ">", "+", "-", "/", "%"]);
+        assert_eq!(
+            ops,
+            vec!["=", "<>", "!=", "<=", ">=", "<", ">", "+", "-", "/", "%"]
+        );
     }
 
     #[test]

@@ -291,7 +291,8 @@ impl Parser {
             } else if (self.at_keyword(Keyword::Left) || self.at_keyword(Keyword::Right))
                 && matches!(
                     self.peek_at(1),
-                    Some(TokenKind::Keyword(Keyword::Join)) | Some(TokenKind::Keyword(Keyword::Outer))
+                    Some(TokenKind::Keyword(Keyword::Join))
+                        | Some(TokenKind::Keyword(Keyword::Outer))
                 )
             {
                 let side = if self.at_keyword(Keyword::Left) {
@@ -476,9 +477,7 @@ impl Parser {
             let lo = self.parse_additive()?;
             self.expect_keyword(Keyword::And)?;
             let hi = self.parse_additive()?;
-            let list = Node::new(NodeKind::ExprList)
-                .with_child(lo)
-                .with_child(hi);
+            let list = Node::new(NodeKind::ExprList).with_child(lo).with_child(hi);
             let op = if negated { "NOT BETWEEN" } else { "BETWEEN" };
             return Ok(binop(op, left, list));
         }
@@ -707,8 +706,9 @@ impl Parser {
             } else {
                 (NodeKind::FuncCall, name)
             };
-            let mut node = Node::new(kind)
-                .with_child(Node::new(NodeKind::FuncName).with_attr("name", canonical_name.as_str()));
+            let mut node = Node::new(kind).with_child(
+                Node::new(NodeKind::FuncName).with_attr("name", canonical_name.as_str()),
+            );
             if distinct {
                 node.set_attr("distinct", true);
             }
@@ -760,7 +760,10 @@ mod tests {
         let pred = q.get(&"2/0".parse::<Path>().unwrap()).unwrap();
         assert_eq!(pred.attr_str("op"), Some("="));
         assert_eq!(pred.children()[1].kind(), NodeKind::HexExpr);
-        assert_eq!(pred.children()[1].attr("value").unwrap().as_int(), Some(0x400));
+        assert_eq!(
+            pred.children()[1].attr("value").unwrap().as_int(),
+            Some(0x400)
+        );
     }
 
     #[test]
@@ -868,7 +871,10 @@ mod tests {
             }
         });
         for needle in ["IN", "BETWEEN", "LIKE", "NOT", "NOT IN"] {
-            assert!(ops.iter().any(|o| o == needle), "missing {needle} in {ops:?}");
+            assert!(
+                ops.iter().any(|o| o == needle),
+                "missing {needle} in {ops:?}"
+            );
         }
     }
 

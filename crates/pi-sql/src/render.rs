@@ -18,7 +18,10 @@ pub fn render(node: &Node) -> String {
 
 /// Renders an AST as SQL with all runs of whitespace collapsed (useful in test assertions).
 pub fn render_compact(node: &Node) -> String {
-    render(node).split_whitespace().collect::<Vec<_>>().join(" ")
+    render(node)
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 fn render_node(node: &Node, out: &mut String) {
@@ -60,15 +63,13 @@ fn render_select(node: &Node, out: &mut String) {
                     render_proj_clause(proj, out);
                 }
             }
-            NodeKind::From => {
-                if clause.arity() > 0 {
-                    out.push_str(" FROM ");
-                    for (i, rel) in clause.children().iter().enumerate() {
-                        if i > 0 {
-                            out.push_str(", ");
-                        }
-                        render_relation(rel, out);
+            NodeKind::From if clause.arity() > 0 => {
+                out.push_str(" FROM ");
+                for (i, rel) in clause.children().iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
                     }
+                    render_relation(rel, out);
                 }
             }
             NodeKind::Where => {
@@ -100,11 +101,9 @@ fn render_select(node: &Node, out: &mut String) {
                     }
                 }
             }
-            NodeKind::Limit => {
-                if !top_style {
-                    out.push_str(" LIMIT ");
-                    render_expr(&clause.children()[0], out);
-                }
+            NodeKind::Limit if !top_style => {
+                out.push_str(" LIMIT ");
+                render_expr(&clause.children()[0], out);
             }
             _ => {}
         }
@@ -270,10 +269,9 @@ fn render_expr(node: &Node, out: &mut String) {
             // The name lives in a FuncName first child; fall back to a `name` attribute for
             // hand-built trees that use the older shape.
             let (name, args): (&str, &[Node]) = match node.children().first() {
-                Some(first) if first.kind_ref() == &NodeKind::FuncName => (
-                    first.attr_str("name").unwrap_or("?"),
-                    &node.children()[1..],
-                ),
+                Some(first) if first.kind_ref() == &NodeKind::FuncName => {
+                    (first.attr_str("name").unwrap_or("?"), &node.children()[1..])
+                }
                 _ => (node.attr_str("name").unwrap_or("?"), node.children()),
             };
             out.push_str(name);

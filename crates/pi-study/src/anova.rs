@@ -123,7 +123,11 @@ mod tests {
     fn study_factors_are_individually_significant_like_the_paper() {
         let trials = run_study(StudyConfig::default());
         let by_task = group_times(&trials, |t| t.task, |t| t.time_s);
-        let by_interface = group_times(&trials, |t| t.condition == Condition::SdssForm, |t| t.time_s);
+        let by_interface = group_times(
+            &trials,
+            |t| t.condition == Condition::SdssForm,
+            |t| t.time_s,
+        );
         let by_order = group_times(&trials, |t| t.order, |t| t.time_s);
         assert!(one_way_anova(&by_task).unwrap().significant());
         assert!(one_way_anova(&by_interface).unwrap().significant());

@@ -96,11 +96,7 @@ impl EditorLayout {
 
     /// Number of grid rows currently used.
     pub fn rows(&self) -> usize {
-        self.placements
-            .iter()
-            .map(|p| p.row + 1)
-            .max()
-            .unwrap_or(0)
+        self.placements.iter().map(|p| p.row + 1).max().unwrap_or(0)
     }
 }
 
@@ -175,6 +171,10 @@ mod tests {
             WidgetType::Slider
         ));
         // Out-of-range indices are rejected gracefully.
-        assert!(!EditorLayout::override_widget_type(&mut iface, 99, WidgetType::Textbox));
+        assert!(!EditorLayout::override_widget_type(
+            &mut iface,
+            99,
+            WidgetType::Textbox
+        ));
     }
 }

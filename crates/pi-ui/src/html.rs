@@ -85,7 +85,7 @@ refresh();
 "#,
         title = escape(title),
         widgets = widgets_html,
-        spec = spec.to_string(),
+        spec = spec,
     )
 }
 

@@ -26,13 +26,6 @@ impl Json {
         Json::String(value.to_string())
     }
 
-    /// Serialises the value to compact JSON text.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -87,6 +80,15 @@ impl Json {
     }
 }
 
+impl std::fmt::Display for Json {
+    /// Serialises the value to compact JSON text.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,7 +115,10 @@ mod tests {
     fn serialises_nested_structures() {
         let value = Json::Object(vec![
             ("name".into(), Json::string("slider")),
-            ("options".into(), Json::Array(vec![Json::Number(1.0), Json::Number(2.0)])),
+            (
+                "options".into(),
+                Json::Array(vec![Json::Number(1.0), Json::Number(2.0)]),
+            ),
             ("absent".into(), Json::Bool(false)),
         ]);
         assert_eq!(

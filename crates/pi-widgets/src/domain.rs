@@ -3,13 +3,14 @@
 use pi_ast::{Node, NodeId, PrimitiveType};
 use pi_diff::DiffRecord;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// The domain `w.d` of a widget: the subtrees the widget can substitute at its path, plus
 /// metadata the widget rules and cost functions need (primitive type, numeric range,
 /// whether "no subtree at all" is one of the options).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Domain {
-    subtrees: Vec<Node>,
+    subtrees: Vec<Arc<Node>>,
     ids: BTreeSet<NodeId>,
     prim: PrimitiveType,
     includes_absent: bool,
@@ -61,8 +62,11 @@ impl Domain {
         domain
     }
 
-    /// Adds one subtree to the domain (deduplicated).
-    pub fn insert(&mut self, node: Node) {
+    /// Adds one subtree to the domain (deduplicated by `NodeId`, which is O(1) thanks to the
+    /// memoized structural hash).  Accepts owned nodes or shared `Arc`s; records coming from
+    /// the diff layer share their subtree allocation with the domain.
+    pub fn insert(&mut self, node: impl Into<Arc<Node>>) {
+        let node: Arc<Node> = node.into();
         let id = node.id();
         if !self.ids.insert(id) {
             return;
@@ -88,7 +92,7 @@ impl Domain {
     }
 
     /// The explicit subtrees of the domain, in first-seen order.
-    pub fn subtrees(&self) -> &[Node] {
+    pub fn subtrees(&self) -> &[Arc<Node>] {
         &self.subtrees
     }
 
@@ -144,7 +148,7 @@ impl Domain {
 
     /// Human-readable option labels, used by the interface editor and the HTML compiler.
     pub fn option_labels(&self) -> Vec<String> {
-        let mut labels: Vec<String> = self.subtrees.iter().map(Node::label).collect();
+        let mut labels: Vec<String> = self.subtrees.iter().map(|n| n.label()).collect();
         if self.includes_absent {
             labels.push("(none)".to_string());
         }
@@ -211,10 +215,7 @@ mod tests {
         let d = Domain::from_subtrees(vec![Node::int(1), Node::string("x")]);
         assert_eq!(d.primitive(), PrimitiveType::Str);
         assert_eq!(d.numeric_range(), None);
-        let d = Domain::from_subtrees(vec![
-            Node::int(1),
-            parse("SELECT a FROM t").unwrap(),
-        ]);
+        let d = Domain::from_subtrees(vec![Node::int(1), parse("SELECT a FROM t").unwrap()]);
         assert_eq!(d.primitive(), PrimitiveType::Tree);
     }
 

@@ -73,8 +73,9 @@ fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
         // eliminate
         for row in (col + 1)..3 {
             let factor = a[row][col] / a[col][col];
-            for k in col..3 {
-                a[row][k] -= factor * a[col][k];
+            let pivot = a[col];
+            for (dst, src) in a[row].iter_mut().zip(pivot.iter()).skip(col) {
+                *dst -= factor * src;
             }
             b[row] -= factor * b[col];
         }

@@ -60,7 +60,10 @@ impl WidgetLibrary {
 
     /// The cost function of a type (its default if the library does not carry the type).
     pub fn cost_of(&self, ty: WidgetType) -> CostFunction {
-        self.costs.get(&ty).copied().unwrap_or_else(|| ty.default_cost())
+        self.costs
+            .get(&ty)
+            .copied()
+            .unwrap_or_else(|| ty.default_cost())
     }
 
     /// The widget types available in this library.
@@ -106,9 +109,15 @@ mod tests {
     fn pick_selects_dropdown_for_small_string_sets_and_textbox_for_large() {
         let lib = WidgetLibrary::standard();
         let small = Domain::from_subtrees((0..4).map(|i| Node::string(&format!("c{i}"))));
-        assert_eq!(lib.pick(Path::root(), small, vec![]).unwrap().ty, WidgetType::Dropdown);
+        assert_eq!(
+            lib.pick(Path::root(), small, vec![]).unwrap().ty,
+            WidgetType::Dropdown
+        );
         let large = Domain::from_subtrees((0..80).map(|i| Node::string(&format!("c{i}"))));
-        assert_eq!(lib.pick(Path::root(), large, vec![]).unwrap().ty, WidgetType::Textbox);
+        assert_eq!(
+            lib.pick(Path::root(), large, vec![]).unwrap().ty,
+            WidgetType::Textbox
+        );
     }
 
     #[test]
@@ -118,13 +127,19 @@ mod tests {
             parse("SELECT a FROM t").unwrap(),
             parse("SELECT b FROM t").unwrap(),
         ]);
-        assert_eq!(lib.pick(Path::root(), two, vec![]).unwrap().ty, WidgetType::ToggleButton);
+        assert_eq!(
+            lib.pick(Path::root(), two, vec![]).unwrap().ty,
+            WidgetType::ToggleButton
+        );
         let three = Domain::from_subtrees(vec![
             parse("SELECT avg(a)").unwrap(),
             parse("SELECT count(b)").unwrap(),
             parse("SELECT count(c)").unwrap(),
         ]);
-        assert_eq!(lib.pick(Path::root(), three, vec![]).unwrap().ty, WidgetType::RadioButton);
+        assert_eq!(
+            lib.pick(Path::root(), three, vec![]).unwrap().ty,
+            WidgetType::RadioButton
+        );
     }
 
     #[test]
@@ -154,16 +169,21 @@ mod tests {
         let w = lib.pick(Path::root(), domain, vec![]).unwrap();
         assert_eq!(w.ty, WidgetType::Textbox);
         // a tree domain has no valid widget in this library
-        let trees = Domain::from_subtrees(vec![parse("SELECT 1").unwrap(), parse("SELECT 2").unwrap()]);
+        let trees =
+            Domain::from_subtrees(vec![parse("SELECT 1").unwrap(), parse("SELECT 2").unwrap()]);
         assert!(lib.pick(Path::root(), trees, vec![]).is_none());
     }
 
     #[test]
     fn cost_personalisation_changes_the_choice() {
         // §4.3 footnote: a user who strongly prefers text boxes can set its constant very low.
-        let lib = WidgetLibrary::standard().with_cost(WidgetType::Textbox, CostFunction::constant(1.0));
+        let lib =
+            WidgetLibrary::standard().with_cost(WidgetType::Textbox, CostFunction::constant(1.0));
         let domain = Domain::from_subtrees(vec![Node::string("a"), Node::string("b")]);
-        assert_eq!(lib.pick(Path::root(), domain, vec![]).unwrap().ty, WidgetType::Textbox);
+        assert_eq!(
+            lib.pick(Path::root(), domain, vec![]).unwrap().ty,
+            WidgetType::Textbox
+        );
     }
 
     #[test]

@@ -237,7 +237,8 @@ mod tests {
 
         // Small string sets: the drop-down beats the text box; large sets: the text box wins.
         assert!(
-            WidgetType::Dropdown.default_cost().eval(4) < WidgetType::Textbox.default_cost().eval(4)
+            WidgetType::Dropdown.default_cost().eval(4)
+                < WidgetType::Textbox.default_cost().eval(4)
         );
         assert!(
             WidgetType::Dropdown.default_cost().eval(60)

@@ -72,7 +72,7 @@ impl Widget {
     /// The expressiveness check of §4.3: widget `w` expresses diff `d` iff their paths match
     /// and the target subtree `t2` is within the widget's domain.
     pub fn expresses(&self, diff: &DiffRecord) -> bool {
-        self.path == diff.path && self.can_express_subtree(diff.after.as_ref())
+        self.path == diff.path && self.can_express_subtree(diff.after.as_deref())
     }
 
     /// The display label: the user-provided one, or a generated description of what the
@@ -85,7 +85,7 @@ impl Widget {
             .domain
             .subtrees()
             .first()
-            .map(Node::label)
+            .map(|n| n.label())
             .unwrap_or_else(|| "(empty)".to_string());
         format!("{} @ {} ({})", self.ty, self.path, what)
     }
@@ -119,7 +119,13 @@ mod tests {
     fn slider_widget() -> Widget {
         let domain = Domain::from_subtrees(vec![Node::int(1), Node::int(100)]);
         let cost = WidgetType::Slider.default_cost().eval(domain.size());
-        Widget::new(WidgetType::Slider, "2/0/1".parse().unwrap(), domain, vec![], cost)
+        Widget::new(
+            WidgetType::Slider,
+            "2/0/1".parse().unwrap(),
+            domain,
+            vec![],
+            cost,
+        )
     }
 
     #[test]
@@ -166,7 +172,10 @@ mod tests {
 
         let slider = slider_widget();
         assert!(slider.expresses(d_num));
-        assert!(!slider.expresses(d_col), "different path must not be expressed");
+        assert!(
+            !slider.expresses(d_col),
+            "different path must not be expressed"
+        );
     }
 
     #[test]
@@ -176,12 +185,18 @@ mod tests {
         let records = extract_diffs(&q1, &q2, 0, 1, AncestorPolicy::LcaPruned);
         let add = &records[0];
         let domain = Domain::from_diffs(records.iter());
-        let toggle = Widget::new(WidgetType::ToggleButton, add.path.clone(), domain, vec![], 335.0);
+        let toggle = Widget::new(
+            WidgetType::ToggleButton,
+            add.path.clone(),
+            domain,
+            vec![],
+            335.0,
+        );
         assert!(toggle.expresses(add));
         // The inverse direction (deleting the TOP clause) is a diff with after = None.
         let inverse = extract_diffs(&q2, &q1, 1, 0, AncestorPolicy::LcaPruned);
         let del = &inverse[0];
-        assert!(toggle.can_express_subtree(del.after.as_ref()));
+        assert!(toggle.can_express_subtree(del.after.as_deref()));
     }
 
     #[test]

@@ -74,7 +74,10 @@ mod tests {
         let big_changes = log
             .queries
             .windows(2)
-            .filter(|pair| pi_diff::leaf_changes(&pair[0], &pair[1]).len() >= 2 || !pair[0].same_label(&pair[1]))
+            .filter(|pair| {
+                pi_diff::leaf_changes(&pair[0], &pair[1]).len() >= 2
+                    || !pair[0].same_label(&pair[1])
+            })
             .count();
         assert!(
             big_changes as f64 / 59.0 > 0.6,

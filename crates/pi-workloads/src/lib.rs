@@ -50,7 +50,9 @@ impl QueryLog {
         let sql: Vec<String> = sql.into_iter().collect();
         let queries = sql
             .iter()
-            .map(|q| pi_sql::parse(q).unwrap_or_else(|e| panic!("generator produced bad SQL `{q}`: {e}")))
+            .map(|q| {
+                pi_sql::parse(q).unwrap_or_else(|e| panic!("generator produced bad SQL `{q}`: {e}"))
+            })
             .collect();
         QueryLog {
             queries,

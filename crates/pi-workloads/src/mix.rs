@@ -57,7 +57,12 @@ mod tests {
                     cursor += 1;
                 }
             }
-            assert_eq!(cursor, log.sql.len(), "client {} not a subsequence", log.label);
+            assert_eq!(
+                cursor,
+                log.sql.len(),
+                "client {} not a subsequence",
+                log.label
+            );
         }
     }
 

@@ -64,8 +64,14 @@ pub fn schema() -> Vec<(&'static str, Vec<&'static str>)> {
         ("SpecLineIndex", vec!["specObjId", "plateId", "z", "ew"]),
         ("XCRedshift", vec!["specObjId", "tempNo", "z"]),
         ("SpecObj", vec!["specObjId", "z", "ra", "dec"]),
-        ("Galaxy", vec!["objID", "ra", "dec", "r", "g", "u", "petroRad_r"]),
-        ("PhotoObj", vec!["objID", "ra", "dec", "u", "g", "r", "i", "modelMag_r"]),
+        (
+            "Galaxy",
+            vec!["objID", "ra", "dec", "r", "g", "u", "petroRad_r"],
+        ),
+        (
+            "PhotoObj",
+            vec!["objID", "ra", "dec", "u", "g", "r", "i", "modelMag_r"],
+        ),
     ]
 }
 
@@ -73,7 +79,11 @@ fn next_query(archetype: ClientArchetype, rng: &mut StdRng) -> String {
     match archetype {
         ClientArchetype::ObjectLookup => {
             let table = ["SpecLineIndex", "XCRedshift", "SpecObj"][rng.gen_range(0..3)];
-            let attr = if rng.gen_bool(0.85) { "specObjId" } else { "plateId" };
+            let attr = if rng.gen_bool(0.85) {
+                "specObjId"
+            } else {
+                "plateId"
+            };
             let id: i64 = rng.gen_range(0x100..0x4000);
             format!("SELECT * FROM {table} WHERE {attr} = 0x{id:x}")
         }
@@ -144,7 +154,10 @@ mod tests {
             .iter()
             .filter(|q| q.children().iter().any(|c| c.kind() == NodeKind::Limit))
             .count();
-        assert!(with_top > 5 && with_top < 40, "top clause should toggle: {with_top}");
+        assert!(
+            with_top > 5 && with_top < 40,
+            "top clause should toggle: {with_top}"
+        );
     }
 
     #[test]

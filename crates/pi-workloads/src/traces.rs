@@ -68,7 +68,8 @@ pub fn simulate_trace(
         for _ in 0..repeats {
             // Symmetric triangular noise around the expected time (cheap stand-in for a
             // Gaussian; mean-zero so the least-squares fit converges to the model).
-            let noise = (rng.gen_range(-1.0..1.0f64) + rng.gen_range(-1.0..1.0f64)) * model.noise_ms;
+            let noise =
+                (rng.gen_range(-1.0..1.0f64) + rng.gen_range(-1.0..1.0f64)) * model.noise_ms;
             let millis = (model.expected_ms(n) + noise).max(1.0);
             out.push(TracePoint { n, millis });
         }
@@ -93,7 +94,12 @@ mod tests {
         let paper = pi_widgets::CostFunction::paper_dropdown();
         for n in [2usize, 5, 20, 50] {
             let rel = (fitted.eval(n) - paper.eval(n)).abs() / paper.eval(n);
-            assert!(rel < 0.12, "n={n}: fitted {} vs paper {}", fitted.eval(n), paper.eval(n));
+            assert!(
+                rel < 0.12,
+                "n={n}: fitted {} vs paper {}",
+                fitted.eval(n),
+                paper.eval(n)
+            );
         }
     }
 

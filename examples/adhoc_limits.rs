@@ -25,7 +25,10 @@ fn main() {
     let structured_curve = recall_curve(&structured.queries, &sizes, 100, &options);
     let adhoc_curve = recall_curve(&exploratory.queries, &sizes, 100, &options);
     for (s, a) in structured_curve.iter().zip(adhoc_curve.iter()) {
-        println!("{:>8}   {:>16.2}   {:>20.2}", s.training, s.recall, a.recall);
+        println!(
+            "{:>8}   {:>16.2}   {:>20.2}",
+            s.training, s.recall, a.recall
+        );
     }
 
     println!(

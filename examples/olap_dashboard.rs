@@ -6,9 +6,9 @@
 //! cargo run --example olap_dashboard
 //! ```
 
+use pi_engine::render_bar_chart;
 use precision_interfaces::prelude::*;
 use precision_interfaces::workloads::olap;
-use pi_engine::render_bar_chart;
 
 fn main() {
     // 1. The analysis log: a random walk over aggregates, groupings and filters (§7).

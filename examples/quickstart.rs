@@ -33,14 +33,21 @@ fn main() {
     // 2. The interface starts at the first query of the log; execute and render it.
     let catalog = Catalog::demo(42);
     let result = exec(generated.interface.initial_query(), &catalog).expect("query runs");
-    println!("\ninitial query:\n{}", render_sql(generated.interface.initial_query()));
+    println!(
+        "\ninitial query:\n{}",
+        render_sql(generated.interface.initial_query())
+    );
     println!("\n{}", render(&result));
 
-    // 3. The widgets generalise beyond the log: an unseen month/grouping combination is
-    //    still expressible.
-    let unseen =
-        parse("SELECT AVG(Delay), Carrier FROM ontime WHERE Month = 9 AND Day = 3 GROUP BY Carrier")
-            .unwrap();
+    // 3. Probe generalisation: is an unseen month/grouping combination expressible?  For this
+    //    log the greedy merger (Algorithm 3) collapses everything into one whole-query radio —
+    //    cheaper than the five fine-grained widgets, but it only replays logged queries, so the
+    //    probe reports false.  Disabling merging (`MapperOptions { enable_merging: false, .. }`)
+    //    keeps the sliders/drop-downs and makes the unseen combination expressible.
+    let unseen = parse(
+        "SELECT AVG(Delay), Carrier FROM ontime WHERE Month = 9 AND Day = 3 GROUP BY Carrier",
+    )
+    .unwrap();
     println!(
         "unseen query expressible through the widgets: {}",
         generated.interface.can_express(&unseen)

@@ -29,7 +29,8 @@ fn end_to_end_olap_interface_queries_all_execute() {
     // expressed by some widget, either directly or through a widget at an ancestor path (the
     // coverage invariant the merging phase preserves).
     for pair in log.queries.windows(2).take(30) {
-        let records = pi_diff::extract_diffs(&pair[0], &pair[1], 0, 1, pi_diff::AncestorPolicy::LcaPruned);
+        let records =
+            pi_diff::extract_diffs(&pair[0], &pair[1], 0, 1, pi_diff::AncestorPolicy::LcaPruned);
         let expressed_paths: Vec<_> = records
             .iter()
             .filter(|r| generated.interface.widgets().iter().any(|w| w.expresses(r)))
@@ -60,14 +61,18 @@ fn end_to_end_olap_interface_queries_all_execute() {
             executed += 1;
         }
     }
-    assert!(executed > 0, "at least some closure queries must be executable");
+    assert!(
+        executed > 0,
+        "at least some closure queries must be executable"
+    );
 }
 
 #[test]
 fn sdss_client_interface_generalises_and_compiles_to_html() {
     let log = sdss::client_log(sdss::ClientArchetype::ObjectLookup, 11, 150);
     let split = split_log(&log.queries, 50);
-    let (recall, generated) = holdout_recall(&split.train[..60], split.holdout, &PiOptions::default());
+    let (recall, generated) =
+        holdout_recall(&split.train[..60], split.holdout, &PiOptions::default());
     assert!(
         recall >= 0.9,
         "structured SDSS analyses should generalise, got {recall}"
@@ -97,7 +102,10 @@ fn heterogeneous_logs_lose_precision_but_the_filter_restores_it() {
     let catalog = Catalog::demo(2);
     let schema = catalog_schema(&catalog);
     let precision = closure_precision(&generated.interface, &schema, 5_000);
-    assert!(precision < 1.0, "mixed-client closures should contain invalid queries");
+    assert!(
+        precision < 1.0,
+        "mixed-client closures should contain invalid queries"
+    );
     let filtered = filtered_closure(&generated.interface, &schema, 5_000);
     assert!(filtered.iter().all(|q| query_is_schema_valid(q, &schema)));
 }

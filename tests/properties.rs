@@ -27,10 +27,12 @@ fn arb_query() -> impl Strategy<Value = Node> {
                 .project(Node::column(dim))
                 .from_table("ontime");
             if let Some(month) = month {
-                builder = builder.where_pred(SelectBuilder::eq(Node::column("Month"), Node::int(month)));
+                builder =
+                    builder.where_pred(SelectBuilder::eq(Node::column("Month"), Node::int(month)));
             }
             if let Some(day) = day {
-                builder = builder.where_pred(SelectBuilder::eq(Node::column("Day"), Node::int(day)));
+                builder =
+                    builder.where_pred(SelectBuilder::eq(Node::column("Day"), Node::int(day)));
             }
             if grouped {
                 builder = builder.group_by(Node::column(dim));
@@ -139,6 +141,75 @@ proptest! {
         })
         .from_queries(queries.clone());
         prop_assert!(generated.interface.cost() <= unmerged.interface.cost() + 1e-6);
+    }
+
+    // ------------------------------------------------------------ AST core invariants
+
+    /// The memoized structural hash always equals a from-scratch recompute, including after
+    /// `replaced`/`removed` mutations at arbitrary valid paths.
+    #[test]
+    fn memoized_hash_matches_recompute_after_mutations(a in arb_query(), b in arb_query()) {
+        prop_assert_eq!(a.structural_hash(), a.recomputed_hash());
+        let paths: Vec<Path> = a.preorder().into_iter().map(|(p, _)| p).collect();
+        let target = paths[paths.len() / 2].clone();
+        let replaced = a.replaced(&target, b.clone()).expect("preorder paths exist");
+        prop_assert_eq!(replaced.structural_hash(), replaced.recomputed_hash());
+        if !target.is_root() {
+            let removed = a.removed(&target).expect("non-root path removal");
+            prop_assert_eq!(removed.structural_hash(), removed.recomputed_hash());
+            let inserted = removed
+                .inserted(&target, b.clone())
+                .expect("re-inserting at the removal site");
+            prop_assert_eq!(inserted.structural_hash(), inserted.recomputed_hash());
+        }
+        // Hash equality tracks structural equality.
+        prop_assert_eq!(a.structural_hash() == replaced.structural_hash(), a == replaced);
+    }
+
+    /// Parallel and serial interaction-graph builds over the same log are identical: same
+    /// edges, same diff ids, same records, in the same order.
+    #[test]
+    fn parallel_and_serial_graph_builds_are_identical(
+        queries in prop::collection::vec(arb_query(), 2..24),
+    ) {
+        use precision_interfaces::graph::{GraphBuilder, WindowStrategy};
+        for window in [WindowStrategy::AllPairs, WindowStrategy::Sliding(4)] {
+            let serial = GraphBuilder::new()
+                .window(window)
+                .parallel(false)
+                .build(queries.clone());
+            let parallel = GraphBuilder::new()
+                .window(window)
+                .parallel(true)
+                .build(queries.clone());
+            prop_assert_eq!(serial.edges.len(), parallel.edges.len());
+            prop_assert_eq!(serial.store.len(), parallel.store.len());
+            for (a, b) in serial.edges.iter().zip(parallel.edges.iter()) {
+                prop_assert_eq!((a.from, a.to, &a.diffs), (b.from, b.to, &b.diffs));
+            }
+            for ((ia, ra), (ib, rb)) in serial.store.iter().zip(parallel.store.iter()) {
+                prop_assert_eq!(ia, ib);
+                prop_assert_eq!(ra, rb);
+            }
+        }
+    }
+
+    /// Attribute-name interning is invisible to rendering: every key round-trips through the
+    /// intern table, and a query rebuilt from its rendered SQL renders identically (same text,
+    /// same structural identity).
+    #[test]
+    fn interning_never_changes_render_output(query in arb_query()) {
+        use precision_interfaces::ast::Sym;
+        query.visit(&mut |node| {
+            for (key, _) in node.attrs() {
+                assert_eq!(Sym::intern(key.as_str()), *key);
+                assert_eq!(Sym::intern(key.as_str()).as_str(), key.as_str());
+            }
+        });
+        let rendered = render_sql(&query);
+        let rebuilt = parse(&rendered).expect("rendered SQL parses");
+        prop_assert_eq!(render_sql(&rebuilt), rendered);
+        prop_assert_eq!(rebuilt.id(), query.id());
     }
 
     // ------------------------------------------------------------ widget domains

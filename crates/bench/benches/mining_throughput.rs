@@ -3,11 +3,13 @@
 //! This is the headline perf number for the AST-core refactor (memoized structural hashes,
 //! interned attribute names, `Arc`-shared diff subtrees): it measures the mining stage alone —
 //! pairwise tree alignment plus graph construction, the cost the paper's Figures 11/12 are
-//! about — serial and parallel, and the full pipeline for context.  Results are written to
-//! `BENCH_mining.json` at the workspace root so successive PRs can track the trajectory.
+//! about — serial and parallel, and the full pipeline for context, plus the amortised cost
+//! of appending a single query to a streaming `Session` (which must stay O(w), independent
+//! of the session length).  Results are written to `BENCH_mining.json` at the workspace
+//! root so successive PRs can track the trajectory.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use pi_core::{PiOptions, PrecisionInterfaces};
+use pi_core::{PiOptions, PrecisionInterfaces, Session};
 use pi_graph::{GraphBuilder, IntoQueryLog, QueryLog, WindowStrategy};
 use pi_workloads::olap;
 use std::time::Duration;
@@ -49,12 +51,50 @@ fn bench_mining_throughput(c: &mut Criterion) {
         b.iter(|| pipeline.from_queries(&queries));
     });
 
+    // Amortised cost of appending ONE query to an already-512-query streaming session: the
+    // sliding window admits only the previous 15 partners, so each append runs O(w)
+    // alignments however long the session grows — compare against `mine_sliding16`, which
+    // pays the full O(n·w) rebuild.  (The session keeps growing across iterations; that is
+    // the point: per-append cost must stay flat.)
+    group.bench_function("session_append_sliding16", |b| {
+        let mut session = Session::new(PiOptions {
+            window: WindowStrategy::sliding(16),
+            ..PiOptions::default()
+        });
+        session.push_all(queries.iter().cloned());
+        let mut next = 0usize;
+        b.iter(|| {
+            let idx = session.push(queries[next % LOG_SIZE].clone());
+            next += 1;
+            idx
+        });
+    });
+
+    // The live-dashboard refresh loop: push one query AND take a snapshot.  Unlike the pure
+    // append above, each refresh freezes the log (O(n) node clones) and re-runs the mapper,
+    // so this is deliberately *not* O(w) — it is the number to budget against when choosing
+    // a snapshot cadence.
+    group.bench_function("session_refresh_sliding16", |b| {
+        let mut session = Session::new(PiOptions {
+            window: WindowStrategy::sliding(16),
+            ..PiOptions::default()
+        });
+        session.push_all(queries.iter().cloned());
+        let mut next = 0usize;
+        b.iter(|| {
+            session.push(queries[next % LOG_SIZE].clone());
+            next += 1;
+            session.snapshot().version
+        });
+    });
+
     group.finish();
 }
 
-/// Sanity-checks the determinism contract before publishing numbers: parallel and serial
-/// builds of the same log must produce identical edges and diff stores.
-fn assert_parallel_matches_serial(queries: &QueryLog) {
+/// Sanity-checks the determinism contracts before publishing numbers: parallel and serial
+/// builds of the same log must be identical, and a streaming session's graph must be
+/// identical to the batch build of the same log.
+fn assert_determinism_contracts(queries: &QueryLog) {
     let serial = GraphBuilder::new()
         .window(WindowStrategy::Sliding(16))
         .parallel(false)
@@ -63,15 +103,14 @@ fn assert_parallel_matches_serial(queries: &QueryLog) {
         .window(WindowStrategy::Sliding(16))
         .parallel(true)
         .build(queries);
-    assert_eq!(serial.edges.len(), parallel.edges.len());
-    assert_eq!(serial.store.len(), parallel.store.len());
-    for (a, b) in serial.edges.iter().zip(parallel.edges.iter()) {
-        assert_eq!((a.from, a.to, &a.diffs), (b.from, b.to, &b.diffs));
-    }
-    for ((ida, ra), (idb, rb)) in serial.store.iter().zip(parallel.store.iter()) {
-        assert_eq!(ida, idb);
-        assert_eq!(ra, rb);
-    }
+    let mut session = Session::new(PiOptions {
+        window: WindowStrategy::sliding(16),
+        ..PiOptions::default()
+    });
+    session.push_all(queries.iter().cloned());
+    let streamed = session.graph();
+    assert_eq!(serial, parallel);
+    assert_eq!(serial, streamed);
 }
 
 fn export_json(c: &Criterion) {
@@ -101,7 +140,7 @@ fn export_json(c: &Criterion) {
 criterion_group!(benches, bench_mining_throughput);
 
 fn main() {
-    assert_parallel_matches_serial(&olap_log());
+    assert_determinism_contracts(&olap_log());
     let mut c = Criterion::new();
     benches(&mut c);
     export_json(&c);

@@ -12,6 +12,10 @@
 //! * the **end-to-end pipeline** (§3.2, §6): parse a query log, mine the interaction graph
 //!   (with the sliding-window and LCA-pruning optimisations), map it to widgets, and report
 //!   stage timings ([`PrecisionInterfaces`], [`GeneratedInterface`]);
+//! * **streaming ingestion** ([`Session`]): queries are appended one at a time, each new
+//!   query is diffed only against the predecessors the window strategy admits, and versioned
+//!   snapshots are byte-identical to batch builds of the same prefix — the one-shot entry
+//!   points are thin wrappers over a session;
 //! * the **evaluation utilities** used throughout §7: hold-out recall curves
 //!   ([`recall`]) and closure precision against a database schema with and without the
 //!   column→table filter of Appendix D ([`precision`]).
@@ -38,10 +42,12 @@ mod mapper;
 mod pipeline;
 pub mod precision;
 pub mod recall;
+pub mod session;
 
 pub use interface::Interface;
 pub use mapper::{InteractionMapper, MapperOptions};
 pub use pipeline::{GeneratedInterface, PiOptions, PrecisionInterfaces, StageTimings};
+pub use session::Session;
 
 #[cfg(test)]
 mod tests {

@@ -70,9 +70,9 @@ impl InteractionMapper {
 
         let mut widgets = self.initialize(graph);
         if self.options.enable_merging {
-            let pairs = PairIndex::build(&graph.store);
+            let pairs = PairIndex::build(graph.store());
             for _ in 0..self.options.max_merge_passes {
-                if !self.merge_pass(&mut widgets, &graph.store, &pairs) {
+                if !self.merge_pass(&mut widgets, graph.store(), &pairs) {
                     break;
                 }
             }
@@ -84,8 +84,8 @@ impl InteractionMapper {
     /// Algorithm 1: one widget per path partition, instantiated by `pickWidget`.
     fn initialize(&self, graph: &InteractionGraph) -> Vec<Widget> {
         let mut widgets = Vec::new();
-        for (path, ids) in graph.store.partition_by_path() {
-            let domain = Domain::from_diffs(ids.iter().map(|id| graph.store.get(*id)));
+        for (path, ids) in graph.store().partition_by_path() {
+            let domain = Domain::from_diffs(ids.iter().map(|id| graph.store().get(*id)));
             if let Some(widget) = self.library.pick(path, domain, ids) {
                 widgets.push(widget);
             }
@@ -346,7 +346,7 @@ mod tests {
             });
         let iface = mapper.map(&g);
         assert!(
-            iface.expressiveness(&g.queries) >= 1.0,
+            iface.expressiveness(g.queries()) >= 1.0,
             "{}",
             iface.describe()
         );
@@ -370,7 +370,7 @@ mod tests {
         let mapper = InteractionMapper::new(WidgetLibrary::standard());
         let iface = mapper.map(&g);
         assert!(
-            iface.expressiveness(&g.queries) >= 1.0,
+            iface.expressiveness(g.queries()) >= 1.0,
             "{}",
             iface.describe()
         );
@@ -409,7 +409,7 @@ mod tests {
                 let g = graph(&log, window);
                 let iface = InteractionMapper::new(WidgetLibrary::standard()).map(&g);
                 assert!(
-                    iface.expressiveness(&g.queries) >= 1.0,
+                    iface.expressiveness(g.queries()) >= 1.0,
                     "window {window:?}, log {log:?}:\n{}",
                     iface.describe()
                 );
@@ -451,6 +451,6 @@ mod tests {
         let g = graph(&["SELECT a FROM t"], WindowStrategy::AllPairs);
         let iface = InteractionMapper::new(WidgetLibrary::standard()).map(&g);
         assert!(iface.widgets().is_empty());
-        assert!(iface.can_express(&g.queries[0]));
+        assert!(iface.can_express(&g.queries()[0]));
     }
 }

@@ -8,15 +8,13 @@
 
 use crate::interface::Interface;
 use crate::mapper::{InteractionMapper, MapperOptions};
-use pi_ast::Node;
+use crate::session::Session;
 use pi_diff::AncestorPolicy;
 use pi_graph::{
     GraphBuilder, GraphStats, InteractionGraph, IntoQueryLog, QueryLog, WindowStrategy,
 };
-use pi_sql::parse_log;
 use pi_widgets::WidgetLibrary;
 use std::fmt;
-use std::time::Instant;
 
 /// Configuration of the end-to-end pipeline.
 #[derive(Debug, Clone)]
@@ -105,6 +103,12 @@ impl fmt::Display for PipelineError {
 impl std::error::Error for PipelineError {}
 
 /// The output of a pipeline run: the interface plus everything the experiments report.
+///
+/// Versioned: `version` is the number of queries the producing [`Session`] had ingested at
+/// snapshot time, and snapshots with equal versions have identical graphs, stats and
+/// interfaces (only the bookkeeping differs: `skipped` counts unparseable statements, which
+/// don't bump the version, and `timings` keep accumulating).  A batch build of `n` queries
+/// is the snapshot at version `n`.
 #[derive(Debug, Clone)]
 pub struct GeneratedInterface {
     /// The generated interactive interface.
@@ -112,12 +116,18 @@ pub struct GeneratedInterface {
     /// The parsed queries that were used (unparseable log entries are dropped and counted),
     /// shared with the interaction graph rather than cloned out of it.
     pub queries: QueryLog,
+    /// The mined interaction graph the interface was mapped from (shares `queries`).
+    pub graph: InteractionGraph,
     /// Number of log entries that failed to parse and were skipped.
     pub skipped: usize,
     /// Interaction-graph statistics (edge and record counts).
     pub graph_stats: GraphStats,
-    /// Per-stage timings.
+    /// Per-stage timings.  For a streaming session every stage *accumulates* — parse over
+    /// all `push_sql` calls, mining over all pushes, mapping over all snapshot refreshes —
+    /// so this is the only field of a snapshot that is not batch-identical.
     pub timings: StageTimings,
+    /// The number of queries ingested when this snapshot was taken.
+    pub version: u64,
 }
 
 /// The Precision Interfaces system: configure once, run over query logs.
@@ -137,52 +147,38 @@ impl PrecisionInterfaces {
         &self.options
     }
 
+    /// Opens a streaming [`Session`] with this pipeline's options.
+    ///
+    /// The one-shot entry points below are thin wrappers over such a session — a session
+    /// snapshot after `n` pushes is identical to a batch run over those `n` queries.
+    pub fn session(&self) -> Session {
+        Session::new(self.options.clone())
+    }
+
     /// Runs the pipeline over a textual SQL log (statements separated by semicolons).
     ///
     /// Unparseable statements are skipped (and counted in
     /// [`GeneratedInterface::skipped`]) rather than aborting the run — real query logs contain
     /// typos and statements in unsupported dialects.
     pub fn from_sql_log(&self, log: &str) -> Result<GeneratedInterface, PipelineError> {
-        let start = Instant::now();
-        let parsed = parse_log(log);
-        let skipped = parsed.iter().filter(|r| r.is_err()).count();
-        let queries: Vec<Node> = parsed.into_iter().filter_map(Result::ok).collect();
-        let parse_ms = start.elapsed().as_secs_f64() * 1e3;
-        if queries.is_empty() {
+        let mut session = self.session();
+        session.push_sql(log);
+        if session.is_empty() {
             return Err(PipelineError::EmptyLog);
         }
-        let mut out = self.from_queries(queries);
-        out.timings.parse_ms = parse_ms;
-        out.skipped = skipped;
-        Ok(out)
+        Ok(session.into_snapshot())
     }
 
-    /// Runs the pipeline over an already-parsed query log.
-    ///
-    /// Owned `Vec<Node>` logs are moved into a shared [`QueryLog`]; existing `QueryLog`s are
-    /// shared as-is.  Either way the graph, the result and the caller all reference one
-    /// allocation — the log is never deep-cloned.
+    /// Runs the pipeline over an already-parsed query log by streaming it through a
+    /// [`Session`] — batch and streaming deliberately share one code path.  The wrapper
+    /// stays cheap: owned `Vec<Node>` logs *move* into the session
+    /// ([`IntoQueryLog::into_query_vec`]) and the consuming [`Session::into_snapshot`]
+    /// moves the graph back out, so the only copy is for `Arc`'d inputs whose caller keeps
+    /// sharing the nodes.
     pub fn from_queries(&self, queries: impl IntoQueryLog) -> GeneratedInterface {
-        let queries: QueryLog = queries.into_query_log();
-        let mining_start = Instant::now();
-        let graph = self.mine(&queries);
-        let mining_ms = mining_start.elapsed().as_secs_f64() * 1e3;
-
-        let mapping_start = Instant::now();
-        let interface = self.map(&graph);
-        let mapping_ms = mapping_start.elapsed().as_secs_f64() * 1e3;
-
-        GeneratedInterface {
-            interface,
-            graph_stats: graph.stats(),
-            queries,
-            skipped: 0,
-            timings: StageTimings {
-                parse_ms: 0.0,
-                mining_ms,
-                mapping_ms,
-            },
-        }
+        let mut session = self.session();
+        session.push_all(queries.into_query_vec());
+        session.into_snapshot()
     }
 
     /// The interaction-mining stage alone (exposed for the runtime experiments).
@@ -196,15 +192,22 @@ impl PrecisionInterfaces {
 
     /// The interaction-mapping stage alone (exposed for the runtime experiments).
     pub fn map(&self, graph: &InteractionGraph) -> Interface {
-        InteractionMapper::new(self.options.library.clone())
-            .with_options(self.options.mapper)
-            .map(graph)
+        map_graph(&self.options, graph)
     }
+}
+
+/// Maps a mined graph to an interface under the given options — the single mapping entry
+/// point shared by batch runs and session snapshots.
+pub(crate) fn map_graph(options: &PiOptions, graph: &InteractionGraph) -> Interface {
+    InteractionMapper::new(options.library.clone())
+        .with_options(options.mapper)
+        .map(graph)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pi_ast::Node;
 
     #[test]
     fn pipeline_reports_timings_and_stats() {
@@ -216,7 +219,11 @@ mod tests {
         let out = PrecisionInterfaces::default().from_sql_log(log).unwrap();
         assert_eq!(out.queries.len(), 3);
         assert_eq!(out.skipped, 0);
+        assert_eq!(out.version, 3);
         assert!(out.graph_stats.edges >= 2);
+        // The result carries the mined graph itself, sharing the query log.
+        assert_eq!(out.graph.stats(), out.graph_stats);
+        assert!(std::sync::Arc::ptr_eq(out.graph.queries(), &out.queries));
         assert!(out.timings.total_ms() >= 0.0);
         assert!(out.timings.to_string().contains("total"));
     }

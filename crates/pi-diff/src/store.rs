@@ -19,7 +19,15 @@ impl std::fmt::Display for DiffId {
 }
 
 /// Append-only arena of diff records.
-#[derive(Debug, Default, Clone)]
+///
+/// Append-only is a load-bearing property, not an implementation detail: once a record is
+/// pushed, its [`DiffId`] is stable forever.  Incremental graph construction leans on this —
+/// a streaming session keeps appending to one store across pushes, and every snapshot sees
+/// the same ids a batch build of the same prefix would have assigned.
+///
+/// Equality compares record contents in id order — two stores are equal exactly when every
+/// `DiffId` resolves to the same record in both.
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct DiffStore {
     records: Vec<DiffRecord>,
 }
@@ -30,9 +38,18 @@ impl DiffStore {
         Self::default()
     }
 
+    /// The id the *next* pushed record will receive.
+    ///
+    /// Because the store is append-only this is also the offset at which another store's
+    /// records would land if appended — the key to merging per-shard stores with stable id
+    /// translation.
+    pub fn next_id(&self) -> DiffId {
+        DiffId(self.records.len())
+    }
+
     /// Adds a record and returns its id.
     pub fn push(&mut self, record: DiffRecord) -> DiffId {
-        let id = DiffId(self.records.len());
+        let id = self.next_id();
         self.records.push(record);
         id
     }
@@ -40,6 +57,19 @@ impl DiffStore {
     /// Adds many records, returning their ids in order.
     pub fn extend<I: IntoIterator<Item = DiffRecord>>(&mut self, records: I) -> Vec<DiffId> {
         records.into_iter().map(|r| self.push(r)).collect()
+    }
+
+    /// Appends every record of `other` to this store, returning the offset its ids moved by:
+    /// `other`'s record `DiffId(k)` is this store's `DiffId(offset + k)` afterwards.
+    /// Record subtrees are `Arc`-shared, so this moves pointers, never trees.
+    ///
+    /// The offset is the caller's rebasing key: any `DiffId` captured against `other` (edge
+    /// labels, widget `init_diffs`) must be shifted by it before use against `self` — this
+    /// method moves records only, it cannot see the structures that reference them.
+    pub fn append(&mut self, other: DiffStore) -> usize {
+        let offset = self.records.len();
+        self.records.extend(other.records);
+        offset
     }
 
     /// Looks up a record.
@@ -131,6 +161,24 @@ mod tests {
         assert!(!leaves.is_empty());
         assert!(leaves.iter().all(|id| store.get(*id).is_leaf));
         assert!(leaves.len() < store.len());
+    }
+
+    #[test]
+    fn append_offsets_ids_stably() {
+        let mut left = populated_store();
+        let right = populated_store();
+        let before = left.len();
+        assert_eq!(left.next_id(), DiffId(before));
+        let offset = left.append(right.clone());
+        assert_eq!(offset, before);
+        assert_eq!(left.len(), before + right.len());
+        for (id, record) in right.iter() {
+            assert_eq!(left.get(DiffId(offset + id.0)), record);
+        }
+        // Pre-existing ids are untouched.
+        for (id, record) in populated_store().iter() {
+            assert_eq!(left.get(id), record);
+        }
     }
 
     #[test]

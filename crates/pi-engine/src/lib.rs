@@ -8,11 +8,11 @@
 //! * [`catalog`] — a catalog pre-populated with synthetic OnTime and SDSS-subset data (the
 //!   datasets the paper's interfaces query), plus the generic tables used by the paper's
 //!   examples,
-//! * [`exec`] — a straightforward executor for the SQL subset produced by `pi-sql`:
+//! * [`mod@exec`] — a straightforward executor for the SQL subset produced by `pi-sql`:
 //!   projections with expressions, WHERE filters, comma joins and explicit joins, derived
 //!   tables, the `dbo.fGetNearbyObjEq` cone-search UDF, GROUP BY / aggregates / HAVING,
 //!   ORDER BY, DISTINCT and TOP/LIMIT,
-//! * [`render`] — ASCII table and bar-chart rendering of query results (the `render()` half
+//! * [`mod@render`] — ASCII table and bar-chart rendering of query results (the `render()` half
 //!   of the contract; the paper defers fancier visualisation to auto-vis systems).
 //!
 //! ```

@@ -1,6 +1,15 @@
 //! Graph construction: pair enumeration strategies and (optionally parallel) pairwise diffing.
+//!
+//! Construction is defined *incrementally*: appending query `j` to a log compares it against
+//! the predecessors the [`WindowStrategy`] admits (its `j - 1` predecessors for
+//! [`WindowStrategy::AllPairs`], the previous `w - 1` for a sliding window), and appends the
+//! resulting diff records and edge to the growing graph.  A batch [`GraphBuilder::build`] is
+//! exactly the fold of [`GraphBuilder::extend`] over the log, so a streaming session that
+//! appends queries one at a time produces a graph byte-identical to a one-shot build of the
+//! same prefix — the invariant `pi-core`'s `Session` is built on.
 
-use crate::graph::{Edge, InteractionGraph, IntoQueryLog, QueryLog};
+use crate::graph::{Edge, GraphStats, InteractionGraph, IntoQueryLog, QueryLog};
+use pi_ast::Node;
 use pi_diff::{extract_diffs, AncestorPolicy, DiffRecord, DiffStore};
 use std::ops::Range;
 
@@ -11,10 +20,25 @@ pub enum WindowStrategy {
     AllPairs,
     /// Compare only queries within a sliding window of the given size over the log order
     /// (§6.1).  A window of 2 compares consecutive queries only.
+    ///
+    /// Prefer constructing this through [`WindowStrategy::sliding`], which normalises the
+    /// window size.  A degenerate `Sliding(w)` with `w < 2` is still accepted and clamped to
+    /// 2 wherever pairs are enumerated, but new code should not rely on that clamp — it
+    /// exists only so that historical configurations keep working.
     Sliding(usize),
 }
 
 impl WindowStrategy {
+    /// A sliding window of size `w`, normalised.
+    ///
+    /// A window below 2 cannot compare anything (a pair needs two queries), so `w < 2` is
+    /// normalised to 2 — the paper's minimum, which compares consecutive queries only.  This
+    /// constructor makes the degenerate case explicit at construction time instead of
+    /// silently clamping deep inside pair enumeration.
+    pub fn sliding(w: usize) -> Self {
+        WindowStrategy::Sliding(w.max(2))
+    }
+
     /// The `j` partners compared with query `i` (always `j > i`) in a log of `n` queries.
     pub fn row_pairs(self, i: usize, n: usize) -> Range<usize> {
         match self {
@@ -23,12 +47,26 @@ impl WindowStrategy {
         }
     }
 
+    /// The predecessors `i` an *appended* query `j` is compared against (always `i < j`).
+    ///
+    /// This is the adjoint of [`WindowStrategy::row_pairs`]: `i ∈ prev_pairs(j)` exactly when
+    /// `j ∈ row_pairs(i, j + 1)`.  It is the unit of incremental construction — when a log
+    /// grows by one query, these are precisely the new alignments to run, and for a sliding
+    /// window there are at most `w - 1` of them regardless of how long the log already is.
+    pub fn prev_pairs(self, j: usize) -> Range<usize> {
+        match self {
+            WindowStrategy::AllPairs => 0..j,
+            WindowStrategy::Sliding(w) => j.saturating_sub(w.max(2) - 1)..j,
+        }
+    }
+
     /// Enumerates the `(i, j)` pairs (with `i < j`) this strategy compares for a log of
-    /// `n` queries, in row-major order.
+    /// `n` queries, in *append order*: all partners of query 1, then of query 2, and so on —
+    /// the order in which a streaming ingest discovers them.
     ///
     /// Lazily: `AllPairs` over a large log never materialises its `O(n²)` pair list.
     pub fn pairs(self, n: usize) -> impl Iterator<Item = (usize, usize)> {
-        (0..n).flat_map(move |i| self.row_pairs(i, n).map(move |j| (i, j)))
+        (0..n).flat_map(move |j| self.prev_pairs(j).map(move |i| (i, j)))
     }
 
     /// The exact number of pairs [`WindowStrategy::pairs`] yields, in closed form.
@@ -46,6 +84,80 @@ impl WindowStrategy {
                 }
             }
         }
+    }
+}
+
+/// The growable state behind an incremental graph build: the log ingested so far, the
+/// append-only [`DiffStore`], and the edges discovered per appended query.
+///
+/// Grown one query at a time with [`GraphBuilder::extend`]; frozen into an
+/// [`InteractionGraph`] with [`GraphAccumulator::to_graph`] (non-destructive, for streaming
+/// snapshots) or [`GraphAccumulator::into_graph`] (consuming, for one-shot builds).  Because
+/// the store is append-only, every `DiffId` handed out while extending stays valid — and
+/// identical — across all later snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct GraphAccumulator {
+    pub(crate) queries: Vec<Node>,
+    pub(crate) store: DiffStore,
+    pub(crate) edges: Vec<Edge>,
+}
+
+impl GraphAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queries ingested so far.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when no query has been ingested yet.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The queries ingested so far, in append order.
+    pub fn queries(&self) -> &[Node] {
+        &self.queries
+    }
+
+    /// The diff records accumulated so far.
+    pub fn store(&self) -> &DiffStore {
+        &self.store
+    }
+
+    /// The edges accumulated so far.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Summary statistics of the graph accumulated so far.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats {
+            queries: self.queries.len(),
+            edges: self.edges.len(),
+            diff_records: self.store.len(),
+            distinct_paths: self.store.partition_by_path().len(),
+        }
+    }
+
+    /// Freezes the current state into an [`InteractionGraph`] without consuming the
+    /// accumulator: the log is cloned into a fresh shared allocation, the store and edges
+    /// are cloned as-is (record subtrees are `Arc`-shared, so this copies pointers, not
+    /// trees).
+    pub fn to_graph(&self) -> InteractionGraph {
+        InteractionGraph::from_parts(
+            self.queries.as_slice(),
+            self.store.clone(),
+            self.edges.clone(),
+        )
+    }
+
+    /// Consumes the accumulator, moving its state into an [`InteractionGraph`].
+    pub fn into_graph(self) -> InteractionGraph {
+        InteractionGraph::from_parts(self.queries, self.store, self.edges)
     }
 }
 
@@ -86,73 +198,105 @@ impl GraphBuilder {
     }
 
     /// Enables or disables multi-threaded pairwise diffing.
+    ///
+    /// On a single-core host this is a no-op: the builder falls back to the serial path, so
+    /// `parallel(true)` is never slower than serial there.
     pub fn parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
     }
 
+    /// Appends one query to an incrementally built graph, running only the new alignments
+    /// the window strategy admits ([`WindowStrategy::prev_pairs`]) and appending their
+    /// records to the accumulator's store at stable `DiffId` offsets.  Returns the appended
+    /// query's log index.
+    ///
+    /// Folding `extend` over a log yields the same accumulator state as a one-shot
+    /// [`GraphBuilder::build`] of that log — same edges, same records, same ids, in the same
+    /// order.
+    pub fn extend(&self, acc: &mut GraphAccumulator, query: Node) -> usize {
+        self.extend_batch(acc, std::iter::once(query)).start
+    }
+
+    /// Appends many queries at once, returning the range of their log indices.
+    ///
+    /// Equivalent to (and byte-identical with) calling [`GraphBuilder::extend`] per query,
+    /// but when the builder is parallel and the batch brings enough new alignments, they are
+    /// fanned out across cores — this is how the one-shot pipeline entry points keep their
+    /// multi-core mining while being wrappers over a streaming session.
+    pub fn extend_batch(
+        &self,
+        acc: &mut GraphAccumulator,
+        queries: impl IntoIterator<Item = Node>,
+    ) -> Range<usize> {
+        let start = acc.queries.len();
+        acc.queries.extend(queries);
+        let end = acc.queries.len();
+        let new_pairs = self.window.pair_count(end) - self.window.pair_count(start);
+        // The fan-out is row-granular, so a single appended row can never parallelise —
+        // don't pay the thread-scope overhead for it (the common per-query `extend` case).
+        if self.parallel && end - start > 1 && available_cores() > 1 && new_pairs > 32 {
+            for (i, j, records) in self.diff_pairs_parallel(&acc.queries, start..end) {
+                append_pair(&mut acc.store, &mut acc.edges, i, j, records);
+            }
+        } else {
+            for j in start..end {
+                for i in self.window.prev_pairs(j) {
+                    let records =
+                        extract_diffs(&acc.queries[i], &acc.queries[j], i, j, self.policy);
+                    append_pair(&mut acc.store, &mut acc.edges, i, j, records);
+                }
+            }
+        }
+        start..end
+    }
+
     /// Builds the interaction graph for a log of parsed queries.
     ///
     /// The log is taken as (or converted into) a [`QueryLog`], so graphs built from an
-    /// existing `Arc`'d log share it instead of cloning every query.
+    /// existing `Arc`'d log share it instead of cloning every query.  The result is
+    /// identical to folding [`GraphBuilder::extend`] over the log — pairs are diffed in
+    /// append order — the parallel path only computes the alignments concurrently before
+    /// assembling them in that same order.
     pub fn build(&self, queries: impl IntoQueryLog) -> InteractionGraph {
         let queries: QueryLog = queries.into_query_log();
         let n = queries.len();
-        let per_pair = if self.parallel && self.window.pair_count(n) > 32 {
-            self.diff_pairs_parallel(&queries)
-        } else {
-            self.window
-                .pairs(n)
-                .map(|(i, j)| {
-                    (
-                        i,
-                        j,
-                        extract_diffs(&queries[i], &queries[j], i, j, self.policy),
-                    )
-                })
-                .collect()
-        };
-
         let mut store = DiffStore::new();
         let mut edges = Vec::new();
-        for (i, j, records) in per_pair {
-            if records.is_empty() {
-                continue;
+        if self.parallel && available_cores() > 1 && self.window.pair_count(n) > 32 {
+            for (i, j, records) in self.diff_pairs_parallel(&queries, 0..n) {
+                append_pair(&mut store, &mut edges, i, j, records);
             }
-            let (leaves, ancestors): (Vec<DiffRecord>, Vec<DiffRecord>) =
-                records.into_iter().partition(|r| r.is_leaf);
-            let leaf_ids = store.extend(leaves);
-            store.extend(ancestors);
-            edges.push(Edge {
-                from: i,
-                to: j,
-                diffs: leaf_ids,
-            });
+        } else {
+            for j in 0..n {
+                for i in self.window.prev_pairs(j) {
+                    let records = extract_diffs(&queries[i], &queries[j], i, j, self.policy);
+                    append_pair(&mut store, &mut edges, i, j, records);
+                }
+            }
         }
-
-        InteractionGraph {
-            queries,
-            store,
-            edges,
-        }
+        InteractionGraph::from_parts(queries, store, edges)
     }
 
-    /// Fans pairwise diffing out over the available cores with scoped threads.
+    /// Fans pairwise diffing out over the available cores with scoped threads, for the
+    /// append-order rows `rows` (query `j` paired with its admitted predecessors) of a log.
     ///
-    /// The row space is cut into small chunks (4 per worker) and exactly `threads` workers
+    /// The row range is cut into small chunks (4 per worker) and exactly `threads` workers
     /// each process every `threads`-th chunk — the stride balances the triangular AllPairs
-    /// workload (early rows have more partners than late ones) without oversubscribing the
-    /// CPU.  Workers collect results per chunk, and the chunks are re-assembled in row order
-    /// afterwards, so the output is *identical* to the serial row-major enumeration — no
-    /// shared mutable state, no lock contention.
-    fn diff_pairs_parallel(&self, queries: &QueryLog) -> Vec<(usize, usize, Vec<DiffRecord>)> {
-        let n = queries.len();
-        let threads = std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(4)
-            .min(n.max(1));
-        let chunk = n.div_ceil(threads * 4).max(1);
-        let chunk_count = n.div_ceil(chunk);
+    /// workload (late queries have more predecessors than early ones) without
+    /// oversubscribing the CPU.  Workers collect results per chunk, and the chunks are
+    /// re-assembled in append order afterwards, so the output is *identical* to the serial
+    /// enumeration — no shared mutable state, no lock contention.
+    fn diff_pairs_parallel(
+        &self,
+        queries: &[Node],
+        rows: Range<usize>,
+    ) -> Vec<(usize, usize, Vec<DiffRecord>)> {
+        let (rows_start, rows_end) = (rows.start, rows.end);
+        let m = rows_end - rows_start;
+        let threads = available_cores().min(m.max(1));
+        let chunk = m.div_ceil(threads * 4).max(1);
+        let chunk_count = m.div_ceil(chunk);
         let window = self.window;
         let policy = self.policy;
 
@@ -163,11 +307,11 @@ impl GraphBuilder {
                     scope.spawn(move || {
                         let mut mine = Vec::new();
                         for c in (worker..chunk_count).step_by(threads) {
-                            let start = c * chunk;
-                            let end = (start + chunk).min(n);
+                            let start = rows_start + c * chunk;
+                            let end = (start + chunk).min(rows_end);
                             let mut local = Vec::new();
-                            for i in start..end {
-                                for j in window.row_pairs(i, n) {
+                            for j in start..end {
+                                for i in window.prev_pairs(j) {
                                     let records =
                                         extract_diffs(&queries[i], &queries[j], i, j, policy);
                                     local.push((i, j, records));
@@ -189,6 +333,39 @@ impl GraphBuilder {
     }
 }
 
+/// The number of cores the builder may use; 1 (forcing the serial path) when the platform
+/// cannot report its parallelism.
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+}
+
+/// Appends one compared pair's records to the growing store and edge list: leaf records
+/// first (their ids label the edge), then ancestors; identical pairs contribute nothing.
+/// This fold step is shared by batch builds and incremental extends — it *is* the byte-level
+/// layout of the graph, so both paths produce identical stores.
+fn append_pair(
+    store: &mut DiffStore,
+    edges: &mut Vec<Edge>,
+    i: usize,
+    j: usize,
+    records: Vec<DiffRecord>,
+) {
+    if records.is_empty() {
+        return;
+    }
+    let (leaves, ancestors): (Vec<DiffRecord>, Vec<DiffRecord>) =
+        records.into_iter().partition(|r| r.is_leaf);
+    let leaf_ids = store.extend(leaves);
+    store.extend(ancestors);
+    edges.push(Edge {
+        from: i,
+        to: j,
+        diffs: leaf_ids,
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +381,14 @@ mod tests {
         assert_eq!(WindowStrategy::Sliding(0).pairs(4).count(), 3);
         assert_eq!(WindowStrategy::AllPairs.pairs(0).count(), 0);
         assert_eq!(WindowStrategy::AllPairs.pairs(1).count(), 0);
+    }
+
+    #[test]
+    fn sliding_constructor_normalises_degenerate_windows() {
+        assert_eq!(WindowStrategy::sliding(0), WindowStrategy::Sliding(2));
+        assert_eq!(WindowStrategy::sliding(1), WindowStrategy::Sliding(2));
+        assert_eq!(WindowStrategy::sliding(2), WindowStrategy::Sliding(2));
+        assert_eq!(WindowStrategy::sliding(16), WindowStrategy::Sliding(16));
     }
 
     #[test]
@@ -227,6 +412,41 @@ mod tests {
     }
 
     #[test]
+    fn pairs_are_enumerated_in_append_order() {
+        // Every pair (i, j) appears after all pairs with a smaller j: the order a streaming
+        // ingest would discover them in.
+        for strategy in [WindowStrategy::AllPairs, WindowStrategy::Sliding(3)] {
+            let pairs: Vec<(usize, usize)> = strategy.pairs(8).collect();
+            for w in pairs.windows(2) {
+                assert!(
+                    w[0].1 < w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0),
+                    "{pairs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prev_pairs_is_the_adjoint_of_row_pairs() {
+        for strategy in [
+            WindowStrategy::AllPairs,
+            WindowStrategy::Sliding(0),
+            WindowStrategy::Sliding(2),
+            WindowStrategy::Sliding(5),
+        ] {
+            for j in 0..20usize {
+                for i in 0..j {
+                    assert_eq!(
+                        strategy.prev_pairs(j).contains(&i),
+                        strategy.row_pairs(i, j + 1).contains(&j),
+                        "{strategy:?} i={i} j={j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn sliding_window_pairs_stay_within_window() {
         for (i, j) in WindowStrategy::Sliding(3).pairs(10) {
             assert!(j > i && j - i < 3);
@@ -241,7 +461,7 @@ mod tests {
             .window(WindowStrategy::AllPairs)
             .build(vec![q.clone(), q, r]);
         // (0,1) identical -> skipped; (0,2) and (1,2) differ.
-        assert_eq!(g.edges.len(), 2);
+        assert_eq!(g.edges().len(), 2);
     }
 
     #[test]
@@ -252,7 +472,7 @@ mod tests {
         ]
         .into_query_log();
         let g = GraphBuilder::new().build(&log);
-        assert!(std::sync::Arc::ptr_eq(&g.queries, &log));
+        assert!(std::sync::Arc::ptr_eq(g.queries(), &log));
     }
 
     #[test]
@@ -262,7 +482,7 @@ mod tests {
             .collect();
         let a = GraphBuilder::new().parallel(true).build(&log);
         let b = GraphBuilder::new().parallel(false).build(&log);
-        assert_eq!(a.edges.len(), b.edges.len());
+        assert_eq!(a.edges().len(), b.edges().len());
     }
 
     #[test]
@@ -278,10 +498,54 @@ mod tests {
             .window(WindowStrategy::AllPairs)
             .parallel(false)
             .build(&log);
-        assert_eq!(a.edges.len(), b.edges.len());
-        assert_eq!(a.store.len(), b.store.len());
-        for (ea, eb) in a.edges.iter().zip(b.edges.iter()) {
+        assert_eq!(a.edges().len(), b.edges().len());
+        assert_eq!(a.store().len(), b.store().len());
+        for (ea, eb) in a.edges().iter().zip(b.edges().iter()) {
             assert_eq!((ea.from, ea.to), (eb.from, eb.to));
+        }
+    }
+
+    #[test]
+    fn extending_one_query_at_a_time_matches_a_batch_build() {
+        let log: Vec<Node> = (0..12)
+            .map(|i| parse(&format!("SELECT a FROM t WHERE x = {}", i % 5)).unwrap())
+            .collect();
+        for window in [
+            WindowStrategy::AllPairs,
+            WindowStrategy::sliding(2),
+            WindowStrategy::sliding(4),
+        ] {
+            let builder = GraphBuilder::new().window(window);
+            let mut acc = GraphAccumulator::new();
+            for (k, q) in log.iter().enumerate() {
+                assert_eq!(builder.extend(&mut acc, q.clone()), k);
+                // Every intermediate prefix matches the batch build of that prefix.
+                assert_eq!(acc.to_graph(), builder.build(log[..=k].to_vec()));
+            }
+            assert_eq!(acc.stats(), acc.to_graph().stats());
+            assert_eq!(acc.len(), log.len());
+        }
+    }
+
+    #[test]
+    fn extend_batch_matches_per_query_extends() {
+        let log: Vec<Node> = (0..40)
+            .map(|i| parse(&format!("SELECT a FROM t WHERE x = {}", i % 7)).unwrap())
+            .collect();
+        for parallel in [false, true] {
+            let builder = GraphBuilder::new()
+                .window(WindowStrategy::AllPairs)
+                .parallel(parallel);
+            let mut bulk = GraphAccumulator::new();
+            // Two bulk appends (the second exercises a non-zero row offset in the parallel
+            // fan-out) must equal forty single extends.
+            assert_eq!(builder.extend_batch(&mut bulk, log[..25].to_vec()), 0..25);
+            assert_eq!(builder.extend_batch(&mut bulk, log[25..].to_vec()), 25..40);
+            let mut single = GraphAccumulator::new();
+            for q in &log {
+                builder.extend(&mut single, q.clone());
+            }
+            assert_eq!(bulk.to_graph(), single.to_graph());
         }
     }
 
@@ -295,11 +559,11 @@ mod tests {
             .window(WindowStrategy::AllPairs)
             .policy(AncestorPolicy::Full)
             .build(log);
-        assert_eq!(g.edges.len(), 1);
-        for id in &g.edges[0].diffs {
-            assert!(g.store.get(*id).is_leaf);
+        assert_eq!(g.edges().len(), 1);
+        for id in &g.edges()[0].diffs {
+            assert!(g.store().get(*id).is_leaf);
         }
         // Ancestor records are still in the store for the mapper to consider.
-        assert!(g.store.iter().any(|(_, r)| !r.is_leaf));
+        assert!(g.store().iter().any(|(_, r)| !r.is_leaf));
     }
 }

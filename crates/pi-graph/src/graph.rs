@@ -18,11 +18,22 @@ pub type QueryLog = Arc<[Node]>;
 pub trait IntoQueryLog {
     /// Performs the conversion.
     fn into_query_log(self) -> QueryLog;
+
+    /// Converts into an owned, *growable* log instead — what a streaming ingest appends to.
+    ///
+    /// Owned vectors move without any copy; everything else (including a `QueryLog`, whose
+    /// nodes stay shared with the caller and therefore cannot be moved out) clones its
+    /// queries once.
+    fn into_query_vec(self) -> Vec<Node>;
 }
 
 impl IntoQueryLog for QueryLog {
     fn into_query_log(self) -> QueryLog {
         self
+    }
+
+    fn into_query_vec(self) -> Vec<Node> {
+        self.to_vec()
     }
 }
 
@@ -30,11 +41,19 @@ impl IntoQueryLog for &QueryLog {
     fn into_query_log(self) -> QueryLog {
         Arc::clone(self)
     }
+
+    fn into_query_vec(self) -> Vec<Node> {
+        self.to_vec()
+    }
 }
 
 impl IntoQueryLog for Vec<Node> {
     fn into_query_log(self) -> QueryLog {
         Arc::from(self)
+    }
+
+    fn into_query_vec(self) -> Vec<Node> {
+        self
     }
 }
 
@@ -42,11 +61,19 @@ impl IntoQueryLog for &[Node] {
     fn into_query_log(self) -> QueryLog {
         Arc::from(self)
     }
+
+    fn into_query_vec(self) -> Vec<Node> {
+        self.to_vec()
+    }
 }
 
 impl IntoQueryLog for &Vec<Node> {
     fn into_query_log(self) -> QueryLog {
         Arc::from(self.as_slice())
+    }
+
+    fn into_query_vec(self) -> Vec<Node> {
+        self.clone()
     }
 }
 
@@ -54,11 +81,15 @@ impl<const N: usize> IntoQueryLog for &[Node; N] {
     fn into_query_log(self) -> QueryLog {
         Arc::from(self.as_slice())
     }
+
+    fn into_query_vec(self) -> Vec<Node> {
+        self.to_vec()
+    }
 }
 
 /// A labelled edge of the interaction graph: the interaction `t_k` (a set of leaf diffs)
 /// transforms query `from` into query `to`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Edge {
     /// Index of the source query in the log.
     pub from: usize,
@@ -83,17 +114,52 @@ pub struct GraphStats {
 
 /// The interaction graph: queries as vertices, interactions as labelled edges, plus the
 /// shared arena of diff records the edges refer to.
-#[derive(Debug, Clone, Default)]
+///
+/// The internals are kept behind accessors so that construction — batch or incremental —
+/// stays the exclusive business of `GraphBuilder` / `GraphAccumulator`: a graph in hand is
+/// always a consistent snapshot (every edge's `DiffId`s resolve in the store, every vertex
+/// index resolves in the log).
+///
+/// Equality is *structural* over all three parts (query content, record-by-record store
+/// contents in order, edge list in order) — exactly the "byte-identical graphs" contract
+/// the determinism tests (parallel == serial, streaming == batch) assert.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct InteractionGraph {
     /// The input queries, in log order, shared (not cloned) with whoever built the graph.
-    pub queries: QueryLog,
+    pub(crate) queries: QueryLog,
     /// The arena of diff records (leaf and ancestor) discovered while diffing pairs.
-    pub store: DiffStore,
+    pub(crate) store: DiffStore,
     /// The labelled edges.
-    pub edges: Vec<Edge>,
+    pub(crate) edges: Vec<Edge>,
 }
 
 impl InteractionGraph {
+    /// Assembles a graph from pre-built parts (the escape hatch for tests and external
+    /// builders, e.g. merging per-shard mining results).  The parts are trusted to be
+    /// consistent: edge endpoints must index into `queries` and edge diff ids into `store`.
+    pub fn from_parts(queries: impl IntoQueryLog, store: DiffStore, edges: Vec<Edge>) -> Self {
+        InteractionGraph {
+            queries: queries.into_query_log(),
+            store,
+            edges,
+        }
+    }
+
+    /// The input queries, in log order, shared (not cloned) with whoever built the graph.
+    pub fn queries(&self) -> &QueryLog {
+        &self.queries
+    }
+
+    /// The arena of diff records (leaf and ancestor) discovered while diffing pairs.
+    pub fn store(&self) -> &DiffStore {
+        &self.store
+    }
+
+    /// The labelled edges, in the order they were discovered (append order).
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
     /// Summary statistics.
     pub fn stats(&self) -> GraphStats {
         GraphStats {

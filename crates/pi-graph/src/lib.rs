@@ -16,7 +16,14 @@
 //! Pairwise diffing is embarrassingly parallel; the builder optionally fans the work out over
 //! all available cores with `std::thread::scope`: each worker owns a contiguous chunk of log
 //! rows and returns its results by value, which are concatenated in spawn order — the parallel
-//! build is byte-identical to the serial one by construction.
+//! build is byte-identical to the serial one by construction (and on a single-core host the
+//! builder falls back to the serial path outright).
+//!
+//! Construction is *incremental at heart*: [`GraphBuilder::extend`] appends one query to a
+//! [`GraphAccumulator`], diffing it only against the predecessors the window strategy admits,
+//! and [`GraphBuilder::build`] is defined as the fold of that step over the whole log.  A
+//! streaming session therefore produces graphs byte-identical to batch builds of the same
+//! prefix — the invariant `pi-core::Session` relies on.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -24,7 +31,7 @@
 mod builder;
 mod graph;
 
-pub use builder::{GraphBuilder, WindowStrategy};
+pub use builder::{GraphAccumulator, GraphBuilder, WindowStrategy};
 pub use graph::{Edge, GraphStats, InteractionGraph, IntoQueryLog, QueryLog};
 
 #[cfg(test)]
@@ -52,9 +59,9 @@ mod tests {
         let g = GraphBuilder::new()
             .window(WindowStrategy::AllPairs)
             .build(&log);
-        assert_eq!(g.queries.len(), 4);
+        assert_eq!(g.queries().len(), 4);
         // 4 choose 2 pairs, all of which differ
-        assert_eq!(g.edges.len(), 6);
+        assert_eq!(g.edges().len(), 6);
         assert!(g.stats().diff_records > 0);
     }
 
@@ -67,8 +74,8 @@ mod tests {
         let windowed = GraphBuilder::new()
             .window(WindowStrategy::Sliding(2))
             .build(&log);
-        assert!(windowed.edges.len() < all.edges.len());
-        assert_eq!(windowed.edges.len(), 3); // consecutive pairs only
+        assert!(windowed.edges().len() < all.edges().len());
+        assert_eq!(windowed.edges().len(), 3); // consecutive pairs only
         assert!(windowed.is_connected());
     }
 
@@ -83,9 +90,9 @@ mod tests {
             .window(WindowStrategy::AllPairs)
             .parallel(true)
             .build(&log);
-        assert_eq!(serial.edges.len(), parallel.edges.len());
-        assert_eq!(serial.store.len(), parallel.store.len());
-        for (a, b) in serial.edges.iter().zip(parallel.edges.iter()) {
+        assert_eq!(serial.edges().len(), parallel.edges().len());
+        assert_eq!(serial.store().len(), parallel.store().len());
+        for (a, b) in serial.edges().iter().zip(parallel.edges().iter()) {
             assert_eq!((a.from, a.to), (b.from, b.to));
             assert_eq!(a.diffs.len(), b.diffs.len());
         }
@@ -102,8 +109,8 @@ mod tests {
             .window(WindowStrategy::AllPairs)
             .policy(AncestorPolicy::LcaPruned)
             .build(&log);
-        assert_eq!(full.edges.len(), pruned.edges.len());
-        assert!(pruned.store.len() < full.store.len());
+        assert_eq!(full.edges().len(), pruned.edges().len());
+        assert!(pruned.store().len() < full.store().len());
     }
 
     #[test]
@@ -112,7 +119,7 @@ mod tests {
         let g = GraphBuilder::new()
             .window(WindowStrategy::AllPairs)
             .build(&[q.clone(), q]);
-        assert_eq!(g.edges.len(), 0);
+        assert_eq!(g.edges().len(), 0);
         // Identical queries need no edge to be mutually expressible.
         assert!(g.is_connected());
     }

@@ -34,6 +34,28 @@
 //! assert_eq!(generated.interface.widgets().len(), 1);
 //! assert!(generated.interface.expressiveness(&generated.queries) >= 1.0);
 //! ```
+//!
+//! ## Streaming
+//!
+//! Query logs grow as the analyst works, so the batch entry point above is itself a thin
+//! wrapper over a stateful [`Session`](core::Session): feed queries one at a time with
+//! `push` / `push_sql` — each append runs only the `O(w)` new alignments the sliding window
+//! admits — and take versioned snapshots whenever the interface should refresh.  Snapshots
+//! are byte-identical to batch builds of the same prefix (see `examples/live_session.rs`).
+//!
+//! ```
+//! use precision_interfaces::prelude::*;
+//!
+//! let mut session = Session::new(PiOptions::default());
+//! for month in [9, 8, 3] {
+//!     session.push_sql(&format!(
+//!         "SELECT COUNT(Delay), DestState FROM ontime WHERE Month = {month} GROUP BY DestState"
+//!     ));
+//! }
+//! let snapshot = session.snapshot();
+//! assert_eq!(snapshot.version, 3);
+//! assert_eq!(snapshot.interface.widgets().len(), 1);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -90,7 +112,7 @@ pub mod study {
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use pi_ast::{Node, NodeKind, Path};
-    pub use pi_core::{GeneratedInterface, Interface, PiOptions, PrecisionInterfaces};
+    pub use pi_core::{GeneratedInterface, Interface, PiOptions, PrecisionInterfaces, Session};
     pub use pi_engine::{exec, render, Catalog};
     pub use pi_sql::{parse, parse_log, render as render_sql};
     pub use pi_ui::{compile_html, EditorLayout};

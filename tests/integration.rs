@@ -152,6 +152,40 @@ fn generated_interfaces_execute_under_user_interaction_sequences() {
 }
 
 #[test]
+fn streaming_session_tracks_the_batch_pipeline_and_compiles_to_html() {
+    // Stream a 60-query SDSS client log one query at a time, snapshotting every 20 pushes;
+    // the final snapshot must be identical to the one-shot batch run, and its interface
+    // must compile to HTML exactly like a batch-produced one.
+    let log = sdss::client_log(sdss::ClientArchetype::ConeSearchTop, 7, 60);
+    let mut session = Session::new(PiOptions::default());
+    let mut refreshes = 0;
+    for (k, query) in log.queries.iter().enumerate() {
+        assert_eq!(session.push(query.clone()), k);
+        if (k + 1) % 20 == 0 {
+            let snapshot = session.snapshot();
+            assert_eq!(snapshot.version, k as u64 + 1);
+            assert!(snapshot.interface.expressiveness(&log.queries[..=k]) >= 1.0);
+            refreshes += 1;
+        }
+    }
+    assert_eq!(refreshes, 3);
+
+    let streamed = session.snapshot();
+    let batch = PrecisionInterfaces::default().from_queries(log.queries.clone());
+    assert_eq!(streamed.version, batch.version);
+    assert_eq!(streamed.graph_stats, batch.graph_stats);
+    assert_eq!(streamed.interface.describe(), batch.interface.describe());
+
+    let layout = EditorLayout::new(&streamed.interface, 2);
+    let html = compile_html(&streamed.interface, &layout, "live SDSS session");
+    assert!(html.contains("<!DOCTYPE html>"));
+    assert_eq!(
+        html,
+        compile_html(&batch.interface, &layout, "live SDSS session")
+    );
+}
+
+#[test]
 fn study_and_interface_agree_on_task_support() {
     // The generated SDSS interface has widgets for the object-id lookup task that the SDSS
     // form lacks; check the simulated study reflects exactly that asymmetry.

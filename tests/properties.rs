@@ -182,15 +182,7 @@ proptest! {
                 .window(window)
                 .parallel(true)
                 .build(queries.clone());
-            prop_assert_eq!(serial.edges.len(), parallel.edges.len());
-            prop_assert_eq!(serial.store.len(), parallel.store.len());
-            for (a, b) in serial.edges.iter().zip(parallel.edges.iter()) {
-                prop_assert_eq!((a.from, a.to, &a.diffs), (b.from, b.to, &b.diffs));
-            }
-            for ((ia, ra), (ib, rb)) in serial.store.iter().zip(parallel.store.iter()) {
-                prop_assert_eq!(ia, ib);
-                prop_assert_eq!(ra, rb);
-            }
+            prop_assert_eq!(&serial, &parallel);
         }
     }
 
@@ -210,6 +202,89 @@ proptest! {
         let rebuilt = parse(&rendered).expect("rendered SQL parses");
         prop_assert_eq!(render_sql(&rebuilt), rendered);
         prop_assert_eq!(rebuilt.id(), query.id());
+    }
+
+    // ------------------------------------------------------------ streaming sessions
+
+    /// The streaming invariant: a `Session` snapshot after `n` pushes is identical to a
+    /// batch build of the same `n`-query prefix — same edge list, same diff store (length,
+    /// ids and record order), same widget set, same rendered interface — under `AllPairs`
+    /// and several sliding windows, for arbitrary interleavings of `push` and `snapshot`.
+    #[test]
+    fn session_snapshots_are_identical_to_batch_builds(
+        queries in prop::collection::vec(arb_query(), 1..12),
+        snap_every in 1usize..4,
+    ) {
+        use precision_interfaces::graph::WindowStrategy;
+        for window in [
+            WindowStrategy::AllPairs,
+            WindowStrategy::sliding(2),
+            WindowStrategy::sliding(3),
+            WindowStrategy::sliding(7),
+        ] {
+            let options = precision_interfaces::core::PiOptions {
+                window,
+                ..Default::default()
+            };
+            let mut session = precision_interfaces::core::Session::new(options.clone());
+            for (k, q) in queries.iter().enumerate() {
+                prop_assert_eq!(session.push(q.clone()), k);
+                // Interleave snapshots with pushes: every prefix the pattern lands on must
+                // match the batch build of exactly that prefix.
+                if (k + 1) % snap_every != 0 && k + 1 != queries.len() {
+                    continue;
+                }
+                let snap = session.snapshot();
+                let batch = PrecisionInterfaces::new(options.clone())
+                    .from_queries(queries[..=k].to_vec());
+                prop_assert_eq!(snap.version, batch.version);
+                prop_assert_eq!(snap.graph_stats, batch.graph_stats);
+                // Structural graph equality: same query content, same diff records in the
+                // same id order, same edge list.
+                prop_assert_eq!(&snap.graph, &batch.graph);
+                prop_assert_eq!(snap.interface.widgets(), batch.interface.widgets());
+                prop_assert_eq!(snap.interface.describe(), batch.interface.describe());
+            }
+        }
+    }
+
+    /// Streaming SQL text through `push_sql` — including unparseable statements — matches
+    /// the one-shot `from_sql_log` of the concatenated log: same skip count, same version,
+    /// same graph, same interface.
+    #[test]
+    fn session_push_sql_matches_batch_from_sql_log(
+        statements in prop::collection::vec((arb_query(), prop::bool::ANY), 1..10),
+    ) {
+        let rendered: Vec<String> = statements
+            .iter()
+            .map(|(q, ok)| {
+                if *ok {
+                    render_sql(q)
+                } else {
+                    "THIS IS NOT SQL".to_string()
+                }
+            })
+            .collect();
+        let text = rendered.join(";\n");
+
+        let mut session = precision_interfaces::core::Session::new(Default::default());
+        for statement in &rendered {
+            session.push_sql(statement);
+        }
+        let batch = PrecisionInterfaces::default().from_sql_log(&text);
+
+        if session.is_empty() {
+            prop_assert!(batch.is_err());
+        } else {
+            let batch = batch.unwrap();
+            let snap = session.snapshot();
+            prop_assert_eq!(snap.skipped, batch.skipped);
+            prop_assert_eq!(snap.version, batch.version);
+            prop_assert_eq!(snap.graph_stats, batch.graph_stats);
+            prop_assert_eq!(&snap.graph, &batch.graph);
+            prop_assert_eq!(snap.interface.widgets(), batch.interface.widgets());
+            prop_assert_eq!(snap.interface.describe(), batch.interface.describe());
+        }
     }
 
     // ------------------------------------------------------------ widget domains

@@ -51,6 +51,58 @@ fn bench_mining_throughput(c: &mut Criterion) {
         b.iter(|| pipeline.from_queries(&queries));
     });
 
+    // Path mutation must copy only the root→path spine (COW subtrees), not the whole tree:
+    // replace a leaf at the deepest path of the log's largest query.  The pre-COW numbers
+    // (when `replaced` deep-cloned the entire query) are recorded in README.md.  The ratio
+    // here is bounded by the query's size (~37 nodes of clone work saved over an irreducible
+    // refcounted spine); the `_nested` variant below shows the asymptotic O(depth) vs
+    // O(tree) separation on a deep tree.
+    let largest = queries
+        .iter()
+        .max_by_key(|q| q.size())
+        .expect("log is non-empty")
+        .clone();
+    group.bench_function("replace_at_depth", |b| {
+        let deepest = largest
+            .preorder()
+            .into_iter()
+            .map(|(p, _)| p)
+            .max_by_key(pi_ast::Path::depth)
+            .expect("tree has nodes");
+        let replacement = pi_ast::Node::int(42);
+        b.iter(|| largest.replaced(&deepest, replacement.clone()).unwrap());
+    });
+
+    // The same at-depth edit on a deep tree: the log's largest query nested under itself six
+    // times as subqueries (the composite shape the `micro` hash benches use, ~2400 nodes).
+    // Pre-COW this paid a full-tree deep clone per edit; COW pays the spine only.
+    group.bench_function("replace_at_depth_nested", |b| {
+        let mut big = largest.clone();
+        for _ in 0..6 {
+            let wrapped = big.clone();
+            big = pi_ast::builder::SelectBuilder::new()
+                .project_star()
+                .from_subquery(wrapped.clone())
+                .from_subquery(wrapped)
+                .build();
+        }
+        let deepest = big
+            .preorder()
+            .into_iter()
+            .map(|(p, _)| p)
+            .max_by_key(pi_ast::Path::depth)
+            .expect("tree has nodes");
+        let replacement = pi_ast::Node::int(42);
+        b.iter(|| big.replaced(&deepest, replacement.clone()).unwrap());
+    });
+
+    // Closure enumeration is a tight loop of clone + place() edits over whole queries, so it
+    // tracks the cost of tree mutation directly.
+    group.bench_function("enumerate_closure_512", |b| {
+        let generated = PrecisionInterfaces::default().from_queries(&queries);
+        b.iter(|| generated.interface.enumerate_closure(2048));
+    });
+
     // Amortised cost of appending ONE query to an already-512-query streaming session: the
     // sliding window admits only the previous 15 partners, so each append runs O(w)
     // alignments however long the session grows — compare against `mine_sliding16`, which

@@ -161,7 +161,7 @@ impl Interface {
                 push(base.clone());
                 for option in widget.domain.subtrees() {
                     let mut candidate = base.clone();
-                    if place(&mut candidate, &widget.path, Node::clone(option)).is_ok() {
+                    if place(&mut candidate, &widget.path, option.clone()).is_ok() {
                         push(candidate);
                     }
                 }
@@ -236,9 +236,9 @@ fn closest_member(widget: &Widget, target: &Node, current: Option<&Node>) -> Opt
         .domain
         .subtrees()
         .iter()
-        .filter(|member| current != Some(member.as_ref()))
+        .filter(|&member| current != Some(member))
         .min_by_key(|member| difference_size(member, target))
-        .map(|member| Node::clone(member))
+        .cloned()
 }
 
 /// Number of minimal changed subtrees between two trees (0 when equal).

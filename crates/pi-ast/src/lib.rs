@@ -7,6 +7,11 @@
 //!
 //! * [`Node`] — a tree node with a [`NodeKind`], a set of attribute/value pairs and an ordered
 //!   list of children (paper §4.1, Figure 3),
+//!   stored behind a shared handle with **copy-on-write subtrees**: `clone()` is a refcount
+//!   bump, path mutators (`replace_at` / `insert_at` / `remove_at` and their `-ed` copying
+//!   variants) un-share only the root→path spine via `Arc::make_mut`, and every untouched
+//!   subtree stays physically shared between the old and new trees ([`Node::ptr_eq`] observes
+//!   the sharing; the memoized structural hash stays sound under it),
 //! * [`Path`] — the `0/1/0`-style location of a subtree inside a query AST (paper Table 1),
 //! * [`PrimitiveType`] — the minimal type system (`str`, `num`, `tree`) used by widget rules to
 //!   decide which widget types may express a set of subtrees (paper §4.3),

@@ -18,6 +18,18 @@
 //! To keep the memo sound, all mutation goes through methods that restore the hash invariant
 //! ([`Node::set_attr`], [`Node::push_child`], [`Node::replace_at`], [`Node::insert_at`],
 //! [`Node::remove_at`]); there is deliberately no public `&mut` access to the child list.
+//!
+//! # Copy-on-write subtrees
+//!
+//! A [`Node`] is a cheap handle (`Arc` around the payload), so [`Node::clone`] is O(1) — a
+//! single refcount bump — and clones *alias* the whole subtree.  The path mutators un-share
+//! lazily with [`Arc::make_mut`]: a mutation at `path` copies only the payloads on the
+//! root→`path` spine (O(depth·branching)); every subtree hanging off the spine keeps
+//! pointing at the storage it already shared with the pre-mutation tree.  [`Node::replaced`]
+//! / [`Node::inserted`] / [`Node::removed`] therefore cost the spine, not the tree — the
+//! persistent-tree sharing that keeps per-edit cost proportional to the edit path.  Sharing
+//! is never observable through `&self` methods; [`Node::ptr_eq`] exists so tests can assert
+//! the aliasing contract.
 
 use crate::intern::{str_hash64, Sym};
 use crate::kind::{NodeKind, PrimitiveType};
@@ -25,6 +37,7 @@ use crate::path::Path;
 use crate::value::AttrValue;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 /// A stable identity for a subtree, derived from its structural hash.
 ///
@@ -63,13 +76,66 @@ impl fmt::Display for ReplaceError {
 impl std::error::Error for ReplaceError {}
 
 /// A node of a query abstract syntax tree.
+///
+/// `Node` is a cheap handle: the node payload (kind, attributes, children) lives behind a
+/// single [`Arc`], so [`Node::clone`] is one refcount bump and clones *alias* the whole
+/// subtree.  The mutators un-share copy-on-write (see the crate docs on the sharing
+/// contract): a path mutation copies only the `NodeInner`s on the root→path spine, and a
+/// sibling hanging off the spine is carried over by bumping its handle — never by walking it.
 #[derive(Debug, Clone)]
-pub struct Node {
+pub struct Node(Arc<NodeInner>);
+
+/// The payload of one node.  Children are stored inline (`Vec<Node>` is a vector of
+/// handles), so un-sharing one tree level is a single allocation plus one refcount bump per
+/// child; the attribute list is `Arc`-shared separately so spine copies never re-clone
+/// attribute strings.
+#[derive(Debug)]
+struct NodeInner {
     kind: NodeKind,
-    attrs: Vec<(Sym, AttrValue)>,
+    attrs: Arc<Vec<(Sym, AttrValue)>>,
     children: Vec<Node>,
+    /// Memoized hash of the node *label* (kind + attributes), the prefix state of `hash`.
+    /// Lets a child-list change refresh `hash` without re-hashing attribute strings — the
+    /// spine refresh done by every COW path mutation touches only cached `u64`s.
+    label_hash: u64,
     /// Memoized structural hash of the subtree rooted here; maintained by every mutator.
     hash: u64,
+}
+
+impl Clone for NodeInner {
+    /// The un-sharing copy behind [`Arc::make_mut`]: attribute list and children are carried
+    /// over by refcount bumps (O(arity)), never by deep traversal.
+    fn clone(&self) -> Self {
+        NodeInner {
+            kind: self.kind.clone(),
+            attrs: Arc::clone(&self.attrs),
+            children: self.children.clone(),
+            label_hash: self.label_hash,
+            hash: self.hash,
+        }
+    }
+}
+
+impl NodeInner {
+    /// Restores the hash invariant after a change to the direct children.  Children must
+    /// already satisfy the invariant; `label_hash` must be current (only `set_attr` changes
+    /// the label).
+    fn refresh_hash(&mut self) {
+        self.hash = children_hash(self.label_hash, &self.children);
+    }
+
+    /// Restores both memos after a label (attribute) change.
+    fn refresh_label_and_hash(&mut self) {
+        self.label_hash = label_hash_of(&self.kind, &self.attrs);
+        self.refresh_hash();
+    }
+}
+
+/// The attribute list shared by every attribute-less node (leaves are common, so they should
+/// not pay an allocation for an empty attribute table).
+fn empty_attrs() -> Arc<Vec<(Sym, AttrValue)>> {
+    static EMPTY: OnceLock<Arc<Vec<(Sym, AttrValue)>>> = OnceLock::new();
+    EMPTY.get_or_init(Default::default).clone()
 }
 
 // ---------------------------------------------------------------------- hashing internals
@@ -117,18 +183,25 @@ fn hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
 /// Domain separator baked in at compile time (str_hash64 is `const`).
 const NODE_HASH_SEED: u64 = str_hash64("pi-ast.node");
 
-/// Computes a subtree hash from a node's label and its children's *cached* hashes — O(arity),
-/// not O(subtree).
-fn label_and_children_hash(kind: &NodeKind, attrs: &[(Sym, AttrValue)], children: &[Node]) -> u64 {
+/// Hashes a node's label (kind + attributes); the accumulator state that [`children_hash`]
+/// continues from.  Memoized per node as `Node::label_hash` and recomputed only when the kind
+/// or attributes change.
+fn label_hash_of(kind: &NodeKind, attrs: &[(Sym, AttrValue)]) -> u64 {
     let mut h = mix(NODE_HASH_SEED, hash_of(kind));
     h = mix(h, attrs.len() as u64);
     for (key, value) in attrs {
         h = mix(h, key.hash64());
         h = mix(h, hash_of(value));
     }
-    h = mix(h, children.len() as u64);
+    h
+}
+
+/// Extends a label hash with the children's *cached* subtree hashes — O(arity) `u64` mixes,
+/// no string hashing and no subtree traversal.
+fn children_hash(label_hash: u64, children: &[Node]) -> u64 {
+    let mut h = mix(label_hash, children.len() as u64);
     for child in children {
-        h = mix(h, child.hash);
+        h = mix(h, child.0.hash);
     }
     h
 }
@@ -136,19 +209,22 @@ fn label_and_children_hash(kind: &NodeKind, attrs: &[(Sym, AttrValue)], children
 impl Node {
     /// Creates a node of the given kind with no attributes and no children.
     pub fn new(kind: NodeKind) -> Self {
-        let hash = label_and_children_hash(&kind, &[], &[]);
-        Node {
+        let label_hash = label_hash_of(&kind, &[]);
+        Node(Arc::new(NodeInner {
             kind,
-            attrs: Vec::new(),
+            attrs: empty_attrs(),
             children: Vec::new(),
-            hash,
-        }
+            label_hash,
+            hash: children_hash(label_hash, &[]),
+        }))
     }
 
-    /// Restores the hash invariant for this node after a local change (attributes or direct
-    /// children).  Children must already satisfy the invariant.
-    fn refresh_hash(&mut self) {
-        self.hash = label_and_children_hash(&self.kind, &self.attrs, &self.children);
+    /// Exclusive access to the payload, un-sharing it copy-on-write if aliased.  The copy is
+    /// shallow — children are carried over by refcount bumps — which is what bounds path
+    /// mutation to the root→path spine.  Callers must restore the hash invariant afterwards
+    /// (`refresh_hash` / `refresh_label_and_hash` on the returned payload).
+    fn inner_mut(&mut self) -> &mut NodeInner {
+        Arc::make_mut(&mut self.0)
     }
 
     // ------------------------------------------------------------------ constructors
@@ -211,8 +287,9 @@ impl Node {
 
     /// Adds several children (builder style).
     pub fn with_children<I: IntoIterator<Item = Node>>(mut self, children: I) -> Self {
-        self.children.extend(children);
-        self.refresh_hash();
+        let inner = self.inner_mut();
+        inner.children.extend(children);
+        inner.refresh_hash();
         self
     }
 
@@ -220,42 +297,45 @@ impl Node {
     pub fn set_attr<V: Into<AttrValue>>(&mut self, key: &str, value: V) {
         let key = Sym::intern(key);
         let value = value.into();
-        if let Some(slot) = self.attrs.iter_mut().find(|(k, _)| *k == key) {
+        let inner = self.inner_mut();
+        let attrs = Arc::make_mut(&mut inner.attrs);
+        if let Some(slot) = attrs.iter_mut().find(|(k, _)| *k == key) {
             slot.1 = value;
         } else {
-            self.attrs.push((key, value));
+            attrs.push((key, value));
         }
-        self.refresh_hash();
+        inner.refresh_label_and_hash();
     }
 
     /// Appends a child.
     pub fn push_child(&mut self, child: Node) {
-        self.children.push(child);
-        self.refresh_hash();
+        let inner = self.inner_mut();
+        inner.children.push(child);
+        inner.refresh_hash();
     }
 
     // ------------------------------------------------------------------ accessors
 
     /// The node kind.
     pub fn kind(&self) -> NodeKind {
-        self.kind.clone()
+        self.0.kind.clone()
     }
 
     /// A reference to the node kind (no clone).
     pub fn kind_ref(&self) -> &NodeKind {
-        &self.kind
+        &self.0.kind
     }
 
     /// The attribute/value pairs, in insertion order, with interned keys.
     pub fn attrs(&self) -> &[(Sym, AttrValue)] {
-        &self.attrs
+        &self.0.attrs
     }
 
     /// Looks up an attribute value by key.
     pub fn attr(&self, key: &str) -> Option<&AttrValue> {
         // `lookup` (not `intern`) so probing with never-seen keys doesn't grow the table.
         let key = Sym::lookup(key)?;
-        self.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+        self.0.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
     }
 
     /// Looks up a string attribute by key.
@@ -270,37 +350,37 @@ impl Node {
 
     /// The ordered children.
     pub fn children(&self) -> &[Node] {
-        &self.children
+        &self.0.children
     }
 
     /// Number of direct children.
     pub fn arity(&self) -> usize {
-        self.children.len()
+        self.0.children.len()
     }
 
     /// True when the node has no children.
     pub fn is_leaf(&self) -> bool {
-        self.children.is_empty()
+        self.0.children.is_empty()
     }
 
     // ------------------------------------------------------------------ tree metrics
 
     /// Total number of nodes in the subtree rooted here.
     pub fn size(&self) -> usize {
-        1 + self.children.iter().map(Node::size).sum::<usize>()
+        1 + self.0.children.iter().map(Node::size).sum::<usize>()
     }
 
     /// Height of the subtree (a leaf has depth 1).
     pub fn depth(&self) -> usize {
-        1 + self.children.iter().map(Node::depth).max().unwrap_or(0)
+        1 + self.0.children.iter().map(Node::depth).max().unwrap_or(0)
     }
 
     /// Number of leaves in the subtree.
     pub fn leaf_count(&self) -> usize {
-        if self.children.is_empty() {
+        if self.0.children.is_empty() {
             1
         } else {
-            self.children.iter().map(Node::leaf_count).sum()
+            self.0.children.iter().map(Node::leaf_count).sum()
         }
     }
 
@@ -311,13 +391,23 @@ impl Node {
     /// O(1): the hash is memoized at construction and maintained by every mutator.
     #[inline]
     pub fn structural_hash(&self) -> u64 {
-        self.hash
+        self.0.hash
     }
 
     /// The structural identity of the subtree (O(1), backed by the memoized hash).
     #[inline]
     pub fn id(&self) -> NodeId {
-        NodeId(self.hash)
+        NodeId(self.0.hash)
+    }
+
+    /// True when `self` and `other` are the same physical subtree (`Arc::ptr_eq` on the
+    /// shared payload).
+    ///
+    /// Structural equality does *not* imply sharing; this is a physical-aliasing probe used
+    /// by tests to verify the copy-on-write contract — after [`Node::replaced`], every
+    /// subtree off the root→path spine must still share storage with the original tree.
+    pub fn ptr_eq(&self, other: &Node) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
     }
 
     /// True when two subtrees are structurally identical, decided by the memoized hash alone.
@@ -327,7 +417,7 @@ impl Node {
     /// pipeline tolerates (the same assumption underlies its hash-anchored LCS).
     #[inline]
     pub fn same_tree(&self, other: &Node) -> bool {
-        self.hash == other.hash
+        self.0.hash == other.0.hash
     }
 
     /// Recomputes the structural hash from scratch, ignoring the memo (O(subtree)).
@@ -335,14 +425,14 @@ impl Node {
     /// Exists so tests and debug assertions can validate the memo invariant; production code
     /// should always use [`Node::structural_hash`].
     pub fn recomputed_hash(&self) -> u64 {
-        let mut h = mix(NODE_HASH_SEED, hash_of(&self.kind));
-        h = mix(h, self.attrs.len() as u64);
-        for (key, value) in &self.attrs {
+        let mut h = mix(NODE_HASH_SEED, hash_of(&self.0.kind));
+        h = mix(h, self.0.attrs.len() as u64);
+        for (key, value) in self.0.attrs.iter() {
             h = mix(h, key.hash64());
             h = mix(h, hash_of(value));
         }
-        h = mix(h, self.children.len() as u64);
-        for child in &self.children {
+        h = mix(h, self.0.children.len() as u64);
+        for child in self.0.children.iter() {
             h = mix(h, child.recomputed_hash());
         }
         h
@@ -350,7 +440,7 @@ impl Node {
 
     /// True when two nodes agree on kind and attributes (children are ignored).
     pub fn same_label(&self, other: &Node) -> bool {
-        self.kind == other.kind && self.attrs == other.attrs
+        self.0.kind == other.0.kind && self.0.attrs == other.0.attrs
     }
 
     /// The primitive type of this subtree as seen by widget rules.
@@ -358,8 +448,8 @@ impl Node {
     /// Terminal literal kinds use the grammar annotation; anything with children, or any
     /// non-annotated kind, is a `tree`.
     pub fn primitive_type(&self) -> PrimitiveType {
-        if self.children.is_empty() {
-            self.kind.terminal_type().unwrap_or(PrimitiveType::Tree)
+        if self.0.children.is_empty() {
+            self.0.kind.terminal_type().unwrap_or(PrimitiveType::Tree)
         } else {
             PrimitiveType::Tree
         }
@@ -376,7 +466,7 @@ impl Node {
 
     /// A short human-readable label for this subtree, used in widget option lists.
     pub fn label(&self) -> String {
-        match &self.kind {
+        match &self.0.kind {
             NodeKind::ColExpr => {
                 let name = self.attr_str("name").unwrap_or("?");
                 match self.attr_str("table") {
@@ -402,9 +492,9 @@ impl Node {
             NodeKind::FuncName => self.attr_str("name").unwrap_or("?").to_string(),
             NodeKind::FuncCall | NodeKind::AggCall => {
                 let name = self
-                    .children
+                    .children()
                     .first()
-                    .filter(|c| c.kind == NodeKind::FuncName)
+                    .filter(|c| c.0.kind == NodeKind::FuncName)
                     .and_then(|c| c.attr_str("name"))
                     .or_else(|| self.attr_str("name"))
                     .unwrap_or("?");
@@ -420,7 +510,7 @@ impl Node {
     pub fn get(&self, path: &Path) -> Option<&Node> {
         let mut cur = self;
         for &step in path.steps() {
-            cur = cur.children.get(step)?;
+            cur = cur.0.children.get(step)?;
         }
         Some(cur)
     }
@@ -442,21 +532,31 @@ impl Node {
                 Ok(())
             }
             [idx, rest @ ..] => {
-                if rest.is_empty() && *idx == self.children.len() {
-                    self.children.push(subtree);
+                // Validate the index before un-sharing this level: an out-of-bounds step
+                // must not copy the payload.  (A failure deeper down may still have
+                // un-shared the levels above it — harmless, since contents are unchanged.)
+                let arity = self.0.children.len();
+                if rest.is_empty() && *idx == arity {
+                    let inner = self.inner_mut();
+                    inner.children.push(subtree);
+                    inner.refresh_hash();
+                } else if *idx < arity {
+                    let inner = self.inner_mut();
+                    inner.children[*idx].replace_steps(rest, subtree)?;
+                    inner.refresh_hash();
                 } else {
-                    self.children
-                        .get_mut(*idx)
-                        .ok_or(())?
-                        .replace_steps(rest, subtree)?;
+                    return Err(());
                 }
-                self.refresh_hash();
                 Ok(())
             }
         }
     }
 
     /// Returns a copy of this tree with the subtree at `path` replaced by `subtree`.
+    ///
+    /// O(depth·branching), not O(tree): the clone is a refcount bump and `replace_at`
+    /// un-shares only the root→`path` spine; every untouched subtree is physically shared
+    /// between `self` and the result (see [`Node::ptr_eq`]).
     pub fn replaced(&self, path: &Path, subtree: Node) -> Result<Node, ReplaceError> {
         let mut out = self.clone();
         out.replace_at(path, subtree)?;
@@ -479,25 +579,29 @@ impl Node {
     fn insert_steps(&mut self, steps: &[usize], idx: usize, subtree: Node) -> Result<(), ()> {
         match steps {
             [] => {
-                if idx > self.children.len() {
+                if idx > self.0.children.len() {
                     return Err(());
                 }
-                self.children.insert(idx, subtree);
-                self.refresh_hash();
+                let inner = self.inner_mut();
+                inner.children.insert(idx, subtree);
+                inner.refresh_hash();
                 Ok(())
             }
             [step, rest @ ..] => {
-                self.children
-                    .get_mut(*step)
-                    .ok_or(())?
-                    .insert_steps(rest, idx, subtree)?;
-                self.refresh_hash();
+                if *step >= self.0.children.len() {
+                    return Err(());
+                }
+                let inner = self.inner_mut();
+                inner.children[*step].insert_steps(rest, idx, subtree)?;
+                inner.refresh_hash();
                 Ok(())
             }
         }
     }
 
     /// Returns a copy of this tree with `subtree` inserted at `path`.
+    ///
+    /// Like [`Node::replaced`], copies only the root→`path` spine.
     pub fn inserted(&self, path: &Path, subtree: Node) -> Result<Node, ReplaceError> {
         let mut out = self.clone();
         out.insert_at(path, subtree)?;
@@ -518,22 +622,29 @@ impl Node {
         match steps {
             [] => unreachable!("remove_at rejects the root path"),
             [idx] => {
-                if *idx >= self.children.len() {
+                if *idx >= self.0.children.len() {
                     return Err(());
                 }
-                let removed = self.children.remove(*idx);
-                self.refresh_hash();
+                let inner = self.inner_mut();
+                let removed = inner.children.remove(*idx);
+                inner.refresh_hash();
                 Ok(removed)
             }
             [step, rest @ ..] => {
-                let removed = self.children.get_mut(*step).ok_or(())?.remove_steps(rest)?;
-                self.refresh_hash();
+                if *step >= self.0.children.len() {
+                    return Err(());
+                }
+                let inner = self.inner_mut();
+                let removed = inner.children[*step].remove_steps(rest)?;
+                inner.refresh_hash();
                 Ok(removed)
             }
         }
     }
 
     /// Returns a copy of this tree with the subtree at `path` removed.
+    ///
+    /// Like [`Node::replaced`], copies only the root→`path` spine.
     pub fn removed(&self, path: &Path) -> Result<Node, ReplaceError> {
         let mut out = self.clone();
         out.remove_at(path)?;
@@ -551,7 +662,7 @@ impl Node {
 
     fn preorder_into<'a>(&'a self, path: Path, out: &mut Vec<(Path, &'a Node)>) {
         out.push((path.clone(), self));
-        for (i, child) in self.children.iter().enumerate() {
+        for (i, child) in self.0.children.iter().enumerate() {
             child.preorder_into(path.child(i), out);
         }
     }
@@ -568,7 +679,7 @@ impl Node {
     /// Iterates over every node in the subtree (pre-order) without materialising paths.
     pub fn visit<F: FnMut(&Node)>(&self, f: &mut F) {
         f(self);
-        for child in &self.children {
+        for child in self.0.children.iter() {
             child.visit(f);
         }
     }
@@ -576,12 +687,14 @@ impl Node {
 
 impl PartialEq for Node {
     fn eq(&self, other: &Self) -> bool {
-        // The memoized hash filters out almost all unequal pairs in O(1); the structural
-        // compare below keeps `Eq` sound in the (vanishingly unlikely) event of a collision.
-        self.hash == other.hash
-            && self.kind == other.kind
-            && self.attrs == other.attrs
-            && self.children == other.children
+        // COW-aliased subtrees short-circuit on pointer identity; the memoized hash then
+        // filters out almost all unequal pairs in O(1); the structural compare below keeps
+        // `Eq` sound in the (vanishingly unlikely) event of a collision.
+        Arc::ptr_eq(&self.0, &other.0)
+            || (self.0.hash == other.0.hash
+                && self.0.kind == other.0.kind
+                && (Arc::ptr_eq(&self.0.attrs, &other.0.attrs) || self.0.attrs == other.0.attrs)
+                && self.0.children == other.0.children)
     }
 }
 
@@ -589,16 +702,16 @@ impl Eq for Node {}
 
 impl Hash for Node {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        state.write_u64(self.hash);
+        state.write_u64(self.0.hash);
     }
 }
 
 impl fmt::Display for Node {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.kind.name())?;
-        if !self.attrs.is_empty() {
+        write!(f, "{}", self.0.kind.name())?;
+        if !self.0.attrs.is_empty() {
             write!(f, "(")?;
-            for (i, (k, v)) in self.attrs.iter().enumerate() {
+            for (i, (k, v)) in self.0.attrs.iter().enumerate() {
                 if i > 0 {
                     write!(f, ", ")?;
                 }
@@ -716,7 +829,7 @@ mod tests {
             t.get(&"0/2/0".parse().unwrap()).unwrap().attr_str("name"),
             Some("costs")
         );
-        assert_eq!(t.hash, t.recomputed_hash());
+        assert_eq!(t.structural_hash(), t.recomputed_hash());
         // Appending one past the end works; beyond is an error.
         assert!(t.insert_at(&"3".parse().unwrap(), Node::star()).is_ok());
         assert!(t.insert_at(&"9".parse().unwrap(), Node::star()).is_err());
@@ -785,6 +898,83 @@ mod tests {
             .unwrap();
         assert_eq!(copy.structural_hash(), copy.recomputed_hash());
         assert_eq!(t.structural_hash(), t.recomputed_hash());
+    }
+
+    #[test]
+    fn replaced_shares_untouched_subtrees_with_the_original() {
+        let t = sample_tree();
+        let t2 = t
+            .replaced(&"2/0/1".parse().unwrap(), Node::string("EUR"))
+            .unwrap();
+        // Subtrees off the root→path spine are the same physical allocation.
+        for path in ["0", "1", "0/0", "0/1", "2/0/0"] {
+            let p: Path = path.parse().unwrap();
+            assert!(
+                t.get(&p).unwrap().ptr_eq(t2.get(&p).unwrap()),
+                "subtree at {path} must be shared"
+            );
+        }
+        // Spine nodes (root, 2, 2/0) are copies, and the replaced leaf differs.
+        assert!(!t.ptr_eq(&t2));
+        for path in ["2", "2/0", "2/0/1"] {
+            let p: Path = path.parse().unwrap();
+            assert!(!t.get(&p).unwrap().ptr_eq(t2.get(&p).unwrap()));
+        }
+        // Same sharing discipline for inserted() and removed().
+        let t3 = t.inserted(&"0/1".parse().unwrap(), Node::star()).unwrap();
+        assert!(t
+            .get(&"1".parse().unwrap())
+            .unwrap()
+            .ptr_eq(t3.get(&"1".parse().unwrap()).unwrap()));
+        assert!(t
+            .get(&"0/0".parse().unwrap())
+            .unwrap()
+            .ptr_eq(t3.get(&"0/0".parse().unwrap()).unwrap()));
+        let t4 = t.removed(&"0/0".parse().unwrap()).unwrap();
+        assert!(t
+            .get(&"2".parse().unwrap())
+            .unwrap()
+            .ptr_eq(t4.get(&"2".parse().unwrap()).unwrap()));
+        // The removed subtree itself is handed back still sharing the original's storage.
+        let cut = t.clone().remove_at(&"0/0".parse().unwrap()).unwrap();
+        assert!(cut.ptr_eq(t.get(&"0/0".parse().unwrap()).unwrap()));
+    }
+
+    #[test]
+    fn mutating_a_cow_copy_never_changes_the_original() {
+        let t = sample_tree();
+        let pristine_render = crate::pretty(&t).to_string();
+        let pristine_hash = t.structural_hash();
+
+        let mut copy = t
+            .replaced(&"2/0/1".parse().unwrap(), Node::string("EUR"))
+            .unwrap();
+        // Pile further mutations onto the aliased copy through every mutator.
+        copy.replace_at(&"0/0/0".parse().unwrap(), Node::column("zzz"))
+            .unwrap();
+        copy.set_attr("distinct", true);
+        copy.push_child(Node::new(NodeKind::Limit).with_child(Node::int(5)));
+        copy.insert_at(&"0/0".parse().unwrap(), Node::new(NodeKind::ProjClause))
+            .unwrap();
+        copy.remove_at(&"1/0".parse().unwrap()).unwrap();
+
+        // The original is bit-for-bit what it was, and both memos are still sound.
+        assert_eq!(crate::pretty(&t).to_string(), pristine_render);
+        assert_eq!(t.structural_hash(), pristine_hash);
+        assert_eq!(t.structural_hash(), t.recomputed_hash());
+        assert_eq!(copy.structural_hash(), copy.recomputed_hash());
+    }
+
+    #[test]
+    fn clones_are_aliases_until_mutated() {
+        let t = sample_tree();
+        let c = t.clone();
+        assert!(t.ptr_eq(&c));
+        let mut m = t.clone();
+        m.set_attr("distinct", true);
+        assert!(!t.ptr_eq(&m));
+        // Un-sharing the root does not un-share the children.
+        assert!(t.children()[0].ptr_eq(&m.children()[0]));
     }
 
     #[test]

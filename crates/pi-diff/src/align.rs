@@ -12,13 +12,12 @@
 //!   deletion when one side runs out).
 
 use pi_ast::{Node, Path};
-use std::sync::Arc;
 
 /// One minimal changed subtree between two trees.
 ///
-/// Both sides are `Arc`-shared: a changed subtree is cloned out of its query exactly once at
-/// extraction time, after which diff records, stores, widget domains and applied interactions
-/// all share the same allocation.
+/// Both sides alias their source queries: [`Node`] is a copy-on-write handle, so "cloning a
+/// subtree out" of a query at extraction time is a refcount bump, after which diff records,
+/// stores, widget domains and applied interactions all share the same allocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LeafChange {
     /// Location of the change.  For replacements and deletions this is the subtree's path in
@@ -26,9 +25,9 @@ pub struct LeafChange {
     /// new subtree appears.
     pub path: Path,
     /// The subtree in the source tree (`None` for insertions).
-    pub before: Option<Arc<Node>>,
+    pub before: Option<Node>,
     /// The subtree in the target tree (`None` for deletions).
-    pub after: Option<Arc<Node>>,
+    pub after: Option<Node>,
 }
 
 impl LeafChange {
@@ -59,8 +58,8 @@ fn diff_nodes(a: &Node, b: &Node, path: &Path, out: &mut Vec<LeafChange>) {
     if !a.same_label(b) {
         out.push(LeafChange {
             path: path.clone(),
-            before: Some(Arc::new(a.clone())),
-            after: Some(Arc::new(b.clone())),
+            before: Some(a.clone()),
+            after: Some(b.clone()),
         });
         return;
     }
@@ -91,7 +90,7 @@ fn align_children(a: &Node, b: &Node, path: &Path, out: &mut Vec<LeafChange>) {
         for (k, extra) in gap_a.iter().enumerate().skip(paired) {
             out.push(LeafChange {
                 path: path.child(ai + k),
-                before: Some(Arc::new(extra.clone())),
+                before: Some(extra.clone()),
                 after: None,
             });
         }
@@ -101,7 +100,7 @@ fn align_children(a: &Node, b: &Node, path: &Path, out: &mut Vec<LeafChange>) {
             out.push(LeafChange {
                 path: path.child(ai + k),
                 before: None,
-                after: Some(Arc::new(extra.clone())),
+                after: Some(extra.clone()),
             });
         }
         ai = anchor_a + 1;

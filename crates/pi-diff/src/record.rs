@@ -3,7 +3,6 @@
 use crate::align::{leaf_changes, LeafChange};
 use pi_ast::{Node, Path, PrimitiveType, ReplaceError};
 use std::collections::BTreeSet;
-use std::sync::Arc;
 
 /// How the ancestor closure of leaf diffs is materialised.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -31,8 +30,8 @@ pub enum ChangeKind {
 
 /// One row of the `diffs` table: `d = (q1, q2, p, t1, t2, type)` (paper Table 1).
 ///
-/// Subtree sides are `Arc`-shared with the leaf changes they came from: cloning a record (or
-/// the whole store) copies pointers, never trees.
+/// Subtree sides alias the queries they came from ([`Node`] is a copy-on-write handle):
+/// cloning a record (or the whole store) copies pointers, never trees.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffRecord {
     /// Index of the source query in the log.
@@ -42,9 +41,9 @@ pub struct DiffRecord {
     /// Path of the transformed subtree.
     pub path: Path,
     /// Subtree in the source query (`t1`); `None` for additions.
-    pub before: Option<Arc<Node>>,
+    pub before: Option<Node>,
     /// Subtree in the target query (`t2`); `None` for deletions.
-    pub after: Option<Arc<Node>>,
+    pub after: Option<Node>,
     /// True when this is a minimal changed subtree (leaf diff) rather than an ancestor record.
     pub is_leaf: bool,
 }
@@ -80,11 +79,11 @@ impl DiffRecord {
     pub fn apply(&self, q: &Node) -> Result<Node, ReplaceError> {
         match self.change_kind() {
             ChangeKind::Replacement => {
-                let after = self.after.as_deref().expect("after side");
+                let after = self.after.as_ref().expect("after side");
                 q.replaced(&self.path, after.clone())
             }
             ChangeKind::Addition => {
-                insert_subtree(q, &self.path, self.after.as_deref().expect("after side"))
+                insert_subtree(q, &self.path, self.after.as_ref().expect("after side"))
             }
             ChangeKind::Deletion => q.removed(&self.path),
         }
@@ -94,24 +93,24 @@ impl DiffRecord {
     pub fn apply_inverse(&self, q: &Node) -> Result<Node, ReplaceError> {
         match self.change_kind() {
             ChangeKind::Replacement => {
-                let before = self.before.as_deref().expect("before side");
+                let before = self.before.as_ref().expect("before side");
                 q.replaced(&self.path, before.clone())
             }
             ChangeKind::Deletion => {
-                insert_subtree(q, &self.path, self.before.as_deref().expect("before side"))
+                insert_subtree(q, &self.path, self.before.as_ref().expect("before side"))
             }
             ChangeKind::Addition => q.removed(&self.path),
         }
     }
 
     /// The subtrees this record contributes to a widget domain (both sides when present).
-    pub fn domain_subtrees(&self) -> Vec<&Arc<Node>> {
+    pub fn domain_subtrees(&self) -> Vec<&Node> {
         self.before.iter().chain(self.after.iter()).collect()
     }
 
     /// A one-line human-readable summary, used by experiment output and debugging.
     pub fn summary(&self) -> String {
-        let fmt_side = |side: &Option<Arc<Node>>| match side {
+        let fmt_side = |side: &Option<Node>| match side {
             Some(n) => n.label(),
             None => "∅".to_string(),
         };
@@ -221,8 +220,8 @@ pub fn build_records(
                 q1: q1_idx,
                 q2: q2_idx,
                 path: path.clone(),
-                before: Some(Arc::new(before.clone())),
-                after: Some(Arc::new(after.clone())),
+                before: Some(before.clone()),
+                after: Some(after.clone()),
                 is_leaf: false,
             });
         }
@@ -277,13 +276,13 @@ mod tests {
 
     #[test]
     fn change_kind_covers_all_shapes() {
-        let n = Arc::new(Node::int(1));
+        let n = Node::int(1);
         let repl = DiffRecord {
             q1: 0,
             q2: 1,
             path: Path::root(),
             before: Some(n.clone()),
-            after: Some(Arc::new(Node::int(2))),
+            after: Some(Node::int(2)),
             is_leaf: true,
         };
         assert_eq!(repl.change_kind(), ChangeKind::Replacement);

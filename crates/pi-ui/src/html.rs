@@ -234,6 +234,30 @@ mod tests {
     }
 
     #[test]
+    fn hostile_string_literal_cannot_break_out_of_the_script_block() {
+        // Regression: the interface spec is embedded raw inside <script>.  A SQL string
+        // literal containing `</script>` used to terminate the script element and inject
+        // markup into the generated page.
+        let log = "
+            SELECT a FROM t WHERE c = '</script><script>alert(1)//';
+            SELECT a FROM t WHERE c = 'EU';
+            SELECT a FROM t WHERE c = 'CN';
+        ";
+        let iface = PrecisionInterfaces::default()
+            .from_sql_log(log)
+            .unwrap()
+            .interface;
+        let layout = EditorLayout::new(&iface, 1);
+        let html = compile_html(&iface, &layout, "hostile");
+        // The hostile fragment must appear nowhere verbatim...
+        assert!(!html.contains("</script><script>alert(1)"));
+        // ...so the document keeps exactly the one closing tag it was born with.
+        assert_eq!(html.matches("</script>").count(), 1);
+        // The spec still carries the literal, in escaped form.
+        assert!(html.contains("\\u003c/script>"));
+    }
+
+    #[test]
     fn spec_embeds_every_option() {
         let iface = sample();
         let layout = EditorLayout::new(&iface, 2);

@@ -31,7 +31,12 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Number(n) => {
-                if n.fract() == 0.0 && n.is_finite() && n.abs() < 1e15 {
+                if !n.is_finite() {
+                    // JSON has no NaN/Infinity literals; emitting them produces text no
+                    // parser accepts.  Follow the convention of serde_json and
+                    // `JSON.stringify`: non-finite numbers serialise as null.
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 1e15 {
                     let _ = write!(out, "{}", *n as i64);
                 } else {
                     let _ = write!(out, "{n}");
@@ -46,6 +51,16 @@ impl Json {
                         '\n' => out.push_str("\\n"),
                         '\r' => out.push_str("\\r"),
                         '\t' => out.push_str("\\t"),
+                        // `<` is escaped so the spec can be embedded raw inside a
+                        // `<script>` block: a literal `</script>` (or `<!--`) in a SQL
+                        // fragment or label would otherwise terminate the script element
+                        // and inject markup into the page.
+                        '<' => out.push_str("\\u003c"),
+                        // U+2028/U+2029 are valid in JSON strings but are line
+                        // terminators in JavaScript source; escape them for the same
+                        // script-embedding reason.
+                        '\u{2028}' => out.push_str("\\u2028"),
+                        '\u{2029}' => out.push_str("\\u2029"),
                         c if (c as u32) < 0x20 => {
                             let _ = write!(out, "\\u{:04x}", c as u32);
                         }
@@ -109,6 +124,36 @@ mod tests {
             "\"a\\\"b\\\\c\\nd\""
         );
         assert_eq!(Json::String("\u{1}".into()).to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_serialise_as_null() {
+        // Regression: these used to render as `NaN` / `inf`, which no JSON parser accepts.
+        assert_eq!(Json::Number(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Number(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::Number(f64::NEG_INFINITY).to_string(), "null");
+        // Finite values are unaffected.
+        assert_eq!(Json::Number(-2.5).to_string(), "-2.5");
+        assert_eq!(
+            Json::Array(vec![Json::Number(1.0), Json::Number(f64::NAN)]).to_string(),
+            "[1,null]"
+        );
+    }
+
+    #[test]
+    fn escapes_script_terminators_for_html_embedding() {
+        // Regression: a literal `</script>` inside a string used to pass through verbatim,
+        // terminating the surrounding <script> block when the JSON is embedded in HTML.
+        assert_eq!(
+            Json::string("</script><script>alert(1)").to_string(),
+            "\"\\u003c/script>\\u003cscript>alert(1)\""
+        );
+        assert_eq!(
+            Json::string("a\u{2028}b\u{2029}c").to_string(),
+            "\"a\\u2028b\\u2029c\""
+        );
+        // `>` needs no escaping; other text is untouched.
+        assert_eq!(Json::string("1 > 0").to_string(), "\"1 > 0\"");
     }
 
     #[test]

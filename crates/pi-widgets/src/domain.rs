@@ -3,14 +3,13 @@
 use pi_ast::{Node, NodeId, PrimitiveType};
 use pi_diff::DiffRecord;
 use std::collections::BTreeSet;
-use std::sync::Arc;
 
 /// The domain `w.d` of a widget: the subtrees the widget can substitute at its path, plus
 /// metadata the widget rules and cost functions need (primitive type, numeric range,
 /// whether "no subtree at all" is one of the options).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Domain {
-    subtrees: Vec<Arc<Node>>,
+    subtrees: Vec<Node>,
     ids: BTreeSet<NodeId>,
     prim: PrimitiveType,
     includes_absent: bool,
@@ -63,10 +62,9 @@ impl Domain {
     }
 
     /// Adds one subtree to the domain (deduplicated by `NodeId`, which is O(1) thanks to the
-    /// memoized structural hash).  Accepts owned nodes or shared `Arc`s; records coming from
+    /// memoized structural hash).  `Node` is a copy-on-write handle, so records coming from
     /// the diff layer share their subtree allocation with the domain.
-    pub fn insert(&mut self, node: impl Into<Arc<Node>>) {
-        let node: Arc<Node> = node.into();
+    pub fn insert(&mut self, node: Node) {
         let id = node.id();
         if !self.ids.insert(id) {
             return;
@@ -92,7 +90,7 @@ impl Domain {
     }
 
     /// The explicit subtrees of the domain, in first-seen order.
-    pub fn subtrees(&self) -> &[Arc<Node>] {
+    pub fn subtrees(&self) -> &[Node] {
         &self.subtrees
     }
 

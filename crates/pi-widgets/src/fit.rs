@@ -25,6 +25,13 @@ pub struct TracePoint {
 /// paper's non-negativity constraint.  Returns a constant zero-cost function for an empty
 /// trace.
 pub fn fit_cost(points: &[TracePoint]) -> CostFunction {
+    // Non-finite timings (NaN/∞ from corrupted or sentinel trace entries) would poison the
+    // normal equations and propagate into every coefficient; ignore them up front.
+    let points: Vec<TracePoint> = points
+        .iter()
+        .filter(|p| p.millis.is_finite())
+        .copied()
+        .collect();
     if points.is_empty() {
         return CostFunction::constant(0.0);
     }
@@ -37,7 +44,7 @@ pub fn fit_cost(points: &[TracePoint]) -> CostFunction {
     // Build the normal equations (XᵀX) a = Xᵀy for the design matrix X = [1, n, n²].
     let mut xtx = [[0.0f64; 3]; 3];
     let mut xty = [0.0f64; 3];
-    for p in points {
+    for p in &points {
         let n = p.n as f64;
         let row = [1.0, n, n * n];
         for i in 0..3 {
@@ -61,10 +68,16 @@ pub fn fit_cost(points: &[TracePoint]) -> CostFunction {
 /// Solves a 3×3 linear system by Gaussian elimination with partial pivoting.
 fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
     for col in 0..3 {
-        // pivot
+        // pivot — `total_cmp` so a NaN entry (overflow, corrupt input) orders
+        // deterministically instead of panicking the comparator.  `total_cmp` ranks NaN
+        // above every finite magnitude, so a NaN column would be chosen as pivot; reject
+        // it explicitly and report the system as singular.
         let pivot_row = (col..3)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
-            .unwrap();
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("pivot search range is non-empty");
+        if a[pivot_row][col].is_nan() {
+            return None;
+        }
         if a[pivot_row][col].abs() < 1e-9 {
             return None;
         }
@@ -168,6 +181,58 @@ mod tests {
         // all observations at the same n -> singular system -> mean
         let same_n = synth(&[(5, 100.0), (5, 200.0), (5, 300.0)]);
         assert!((fit_cost(&same_n).eval(5) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        // Regression: a NaN/∞ timing used to poison the normal equations (every coefficient
+        // became NaN).  The fit must equal the fit of the finite observations alone.
+        let truth = CostFunction::new(300.0, 120.0, 0.5);
+        let clean: Vec<TracePoint> = (1..=40)
+            .map(|n| TracePoint {
+                n,
+                millis: truth.eval(n),
+            })
+            .collect();
+        let mut dirty = clean.clone();
+        dirty.insert(
+            7,
+            TracePoint {
+                n: 3,
+                millis: f64::NAN,
+            },
+        );
+        dirty.push(TracePoint {
+            n: 11,
+            millis: f64::INFINITY,
+        });
+        dirty.push(TracePoint {
+            n: 12,
+            millis: f64::NEG_INFINITY,
+        });
+        let fitted = fit_cost(&dirty);
+        assert!(fitted.a0.is_finite() && fitted.a1.is_finite() && fitted.a2.is_finite());
+        let reference = fit_cost(&clean);
+        assert!((fitted.a0 - reference.a0).abs() < 1e-9);
+        assert!((fitted.a1 - reference.a1).abs() < 1e-9);
+        assert!((fitted.a2 - reference.a2).abs() < 1e-9);
+        // A trace of only non-finite observations degrades to the empty-trace fallback.
+        let all_bad = synth(&[(1, f64::NAN), (2, f64::INFINITY)]);
+        assert_eq!(fit_cost(&all_bad).eval(10), 0.0);
+    }
+
+    #[test]
+    fn solve3_tolerates_nan_entries() {
+        // Regression: pivot selection used `partial_cmp(..).unwrap()`, which panics on NaN.
+        let nan = f64::NAN;
+        assert_eq!(solve3([[nan; 3]; 3], [1.0, 2.0, 3.0]), None);
+        let mut a = [[2.0, 1.0, 0.0], [1.0, 3.0, 1.0], [0.0, 1.0, 2.0]];
+        a[1][0] = nan;
+        assert_eq!(solve3(a, [1.0, 2.0, 3.0]), None);
+        // A NaN right-hand side must not panic either (coefficients may be NaN, but the
+        // caller filters non-finite observations before ever building such a system).
+        let ok = [[2.0, 1.0, 0.0], [1.0, 3.0, 1.0], [0.0, 1.0, 2.0]];
+        let _ = solve3(ok, [nan, 2.0, 3.0]);
     }
 
     #[test]

@@ -72,7 +72,7 @@ impl Widget {
     /// The expressiveness check of §4.3: widget `w` expresses diff `d` iff their paths match
     /// and the target subtree `t2` is within the widget's domain.
     pub fn expresses(&self, diff: &DiffRecord) -> bool {
-        self.path == diff.path && self.can_express_subtree(diff.after.as_deref())
+        self.path == diff.path && self.can_express_subtree(diff.after.as_ref())
     }
 
     /// The display label: the user-provided one, or a generated description of what the
@@ -196,7 +196,7 @@ mod tests {
         // The inverse direction (deleting the TOP clause) is a diff with after = None.
         let inverse = extract_diffs(&q2, &q1, 1, 0, AncestorPolicy::LcaPruned);
         let del = &inverse[0];
-        assert!(toggle.can_express_subtree(del.after.as_deref()));
+        assert!(toggle.can_express_subtree(del.after.as_ref()));
     }
 
     #[test]

@@ -201,3 +201,61 @@ fn study_and_interface_agree_on_task_support() {
         .unwrap();
     assert!(t1_sdss.mean_time_s > 3.0 * t1_pi.mean_time_s);
 }
+
+#[test]
+fn mining_is_identical_under_shared_and_fresh_subtrees() {
+    // The COW refactor makes diff records, widget domains and applied interactions alias
+    // subtrees of the log queries.  Sharing must be unobservable: mining a log whose trees
+    // are freshly re-parsed (zero sharing) yields a byte-identical graph, diff store and
+    // widget set to mining the original (shared) trees.
+    let logs: Vec<Vec<Node>> = vec![
+        olap::random_walk(3, 64).queries,
+        sdss::client_log(sdss::ClientArchetype::ObjectLookup, 2, 64).queries,
+        mix::interleave(&sdss::client_logs(4, 16), 1).queries,
+    ];
+    for queries in logs {
+        let shared = PrecisionInterfaces::default().from_queries(queries.clone());
+        let fresh: Vec<Node> = queries
+            .iter()
+            .map(|q| parse(&render_sql(q)).expect("workload queries round-trip"))
+            .collect();
+        let rebuilt = PrecisionInterfaces::default().from_queries(fresh);
+        assert_eq!(shared.graph, rebuilt.graph);
+        assert_eq!(shared.graph_stats, rebuilt.graph_stats);
+        assert_eq!(shared.interface.widgets(), rebuilt.interface.widgets());
+        assert_eq!(shared.interface.describe(), rebuilt.interface.describe());
+        // Every domain subtree's memoized hash stays sound under sharing.
+        for widget in shared.interface.widgets() {
+            for subtree in widget.domain.subtrees() {
+                assert_eq!(subtree.structural_hash(), subtree.recomputed_hash());
+            }
+        }
+    }
+}
+
+#[test]
+fn scratch_mutations_on_cow_copies_never_perturb_mining() {
+    // Mine a log, then torture every query with mutations applied to COW copies (the
+    // enumerate_closure access pattern), then mine again: results must be identical.
+    let queries = olap::random_walk(5, 96).queries;
+    let baseline = PrecisionInterfaces::default().from_queries(queries.clone());
+    for q in &queries {
+        let deepest = q
+            .preorder()
+            .into_iter()
+            .map(|(p, _)| p)
+            .max_by_key(|p| p.depth())
+            .expect("non-empty tree");
+        let mut copy = q
+            .replaced(&deepest, Node::int(123_456))
+            .expect("valid path");
+        copy.set_attr("scratch", true);
+        if !deepest.is_root() {
+            copy.remove_at(&deepest).expect("valid path");
+        }
+    }
+    let again = PrecisionInterfaces::default().from_queries(queries);
+    assert_eq!(baseline.graph, again.graph);
+    assert_eq!(baseline.graph_stats, again.graph_stats);
+    assert_eq!(baseline.interface.describe(), again.interface.describe());
+}

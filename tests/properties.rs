@@ -287,6 +287,46 @@ proptest! {
         }
     }
 
+    // ------------------------------------------------------------ COW aliasing
+
+    /// The copy-on-write contract: `replaced()` shares every subtree off the root→path spine
+    /// with the original (physical `Arc` sharing, observed via [`Node::ptr_eq`]), further
+    /// mutation of the copy never changes the original, and the memoized hashes of both
+    /// trees stay equal to a from-scratch recompute under all that sharing.
+    #[test]
+    fn cow_copies_share_subtrees_and_mutations_never_alias_back(
+        a in arb_query(),
+        b in arb_query(),
+    ) {
+        let paths: Vec<Path> = a.preorder().into_iter().map(|(p, _)| p).collect();
+        let target = paths[paths.len() / 2].clone();
+        let pristine_render = render_sql(&a);
+        let pristine_hash = a.structural_hash();
+
+        let mut copy = a.replaced(&target, b.clone()).expect("preorder paths exist");
+        // Untouched top-level siblings are the same physical allocation, not equal clones.
+        if let Some(&first) = target.steps().first() {
+            for (i, child) in a.children().iter().enumerate() {
+                if i != first {
+                    prop_assert!(
+                        child.ptr_eq(&copy.children()[i]),
+                        "untouched sibling {i} must be shared"
+                    );
+                }
+            }
+        }
+        // Pile mutations onto the aliased copy; the original must stay byte-identical.
+        copy.set_attr("distinct", true);
+        if !target.is_root() {
+            let _ = copy.remove_at(&target);
+        }
+        let _ = copy.replaced(&Path::root(), b);
+        prop_assert_eq!(render_sql(&a), pristine_render);
+        prop_assert_eq!(a.structural_hash(), pristine_hash);
+        prop_assert_eq!(a.structural_hash(), a.recomputed_hash());
+        prop_assert_eq!(copy.structural_hash(), copy.recomputed_hash());
+    }
+
     // ------------------------------------------------------------ widget domains
 
     /// Slider extrapolation: any value between the observed minimum and maximum is considered

@@ -2,8 +2,10 @@
 //! membership, and query execution.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pi_ast::Frontend as _;
 use pi_diff::{extract_diffs, AncestorPolicy};
 use pi_engine::{exec, Catalog};
+use pi_sql::SqlFrontend;
 use pi_workloads::sdss;
 use std::time::Duration;
 
@@ -15,13 +17,13 @@ fn bench_stages(c: &mut Criterion) {
 
     let sql = "SELECT TOP 10 g.objID FROM Galaxy AS g, dbo.fGetNearbyObjEq(5.848, 0.352, 2.0616) AS d WHERE d.objID = g.objID";
     group.bench_function("parse_sdss_query", |b| {
-        b.iter(|| pi_sql::parse(sql).unwrap())
+        b.iter(|| SqlFrontend.parse_one(sql).unwrap())
     });
 
     // The memoized hash must be O(1) — a field read — while the from-scratch recompute walks
     // the whole subtree.  The gap between these two numbers is the memo at work.
     let big = {
-        let mut q = pi_sql::parse(sql).unwrap();
+        let mut q = SqlFrontend.parse_one(sql).unwrap();
         for _ in 0..6 {
             let wrapped = q.clone();
             q = pi_ast::builder::SelectBuilder::new()
@@ -57,10 +59,9 @@ fn bench_stages(c: &mut Criterion) {
     });
 
     let catalog = Catalog::demo(1);
-    let query = pi_sql::parse(
-        "SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 9 GROUP BY DestState",
-    )
-    .unwrap();
+    let query = SqlFrontend
+        .parse_one("SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 9 GROUP BY DestState")
+        .unwrap();
     group.bench_function("exec_olap_groupby", |b| {
         b.iter(|| exec(&query, &catalog).unwrap())
     });

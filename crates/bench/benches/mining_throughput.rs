@@ -9,9 +9,12 @@
 //! root so successive PRs can track the trajectory.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
+use pi_ast::Frontend as _;
 use pi_core::{PiOptions, PrecisionInterfaces, Session};
+use pi_frames::FramesFrontend;
 use pi_graph::{GraphBuilder, IntoQueryLog, QueryLog, WindowStrategy};
-use pi_workloads::olap;
+use pi_sql::SqlFrontend;
+use pi_workloads::{frames, olap};
 use std::time::Duration;
 
 const LOG_SIZE: usize = 512;
@@ -49,6 +52,40 @@ fn bench_mining_throughput(c: &mut Criterion) {
     group.bench_function("pipeline_default", |b| {
         let pipeline = PrecisionInterfaces::new(PiOptions::default());
         b.iter(|| pipeline.from_queries(&queries));
+    });
+
+    // Front-end cost, tracked alongside mining cost: parse the full 512-query walk from
+    // text in each dialect, and render it back out.  Both text logs spell the SAME walk —
+    // `parse_frames_512` and `parse_sql_512` therefore price the two grammars on identical
+    // trees, and `render_512` prices the UI-facing direction the HTML compiler takes for
+    // every widget option.
+    let sql_texts = olap::random_walk(3, LOG_SIZE).text;
+    group.bench_function("parse_sql_512", |b| {
+        b.iter(|| {
+            sql_texts
+                .iter()
+                .map(|text| SqlFrontend.parse_one(text).unwrap())
+                .collect::<Vec<_>>()
+                .len()
+        });
+    });
+    let frames_texts = frames::dataframe_walk(3, LOG_SIZE).text;
+    group.bench_function("parse_frames_512", |b| {
+        b.iter(|| {
+            frames_texts
+                .iter()
+                .map(|text| FramesFrontend.parse_one(text).unwrap())
+                .collect::<Vec<_>>()
+                .len()
+        });
+    });
+    group.bench_function("render_512", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| SqlFrontend.render(q).len())
+                .sum::<usize>()
+        });
     });
 
     // Path mutation must copy only the root→path spine (COW subtrees), not the whole tree:

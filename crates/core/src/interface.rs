@@ -1,6 +1,6 @@
 //! The interface model: widgets + initial query, cost, closure and expressiveness (§4.4).
 
-use pi_ast::{Node, Path};
+use pi_ast::{Dialect, Node, NodeId, Path};
 use pi_widgets::Widget;
 use std::collections::BTreeSet;
 
@@ -13,6 +13,7 @@ use std::collections::BTreeSet;
 pub struct Interface {
     widgets: Vec<Widget>,
     initial_query: Node,
+    initial_dialect: Dialect,
 }
 
 impl Interface {
@@ -20,6 +21,8 @@ impl Interface {
     ///
     /// Widgets are kept sorted by path (shallowest first) so that closure-membership checks and
     /// closure enumeration apply whole-query substitutions before refining subtrees.
+    /// The initial query is tagged with the default dialect; use
+    /// [`Interface::with_initial_dialect`] when the originating front-end is known.
     pub fn new(initial_query: Node, mut widgets: Vec<Widget>) -> Self {
         widgets.sort_by(|a, b| {
             a.path
@@ -30,7 +33,15 @@ impl Interface {
         Interface {
             widgets,
             initial_query,
+            initial_dialect: Dialect::default(),
         }
+    }
+
+    /// Tags the initial query with the dialect of the front-end it arrived through
+    /// (builder style).  Rendering layers use this to show `q⁰_I` in its own language.
+    pub fn with_initial_dialect(mut self, dialect: Dialect) -> Self {
+        self.initial_dialect = dialect;
+        self
     }
 
     /// The interface's widgets.
@@ -46,6 +57,11 @@ impl Interface {
     /// The initial query `q⁰_I` rendered when the interface loads.
     pub fn initial_query(&self) -> &Node {
         &self.initial_query
+    }
+
+    /// The dialect the initial query was written in.
+    pub fn initial_dialect(&self) -> Dialect {
+        self.initial_dialect
     }
 
     /// The interface cost: the sum of its widgets' costs (§4.4).
@@ -143,45 +159,53 @@ impl Interface {
     /// widgets' explicit options applied to the initial query.  Numeric extrapolation is not
     /// enumerated (sliders contribute only their observed values).  Used by the precision
     /// experiment of Appendix D.
+    ///
+    /// One global [`NodeId`]-keyed memo is shared across all widget passes (the ROADMAP's
+    /// "closure dedup at scale" item): `results` is append-only and pass `k` scans the
+    /// queries known so far, appending only never-seen trees.  The previous per-pass
+    /// structural-hash dedup rebuilt its set every pass, re-cloning and re-inserting every
+    /// base query each time — O(|closure|) redundant set work per widget; the shared memo
+    /// pays one O(1) `NodeId` probe per *candidate* instead (`enumerate_closure_512` in
+    /// `BENCH_mining.json` tracks the win).
     pub fn enumerate_closure(&self, limit: usize) -> Vec<Node> {
+        if limit == 0 {
+            return Vec::new();
+        }
         let mut results: Vec<Node> = vec![self.initial_query.clone()];
-        let mut seen: BTreeSet<u64> = BTreeSet::new();
-        seen.insert(self.initial_query.structural_hash());
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        seen.insert(self.initial_query.id());
 
-        for widget in &self.widgets {
-            // Options: each explicit subtree, plus "absent" when allowed, plus "leave as is".
-            let mut next: Vec<Node> = Vec::new();
-            let mut next_seen: BTreeSet<u64> = BTreeSet::new();
-            for base in &results {
-                let mut push = |candidate: Node| {
-                    if next_seen.insert(candidate.structural_hash()) && next.len() < limit {
-                        next.push(candidate);
-                    }
-                };
-                push(base.clone());
+        'widgets: for widget in &self.widgets {
+            // Apply every option of this widget to every query reachable so far; a base
+            // query itself stays reachable ("leave as is") simply by staying in `results`.
+            let known = results.len();
+            for base in 0..known {
                 for option in widget.domain.subtrees() {
-                    let mut candidate = base.clone();
-                    if place(&mut candidate, &widget.path, option.clone()).is_ok() {
-                        push(candidate);
+                    if results.len() >= limit {
+                        break 'widgets;
+                    }
+                    let mut candidate = results[base].clone();
+                    if place(&mut candidate, &widget.path, option.clone()).is_ok()
+                        && seen.insert(candidate.id())
+                    {
+                        results.push(candidate);
                     }
                 }
                 if widget.domain.includes_absent() {
-                    let mut candidate = base.clone();
-                    if candidate.remove_at(&widget.path).is_ok() {
-                        push(candidate);
+                    if results.len() >= limit {
+                        break 'widgets;
+                    }
+                    let mut candidate = results[base].clone();
+                    if candidate.remove_at(&widget.path).is_ok() && seen.insert(candidate.id()) {
+                        results.push(candidate);
                     }
                 }
-                if next.len() >= limit {
-                    break;
-                }
             }
-            results = next;
             if results.len() >= limit {
                 break;
             }
         }
-        let _ = seen;
-        results.truncate(limit);
+        debug_assert!(results.len() <= limit);
         results
     }
 
@@ -253,7 +277,11 @@ fn difference_size(a: &Node, b: &Node) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pi_sql::parse;
+    use pi_ast::Frontend as _;
+
+    fn parse(sql: &str) -> Result<pi_ast::Node, pi_ast::FrontendError> {
+        pi_sql::SqlFrontend.parse_one(sql)
+    }
     use pi_widgets::{Domain, WidgetLibrary};
 
     fn widget_for(path: &str, subtrees: Vec<Node>) -> Widget {
@@ -320,8 +348,14 @@ mod tests {
         for q in &closure {
             assert!(iface.can_express(q));
         }
-        // The limit is honoured.
+        // The limit is honoured — a hard upper bound, including the degenerate ends.
         assert_eq!(iface.enumerate_closure(2).len(), 2);
+        assert_eq!(iface.enumerate_closure(1).len(), 1);
+        assert_eq!(iface.enumerate_closure(3).len(), 3);
+        assert!(iface.enumerate_closure(0).is_empty());
+        for limit in 1..6 {
+            assert!(iface.enumerate_closure(limit).len() <= limit);
+        }
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //!   query is diffed only against the predecessors the window strategy admits, and versioned
 //!   snapshots are byte-identical to batch builds of the same prefix — the one-shot entry
 //!   points are thin wrappers over a session;
+//! * **pluggable front-ends**: sessions route text through a
+//!   [`Frontends`](pi_ast::Frontends) registry ([`standard_frontends`] bundles SQL and the
+//!   dataframe dialect), tag every query with its [`Dialect`](pi_ast::Dialect), and thread
+//!   the tags into the generated interface so mixed-language logs mine into one interface
+//!   whose options render in their originating language;
 //! * the **evaluation utilities** used throughout §7: hold-out recall curves
 //!   ([`recall`]) and closure precision against a database schema with and without the
 //!   column→table filter of Appendix D ([`precision`]).
@@ -37,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod frontends;
 mod interface;
 mod mapper;
 mod pipeline;
@@ -44,6 +50,7 @@ pub mod precision;
 pub mod recall;
 pub mod session;
 
+pub use frontends::standard_frontends;
 pub use interface::Interface;
 pub use mapper::{InteractionMapper, MapperOptions};
 pub use pipeline::{GeneratedInterface, PiOptions, PrecisionInterfaces, StageTimings};
@@ -52,7 +59,12 @@ pub use session::Session;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pi_ast::Frontend as _;
     use pi_widgets::WidgetType;
+
+    fn parse_result(sql: &str) -> Result<pi_ast::Node, pi_ast::FrontendError> {
+        pi_sql::SqlFrontend.parse_one(sql)
+    }
 
     fn generate(log: &str) -> GeneratedInterface {
         PrecisionInterfaces::default().from_sql_log(log).unwrap()
@@ -77,13 +89,13 @@ mod tests {
         assert!(types.contains(&WidgetType::Dropdown));
         // Generalisation: combinations never observed together are still expressible
         // (cust='Bob' with +9 appears in no log entry).
-        let unseen = pi_sql::parse(
+        let unseen = parse_result(
             "SELECT spec_ts, sum(price) FROM (SELECT action, sum(customer) FROM t WHERE spec_ts > now AND spec_ts < now + 9) WHERE cust = 'Bob' AND country = 'China' GROUP BY spec_ts",
         )
         .unwrap();
         assert!(generated.interface.can_express(&unseen));
         // But changes never observed at all (the country) are not expressible.
-        let off_script = pi_sql::parse(
+        let off_script = parse_result(
             "SELECT spec_ts, sum(price) FROM (SELECT action, sum(customer) FROM t WHERE spec_ts > now AND spec_ts < now + 3) WHERE cust = 'Alice' AND country = 'France' GROUP BY spec_ts",
         )
         .unwrap();
@@ -159,7 +171,7 @@ mod tests {
             generated.interface.describe()
         );
         // A TOP value never seen (e.g. 7) is expressible thanks to slider extrapolation.
-        let unseen = pi_sql::parse(
+        let unseen = parse_result(
             "SELECT TOP 7 g.objID FROM Galaxy AS g, dbo.fGetNearbyObjEq(5.848, 0.352, 2.0616) AS d WHERE d.objID = g.objID",
         )
         .unwrap();
@@ -180,7 +192,7 @@ mod tests {
         assert!(widgets.len() >= 2, "{}", generated.interface.describe());
         assert!(generated.interface.expressiveness(&generated.queries) >= 1.0);
         // The unseen combination (SELECT b ... > 10) is expressible via the cross-product.
-        let unseen = pi_sql::parse("SELECT * FROM (SELECT b FROM T WHERE b > 10)").unwrap();
+        let unseen = parse_result("SELECT * FROM (SELECT b FROM T WHERE b > 10)").unwrap();
         assert!(generated.interface.can_express(&unseen));
     }
 

@@ -15,7 +15,7 @@
 //!    can never be violated by the greedy choice.
 
 use crate::interface::Interface;
-use pi_ast::{Node, NodeKind, Path};
+use pi_ast::{Dialect, Node, NodeKind, Path};
 use pi_diff::{DiffId, DiffStore};
 use pi_graph::InteractionGraph;
 use pi_widgets::{Domain, Widget, WidgetLibrary};
@@ -61,31 +61,45 @@ impl InteractionMapper {
         self
     }
 
-    /// Maps an interaction graph to an interface.
+    /// Maps an interaction graph to an interface, tagging every widget option and the
+    /// initial query with the default dialect.  Use [`InteractionMapper::map_tagged`] when
+    /// the per-query dialects of the log are known (mixed-front-end sessions).
     pub fn map(&self, graph: &InteractionGraph) -> Interface {
+        self.map_tagged(graph, &[])
+    }
+
+    /// Maps an interaction graph to an interface, threading per-query [`Dialect`] tags
+    /// (parallel to the graph's query log; missing entries default) into the widget
+    /// domains and the initial query, so the interface remembers which front-end every
+    /// rendered fragment originated in.
+    pub fn map_tagged(&self, graph: &InteractionGraph, dialects: &[Dialect]) -> Interface {
         let initial_query = graph
             .initial_query()
             .cloned()
             .unwrap_or_else(|| Node::new(NodeKind::Select));
+        let initial_dialect = dialects.first().copied().unwrap_or_default();
 
-        let mut widgets = self.initialize(graph);
+        let mut widgets = self.initialize(graph, dialects);
         if self.options.enable_merging {
             let pairs = PairIndex::build(graph.store());
             for _ in 0..self.options.max_merge_passes {
-                if !self.merge_pass(&mut widgets, graph.store(), &pairs) {
+                if !self.merge_pass(&mut widgets, graph.store(), &pairs, dialects) {
                     break;
                 }
             }
         }
         widgets.retain(|w| !w.domain.is_empty());
-        Interface::new(initial_query, widgets)
+        Interface::new(initial_query, widgets).with_initial_dialect(initial_dialect)
     }
 
     /// Algorithm 1: one widget per path partition, instantiated by `pickWidget`.
-    fn initialize(&self, graph: &InteractionGraph) -> Vec<Widget> {
+    fn initialize(&self, graph: &InteractionGraph, dialects: &[Dialect]) -> Vec<Widget> {
         let mut widgets = Vec::new();
         for (path, ids) in graph.store().partition_by_path() {
-            let domain = Domain::from_diffs(ids.iter().map(|id| graph.store().get(*id)));
+            let domain = Domain::from_diffs_tagged(
+                ids.iter().map(|id| graph.store().get(*id)),
+                dialect_of(dialects),
+            );
             if let Some(widget) = self.library.pick(path, domain, ids) {
                 widgets.push(widget);
             }
@@ -95,17 +109,30 @@ impl InteractionMapper {
 
     /// Rebuilds a widget from a reduced set of initialising diffs (Algorithm 2 re-applied
     /// after a merge decision).  Returns `None` when no diffs remain.
-    fn repick(&self, path: &Path, ids: Vec<DiffId>, store: &DiffStore) -> Option<Widget> {
+    fn repick(
+        &self,
+        path: &Path,
+        ids: Vec<DiffId>,
+        store: &DiffStore,
+        dialects: &[Dialect],
+    ) -> Option<Widget> {
         if ids.is_empty() {
             return None;
         }
-        let domain = Domain::from_diffs(ids.iter().map(|id| store.get(*id)));
+        let domain =
+            Domain::from_diffs_tagged(ids.iter().map(|id| store.get(*id)), dialect_of(dialects));
         self.library.pick(path.clone(), domain, ids)
     }
 
     /// One sweep of Algorithm 3 over every ancestor widget, deepest first.  Returns whether
     /// the total interface cost decreased.
-    fn merge_pass(&self, widgets: &mut [Widget], store: &DiffStore, pairs: &PairIndex) -> bool {
+    fn merge_pass(
+        &self,
+        widgets: &mut [Widget],
+        store: &DiffStore,
+        pairs: &PairIndex,
+        dialects: &[Dialect],
+    ) -> bool {
         let mut improved = false;
 
         // Deepest ancestors first: this collapses widget chains bottom-up so that the cost of
@@ -185,7 +212,7 @@ impl InteractionMapper {
                 .copied()
                 .filter(|id| !ga.contains(id))
                 .collect();
-            let new_ancestor = self.repick(&a_path, ancestor_kept, store);
+            let new_ancestor = self.repick(&a_path, ancestor_kept, store, dialects);
             let sa = widgets[a_idx].cost - new_ancestor.as_ref().map(|w| w.cost).unwrap_or(0.0);
 
             // Candidate B: remove the overlap from every descendant.
@@ -199,7 +226,7 @@ impl InteractionMapper {
                     .copied()
                     .filter(|id| !removed.contains(id))
                     .collect();
-                let replacement = self.repick(&widgets[j].path, kept, store);
+                let replacement = self.repick(&widgets[j].path, kept, store, dialects);
                 sd += widgets[j].cost - replacement.as_ref().map(|w| w.cost).unwrap_or(0.0);
                 new_descendants.insert(j, replacement);
             }
@@ -274,6 +301,12 @@ fn empty_widget(old: &Widget) -> Widget {
     Widget::new(old.ty, old.path.clone(), Domain::new(), Vec::new(), 0.0)
 }
 
+/// Per-query dialect lookup over a (possibly empty) tag vector: queries the log never
+/// tagged fall back to the default dialect.
+fn dialect_of(dialects: &[Dialect]) -> impl Fn(usize) -> Dialect + '_ {
+    move |q| dialects.get(q).copied().unwrap_or_default()
+}
+
 /// Per-pair view of the diff store, used to verify that a merge never makes a compared query
 /// pair inexpressible.
 struct PairIndex {
@@ -320,8 +353,12 @@ impl PairIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pi_ast::Frontend as _;
     use pi_graph::{GraphBuilder, WindowStrategy};
-    use pi_sql::parse;
+
+    fn parse(sql: &str) -> Result<pi_ast::Node, pi_ast::FrontendError> {
+        pi_sql::SqlFrontend.parse_one(sql)
+    }
     use pi_widgets::WidgetType;
 
     fn graph(queries: &[&str], window: WindowStrategy) -> InteractionGraph {

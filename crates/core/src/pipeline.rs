@@ -9,6 +9,7 @@
 use crate::interface::Interface;
 use crate::mapper::{InteractionMapper, MapperOptions};
 use crate::session::Session;
+use pi_ast::Dialect;
 use pi_diff::AncestorPolicy;
 use pi_graph::{
     GraphBuilder, GraphStats, InteractionGraph, IntoQueryLog, QueryLog, WindowStrategy,
@@ -118,6 +119,10 @@ pub struct GeneratedInterface {
     pub queries: QueryLog,
     /// The mined interaction graph the interface was mapped from (shares `queries`).
     pub graph: InteractionGraph,
+    /// The dialect each query arrived in, parallel to `queries`.  Batch entry points tag
+    /// every query with the front-end they parsed with; mixed-front-end sessions carry one
+    /// tag per push.
+    pub dialects: Vec<Dialect>,
     /// Number of log entries that failed to parse and were skipped.
     pub skipped: usize,
     /// Interaction-graph statistics (edge and record counts).
@@ -155,18 +160,32 @@ impl PrecisionInterfaces {
         Session::new(self.options.clone())
     }
 
-    /// Runs the pipeline over a textual SQL log (statements separated by semicolons).
+    /// Runs the pipeline over a textual query log (statements separated by semicolons) in
+    /// the given dialect, parsed by the matching front-end of the standard registry.
     ///
     /// Unparseable statements are skipped (and counted in
     /// [`GeneratedInterface::skipped`]) rather than aborting the run — real query logs contain
     /// typos and statements in unsupported dialects.
-    pub fn from_sql_log(&self, log: &str) -> Result<GeneratedInterface, PipelineError> {
+    pub fn from_text(
+        &self,
+        dialect: Dialect,
+        log: &str,
+    ) -> Result<GeneratedInterface, PipelineError> {
         let mut session = self.session();
-        session.push_sql(log);
+        session.push_text_as(dialect, log);
         if session.is_empty() {
             return Err(PipelineError::EmptyLog);
         }
         Ok(session.into_snapshot())
+    }
+
+    /// Runs the pipeline over a textual SQL log.
+    ///
+    /// A SQL-dialect convenience kept for the workspace's founding front-end: exactly
+    /// `from_text(Dialect::SQL, log)`, with no behaviour of its own (pinned by a unit
+    /// test).  Prefer [`PrecisionInterfaces::from_text`] when the dialect is a parameter.
+    pub fn from_sql_log(&self, log: &str) -> Result<GeneratedInterface, PipelineError> {
+        self.from_text(Dialect::SQL, log)
     }
 
     /// Runs the pipeline over an already-parsed query log by streaming it through a
@@ -191,23 +210,34 @@ impl PrecisionInterfaces {
     }
 
     /// The interaction-mapping stage alone (exposed for the runtime experiments).
+    /// Widget options get default dialect tags; use
+    /// [`InteractionMapper::map_tagged`] directly when per-query dialects matter.
     pub fn map(&self, graph: &InteractionGraph) -> Interface {
-        map_graph(&self.options, graph)
+        map_graph(&self.options, graph, &[])
     }
 }
 
 /// Maps a mined graph to an interface under the given options — the single mapping entry
-/// point shared by batch runs and session snapshots.
-pub(crate) fn map_graph(options: &PiOptions, graph: &InteractionGraph) -> Interface {
+/// point shared by batch runs and session snapshots.  `dialects` carries the per-query
+/// front-end tags (parallel to the graph's log; missing entries default).
+pub(crate) fn map_graph(
+    options: &PiOptions,
+    graph: &InteractionGraph,
+    dialects: &[Dialect],
+) -> Interface {
     InteractionMapper::new(options.library.clone())
         .with_options(options.mapper)
-        .map(graph)
+        .map_tagged(graph, dialects)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pi_ast::Node;
+    use pi_ast::{Frontend as _, Node};
+
+    fn parse(sql: &str) -> Node {
+        pi_sql::SqlFrontend.parse_one(sql).unwrap()
+    }
 
     #[test]
     fn pipeline_reports_timings_and_stats() {
@@ -254,6 +284,56 @@ mod tests {
     }
 
     #[test]
+    fn from_sql_log_is_a_pinned_alias_of_the_generic_path() {
+        // Deprecation hygiene: the SQL convenience must stay byte-identical to
+        // from_text(Dialect::SQL, …) — same queries, same dialect tags, same interface.
+        let log = "
+            SELECT a FROM t WHERE x = 1;
+            SELECT a FROM t WHERE x = 2;
+            BROKEN STATEMENT;
+        ";
+        let via_alias = PrecisionInterfaces::default().from_sql_log(log).unwrap();
+        let via_generic = PrecisionInterfaces::default()
+            .from_text(Dialect::SQL, log)
+            .unwrap();
+        assert_eq!(via_alias.version, via_generic.version);
+        assert_eq!(via_alias.skipped, via_generic.skipped);
+        assert_eq!(via_alias.graph, via_generic.graph);
+        assert_eq!(via_alias.dialects, via_generic.dialects);
+        assert_eq!(via_alias.dialects, vec![Dialect::SQL; 2]);
+        assert_eq!(
+            via_alias.interface.widgets(),
+            via_generic.interface.widgets()
+        );
+        assert_eq!(via_alias.interface.initial_dialect(), Dialect::SQL);
+    }
+
+    #[test]
+    fn from_text_routes_through_the_matching_frontend() {
+        let frames_log = "
+            ontime.filter(Month == 9).groupby(DestState).agg(COUNT(Delay));
+            ontime.filter(Month == 3).groupby(DestState).agg(COUNT(Delay));
+        ";
+        let generated = PrecisionInterfaces::default()
+            .from_text(Dialect::FRAMES, frames_log)
+            .unwrap();
+        assert_eq!(generated.version, 2);
+        assert_eq!(generated.dialects, vec![Dialect::FRAMES; 2]);
+        assert_eq!(generated.interface.initial_dialect(), Dialect::FRAMES);
+        assert_eq!(generated.interface.widgets().len(), 1);
+        // The frames log mines exactly like the equivalent SQL log — one tree model.
+        let sql_log = "
+            SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 9 GROUP BY DestState;
+            SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 3 GROUP BY DestState;
+        ";
+        let sql = PrecisionInterfaces::default()
+            .from_sql_log(sql_log)
+            .unwrap();
+        assert_eq!(generated.graph, sql.graph);
+        assert_eq!(generated.interface.describe(), sql.interface.describe());
+    }
+
+    #[test]
     fn baseline_options_use_all_pairs_and_full_ancestors() {
         let options = PiOptions::baseline();
         assert_eq!(options.window, WindowStrategy::AllPairs);
@@ -263,7 +343,7 @@ mod tests {
     #[test]
     fn baseline_has_more_edges_and_records_than_the_optimised_pipeline() {
         let queries: Vec<Node> = (0..20)
-            .map(|i| pi_sql::parse(&format!("SELECT a FROM t WHERE x = {i}")).unwrap())
+            .map(|i| parse(&format!("SELECT a FROM t WHERE x = {i}")))
             .collect();
         let optimised = PrecisionInterfaces::default().from_queries(queries.clone());
         let baseline = PrecisionInterfaces::new(PiOptions::baseline()).from_queries(queries);

@@ -165,7 +165,11 @@ pub fn filtered_closure(interface: &Interface, schema: &SchemaMap, limit: usize)
 mod tests {
     use super::*;
     use crate::PrecisionInterfaces;
-    use pi_sql::parse;
+    use pi_ast::Frontend as _;
+
+    fn parse(sql: &str) -> Result<pi_ast::Node, pi_ast::FrontendError> {
+        pi_sql::SqlFrontend.parse_one(sql)
+    }
 
     fn sdss_schema() -> SchemaMap {
         SchemaMap::new()

@@ -99,7 +99,11 @@ pub fn cross_recall(train_log: &[Node], other_log: &[Node], options: &PiOptions)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pi_sql::parse;
+    use pi_ast::Frontend as _;
+
+    fn parse(sql: &str) -> Result<pi_ast::Node, pi_ast::FrontendError> {
+        pi_sql::SqlFrontend.parse_one(sql)
+    }
 
     fn structured_log(n: usize) -> Vec<Node> {
         // An SDSS-style log: the table alternates, the id literal keeps changing.

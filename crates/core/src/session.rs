@@ -15,17 +15,25 @@
 //! identical (same graph edges, same diff records in the same order, same widgets, same
 //! rendered interface) to a batch build of those same `n` queries.
 //!
+//! Sessions are front-end pluggable: [`Session::push_text_as`] routes text through any
+//! front-end of the session's [`Frontends`] registry, and every query carries its
+//! originating [`Dialect`] into the snapshot.  Here the same analysis streams in through
+//! *both* bundled front-ends — SQL and the dataframe dialect — and mines into one
+//! interface because both parsers target one tree model:
+//!
 //! ```
+//! use pi_ast::Dialect;
 //! use pi_core::{PiOptions, Session};
 //!
 //! let mut session = Session::new(PiOptions::default());
 //! session.push_sql("SELECT a FROM t WHERE x = 1");
-//! session.push_sql("SELECT a FROM t WHERE x = 2");
+//! session.push_text_as(Dialect::FRAMES, "t.filter(x == 2).select(a)");
 //! let v2 = session.snapshot();
 //! assert_eq!(v2.version, 2);
+//! assert_eq!(v2.dialects, vec![Dialect::SQL, Dialect::FRAMES]);
 //! assert_eq!(v2.interface.widgets().len(), 1);
 //!
-//! session.push_sql("SELECT a FROM t WHERE x = 9");
+//! session.push_text_as(Dialect::FRAMES, "t.filter(x == 9).select(a)");
 //! let v3 = session.snapshot();
 //! assert_eq!(v3.version, 3);
 //! assert!(v3.interface.expressiveness(&v3.queries) >= 1.0);
@@ -33,9 +41,8 @@
 
 use crate::interface::Interface;
 use crate::pipeline::{GeneratedInterface, PiOptions, StageTimings};
-use pi_ast::Node;
+use pi_ast::{Dialect, Frontends, Node};
 use pi_graph::{GraphAccumulator, GraphBuilder, GraphStats, InteractionGraph};
-use pi_sql::parse_log;
 use std::time::Instant;
 
 /// A memoised snapshot, reused until the next push invalidates it.
@@ -49,13 +56,23 @@ struct CachedSnapshot {
 
 /// A stateful, append-only ingestion session over one analysis's query stream.
 ///
+/// Sessions are **front-end pluggable**: text arrives through [`Session::push_text`] (the
+/// default front-end) or [`Session::push_text_as`] (any registered dialect), every query
+/// carries the [`Dialect`] it arrived in, and the tags thread through the mined widget
+/// domains into the snapshot so the UI can render each closure query in its originating
+/// language.  Mining itself is dialect-blind — the front-ends target one tree model, so a
+/// mixed SQL + dataframe log diffs into one interaction graph.
+///
 /// Cloning a session forks it: both halves share the diff subtrees accumulated so far
 /// (records are `Arc`-shared) but evolve independently from the clone point.
 #[derive(Debug, Clone)]
 pub struct Session {
     options: PiOptions,
+    frontends: Frontends,
+    default_dialect: Dialect,
     builder: GraphBuilder,
     acc: GraphAccumulator,
+    dialects: Vec<Dialect>,
     skipped: usize,
     parse_ms: f64,
     mining_ms: f64,
@@ -64,16 +81,28 @@ pub struct Session {
 }
 
 impl Session {
-    /// Opens an empty session with the given pipeline options.
+    /// Opens an empty session with the given pipeline options and the standard front-end
+    /// registry (SQL as the default dialect, frames alongside).
     pub fn new(options: PiOptions) -> Self {
+        Session::with_frontends(options, crate::frontends::standard_frontends())
+    }
+
+    /// Opens an empty session over a custom front-end registry.  The registry's first
+    /// front-end becomes the session's default dialect (empty registries default to SQL,
+    /// leaving the session usable for pre-parsed pushes only).
+    pub fn with_frontends(options: PiOptions, frontends: Frontends) -> Self {
         let builder = GraphBuilder::new()
             .window(options.window)
             .policy(options.policy)
             .parallel(options.parallel);
+        let default_dialect = frontends.default_dialect().unwrap_or_default();
         Session {
             options,
+            frontends,
+            default_dialect,
             builder,
             acc: GraphAccumulator::new(),
+            dialects: Vec::new(),
             skipped: 0,
             parse_ms: 0.0,
             mining_ms: 0.0,
@@ -82,53 +111,124 @@ impl Session {
         }
     }
 
+    /// Changes which dialect handles untagged pushes (builder style).  The dialect should
+    /// name a registered front-end for [`Session::push_text`] to parse anything.
+    pub fn with_default_dialect(mut self, dialect: Dialect) -> Self {
+        self.default_dialect = dialect;
+        self
+    }
+
     /// The options this session runs with.
     pub fn options(&self) -> &PiOptions {
         &self.options
     }
 
+    /// The front-end registry this session routes text through.
+    pub fn frontends(&self) -> &Frontends {
+        &self.frontends
+    }
+
+    /// The dialect untagged pushes are attributed to.
+    pub fn default_dialect(&self) -> Dialect {
+        self.default_dialect
+    }
+
+    /// The dialect each ingested query arrived in, parallel to [`Session::queries`].
+    pub fn dialects(&self) -> &[Dialect] {
+        &self.dialects
+    }
+
+    /// Appends one parsed query tagged with the default dialect; see
+    /// [`Session::push_tagged`].
+    pub fn push(&mut self, query: Node) -> usize {
+        self.push_tagged(self.default_dialect, query)
+    }
+
     /// Appends one parsed query, incrementally extending the interaction graph: only the
     /// `(i, n)` alignments the window strategy admits are run, so for a sliding window of
-    /// `w` this is `O(w)` work however long the log already is.  Returns the query's log
-    /// index.
-    pub fn push(&mut self, query: Node) -> usize {
+    /// `w` this is `O(w)` work however long the log already is.  The query is tagged as
+    /// originating in `dialect` (presentation metadata — mining never looks at it).
+    /// Returns the query's log index.
+    pub fn push_tagged(&mut self, dialect: Dialect, query: Node) -> usize {
         let start = Instant::now();
         let index = self.builder.extend(&mut self.acc, query);
         self.mining_ms += start.elapsed().as_secs_f64() * 1e3;
+        self.dialects.push(dialect);
         index
     }
 
-    /// Appends every query of an iterator, returning how many were appended.
+    /// Appends every query of an iterator with the default dialect tag; see
+    /// [`Session::push_all_tagged`].
+    ///
+    /// Uniform tags keep the batch fast path: the iterator flows straight into the graph
+    /// builder (no per-item tag pairing) and the tag vector extends by count.
+    pub fn push_all<I: IntoIterator<Item = Node>>(&mut self, queries: I) -> usize {
+        let start = Instant::now();
+        let appended = self.builder.extend_batch(&mut self.acc, queries);
+        self.mining_ms += start.elapsed().as_secs_f64() * 1e3;
+        self.dialects
+            .resize(self.dialects.len() + appended.len(), self.default_dialect);
+        appended.len()
+    }
+
+    /// Appends every `(dialect, query)` pair of an iterator, returning how many were
+    /// appended.
     ///
     /// Unlike per-query [`Session::push`], a bulk append with enough new alignments fans
     /// them out across cores when the session's options ask for parallel mining — so the
     /// one-shot batch entry points, which are wrappers over this, keep their multi-core
     /// path.  The resulting graph is byte-identical either way.
-    pub fn push_all<I: IntoIterator<Item = Node>>(&mut self, queries: I) -> usize {
+    pub fn push_all_tagged<I: IntoIterator<Item = (Dialect, Node)>>(
+        &mut self,
+        queries: I,
+    ) -> usize {
+        let (tags, nodes): (Vec<Dialect>, Vec<Node>) = queries.into_iter().unzip();
         let start = Instant::now();
-        let appended = self.builder.extend_batch(&mut self.acc, queries);
+        let appended = self.builder.extend_batch(&mut self.acc, nodes);
         self.mining_ms += start.elapsed().as_secs_f64() * 1e3;
+        debug_assert_eq!(appended.len(), tags.len());
+        self.dialects.extend(tags);
         appended.len()
     }
 
-    /// Parses a fragment of SQL text (one or more `;`-separated statements) and appends
+    /// Parses a fragment of text (one or more `;`-separated statements) with the default
+    /// front-end and appends every statement that parses; see [`Session::push_text_as`].
+    pub fn push_text(&mut self, text: &str) -> Vec<usize> {
+        self.push_text_as(self.default_dialect, text)
+    }
+
+    /// Parses a fragment of text with the front-end registered for `dialect` and appends
     /// every statement that parses, returning the appended log indices.
     ///
     /// Unparseable statements are skipped and counted in [`Session::skipped`] rather than
     /// aborting the stream — live query logs contain typos and statements in unsupported
-    /// dialects, and one of them must not wedge the session.
-    pub fn push_sql(&mut self, sql: &str) -> Vec<usize> {
+    /// dialects, and one of them must not wedge the session.  A dialect with no registered
+    /// front-end skips the whole fragment (counted once).
+    pub fn push_text_as(&mut self, dialect: Dialect, text: &str) -> Vec<usize> {
+        let Some(frontend) = self.frontends.get(dialect).cloned() else {
+            self.skipped += 1;
+            return Vec::new();
+        };
         let start = Instant::now();
-        let parsed = parse_log(sql);
+        let parsed = frontend.parse_statements(text);
         self.parse_ms += start.elapsed().as_secs_f64() * 1e3;
         let mut indices = Vec::new();
         for result in parsed {
             match result {
-                Ok(query) => indices.push(self.push(query)),
+                Ok(query) => indices.push(self.push_tagged(dialect, query)),
                 Err(_) => self.skipped += 1,
             }
         }
         indices
+    }
+
+    /// Parses a fragment of SQL text and appends every statement that parses.
+    ///
+    /// A SQL-dialect convenience kept for the workspace's founding front-end: exactly
+    /// `push_text_as(Dialect::SQL, sql)`, with no behaviour of its own (pinned by a unit
+    /// test).  Prefer [`Session::push_text_as`] when the dialect is a parameter.
+    pub fn push_sql(&mut self, sql: &str) -> Vec<usize> {
+        self.push_text_as(Dialect::SQL, sql)
     }
 
     /// Number of queries ingested so far.
@@ -193,7 +293,7 @@ impl Session {
         if stale {
             let graph = self.acc.to_graph();
             let start = Instant::now();
-            let interface = crate::pipeline::map_graph(&self.options, &graph);
+            let interface = crate::pipeline::map_graph(&self.options, &graph, &self.dialects);
             self.mapping_ms += start.elapsed().as_secs_f64() * 1e3;
             self.cache = Some(CachedSnapshot {
                 version,
@@ -207,6 +307,7 @@ impl Session {
             interface: cached.interface.clone(),
             queries: cached.graph.queries().clone(),
             graph: cached.graph.clone(),
+            dialects: self.dialects.clone(),
             skipped: self.skipped,
             graph_stats: cached.stats,
             timings: self.timings(),
@@ -228,7 +329,7 @@ impl Session {
             _ => {
                 let graph = std::mem::take(&mut self.acc).into_graph();
                 let start = Instant::now();
-                let interface = crate::pipeline::map_graph(&self.options, &graph);
+                let interface = crate::pipeline::map_graph(&self.options, &graph, &self.dialects);
                 self.mapping_ms += start.elapsed().as_secs_f64() * 1e3;
                 let stats = graph.stats();
                 (graph, stats, interface)
@@ -238,6 +339,7 @@ impl Session {
             interface,
             queries: graph.queries().clone(),
             graph,
+            dialects: std::mem::take(&mut self.dialects),
             skipped: self.skipped,
             graph_stats: stats,
             timings: self.timings(),
@@ -260,11 +362,16 @@ impl Session {
 mod tests {
     use super::*;
     use crate::pipeline::PrecisionInterfaces;
+    use pi_ast::Frontend as _;
     use pi_graph::WindowStrategy;
+
+    fn parse(sql: &str) -> Node {
+        pi_sql::SqlFrontend.parse_one(sql).unwrap()
+    }
 
     fn log(n: usize) -> Vec<Node> {
         (0..n)
-            .map(|i| pi_sql::parse(&format!("SELECT a FROM t WHERE x = {}", i % 5)).unwrap())
+            .map(|i| parse(&format!("SELECT a FROM t WHERE x = {}", i % 5)))
             .collect()
     }
 
@@ -380,6 +487,100 @@ mod tests {
             assert_eq!(ia, ib);
             assert_eq!(ra, rb);
         }
+    }
+
+    #[test]
+    fn push_sql_is_a_pinned_alias_of_push_text_as_sql() {
+        // Deprecation hygiene: the SQL convenience must stay byte-identical to the generic
+        // path — same indices, same skip count, same dialect tags, same snapshot.
+        let fragments = [
+            "SELECT a FROM t WHERE x = 1; GARBAGE;",
+            "SELECT a FROM t WHERE x = 2",
+        ];
+        let mut via_alias = Session::new(PiOptions::default());
+        let mut via_generic = Session::new(PiOptions::default());
+        for fragment in fragments {
+            assert_eq!(
+                via_alias.push_sql(fragment),
+                via_generic.push_text_as(Dialect::SQL, fragment)
+            );
+        }
+        assert_eq!(via_alias.skipped(), via_generic.skipped());
+        assert_eq!(via_alias.dialects(), via_generic.dialects());
+        assert_eq!(via_alias.dialects(), &[Dialect::SQL, Dialect::SQL]);
+        assert_batch_identical(&via_alias.snapshot(), &via_generic.snapshot());
+        // push_text uses the default dialect, which the standard registry sets to SQL.
+        let mut via_default = Session::new(PiOptions::default());
+        for fragment in fragments {
+            via_default.push_text(fragment);
+        }
+        assert_batch_identical(&via_alias.snapshot(), &via_default.snapshot());
+    }
+
+    #[test]
+    fn mixed_dialect_streams_mine_into_one_interface() {
+        // The same analysis alternates between SQL and the dataframe dialect; the session
+        // tags each query and mines them into ONE widget because the trees are identical.
+        let mut session = Session::new(PiOptions::default());
+        session.push_sql("SELECT a FROM t WHERE x = 1");
+        session.push_text_as(Dialect::FRAMES, "t.filter(x == 2).select(a)");
+        session.push_sql("SELECT a FROM t WHERE x = 3");
+        session.push_text_as(Dialect::FRAMES, "t.filter(x == 9).select(a)");
+        let snap = session.snapshot();
+        assert_eq!(snap.version, 4);
+        assert_eq!(
+            snap.dialects,
+            vec![Dialect::SQL, Dialect::FRAMES, Dialect::SQL, Dialect::FRAMES]
+        );
+        assert_eq!(snap.interface.widgets().len(), 1);
+        assert_eq!(snap.interface.initial_dialect(), Dialect::SQL);
+        assert!(snap.interface.expressiveness(&snap.queries) >= 1.0);
+        // The widget's options remember which front-end each value arrived through:
+        // 1 and 3 from SQL queries, 2 and 9 from frames queries.
+        let domain = &snap.interface.widgets()[0].domain;
+        for (node, dialect) in domain.tagged_subtrees() {
+            match node.label().as_str() {
+                "1" | "3" => assert_eq!(dialect, Dialect::SQL),
+                "2" | "9" => assert_eq!(dialect, Dialect::FRAMES),
+                other => panic!("unexpected option {other}"),
+            }
+        }
+        // Mining is dialect-blind: the graph equals an all-SQL build of the same trees.
+        let all_sql = PrecisionInterfaces::default().from_queries(snap.queries.clone());
+        assert_eq!(snap.graph, all_sql.graph);
+    }
+
+    #[test]
+    fn unregistered_dialects_skip_and_count() {
+        let mut session = Session::new(PiOptions::default());
+        let indices = session.push_text_as(Dialect::new("sparql"), "SELECT ?s WHERE { }");
+        assert!(indices.is_empty());
+        assert_eq!(session.skipped(), 1);
+        assert_eq!(session.version(), 0);
+        // The session keeps streaming afterwards.
+        session.push_text("SELECT a FROM t WHERE x = 1");
+        assert_eq!(session.version(), 1);
+    }
+
+    #[test]
+    fn custom_registries_change_the_default_frontend() {
+        use pi_ast::Frontends;
+        // A frames-first session: untagged text parses as the dataframe dialect.
+        let registry = Frontends::new().with(pi_frames::FramesFrontend);
+        let mut session = Session::with_frontends(PiOptions::default(), registry);
+        assert_eq!(session.default_dialect(), Dialect::FRAMES);
+        session.push_text("t.filter(x == 1)");
+        session.push_text("t.filter(x == 2)");
+        assert_eq!(session.dialects(), &[Dialect::FRAMES, Dialect::FRAMES]);
+        // SQL is not registered in this session: push_sql skips.
+        assert!(session.push_sql("SELECT a FROM t").is_empty());
+        assert_eq!(session.skipped(), 1);
+        let snap = session.snapshot();
+        assert_eq!(snap.interface.initial_dialect(), Dialect::FRAMES);
+        assert_eq!(snap.interface.widgets().len(), 1);
+        // with_default_dialect re-routes untagged pushes.
+        let rerouted = Session::new(PiOptions::default()).with_default_dialect(Dialect::FRAMES);
+        assert_eq!(rerouted.default_dialect(), Dialect::FRAMES);
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! The front-end abstraction: pluggable parsers/renderers over the shared tree model.
+//!
+//! The paper's pipeline is deliberately language-agnostic — it reasons about subtree
+//! differences between trees, never about SQL — and names "any other front-end (SPARQL, a
+//! dataframe API, …)" as a design goal.  This module is where that goal becomes an API:
+//!
+//! * [`Frontend`] — a query language front-end: parse text into [`Node`] trees and render
+//!   trees back into text.  `pi-sql` implements it for SQL, `pi-frames` for a method-chain
+//!   dataframe dialect; both target the *same* tree shapes, so structurally identical
+//!   analyses written in different languages mine into one shared interface.
+//! * [`Dialect`] — a lightweight identifier carried per query, so a mixed log remembers
+//!   which front-end each query arrived through and the UI can render every closure query
+//!   in its originating language.
+//! * [`Frontends`] — a small registry of front-ends keyed by dialect, used by sessions to
+//!   route `push_text` calls and by the HTML/JSON compiler to pick a renderer per subtree.
+//!
+//! Nothing outside a front-end crate should call a concrete parser/renderer directly; the
+//! workspace-level isolation test (`tests/frontend_isolation.rs`) enforces this for
+//! `pi-sql`.
+
+use crate::node::Node;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies the query language a query was written in.
+///
+/// A `Dialect` is a cheap copyable tag (front-ends are code, so a `&'static str` name
+/// suffices); equality is by name.  The well-known dialects of this workspace are
+/// [`Dialect::SQL`] and [`Dialect::FRAMES`]; other front-ends can mint their own with
+/// [`Dialect::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Dialect(&'static str);
+
+impl Dialect {
+    /// The SQL dialect implemented by `pi-sql`.
+    pub const SQL: Dialect = Dialect("sql");
+    /// The method-chain dataframe dialect implemented by `pi-frames`.
+    pub const FRAMES: Dialect = Dialect("frames");
+
+    /// A dialect with the given name (for front-ends outside this workspace).
+    pub const fn new(name: &'static str) -> Dialect {
+        Dialect(name)
+    }
+
+    /// The dialect's name, as shown in UI specs and diagnostics.
+    pub const fn name(self) -> &'static str {
+        self.0
+    }
+}
+
+/// The workspace's founding dialect: untagged queries (hand-built trees, legacy entry
+/// points) default to SQL.
+impl Default for Dialect {
+    fn default() -> Self {
+        Dialect::SQL
+    }
+}
+
+impl fmt::Display for Dialect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.0)
+    }
+}
+
+/// A parse failure reported by a front-end, normalised across languages.
+///
+/// Concrete front-ends keep their own rich error types; this is the lowest common
+/// denominator the dialect-agnostic layers (sessions, pipelines) work with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    /// The dialect whose parser rejected the input.
+    pub dialect: Dialect,
+    /// A human-readable description of the failure.
+    pub message: String,
+}
+
+impl FrontendError {
+    /// Creates an error for the given dialect.
+    pub fn new(dialect: Dialect, message: impl Into<String>) -> Self {
+        FrontendError {
+            dialect,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} parse error: {}", self.dialect, self.message)
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+/// A query language front-end: text ⇄ [`Node`] trees.
+///
+/// Implementations must target the shared tree shapes (same clause order, same node kinds,
+/// same attribute names) so that structurally identical analyses written in different
+/// dialects produce *identical* trees and therefore diff cleanly against each other —
+/// that is what lets a mixed SQL + dataframe log mine into one interface.
+///
+/// `render` must be total (any tree renders to *something* readable, falling back to a
+/// generic notation for constructs the language lacks); `parse` may be partial.  For trees
+/// the front-end itself produced, `parse(render(t))` must be structurally identical to `t`
+/// (property-tested per front-end in `tests/properties.rs`).
+pub trait Frontend: fmt::Debug + Send + Sync {
+    /// The dialect this front-end implements.
+    fn dialect(&self) -> Dialect;
+
+    /// Parses a fragment of text — one or more `;`-separated statements — into trees.
+    /// All-or-nothing: the first malformed statement fails the whole fragment.
+    fn parse(&self, text: &str) -> Result<Vec<Node>, FrontendError>;
+
+    /// Per-statement results, for skip-and-count streaming ingestion: a malformed
+    /// statement yields an `Err` entry without discarding its neighbours.
+    ///
+    /// The default delegates to [`Frontend::parse`] (all-or-nothing); front-ends with a
+    /// statement splitter should override it.
+    fn parse_statements(&self, text: &str) -> Vec<Result<Node, FrontendError>> {
+        match self.parse(text) {
+            Ok(nodes) => nodes.into_iter().map(Ok).collect(),
+            Err(e) => vec![Err(e)],
+        }
+    }
+
+    /// Parses exactly one statement.
+    ///
+    /// Front-ends whose statement splitter is lexical (e.g. a naive `;` split) should
+    /// override this with their single-statement parser, so queries whose *literals*
+    /// contain the separator still parse (`… WHERE name = 'a;b'`).  The default delegates
+    /// to [`Frontend::parse`].
+    fn parse_one(&self, text: &str) -> Result<Node, FrontendError> {
+        let mut nodes = self.parse(text)?;
+        match (nodes.len(), nodes.pop()) {
+            (1, Some(node)) => Ok(node),
+            (0, _) => Err(FrontendError::new(
+                self.dialect(),
+                "expected one statement, found none",
+            )),
+            (n, _) => Err(FrontendError::new(
+                self.dialect(),
+                format!("expected one statement, found {n}"),
+            )),
+        }
+    }
+
+    /// Renders a tree back into this front-end's concrete syntax.
+    fn render(&self, node: &Node) -> String;
+
+    /// [`Frontend::render`] with all runs of whitespace collapsed (test assertions,
+    /// compact display labels).
+    fn render_compact(&self, node: &Node) -> String {
+        self.render(node)
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// A registry of front-ends keyed by [`Dialect`].
+///
+/// The first registered front-end is the *default*: it handles untagged text and serves as
+/// the rendering fallback for dialects the registry does not know.  Registering a second
+/// front-end for the same dialect replaces the first.
+#[derive(Debug, Clone, Default)]
+pub struct Frontends {
+    entries: Vec<Arc<dyn Frontend>>,
+}
+
+impl Frontends {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Frontends::default()
+    }
+
+    /// Adds a front-end (builder style); see [`Frontends::register`].
+    pub fn with(mut self, frontend: impl Frontend + 'static) -> Self {
+        self.register(Arc::new(frontend));
+        self
+    }
+
+    /// Registers a front-end, replacing any previous one for the same dialect (a
+    /// replacement keeps the original's registration slot, so replacing the default
+    /// front-end keeps it the default).
+    pub fn register(&mut self, frontend: Arc<dyn Frontend>) {
+        let dialect = frontend.dialect();
+        match self.entries.iter_mut().find(|f| f.dialect() == dialect) {
+            Some(slot) => *slot = frontend,
+            None => self.entries.push(frontend),
+        }
+    }
+
+    /// The front-end registered for a dialect.
+    pub fn get(&self, dialect: Dialect) -> Option<&Arc<dyn Frontend>> {
+        self.entries.iter().find(|f| f.dialect() == dialect)
+    }
+
+    /// The default front-end (the first registered), if any.
+    pub fn default_frontend(&self) -> Option<&Arc<dyn Frontend>> {
+        self.entries.first()
+    }
+
+    /// The default front-end's dialect, when the registry is non-empty.
+    pub fn default_dialect(&self) -> Option<Dialect> {
+        self.default_frontend().map(|f| f.dialect())
+    }
+
+    /// The registered dialects, in registration order.
+    pub fn dialects(&self) -> Vec<Dialect> {
+        self.entries.iter().map(|f| f.dialect()).collect()
+    }
+
+    /// Number of registered front-ends.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no front-end is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders a tree in the given dialect, falling back to the default front-end when the
+    /// dialect is unknown, and to the generic tree printer when the registry is empty.
+    pub fn render(&self, dialect: Dialect, node: &Node) -> String {
+        match self.get(dialect).or_else(|| self.default_frontend()) {
+            Some(frontend) => frontend.render(node),
+            None => crate::pretty(node).to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeKind;
+
+    /// A toy front-end: parses `leaf:<name>` lines, renders column nodes back.
+    #[derive(Debug)]
+    struct Toy(Dialect);
+
+    impl Frontend for Toy {
+        fn dialect(&self) -> Dialect {
+            self.0
+        }
+
+        fn parse(&self, text: &str) -> Result<Vec<Node>, FrontendError> {
+            text.split(';')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| match s.strip_prefix("leaf:") {
+                    Some(name) => Ok(Node::column(name)),
+                    None => Err(FrontendError::new(self.0, format!("bad statement `{s}`"))),
+                })
+                .collect()
+        }
+
+        fn render(&self, node: &Node) -> String {
+            format!("leaf:{}", node.attr_str("name").unwrap_or("?"))
+        }
+    }
+
+    #[test]
+    fn dialect_identity_and_display() {
+        assert_eq!(Dialect::SQL.name(), "sql");
+        assert_eq!(Dialect::FRAMES.to_string(), "frames");
+        assert_eq!(Dialect::default(), Dialect::SQL);
+        assert_ne!(Dialect::SQL, Dialect::FRAMES);
+        assert_eq!(Dialect::new("sql"), Dialect::SQL);
+    }
+
+    #[test]
+    fn parse_one_and_parse_statements_defaults() {
+        let toy = Toy(Dialect::new("toy"));
+        assert_eq!(toy.parse_one("leaf:a").unwrap().attr_str("name"), Some("a"));
+        assert!(toy.parse_one("").is_err());
+        assert!(toy.parse_one("leaf:a; leaf:b").is_err());
+        // The default parse_statements is all-or-nothing.
+        let results = toy.parse_statements("leaf:a; nope");
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_err());
+        let ok = toy.parse_statements("leaf:a; leaf:b");
+        assert_eq!(ok.len(), 2);
+        assert!(ok.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn registry_routes_by_dialect_with_default_fallback() {
+        let a = Dialect::new("a");
+        let b = Dialect::new("b");
+        let registry = Frontends::new().with(Toy(a)).with(Toy(b));
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.default_dialect(), Some(a));
+        assert_eq!(registry.dialects(), vec![a, b]);
+        assert!(registry.get(b).is_some());
+        assert!(registry.get(Dialect::new("c")).is_none());
+        // Unknown dialects render through the default front-end.
+        let node = Node::column("x");
+        assert_eq!(registry.render(b, &node), "leaf:x");
+        assert_eq!(registry.render(Dialect::new("c"), &node), "leaf:x");
+        // An empty registry falls back to the generic printer.
+        let printed = Frontends::new().render(a, &Node::new(NodeKind::Select));
+        assert!(printed.contains("Select"));
+    }
+
+    #[test]
+    fn registering_a_dialect_twice_replaces_in_place() {
+        let a = Dialect::new("a");
+        let mut registry = Frontends::new().with(Toy(a)).with(Toy(Dialect::new("b")));
+        registry.register(Arc::new(Toy(a)));
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.default_dialect(), Some(a));
+    }
+
+    #[test]
+    fn render_compact_collapses_whitespace() {
+        #[derive(Debug)]
+        struct Spacey;
+        impl Frontend for Spacey {
+            fn dialect(&self) -> Dialect {
+                Dialect::new("spacey")
+            }
+            fn parse(&self, _: &str) -> Result<Vec<Node>, FrontendError> {
+                Ok(vec![])
+            }
+            fn render(&self, _: &Node) -> String {
+                "a   b\n c".to_string()
+            }
+        }
+        assert_eq!(Spacey.render_compact(&Node::star()), "a b c");
+    }
+
+    #[test]
+    fn frontend_errors_display_their_dialect() {
+        let err = FrontendError::new(Dialect::FRAMES, "unexpected `)`");
+        assert_eq!(err.to_string(), "frames parse error: unexpected `)`");
+    }
+}

@@ -19,9 +19,12 @@
 //!   *collections* of sub-expressions (e.g. the projection list), mirroring the "lightly
 //!   annotated grammar" assumption of §4.1.
 //!
-//! The crate is deliberately independent of SQL: `pi-sql` produces these trees from SQL text,
-//! but any other front-end (SPARQL, a dataframe API, …) could target the same model, which is
-//! one of the design goals stated in the paper.
+//! The crate is deliberately independent of SQL: the [`frontend`] module defines the
+//! [`Frontend`] trait (parse text → trees, render trees → text) plus a per-query
+//! [`Dialect`] tag, and `pi-sql` (SQL) and `pi-frames` (a method-chain dataframe dialect)
+//! both implement it against the same tree shapes — so structurally identical analyses
+//! written in different languages produce identical trees and mine into one shared
+//! interface, the multi-front-end design goal stated in the paper.
 //!
 //! ```
 //! use pi_ast::{Node, NodeKind, Path};
@@ -49,7 +52,9 @@ mod print;
 mod value;
 
 pub mod builder;
+pub mod frontend;
 
+pub use frontend::{Dialect, Frontend, FrontendError, Frontends};
 pub use intern::Sym;
 pub use kind::{CollectionKind, NodeKind, PrimitiveType};
 pub use node::{Node, NodeId, ReplaceError};

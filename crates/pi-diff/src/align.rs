@@ -145,8 +145,12 @@ fn lcs_pairs(a: &[u64], b: &[u64]) -> Vec<(usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pi_ast::Frontend as _;
     use pi_ast::NodeKind;
-    use pi_sql::parse;
+
+    fn parse(sql: &str) -> Result<pi_ast::Node, pi_ast::FrontendError> {
+        pi_sql::SqlFrontend.parse_one(sql)
+    }
 
     #[test]
     fn equal_trees_have_no_changes() {

@@ -50,8 +50,12 @@ pub fn extract_diffs(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pi_ast::Frontend as _;
     use pi_ast::{Node, NodeKind, Path};
-    use pi_sql::parse;
+
+    fn parse(sql: &str) -> Result<pi_ast::Node, pi_ast::FrontendError> {
+        pi_sql::SqlFrontend.parse_one(sql)
+    }
 
     fn fig3_queries() -> (Node, Node) {
         // Figure 3: the two queries differ in the second projection (sales -> costs) and the

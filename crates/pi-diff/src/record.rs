@@ -272,7 +272,11 @@ fn ancestor_paths(leaves: &[LeafChange], policy: AncestorPolicy) -> BTreeSet<Pat
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pi_sql::parse;
+    use pi_ast::Frontend as _;
+
+    fn parse(sql: &str) -> Result<pi_ast::Node, pi_ast::FrontendError> {
+        pi_sql::SqlFrontend.parse_one(sql)
+    }
 
     #[test]
     fn change_kind_covers_all_shapes() {

@@ -115,7 +115,11 @@ impl DiffStore {
 mod tests {
     use super::*;
     use crate::record::{build_records, AncestorPolicy};
-    use pi_sql::parse;
+    use pi_ast::Frontend as _;
+
+    fn parse(sql: &str) -> Result<pi_ast::Node, pi_ast::FrontendError> {
+        pi_sql::SqlFrontend.parse_one(sql)
+    }
 
     fn populated_store() -> DiffStore {
         let mut store = DiffStore::new();

@@ -3,7 +3,8 @@
 
 use crate::catalog::Catalog;
 use crate::storage::{Column, Table, Value};
-use pi_ast::{AttrValue, Node, NodeKind};
+use pi_ast::{AttrValue, Frontend as _, Node, NodeKind};
+use pi_sql::SqlFrontend;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -343,7 +344,10 @@ fn projection_columns(projections: &[Node], input: &Table) -> Result<Vec<Column>
             Some(alias) => alias.to_string(),
             None => match expr.kind_ref() {
                 NodeKind::ColExpr => expr.attr_str("name").unwrap_or("expr").to_string(),
-                _ => pi_sql::render_compact(expr),
+                // Result-column headers for computed expressions are SQL-rendered: the
+                // engine implements the SQL execution semantics, whatever front-end the
+                // query text arrived through.
+                _ => SqlFrontend.render_compact(expr),
             },
         };
         out.push(Column::new(&name));
@@ -767,7 +771,10 @@ fn like_match(text: &str, pattern: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pi_sql::parse;
+
+    fn parse(sql: &str) -> Result<pi_ast::Node, pi_ast::FrontendError> {
+        pi_sql::SqlFrontend.parse_one(sql)
+    }
 
     fn catalog() -> Catalog {
         Catalog::demo(7)

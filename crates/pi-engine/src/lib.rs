@@ -16,10 +16,12 @@
 //!   of the contract; the paper defers fancier visualisation to auto-vis systems).
 //!
 //! ```
+//! use pi_ast::Frontend;
 //! use pi_engine::{Catalog, exec, render};
+//! use pi_sql::SqlFrontend;
 //!
 //! let catalog = Catalog::demo(42);
-//! let query = pi_sql::parse(
+//! let query = SqlFrontend.parse_one(
 //!     "SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 9 GROUP BY DestState",
 //! ).unwrap();
 //! let result = exec(&query, &catalog).unwrap();

@@ -1,6 +1,7 @@
 //! One function per table / figure of the paper's evaluation.
 
 use crate::ExperimentReport;
+use pi_ast::Frontend as _;
 use pi_core::precision::{closure_precision, filtered_closure, SchemaMap};
 use pi_core::recall::{cross_recall, holdout_recall, recall_curve, split_log};
 use pi_core::{PiOptions, PrecisionInterfaces};
@@ -43,8 +44,12 @@ pub fn table1() -> ExperimentReport {
         "diffs records for the Figure 3 query pair",
         "two str-typed leaf records (ColExpr sales→costs @0/1/0, StrExpr USA→EUR) plus tree-typed ancestors",
     );
-    let q1 = pi_sql::parse("SELECT day, sales FROM t WHERE cty = 'USA'").unwrap();
-    let q2 = pi_sql::parse("SELECT day, costs FROM t WHERE cty = 'EUR'").unwrap();
+    let q1 = pi_sql::SqlFrontend
+        .parse_one("SELECT day, sales FROM t WHERE cty = 'USA'")
+        .unwrap();
+    let q2 = pi_sql::SqlFrontend
+        .parse_one("SELECT day, costs FROM t WHERE cty = 'EUR'")
+        .unwrap();
     for record in extract_diffs(&q1, &q2, 1, 2, AncestorPolicy::Full) {
         report.push(format!(
             "q1=1 q2=2 p={:<8} {:<30} type={}",

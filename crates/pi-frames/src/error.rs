@@ -1,0 +1,38 @@
+//! Parse errors for the frames dialect.
+
+use std::fmt;
+
+/// A lexing or parsing failure, with the byte offset where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    offset: usize,
+}
+
+impl ParseError {
+    /// Creates an error at the given byte offset.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            offset,
+        }
+    }
+
+    /// The failure description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Byte offset into the source text.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at offset {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,372 @@
+//! Tokenizer for the method-chain dataframe dialect.
+//!
+//! The surface syntax is a small python-ish expression language: identifiers, numeric /
+//! hex / string literals, method chains (`t.filter(...)`), comparison operators spelled
+//! `==` / `!=`, and `&` / `|` / `~` for the boolean connectives.
+
+use crate::error::ParseError;
+use std::fmt;
+
+/// One token of frames source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character (for diagnostics).
+    pub offset: usize,
+}
+
+/// The kinds of token the frames lexer produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier (table, column, method or function name).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating point literal.
+    Float(f64),
+    /// A hexadecimal literal (`0x400`).
+    Hex(i64),
+    /// A string literal (single or double quoted, backslash escapes).
+    Str(String),
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*` (projection star or multiplication, decided by the parser).
+    Star,
+    /// `;`
+    Semicolon,
+    /// An operator: `==`, `!=`, `<=`, `>=`, `<`, `>`, `&`, `|`, `~`, `+`, `-`, `/`, `%`.
+    Op(String),
+}
+
+impl TokenKind {
+    /// A short description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(i) => format!("number `{i}`"),
+            TokenKind::Float(f) => format!("number `{f}`"),
+            TokenKind::Hex(h) => format!("number `0x{h:x}`"),
+            TokenKind::Str(s) => format!("string `'{s}'`"),
+            TokenKind::Dot => "`.`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::Star => "`*`".to_string(),
+            TokenKind::Semicolon => "`;`".to_string(),
+            TokenKind::Op(op) => format!("`{op}`"),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// Tokenizes a fragment of frames source text.
+pub fn tokenize(text: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let offset = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset,
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset,
+                });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset,
+                });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset,
+                });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    offset,
+                });
+                i += 1;
+            }
+            '=' | '!' | '<' | '>' => {
+                // `get` (not slicing) so a multibyte character after the operator cannot
+                // split a char boundary — hostile log lines must error, never panic.
+                let two = text.get(i..i + 2).unwrap_or("");
+                let op = match two {
+                    "==" | "!=" | "<=" | ">=" => two,
+                    _ if c == '<' || c == '>' => &text[i..i + 1],
+                    _ => {
+                        return Err(ParseError::new(
+                            format!("unexpected character `{c}` (comparisons are `==`/`!=`)"),
+                            offset,
+                        ))
+                    }
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Op(op.to_string()),
+                    offset,
+                });
+                i += op.len();
+            }
+            '&' | '|' | '~' | '+' | '-' | '/' | '%' => {
+                tokens.push(Token {
+                    kind: TokenKind::Op(c.to_string()),
+                    offset,
+                });
+                i += 1;
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut value = String::new();
+                i += 1;
+                loop {
+                    // Decode real chars (not bytes cast to chars): string literals carry
+                    // arbitrary UTF-8, and a mangled literal would silently break the
+                    // render→parse round-trip and cross-dialect tree identity.
+                    match text[i..].chars().next() {
+                        None => return Err(ParseError::new("unterminated string literal", offset)),
+                        Some(c) if c == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            let escaped = text[i + 1..]
+                                .chars()
+                                .next()
+                                .ok_or_else(|| ParseError::new("unterminated string escape", i))?;
+                            value.push(match escaped {
+                                'n' => '\n',
+                                't' => '\t',
+                                other => other, // \' \" \\ and identity for the rest
+                            });
+                            i += 1 + escaped.len_utf8();
+                        }
+                        Some(c) => {
+                            value.push(c);
+                            i += c.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(value),
+                    offset,
+                });
+            }
+            '0' if matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) => {
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len() && (bytes[end] as char).is_ascii_hexdigit() {
+                    end += 1;
+                }
+                if end == start {
+                    return Err(ParseError::new("empty hex literal", offset));
+                }
+                let value = i64::from_str_radix(&text[start..end], 16)
+                    .map_err(|e| ParseError::new(format!("bad hex literal: {e}"), offset))?;
+                tokens.push(Token {
+                    kind: TokenKind::Hex(value),
+                    offset,
+                });
+                i = end;
+            }
+            c if c.is_ascii_digit() => {
+                let mut end = i;
+                let mut is_float = false;
+                while end < bytes.len() {
+                    let c = bytes[end] as char;
+                    if c.is_ascii_digit() {
+                        end += 1;
+                    } else if c == '.'
+                        && !is_float
+                        && matches!(bytes.get(end + 1), Some(b) if (*b as char).is_ascii_digit())
+                    {
+                        // A dot is only part of the number when a digit follows — `1.filter`
+                        // would otherwise swallow the method dot.
+                        is_float = true;
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let slice = &text[i..end];
+                let kind = if is_float {
+                    TokenKind::Float(slice.parse().map_err(|e| {
+                        ParseError::new(format!("bad float literal `{slice}`: {e}"), offset)
+                    })?)
+                } else {
+                    TokenKind::Int(slice.parse().map_err(|e| {
+                        ParseError::new(format!("bad integer literal `{slice}`: {e}"), offset)
+                    })?)
+                };
+                tokens.push(Token { kind, offset });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut end = i;
+                while end < bytes.len() {
+                    let c = bytes[end] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text[i..end].to_string()),
+                    offset,
+                });
+                i = end;
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{other}`"),
+                    offset,
+                ))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<TokenKind> {
+        tokenize(text)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn tokenizes_a_method_chain() {
+        let toks = kinds("t.filter(x == 1)");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("t".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("filter".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::Op("==".into()),
+                TokenKind::Int(1),
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_literals() {
+        assert_eq!(
+            kinds("3.5 0x400 'it\\'s' \"two\" -7"),
+            vec![
+                TokenKind::Float(3.5),
+                TokenKind::Hex(0x400),
+                TokenKind::Str("it's".into()),
+                TokenKind::Str("two".into()),
+                TokenKind::Op("-".into()),
+                TokenKind::Int(7),
+            ]
+        );
+    }
+
+    #[test]
+    fn a_trailing_method_dot_is_not_swallowed_by_an_int() {
+        // `head(1)` after an int literal: the dot belongs to the chain, not the number.
+        assert_eq!(
+            kinds("1.head"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Dot,
+                TokenKind::Ident("head".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators_are_two_chars() {
+        assert_eq!(
+            kinds("<= >= == != < >"),
+            vec![
+                TokenKind::Op("<=".into()),
+                TokenKind::Op(">=".into()),
+                TokenKind::Op("==".into()),
+                TokenKind::Op("!=".into()),
+                TokenKind::Op("<".into()),
+                TokenKind::Op(">".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("t.filter(x = 1)").is_err()); // `=` alone is not an operator
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("0x").is_err());
+        assert!(tokenize("a ? b").is_err());
+    }
+
+    #[test]
+    fn multibyte_input_errors_without_panicking() {
+        // Regression: a multibyte character directly after a comparison operator used to
+        // slice mid-char and panic — hostile log lines must hit the skip path, not wedge
+        // the session.
+        assert!(tokenize("t.filter(x<é)").is_err());
+        assert!(tokenize("t.filter(x == ☃)").is_err());
+        assert!(tokenize("é").is_err());
+    }
+
+    #[test]
+    fn string_literals_carry_arbitrary_utf8() {
+        // Regression: bytes were cast to chars one at a time, mangling `café` into `cafÃ`
+        // and silently breaking cross-dialect tree identity.
+        assert_eq!(
+            kinds("'café' \"снег ☃\" '\\é'"),
+            vec![
+                TokenKind::Str("café".into()),
+                TokenKind::Str("снег ☃".into()),
+                TokenKind::Str("é".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! # pi-frames — a method-chain dataframe front-end for Precision Interfaces
+//!
+//! The paper's tree model is language-agnostic, and "any other front-end (SPARQL, a
+//! dataframe API, …)" targeting it is a stated design goal.  This crate is that second
+//! front-end: a small pandas-style method-chain dialect
+//!
+//! ```text
+//! ontime.filter(Month == 9 & Day == 3).groupby(DestState).agg(COUNT(Delay))
+//! ```
+//!
+//! with its own lexer, recursive-descent parser and renderer — all targeting the same
+//! [`pi_ast`] trees as `pi-sql`.  The load-bearing property is **shape compatibility**:
+//! the chain above parses into a tree *identical* to
+//! `SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 9 AND Day = 3 GROUP BY
+//! DestState`, so a mixed SQL + frames log diffs cleanly and mines into one shared
+//! interface whose widgets show each option in the dialect its query arrived in.
+//!
+//! Supported methods: `filter`, `select`, `groupby`, `agg`, `having`, `sort` (with
+//! `desc(col)`), `limit`, `head` (TOP-style), `distinct`; pseudo-functions `alias`,
+//! `cast`, `isnull`/`notnull`, `isin`/`notin`, `between`, `like`, and `AGG_DISTINCT`
+//! spellings for `COUNT(DISTINCT …)`.  Method order is surface syntax only — clauses are
+//! assembled in the canonical order both parsers share.
+//!
+//! ```
+//! use pi_ast::Frontend;
+//! use pi_frames::FramesFrontend;
+//!
+//! let q = FramesFrontend
+//!     .parse_one("ontime.filter(Month == 9).groupby(DestState).agg(COUNT(Delay))")
+//!     .unwrap();
+//! let text = FramesFrontend.render(&q);
+//! assert_eq!(FramesFrontend.parse_one(&text).unwrap(), q);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+mod lexer;
+mod parser;
+mod render;
+
+pub use error::ParseError;
+pub use lexer::{tokenize, Token, TokenKind};
+pub use parser::{parse, parse_log, Parser};
+pub use render::{render, render_compact};
+
+use pi_ast::{Dialect, Frontend, FrontendError, Node};
+
+/// Result alias for parser entry points.
+pub type Result<T, E = ParseError> = std::result::Result<T, E>;
+
+/// The frames front-end, as a [`Frontend`] implementation ([`Dialect::FRAMES`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FramesFrontend;
+
+impl Frontend for FramesFrontend {
+    fn dialect(&self) -> Dialect {
+        Dialect::FRAMES
+    }
+
+    fn parse(&self, text: &str) -> std::result::Result<Vec<Node>, FrontendError> {
+        parse_log(text)
+            .into_iter()
+            .map(|r| r.map_err(|e| FrontendError::new(Dialect::FRAMES, e.to_string())))
+            .collect()
+    }
+
+    fn parse_statements(&self, text: &str) -> Vec<std::result::Result<Node, FrontendError>> {
+        parse_log(text)
+            .into_iter()
+            .map(|r| r.map_err(|e| FrontendError::new(Dialect::FRAMES, e.to_string())))
+            .collect()
+    }
+
+    fn parse_one(&self, text: &str) -> std::result::Result<Node, FrontendError> {
+        // The single-statement parser lexes the whole text, so `;` inside a string
+        // literal stays part of the literal — unlike parse/parse_statements, whose
+        // statement splitter is a lexical `;` split.
+        parse(text).map_err(|e| FrontendError::new(Dialect::FRAMES, e.to_string()))
+    }
+
+    fn render(&self, node: &Node) -> String {
+        render(node)
+    }
+
+    fn render_compact(&self, node: &Node) -> String {
+        render_compact(node)
+    }
+}
+
+#[cfg(test)]
+mod frontend_tests {
+    use super::*;
+
+    #[test]
+    fn frontend_routes_to_the_crate_entry_points() {
+        assert_eq!(FramesFrontend.dialect(), Dialect::FRAMES);
+        let text = "t.filter(x == 1); t.filter(x == 2);";
+        let all = FramesFrontend.parse(text).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0], parse("t.filter(x == 1)").unwrap());
+        assert_eq!(FramesFrontend.render(&all[0]), render(&all[0]));
+    }
+
+    #[test]
+    fn parse_one_keeps_semicolons_inside_string_literals() {
+        let q = FramesFrontend.parse_one("t.filter(name == 'a;b')").unwrap();
+        assert_eq!(q, parse("t.filter(name == 'a;b')").unwrap());
+        assert_eq!(
+            FramesFrontend
+                .parse_one(&FramesFrontend.render(&q))
+                .unwrap(),
+            q
+        );
+    }
+
+    #[test]
+    fn statements_fail_individually_with_the_frames_dialect_tag() {
+        let results = FramesFrontend.parse_statements("t.filter(x == 1); ???; t");
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok() && results[2].is_ok());
+        assert_eq!(results[1].clone().unwrap_err().dialect, Dialect::FRAMES);
+    }
+}

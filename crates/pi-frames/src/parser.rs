@@ -1,0 +1,872 @@
+//! Parser for the method-chain dataframe dialect, producing `pi_ast` trees.
+//!
+//! The crucial property is **shape compatibility with `pi-sql`**: a frames query and the
+//! equivalent SQL query parse into *identical* trees — same clause order (`Project`,
+//! `From`, `Where?`, `GroupBy?`, `Having?`, `OrderBy?`, `Limit?`), same node kinds, same
+//! attribute spellings (`==` becomes `op: "="`, `&` becomes a left-associative `AND`
+//! chain, aggregate names are upper-cased the way the SQL parser canonicalises them).
+//! That is what lets a mixed SQL + frames log diff cleanly and mine into one interface.
+//!
+//! Method chains accumulate clause state and the tree is built in canonical clause order
+//! at the end, so `t.groupby(a).filter(x == 1)` and `t.filter(x == 1).groupby(a)` are the
+//! same query — method order is surface syntax, not structure.
+
+use crate::error::ParseError;
+use crate::lexer::{tokenize, Token, TokenKind};
+use pi_ast::{Node, NodeKind};
+
+/// Aggregate names canonicalised to upper case, mirroring the SQL parser's list.
+const AGGREGATES: &[&str] = &["COUNT", "SUM", "AVG", "MIN", "MAX", "STDDEV", "VARIANCE"];
+
+/// Parses a single frames statement (one method chain) into an AST.
+pub fn parse(text: &str) -> Result<Node, ParseError> {
+    let tokens = tokenize(text)?;
+    let mut parser = Parser::new(tokens);
+    let node = parser.parse_statement()?;
+    parser.expect_end()?;
+    Ok(node)
+}
+
+/// Parses a log of `;`-separated frames statements, reporting per-statement outcomes
+/// (mirrors `pi_sql::parse_log`: one typo must not discard the rest of the log).
+pub fn parse_log(text: &str) -> Vec<Result<Node, ParseError>> {
+    text.split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse)
+        .collect()
+}
+
+/// Accumulated clause state of one method chain.
+#[derive(Debug, Default)]
+struct ChainState {
+    select: Vec<Node>,      // ProjClause nodes from select(...)
+    agg: Option<Vec<Node>>, // ProjClause nodes from agg(...); Some even when empty
+    filters: Vec<Node>,     // predicate expressions from filter(...)
+    groupby: Vec<Node>,     // grouping key expressions from groupby(...)
+    having: Vec<Node>,      // predicate expressions from having(...)
+    sort: Vec<Node>,        // OrderClause nodes from sort(...)
+    limit: Option<Node>,    // Limit node from limit(n) / head(n)
+    distinct: bool,
+}
+
+/// The recursive-descent parser state.
+#[derive(Debug)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Creates a parser over a token stream.
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    // ------------------------------------------------------------------ token helpers
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + n).map(|t| &t.kind)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.offset)
+            .unwrap_or_else(|| self.tokens.last().map(|t| t.offset + 1).unwrap_or(0))
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_token(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, kind: TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.eat_token(&kind) {
+            Ok(())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn at_op(&self, op: &str) -> bool {
+        matches!(self.peek(), Some(TokenKind::Op(o)) if o == op)
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if self.at_op(op) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        match self.peek() {
+            Some(tok) => ParseError::new(
+                format!("expected {expected}, found {}", tok.describe()),
+                self.offset(),
+            ),
+            None => ParseError::new(
+                format!("expected {expected}, found end of input"),
+                self.offset(),
+            ),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Ident(_)) => {
+                let Some(TokenKind::Ident(s)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(s)
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    /// Consumes optional trailing semicolons and verifies nothing else follows.
+    pub fn expect_end(&mut self) -> Result<(), ParseError> {
+        while self.eat_token(&TokenKind::Semicolon) {}
+        match self.peek() {
+            None => Ok(()),
+            Some(tok) => Err(ParseError::new(
+                format!("trailing input: {}", tok.describe()),
+                self.offset(),
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------ statements
+
+    /// Parses one method-chain query.
+    pub fn parse_statement(&mut self) -> Result<Node, ParseError> {
+        let base = self.parse_base()?;
+        let mut state = ChainState::default();
+        while self.eat_token(&TokenKind::Dot) {
+            let offset = self.offset();
+            let method = self.expect_ident("a method name")?;
+            self.expect_token(TokenKind::LParen, "`(` after the method name")?;
+            let args = self.parse_args()?;
+            self.expect_token(TokenKind::RParen, "`)`")?;
+            self.apply_method(&mut state, &method, args, offset)?;
+        }
+        state.build(base)
+    }
+
+    /// The chain's base relation: a (possibly dotted) table name, a table-valued function,
+    /// or a parenthesised subquery chain.
+    fn parse_base(&mut self) -> Result<Node, ParseError> {
+        if self.eat_token(&TokenKind::LParen) {
+            let sub = self.parse_statement()?;
+            self.expect_token(TokenKind::RParen, "`)` closing the subquery")?;
+            return Ok(Node::new(NodeKind::SubqueryRef).with_child(sub));
+        }
+        let mut name = self.expect_ident("a table name")?;
+        // Dotted name parts continue the base only while the next segment is itself
+        // followed by a dot or a call — `dbo.fGetNearbyObjEq(...)` is a base, but in
+        // `t.filter(...)` the `.filter` belongs to the chain.
+        while self.peek() == Some(&TokenKind::Dot) {
+            match (self.peek_at(1), self.peek_at(2)) {
+                (Some(TokenKind::Ident(_)), Some(TokenKind::Dot))
+                | (Some(TokenKind::Ident(_)), Some(TokenKind::LParen)) => {
+                    let part_is_method = matches!(
+                        self.peek_at(1),
+                        Some(TokenKind::Ident(m)) if is_chain_method(m)
+                    ) && self.peek_at(2) == Some(&TokenKind::LParen);
+                    if part_is_method {
+                        break;
+                    }
+                    self.bump();
+                    let part = self.expect_ident("a name part")?;
+                    name.push('.');
+                    name.push_str(&part);
+                }
+                _ => break,
+            }
+        }
+        if self.peek() == Some(&TokenKind::LParen) {
+            // Table-valued function base: dbo.fGetNearbyObjEq(5.8, 0.3, 2.0)
+            self.bump();
+            let args = self.parse_args()?;
+            self.expect_token(TokenKind::RParen, "`)`")?;
+            Ok(Node::new(NodeKind::TableFunc)
+                .with_attr("name", name.as_str())
+                .with_children(args))
+        } else {
+            Ok(Node::table(&name))
+        }
+    }
+
+    /// Comma-separated expressions up to (not including) the closing `)`.
+    fn parse_args(&mut self) -> Result<Vec<Node>, ParseError> {
+        let mut args = Vec::new();
+        if self.peek() == Some(&TokenKind::RParen) {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.parse_expr()?);
+            if !self.eat_token(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(args)
+    }
+
+    fn apply_method(
+        &self,
+        state: &mut ChainState,
+        method: &str,
+        args: Vec<Node>,
+        offset: usize,
+    ) -> Result<(), ParseError> {
+        let arity_error = |what: &str| ParseError::new(format!("{method}() takes {what}"), offset);
+        match method {
+            "filter" => {
+                if args.is_empty() {
+                    return Err(arity_error("at least one predicate"));
+                }
+                state.filters.extend(args);
+            }
+            "select" => {
+                if args.is_empty() {
+                    return Err(arity_error("at least one projection"));
+                }
+                state.select.extend(args.into_iter().map(proj_clause));
+            }
+            "agg" => {
+                state
+                    .agg
+                    .get_or_insert_with(Vec::new)
+                    .extend(args.into_iter().map(proj_clause));
+            }
+            "groupby" => {
+                if args.is_empty() {
+                    return Err(arity_error("at least one grouping key"));
+                }
+                state.groupby.extend(args);
+            }
+            "having" => {
+                if args.is_empty() {
+                    return Err(arity_error("at least one predicate"));
+                }
+                state.having.extend(args);
+            }
+            "sort" => {
+                if args.is_empty() {
+                    return Err(arity_error("at least one sort key"));
+                }
+                state.sort.extend(args.into_iter().map(order_clause));
+            }
+            "limit" | "head" => {
+                let [expr] = <[Node; 1]>::try_from(args)
+                    .map_err(|_| arity_error("exactly one row count"))?;
+                let mut limit = Node::new(NodeKind::Limit);
+                if method == "head" {
+                    // head() is the TOP-style limit, matching `SELECT TOP n`.
+                    limit.set_attr("style", "top");
+                }
+                state.limit = Some(limit.with_child(expr));
+            }
+            "distinct" => {
+                if !args.is_empty() {
+                    return Err(arity_error("no arguments"));
+                }
+                state.distinct = true;
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unknown method `{other}` (expected filter/select/groupby/agg/having/sort/limit/head/distinct)"),
+                    offset,
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------ expressions
+
+    /// Parses a full expression: `|` over `&` over `~` over comparisons over arithmetic —
+    /// the same precedence ladder as the SQL parser's OR / AND / NOT / comparison levels,
+    /// so mixed-dialect predicates associate identically.
+    pub fn parse_expr(&mut self) -> Result<Node, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Node, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.eat_op("|") {
+            let right = self.parse_and()?;
+            left = binop("OR", left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Node, ParseError> {
+        let mut left = self.parse_not()?;
+        while self.eat_op("&") {
+            let right = self.parse_not()?;
+            left = binop("AND", left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Node, ParseError> {
+        if self.eat_op("~") {
+            let inner = self.parse_not()?;
+            Ok(Node::new(NodeKind::UnExpr)
+                .with_attr("op", "NOT")
+                .with_child(inner))
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Node, ParseError> {
+        let left = self.parse_additive()?;
+        if let Some(TokenKind::Op(op)) = self.peek() {
+            let op = op.clone();
+            if matches!(op.as_str(), "==" | "!=" | "<" | "<=" | ">" | ">=") {
+                self.bump();
+                let right = self.parse_additive()?;
+                // `==` is surface syntax for the SQL parser's `=`; `!=` stays `!=`.
+                let canonical = if op == "==" { "=" } else { op.as_str() };
+                return Ok(binop(canonical, left, right));
+            }
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Node, ParseError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Op(o)) if o == "+" || o == "-" => o.clone(),
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_multiplicative()?;
+            left = binop(&op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Node, ParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Op(o)) if o == "/" || o == "%" => o.clone(),
+                Some(TokenKind::Star) => "*".to_string(),
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = binop(&op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Node, ParseError> {
+        if self.eat_op("-") {
+            let inner = self.parse_unary()?;
+            // Fold negation into numeric literals so `-5` is a single NumExpr, exactly as
+            // the SQL parser does.
+            if inner.kind() == NodeKind::NumExpr {
+                if let Some(v) = inner.attr("value") {
+                    return Ok(match v {
+                        pi_ast::AttrValue::Int(i) => Node::int(-i),
+                        pi_ast::AttrValue::Float(f) => Node::float(-f),
+                        _ => Node::new(NodeKind::UnExpr)
+                            .with_attr("op", "-")
+                            .with_child(inner),
+                    });
+                }
+            }
+            return Ok(Node::new(NodeKind::UnExpr)
+                .with_attr("op", "-")
+                .with_child(inner));
+        }
+        if self.eat_op("+") {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Node, ParseError> {
+        match self.peek().cloned() {
+            Some(TokenKind::Int(i)) => {
+                self.bump();
+                Ok(Node::int(i))
+            }
+            Some(TokenKind::Float(f)) => {
+                self.bump();
+                Ok(Node::float(f))
+            }
+            Some(TokenKind::Hex(h)) => {
+                self.bump();
+                Ok(Node::hex(h))
+            }
+            Some(TokenKind::Str(s)) => {
+                self.bump();
+                Ok(Node::string(&s))
+            }
+            Some(TokenKind::Star) => {
+                self.bump();
+                Ok(Node::star())
+            }
+            Some(TokenKind::LParen) => {
+                self.bump();
+                let inner = self.parse_expr()?;
+                self.expect_token(TokenKind::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Some(TokenKind::Ident(_)) => self.parse_name_or_call(),
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+
+    fn parse_name_or_call(&mut self) -> Result<Node, ParseError> {
+        let offset = self.offset();
+        let first = self.expect_ident("an identifier")?;
+
+        let mut parts = vec![first];
+        while self.peek() == Some(&TokenKind::Dot) {
+            match self.peek_at(1) {
+                Some(TokenKind::Ident(_)) => {
+                    self.bump();
+                    parts.push(self.expect_ident("a name part")?);
+                }
+                Some(TokenKind::Star) => {
+                    // g.* — a table-qualified star projection.
+                    self.bump();
+                    self.bump();
+                    return Ok(Node::star().with_attr("table", parts.join(".").as_str()));
+                }
+                _ => break,
+            }
+        }
+
+        if self.peek() == Some(&TokenKind::LParen) {
+            self.bump();
+            let args = self.parse_args()?;
+            self.expect_token(TokenKind::RParen, "`)`")?;
+            return build_call(parts.join("."), args, offset);
+        }
+
+        // Bare identifier: python-ish literal keywords, else a column reference.
+        match parts.as_slice() {
+            [single] if single == "True" => {
+                Ok(Node::new(NodeKind::BoolExpr).with_attr("value", "true"))
+            }
+            [single] if single == "False" => {
+                Ok(Node::new(NodeKind::BoolExpr).with_attr("value", "false"))
+            }
+            [single] if single == "None" => Ok(Node::new(NodeKind::Null)),
+            [single] => Ok(Node::column(single)),
+            _ => {
+                let name = parts.pop().expect("at least two parts");
+                Ok(Node::qualified_column(&parts.join("."), &name))
+            }
+        }
+    }
+}
+
+/// True for the identifiers that terminate a dotted base name because they start a chain.
+fn is_chain_method(name: &str) -> bool {
+    matches!(
+        name,
+        "filter" | "select" | "groupby" | "agg" | "having" | "sort" | "limit" | "head" | "distinct"
+    )
+}
+
+fn binop(op: &str, left: Node, right: Node) -> Node {
+    Node::new(NodeKind::BiExpr)
+        .with_attr("op", op)
+        .with_child(left)
+        .with_child(right)
+}
+
+/// Wraps a select()/agg() argument into a `ProjClause`, unwrapping `alias(expr, 'name')`.
+fn proj_clause(expr: Node) -> Node {
+    if let Some((inner, alias)) = match_alias_call(&expr) {
+        return Node::new(NodeKind::ProjClause)
+            .with_attr("alias", alias.as_str())
+            .with_child(inner);
+    }
+    Node::new(NodeKind::ProjClause).with_child(expr)
+}
+
+/// Recognises the `alias(expr, 'name')` pseudo-function inside select()/agg() arguments.
+fn match_alias_call(expr: &Node) -> Option<(Node, String)> {
+    if expr.kind_ref() != &NodeKind::FuncCall {
+        return None;
+    }
+    let [name, inner, alias] = expr.children() else {
+        return None;
+    };
+    if name.kind_ref() != &NodeKind::FuncName || name.attr_str("name") != Some("alias") {
+        return None;
+    }
+    let alias = alias.attr_str("value")?;
+    Some((inner.clone(), alias.to_string()))
+}
+
+/// Wraps a sort() argument into an `OrderClause`, unwrapping `desc(expr)`.
+fn order_clause(expr: Node) -> Node {
+    if expr.kind_ref() == &NodeKind::FuncCall {
+        if let [name, inner] = expr.children() {
+            if name.kind_ref() == &NodeKind::FuncName && name.attr_str("name") == Some("desc") {
+                return Node::new(NodeKind::OrderClause)
+                    .with_attr("dir", "desc")
+                    .with_child(inner.clone());
+            }
+        }
+    }
+    Node::new(NodeKind::OrderClause)
+        .with_attr("dir", "asc")
+        .with_child(expr)
+}
+
+/// Builds a call expression, giving the pseudo-functions (`isnull`, `isin`, `between`,
+/// `like`, `cast`, …) their SQL-compatible tree shapes and canonicalising aggregates the
+/// way the SQL parser does (`count(x)` → `AggCall[FuncName COUNT, x]`).
+fn build_call(name: String, mut args: Vec<Node>, offset: usize) -> Result<Node, ParseError> {
+    let arity_error = |what: &str| ParseError::new(format!("{name}() takes {what}"), offset);
+    match name.as_str() {
+        "isnull" | "notnull" => {
+            let [inner] = <[Node; 1]>::try_from(args).map_err(|_| arity_error("one argument"))?;
+            let op = if name == "isnull" {
+                "IS NULL"
+            } else {
+                "IS NOT NULL"
+            };
+            Ok(Node::new(NodeKind::UnExpr)
+                .with_attr("op", op)
+                .with_child(inner))
+        }
+        "isin" | "notin" => {
+            if args.len() < 2 {
+                return Err(arity_error("an expression plus at least one member"));
+            }
+            let rest = args.split_off(1);
+            let left = args.pop().expect("one element left");
+            let list = Node::new(NodeKind::ExprList).with_children(rest);
+            let op = if name == "isin" { "IN" } else { "NOT IN" };
+            Ok(binop(op, left, list))
+        }
+        "between" => {
+            let [expr, lo, hi] =
+                <[Node; 3]>::try_from(args).map_err(|_| arity_error("three arguments"))?;
+            let list = Node::new(NodeKind::ExprList).with_child(lo).with_child(hi);
+            Ok(binop("BETWEEN", expr, list))
+        }
+        "like" => {
+            let [expr, pattern] =
+                <[Node; 2]>::try_from(args).map_err(|_| arity_error("two arguments"))?;
+            Ok(binop("LIKE", expr, pattern))
+        }
+        "cast" => {
+            let [expr, ty] =
+                <[Node; 2]>::try_from(args).map_err(|_| arity_error("two arguments"))?;
+            let Some(ty) = ty.attr_str("value").map(str::to_string) else {
+                return Err(arity_error("a string type name as its second argument"));
+            };
+            Ok(Node::new(NodeKind::Cast)
+                .with_attr("ty", ty.as_str())
+                .with_child(expr))
+        }
+        _ => {
+            let upper = name.to_ascii_uppercase();
+            let (kind, canonical, distinct) = if AGGREGATES.contains(&upper.as_str()) {
+                (NodeKind::AggCall, upper, false)
+            } else if let Some(prefix) = upper.strip_suffix("_DISTINCT") {
+                if AGGREGATES.contains(&prefix) {
+                    // COUNT_DISTINCT(x) ≙ SQL COUNT(DISTINCT x).
+                    (NodeKind::AggCall, prefix.to_string(), true)
+                } else {
+                    (NodeKind::FuncCall, name, false)
+                }
+            } else {
+                (NodeKind::FuncCall, name, false)
+            };
+            let mut node = Node::new(kind)
+                .with_child(Node::new(NodeKind::FuncName).with_attr("name", canonical.as_str()));
+            if distinct {
+                node.set_attr("distinct", true);
+            }
+            Ok(node.with_children(args))
+        }
+    }
+}
+
+impl ChainState {
+    /// Builds the canonical `Select` tree: the same clause order the SQL parser produces.
+    fn build(self, base: Node) -> Result<Node, ParseError> {
+        if self.agg.is_some() && !self.select.is_empty() {
+            return Err(ParseError::new(
+                "select() and agg() cannot be combined; aggregated projections belong in agg()",
+                0,
+            ));
+        }
+        let mut root = Node::new(NodeKind::Select);
+        if self.distinct {
+            root.set_attr("distinct", true);
+        }
+
+        // Projection: agg(...) projects the aggregates followed by the grouping keys (the
+        // `SELECT COUNT(Delay), DestState … GROUP BY DestState` shape); select(...) projects
+        // its arguments; a bare chain projects `*`.
+        let mut project = Node::new(NodeKind::Project);
+        match self.agg {
+            Some(aggs) => {
+                for clause in aggs {
+                    project.push_child(clause);
+                }
+                for key in &self.groupby {
+                    project.push_child(Node::new(NodeKind::ProjClause).with_child(key.clone()));
+                }
+            }
+            None if !self.select.is_empty() => {
+                for clause in self.select {
+                    project.push_child(clause);
+                }
+            }
+            None => {
+                project.push_child(Node::new(NodeKind::ProjClause).with_child(Node::star()));
+            }
+        }
+        root.push_child(project);
+
+        root.push_child(Node::new(NodeKind::From).with_child(base));
+
+        if !self.filters.is_empty() {
+            let pred = conjoin(self.filters);
+            root.push_child(Node::new(NodeKind::Where).with_child(pred));
+        }
+
+        if !self.groupby.is_empty() {
+            let mut gb = Node::new(NodeKind::GroupBy);
+            for key in self.groupby {
+                gb.push_child(Node::new(NodeKind::GroupClause).with_child(key));
+            }
+            root.push_child(gb);
+        }
+
+        if !self.having.is_empty() {
+            let pred = conjoin(self.having);
+            root.push_child(Node::new(NodeKind::Having).with_child(pred));
+        }
+
+        if !self.sort.is_empty() {
+            let mut ob = Node::new(NodeKind::OrderBy);
+            for clause in self.sort {
+                ob.push_child(clause);
+            }
+            root.push_child(ob);
+        }
+
+        if let Some(limit) = self.limit {
+            root.push_child(limit);
+        }
+
+        Ok(root)
+    }
+}
+
+/// Left-associative AND chain, matching the SQL parser's associativity.
+fn conjoin(preds: Vec<Node>) -> Node {
+    let mut iter = preds.into_iter();
+    let first = iter.next().expect("conjoin is called with predicates");
+    iter.fold(first, |acc, pred| binop("AND", acc, pred))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_ast::Path;
+
+    #[test]
+    fn parses_a_filtered_aggregation() {
+        let q = parse("ontime.filter(Month == 9 & Day == 3).groupby(DestState).agg(COUNT(Delay))")
+            .unwrap();
+        assert_eq!(q.kind(), NodeKind::Select);
+        assert_eq!(q.arity(), 4); // Project, From, Where, GroupBy
+        let agg = q.get(&"0/0/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(agg.kind(), NodeKind::AggCall);
+        assert_eq!(agg.children()[0].attr_str("name"), Some("COUNT"));
+        // The grouping key is also projected, after the aggregates.
+        let dim = q.get(&"0/1/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(dim.attr_str("name"), Some("DestState"));
+        let and = q.get(&"2/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(and.attr_str("op"), Some("AND"));
+        let eq = &and.children()[0];
+        assert_eq!(eq.attr_str("op"), Some("="));
+    }
+
+    #[test]
+    fn matches_the_sql_parser_tree_for_the_same_analysis() {
+        // The paper's Listing 2 OLAP query, written in both dialects, must be ONE tree.
+        let frames =
+            parse("ontime.filter(Month == 9 & Day == 3).groupby(DestState).agg(COUNT(Delay))")
+                .unwrap();
+        let sql = pi_sql::parse(
+            "SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 9 AND Day = 3 GROUP BY DestState",
+        )
+        .unwrap();
+        assert_eq!(frames, sql);
+        assert_eq!(frames.structural_hash(), sql.structural_hash());
+    }
+
+    #[test]
+    fn method_order_is_surface_syntax_only() {
+        let a = parse("t.filter(x == 1).groupby(s).agg(SUM(v))").unwrap();
+        let b = parse("t.groupby(s).agg(SUM(v)).filter(x == 1)").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeated_filters_conjoin_left_associatively() {
+        let chained = parse("t.filter(a == 1).filter(b == 2).filter(c == 3)").unwrap();
+        let single = parse("t.filter(a == 1 & b == 2 & c == 3)").unwrap();
+        assert_eq!(chained, single);
+        let sql = pi_sql::parse("SELECT * FROM t WHERE a = 1 AND b = 2 AND c = 3").unwrap();
+        assert_eq!(chained, sql);
+    }
+
+    #[test]
+    fn bare_chain_projects_star() {
+        let q = parse("SpecLineIndex.filter(specObjId == 0x400)").unwrap();
+        let sql = pi_sql::parse("SELECT * FROM SpecLineIndex WHERE specObjId = 0x400").unwrap();
+        assert_eq!(q, sql);
+    }
+
+    #[test]
+    fn select_head_sort_and_distinct_match_sql() {
+        let q = parse("ontime.select(carrier).distinct().sort(desc(carrier)).limit(10)").unwrap();
+        let sql =
+            pi_sql::parse("SELECT DISTINCT carrier FROM ontime ORDER BY carrier DESC LIMIT 10")
+                .unwrap();
+        assert_eq!(q, sql);
+
+        let top = parse("Galaxy.select(g.objID).head(10)").unwrap();
+        let limit = top.children().last().unwrap();
+        assert_eq!(limit.kind(), NodeKind::Limit);
+        assert_eq!(limit.attr_str("style"), Some("top"));
+    }
+
+    #[test]
+    fn table_function_bases_and_qualified_columns() {
+        let q = parse("dbo.fGetNearbyObjEq(5.848, 0.352, 2.0616).select(d.objID)").unwrap();
+        let from = q.get(&"1/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(from.kind(), NodeKind::TableFunc);
+        assert_eq!(from.attr_str("name"), Some("dbo.fGetNearbyObjEq"));
+        assert_eq!(from.arity(), 3);
+        let col = q.get(&"0/0/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(col.attr_str("table"), Some("d"));
+        assert_eq!(col.attr_str("name"), Some("objID"));
+    }
+
+    #[test]
+    fn subquery_bases_nest() {
+        let q = parse("(T.filter(b > 10).select(a)).select(*)").unwrap();
+        let sql = pi_sql::parse("SELECT * FROM (SELECT a FROM T WHERE b > 10)").unwrap();
+        assert_eq!(q, sql);
+    }
+
+    #[test]
+    fn pseudo_functions_take_sql_shapes() {
+        let q =
+            parse("t.filter(isin(c, 1, 2, 3) & between(d, 0.5, 2.5) & notnull(b) & like(e, 'x%'))")
+                .unwrap();
+        let sql = pi_sql::parse(
+            "SELECT * FROM t WHERE c IN (1, 2, 3) AND d BETWEEN 0.5 AND 2.5 AND b IS NOT NULL AND e LIKE 'x%'",
+        )
+        .unwrap();
+        assert_eq!(q, sql);
+    }
+
+    #[test]
+    fn not_cast_alias_and_distinct_aggregates() {
+        let q = parse("t.filter(~(d == 4))").unwrap();
+        let sql = pi_sql::parse("SELECT * FROM t WHERE NOT d = 4").unwrap();
+        assert_eq!(q, sql);
+
+        let q =
+            parse("ontime.select(alias(cast(uniquecarrier, 'varchar'), 'uniquecarrier'))").unwrap();
+        let sql = pi_sql::parse("SELECT CAST(uniquecarrier) AS uniquecarrier FROM ontime").unwrap();
+        assert_eq!(q, sql);
+
+        let q = parse("ontime.agg(alias(COUNT_DISTINCT(carrier), 'c'))").unwrap();
+        let sql = pi_sql::parse("SELECT COUNT(DISTINCT carrier) AS c FROM ontime").unwrap();
+        assert_eq!(q, sql);
+    }
+
+    #[test]
+    fn literal_keywords_and_star_qualifiers() {
+        let q = parse("t.filter(flag == True).select(g.*)").unwrap();
+        let sql = pi_sql::parse("SELECT g.* FROM t WHERE flag = TRUE").unwrap();
+        assert_eq!(q, sql);
+        let q = parse("t.filter(x != None)").unwrap();
+        let pred = q.get(&"2/0".parse::<Path>().unwrap()).unwrap();
+        assert_eq!(pred.children()[1].kind(), NodeKind::Null);
+    }
+
+    #[test]
+    fn arithmetic_precedence_matches_sql() {
+        let q = parse("t.select(a + b * 2, FLOOR(distance / 5))").unwrap();
+        let sql = pi_sql::parse("SELECT a + b * 2, FLOOR(distance / 5) FROM t").unwrap();
+        assert_eq!(q, sql);
+        let neg = parse("t.filter(z > -0.5)").unwrap();
+        let sqln = pi_sql::parse("SELECT * FROM t WHERE z > -0.5").unwrap();
+        assert_eq!(neg, sqln);
+    }
+
+    #[test]
+    fn non_ascii_literals_match_sql_and_round_trip() {
+        let q = parse("t.filter(name == 'café — 雪')").unwrap();
+        let sql = pi_sql::parse("SELECT * FROM t WHERE name = 'café — 雪'").unwrap();
+        assert_eq!(q, sql);
+        assert_eq!(parse(&crate::render(&q)).unwrap(), q);
+    }
+
+    #[test]
+    fn rejects_malformed_chains() {
+        assert!(parse("t.filter(x == 1).explode(y)").is_err()); // unknown method
+                                                                // (`t.explode(x)` alone is a *base*: a table-valued function, like
+                                                                // `dbo.fGetNearbyObjEq(...)` — only post-base calls must be chain methods.)
+        assert!(parse("t.filter()").is_err()); // missing predicate
+        assert!(parse("t.head(1, 2)").is_err()); // wrong arity
+        assert!(parse("t.select(a).agg(SUM(b))").is_err()); // select+agg conflict
+        assert!(parse("t.filter(x == )").is_err());
+        assert!(parse("t.filter(x == 1) trailing").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn parse_log_reports_per_statement_outcomes() {
+        let log = "t.filter(x == 1); NOT FRAMES AT ALL; t.filter(x == 2);";
+        let results = parse_log(log);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+    }
+}

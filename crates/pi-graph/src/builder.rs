@@ -369,8 +369,12 @@ fn append_pair(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pi_ast::Frontend as _;
     use pi_ast::Node;
-    use pi_sql::parse;
+
+    fn parse(sql: &str) -> Result<pi_ast::Node, pi_ast::FrontendError> {
+        pi_sql::SqlFrontend.parse_one(sql)
+    }
 
     #[test]
     fn pair_enumeration_counts() {

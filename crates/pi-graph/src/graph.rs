@@ -229,8 +229,12 @@ impl InteractionGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pi_ast::Frontend as _;
     use pi_diff::{extract_diffs, AncestorPolicy};
-    use pi_sql::parse;
+
+    fn parse(sql: &str) -> Result<pi_ast::Node, pi_ast::FrontendError> {
+        pi_sql::SqlFrontend.parse_one(sql)
+    }
 
     fn tiny_graph() -> InteractionGraph {
         let q0 = parse("SELECT a FROM t WHERE x = 1").unwrap();

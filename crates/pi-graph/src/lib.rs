@@ -37,8 +37,12 @@ pub use graph::{Edge, GraphStats, InteractionGraph, IntoQueryLog, QueryLog};
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pi_ast::Frontend as _;
     use pi_diff::AncestorPolicy;
-    use pi_sql::parse;
+
+    fn parse(sql: &str) -> Result<pi_ast::Node, pi_ast::FrontendError> {
+        pi_sql::SqlFrontend.parse_one(sql)
+    }
 
     fn olap_log() -> Vec<pi_ast::Node> {
         // Listing 2 with one extra step.

@@ -398,19 +398,25 @@ impl<'a> Lexer<'a> {
 
     fn lex_string(&mut self, start: usize) -> Result<TokenKind, ParseError> {
         self.bump(); // opening quote
-        let mut value = String::new();
+                     // Bytes are collected raw and decoded once at the end: string literals carry
+                     // arbitrary UTF-8, and pushing bytes cast to chars would mangle every multibyte
+                     // character.  The byte scan itself is boundary-safe — the quote byte 0x27 never
+                     // occurs inside a multibyte UTF-8 sequence.
+        let mut value = Vec::new();
         loop {
             match self.bump() {
                 Some(b'\'') => {
                     // doubled quote escapes a single quote
                     if self.peek() == Some(b'\'') {
                         self.bump();
-                        value.push('\'');
+                        value.push(b'\'');
                     } else {
+                        let value = String::from_utf8(value)
+                            .expect("literal bytes are a substring of valid UTF-8 input");
                         return Ok(TokenKind::String(value));
                     }
                 }
-                Some(b) => value.push(b as char),
+                Some(b) => value.push(b),
                 None => return Err(ParseError::new(ParseErrorKind::UnterminatedString, start)),
             }
         }
@@ -483,6 +489,20 @@ mod tests {
             .into_iter()
             .map(|t| t.kind)
             .collect()
+    }
+
+    #[test]
+    fn string_literals_carry_arbitrary_utf8() {
+        // Regression: bytes were cast to chars one at a time, mangling `café` into `cafÃ©`
+        // — which silently broke cross-dialect tree identity with the frames front-end.
+        assert_eq!(
+            kinds("'café' 'снег — ☃' 'O''Brien'"),
+            vec![
+                TokenKind::String("café".into()),
+                TokenKind::String("снег — ☃".into()),
+                TokenKind::String("O'Brien".into()),
+            ]
+        );
     }
 
     #[test]

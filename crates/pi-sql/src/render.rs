@@ -27,6 +27,12 @@ pub fn render_compact(node: &Node) -> String {
 fn render_node(node: &Node, out: &mut String) {
     match node.kind_ref() {
         NodeKind::Select => render_select(node, out),
+        // Relation fragments (widget options at FROM paths, e.g. Listing 7's subquery
+        // toggle) render as the SQL they stand for, not the generic `Kind(…)` notation —
+        // the UI substitutes these fragments into real query text.
+        NodeKind::TableRef | NodeKind::SubqueryRef | NodeKind::TableFunc | NodeKind::Join => {
+            render_relation(node, out)
+        }
         _ => render_expr(node, out),
     }
 }

@@ -1,20 +1,38 @@
 //! Compiling an interface (plus its layout) into a self-contained HTML + JavaScript page.
 //!
-//! The page renders the widget grid; every interaction substitutes the chosen option's SQL
+//! The page renders the widget grid; every interaction substitutes the chosen option's text
 //! fragment into the current query at the widget's path and updates the displayed query,
 //! mirroring Figure 2b.  Executing the query is delegated to a `window.exec` hook so the page
 //! works both standalone (showing the query text) and embedded next to a real backend.
+//!
+//! Rendering is front-end aware: the initial query and every widget option are rendered
+//! through the front-end of the dialect they *originated* in (per-query tags threaded from
+//! the mining session), so a mixed SQL + dataframe interface shows each fragment in its own
+//! language.  [`compile_html`] uses the workspace's standard registry;
+//! [`compile_html_with`] accepts a custom one.
 
 use crate::editor::EditorLayout;
 use crate::json::Json;
+use pi_ast::Frontends;
 use pi_core::Interface;
-use pi_sql::render;
 use pi_widgets::WidgetType;
 use std::fmt::Write as _;
 
-/// Compiles the interface into a single HTML document.
+/// Compiles the interface into a single HTML document, rendering query fragments through
+/// the standard front-end registry (SQL + frames).
 pub fn compile_html(interface: &Interface, layout: &EditorLayout, title: &str) -> String {
-    let spec = interface_spec(interface, layout);
+    compile_html_with(interface, layout, title, &pi_core::standard_frontends())
+}
+
+/// Compiles the interface into a single HTML document, rendering the initial query and
+/// every widget option through the front-end registered for its originating dialect.
+pub fn compile_html_with(
+    interface: &Interface,
+    layout: &EditorLayout,
+    title: &str,
+    frontends: &Frontends,
+) -> String {
+    let spec = interface_spec(interface, layout, frontends);
     let mut widgets_html = String::new();
     for placement in layout.placements() {
         let widget = &interface.widgets()[placement.widget];
@@ -52,29 +70,35 @@ body {{ font-family: sans-serif; margin: 1.5em; }}
 const SPEC = {spec};
 const state = SPEC.widgets.map(() => null);
 function currentQuery() {{
-  let sql = SPEC.initialQuery;
+  let text = SPEC.initialQuery;
   SPEC.widgets.forEach((w, i) => {{
     const choice = state[i];
     if (choice === null || choice === undefined) return;
     if (choice.absent) {{
-      sql = sql.split(w.currentFragment).join("");
-    }} else if (w.currentFragment && choice.sql !== undefined) {{
-      sql = sql.split(w.currentFragment).join(choice.sql);
+      text = text.split(w.currentFragment).join("");
+    }} else if (w.currentFragment && choice.text !== undefined) {{
+      text = text.split(w.currentFragment).join(choice.text);
     }}
   }});
-  return sql;
+  return text;
 }}
 function refresh() {{
-  const sql = currentQuery();
-  document.getElementById("query").textContent = sql;
-  if (window.exec) {{ window.exec(sql); }}
+  const text = currentQuery();
+  document.getElementById("query").textContent = text;
+  if (window.exec) {{ window.exec(text); }}
 }}
 document.querySelectorAll("[data-option]").forEach(el => {{
   el.addEventListener("change", () => {{
     const widget = parseInt(el.closest(".widget").dataset.widget, 10);
     const spec = SPEC.widgets[widget];
-    const idx = parseInt(el.value, 10);
-    state[widget] = isNaN(idx) ? {{ sql: el.value }} : spec.options[idx];
+    if (el.dataset.freeform) {{
+      // Sliders and textboxes carry the *value itself* (a numeric value must not be
+      // mistaken for an option index).
+      state[widget] = {{ text: el.value }};
+    }} else {{
+      const idx = parseInt(el.value, 10);
+      state[widget] = Number.isInteger(idx) ? spec.options[idx] || null : null;
+    }}
     refresh();
   }});
 }});
@@ -90,28 +114,54 @@ refresh();
 }
 
 /// The JSON specification embedded in the page: the initial query plus, for every widget, its
-/// type, path, option fragments and the fragment currently in the initial query.
-fn interface_spec(interface: &Interface, layout: &EditorLayout) -> Json {
+/// type, path, option fragments and the fragment currently in the initial query.  Option
+/// `text` (the splice fragment) is rendered in the initial query's dialect so substitution
+/// stays well-formed; option `native` carries the originating dialect's rendering, tagged
+/// with the dialect name.
+fn interface_spec(interface: &Interface, layout: &EditorLayout, frontends: &Frontends) -> Json {
+    let initial_dialect = interface.initial_dialect();
     let widgets = layout
         .placements()
         .iter()
         .map(|placement| {
             let widget = &interface.widgets()[placement.widget];
+            // The fragment being substituted out of the initial query is part of the
+            // initial query's text, so it renders in the initial query's dialect.
             let current_fragment = interface
                 .initial_query()
                 .get(&widget.path)
-                .map(render)
+                .map(|subtree| frontends.render(initial_dialect, subtree))
                 .unwrap_or_default();
             let options: Vec<Json> = widget
                 .domain
-                .subtrees()
-                .iter()
-                .map(|subtree| {
-                    Json::Object(vec![
+                .tagged_subtrees()
+                .map(|(subtree, dialect)| {
+                    // `text` is spliced into the initial query by currentQuery(), so it
+                    // must be in the initial query's dialect — substituting a frames
+                    // fragment into SQL text would produce a chimera query no parser
+                    // accepts.  For cross-dialect options, `native` additionally shows
+                    // the fragment in its originating dialect (what the analyst actually
+                    // typed); same-dialect options skip it rather than embed the same
+                    // string twice.
+                    let mut fields = vec![
                         ("label".into(), Json::string(&subtree.label())),
-                        ("sql".into(), Json::string(&render(subtree))),
-                        ("absent".into(), Json::Bool(false)),
-                    ])
+                        (
+                            "text".into(),
+                            Json::string(&frontends.render(initial_dialect, subtree)),
+                        ),
+                        ("dialect".into(), Json::string(dialect.name())),
+                    ];
+                    if dialect != initial_dialect {
+                        fields.insert(
+                            2,
+                            (
+                                "native".into(),
+                                Json::string(&frontends.render(dialect, subtree)),
+                            ),
+                        );
+                    }
+                    fields.push(("absent".into(), Json::Bool(false)));
+                    Json::Object(fields)
                 })
                 .chain(widget.domain.includes_absent().then(|| {
                     Json::Object(vec![
@@ -132,7 +182,11 @@ fn interface_spec(interface: &Interface, layout: &EditorLayout) -> Json {
     Json::Object(vec![
         (
             "initialQuery".into(),
-            Json::string(&render(interface.initial_query())),
+            Json::string(&frontends.render(initial_dialect, interface.initial_query())),
+        ),
+        (
+            "initialDialect".into(),
+            Json::string(initial_dialect.name()),
         ),
         ("widgets".into(), Json::Array(widgets)),
     ])
@@ -145,10 +199,12 @@ fn widget_markup(index: usize, widget: &pi_widgets::Widget) -> String {
         WidgetType::Slider | WidgetType::RangeSlider => {
             let (lo, hi) = widget.domain.numeric_range().unwrap_or((0.0, 100.0));
             format!(
-                "<input type=\"range\" min=\"{lo}\" max=\"{hi}\" step=\"any\" data-option=\"w{index}\">"
+                "<input type=\"range\" min=\"{lo}\" max=\"{hi}\" step=\"any\" data-option=\"w{index}\" data-freeform=\"1\">"
             )
         }
-        WidgetType::Textbox => format!("<input type=\"text\" data-option=\"w{index}\">"),
+        WidgetType::Textbox => {
+            format!("<input type=\"text\" data-option=\"w{index}\" data-freeform=\"1\">")
+        }
         WidgetType::ToggleButton | WidgetType::Checkbox => {
             format!("<input type=\"checkbox\" data-option=\"w{index}\">")
         }
@@ -261,7 +317,7 @@ mod tests {
     fn spec_embeds_every_option() {
         let iface = sample();
         let layout = EditorLayout::new(&iface, 2);
-        let spec = interface_spec(&iface, &layout).to_string();
+        let spec = interface_spec(&iface, &layout, &pi_core::standard_frontends()).to_string();
         for widget in iface.widgets() {
             for label in widget.domain.option_labels() {
                 if label != "(none)" {
@@ -269,5 +325,41 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mixed_dialect_interfaces_render_each_option_in_its_own_language() {
+        use pi_ast::Dialect;
+        use pi_core::{PiOptions, Session};
+
+        // The analyst toggles the subquery shape from both front-ends: the SQL queries
+        // contribute tree-valued options that must render as SQL, the frames queries
+        // options that must render as method chains.
+        let mut session = Session::new(PiOptions::default());
+        session.push_sql("SELECT * FROM T");
+        session.push_text_as(Dialect::FRAMES, "(T.filter(b > 10).select(a)).select(*)");
+        session.push_sql("SELECT * FROM (SELECT a FROM T WHERE b > 20)");
+        session.push_text_as(Dialect::FRAMES, "(T.filter(b > 30).select(a)).select(*)");
+        let snap = session.snapshot();
+        assert_eq!(snap.dialects.len(), 4);
+
+        let layout = EditorLayout::new(&snap.interface, 1);
+        let spec =
+            interface_spec(&snap.interface, &layout, &pi_core::standard_frontends()).to_string();
+        // The initial query arrived as SQL.
+        assert!(spec.contains("\"initialDialect\":\"sql\""), "{spec}");
+        assert!(spec.contains("SELECT"), "{spec}");
+        // Options exist from both dialects; `native` shows each in its own syntax...
+        assert!(spec.contains("\"dialect\":\"sql\""), "{spec}");
+        assert!(spec.contains("\"dialect\":\"frames\""), "{spec}");
+        assert!(spec.contains(".filter(b > 10)"), "{spec}");
+        // ...while the splice fragment `text` stays in the initial query's dialect (SQL
+        // here), so substituting it into the page's query never makes a chimera.
+        assert!(
+            spec.contains("\"text\":\"(SELECT a FROM T WHERE b > 10)\""),
+            "{spec}"
+        );
+        let html = compile_html(&snap.interface, &layout, "mixed");
+        assert!(html.contains(".filter(b > 10)"));
     }
 }

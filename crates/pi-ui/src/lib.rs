@@ -11,6 +11,11 @@
 //!   built-in writer, [`json`]); interacting with a widget swaps the corresponding subtree and
 //!   re-renders the query string, mirroring Figure 2b's `interaction → exec(q2) → render()`
 //!   loop (the `exec()` call is left as a hook for the hosting application).
+//!
+//! The compiler is front-end agnostic: fragments render through a
+//! [`Frontends`](pi_ast::Frontends) registry keyed by each subtree's originating dialect,
+//! so a mixed SQL + dataframe interface shows every option in its own language — no direct
+//! dependency on any single parser crate.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -20,4 +25,4 @@ pub mod html;
 pub mod json;
 
 pub use editor::{EditorLayout, WidgetPlacement};
-pub use html::compile_html;
+pub use html::{compile_html, compile_html_with};

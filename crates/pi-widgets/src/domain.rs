@@ -1,25 +1,43 @@
 //! Widget domains: the set of subtrees a widget can put at its path.
 
-use pi_ast::{Node, NodeId, PrimitiveType};
+use pi_ast::{Dialect, Node, NodeId, PrimitiveType};
 use pi_diff::DiffRecord;
 use std::collections::BTreeSet;
 
 /// The domain `w.d` of a widget: the subtrees the widget can substitute at its path, plus
 /// metadata the widget rules and cost functions need (primitive type, numeric range,
 /// whether "no subtree at all" is one of the options).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Each subtree carries the [`Dialect`] of the query it was first observed in, so a
+/// mixed-log interface can render every option in its originating language.  The tag is
+/// presentation metadata only — deduplication, typing, widget rules and domain
+/// *equality* never look at it: two domains mining the same subtrees from differently
+/// spelled logs compare equal.
+#[derive(Debug, Clone)]
 pub struct Domain {
     subtrees: Vec<Node>,
+    dialects: Vec<Dialect>,
     ids: BTreeSet<NodeId>,
     prim: PrimitiveType,
     includes_absent: bool,
     numeric_range: Option<(f64, f64)>,
 }
 
+impl PartialEq for Domain {
+    /// Structural equality: member subtrees (in first-seen order) and the "absent"
+    /// option.  Dialect tags are deliberately excluded (presentation metadata), and the
+    /// remaining fields (`ids`, `prim`, `numeric_range`) are deterministic functions of
+    /// the members.
+    fn eq(&self, other: &Self) -> bool {
+        self.subtrees == other.subtrees && self.includes_absent == other.includes_absent
+    }
+}
+
 impl Default for Domain {
     fn default() -> Self {
         Domain {
             subtrees: Vec::new(),
+            dialects: Vec::new(),
             ids: BTreeSet::new(),
             prim: PrimitiveType::Num,
             includes_absent: false,
@@ -36,23 +54,38 @@ impl Domain {
 
     /// Builds a domain from the diff records of one path partition (the `w.D ⊆ diffs`
     /// initialisation of §4.3): both sides of every record are collected, deduplicated by
-    /// structural identity, and typed by the join of the member types.
+    /// structural identity, and typed by the join of the member types.  Every member is
+    /// tagged with the default dialect; use [`Domain::from_diffs_tagged`] when the
+    /// per-query dialects of the log are known.
     pub fn from_diffs<'a, I: IntoIterator<Item = &'a DiffRecord>>(records: I) -> Self {
+        Self::from_diffs_tagged(records, |_| Dialect::default())
+    }
+
+    /// [`Domain::from_diffs`] with per-query dialect tags: `tag_of` maps a log index to
+    /// the dialect its query arrived in, and each record's `before`/`after` subtree is
+    /// tagged with its side's query (`q1` resp. `q2`).  When the same subtree occurs in
+    /// several dialects, the first observation wins — "originating dialect" is
+    /// well-defined because records arrive in deterministic store order.
+    pub fn from_diffs_tagged<'a, I, F>(records: I, tag_of: F) -> Self
+    where
+        I: IntoIterator<Item = &'a DiffRecord>,
+        F: Fn(usize) -> Dialect,
+    {
         let mut domain = Domain::new();
         for record in records {
             match &record.before {
-                Some(node) => domain.insert(node.clone()),
+                Some(node) => domain.insert_tagged(node.clone(), tag_of(record.q1)),
                 None => domain.includes_absent = true,
             }
             match &record.after {
-                Some(node) => domain.insert(node.clone()),
+                Some(node) => domain.insert_tagged(node.clone(), tag_of(record.q2)),
                 None => domain.includes_absent = true,
             }
         }
         domain
     }
 
-    /// Builds a domain from explicit subtrees.
+    /// Builds a domain from explicit subtrees (default-dialect tags).
     pub fn from_subtrees<I: IntoIterator<Item = Node>>(subtrees: I) -> Self {
         let mut domain = Domain::new();
         for node in subtrees {
@@ -61,10 +94,17 @@ impl Domain {
         domain
     }
 
+    /// Adds one subtree to the domain with the default dialect tag; see
+    /// [`Domain::insert_tagged`].
+    pub fn insert(&mut self, node: Node) {
+        self.insert_tagged(node, Dialect::default());
+    }
+
     /// Adds one subtree to the domain (deduplicated by `NodeId`, which is O(1) thanks to the
     /// memoized structural hash).  `Node` is a copy-on-write handle, so records coming from
-    /// the diff layer share their subtree allocation with the domain.
-    pub fn insert(&mut self, node: Node) {
+    /// the diff layer share their subtree allocation with the domain.  A duplicate insert
+    /// keeps the first observation's dialect tag.
+    pub fn insert_tagged(&mut self, node: Node, dialect: Dialect) {
         let id = node.id();
         if !self.ids.insert(id) {
             return;
@@ -82,6 +122,7 @@ impl Domain {
             });
         }
         self.subtrees.push(node);
+        self.dialects.push(dialect);
     }
 
     /// Marks "absent" (no subtree at the path) as one of the selectable options.
@@ -92,6 +133,16 @@ impl Domain {
     /// The explicit subtrees of the domain, in first-seen order.
     pub fn subtrees(&self) -> &[Node] {
         &self.subtrees
+    }
+
+    /// The originating dialect of each subtree, parallel to [`Domain::subtrees`].
+    pub fn dialects(&self) -> &[Dialect] {
+        &self.dialects
+    }
+
+    /// The subtrees paired with their originating dialects, in first-seen order.
+    pub fn tagged_subtrees(&self) -> impl Iterator<Item = (&Node, Dialect)> + '_ {
+        self.subtrees.iter().zip(self.dialects.iter().copied())
     }
 
     /// Number of selectable options (explicit subtrees, plus one for "absent" when allowed).
@@ -153,10 +204,10 @@ impl Domain {
         labels
     }
 
-    /// Merges another domain into this one.
+    /// Merges another domain into this one (members keep their dialect tags).
     pub fn merge(&mut self, other: &Domain) {
-        for node in &other.subtrees {
-            self.insert(node.clone());
+        for (node, dialect) in other.tagged_subtrees() {
+            self.insert_tagged(node.clone(), dialect);
         }
         if other.includes_absent {
             self.includes_absent = true;
@@ -168,9 +219,9 @@ impl Domain {
     /// ancestor or the descendant widgets (Algorithm 3).
     pub fn without(&self, other: &Domain) -> Domain {
         let mut out = Domain::new();
-        for node in &self.subtrees {
+        for (node, dialect) in self.tagged_subtrees() {
             if !other.contains_exact(node) {
-                out.insert(node.clone());
+                out.insert_tagged(node.clone(), dialect);
             }
         }
         out.includes_absent = self.includes_absent && !other.includes_absent;
@@ -181,8 +232,12 @@ impl Domain {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pi_ast::Frontend as _;
     use pi_diff::{extract_diffs, AncestorPolicy};
-    use pi_sql::parse;
+
+    fn parse(sql: &str) -> Result<Node, pi_ast::FrontendError> {
+        pi_sql::SqlFrontend.parse_one(sql)
+    }
 
     #[test]
     fn dedupes_and_types_members() {
@@ -245,5 +300,85 @@ mod tests {
         assert!(d.is_empty());
         assert_eq!(d.size(), 0);
         assert_eq!(d.option_labels().len(), 0);
+    }
+
+    #[test]
+    fn members_remember_their_originating_dialect() {
+        use pi_ast::Dialect;
+        let mut d = Domain::new();
+        d.insert_tagged(Node::int(1), Dialect::SQL);
+        d.insert_tagged(Node::int(2), Dialect::FRAMES);
+        // A duplicate insert keeps the first observation's tag.
+        d.insert_tagged(Node::int(1), Dialect::FRAMES);
+        assert_eq!(d.dialects(), &[Dialect::SQL, Dialect::FRAMES]);
+        let tags: Vec<_> = d.tagged_subtrees().map(|(n, t)| (n.label(), t)).collect();
+        assert_eq!(
+            tags,
+            vec![
+                ("1".to_string(), Dialect::SQL),
+                ("2".to_string(), Dialect::FRAMES)
+            ]
+        );
+        // merge and without carry tags along with their members.
+        let mut m = Domain::new();
+        m.insert_tagged(Node::int(3), Dialect::FRAMES);
+        m.merge(&d);
+        assert_eq!(
+            m.dialects(),
+            &[Dialect::FRAMES, Dialect::SQL, Dialect::FRAMES]
+        );
+        let rest = m.without(&Domain::from_subtrees(vec![Node::int(1)]));
+        assert_eq!(rest.dialects(), &[Dialect::FRAMES, Dialect::FRAMES]);
+        // Untagged construction defaults to the founding dialect.
+        assert_eq!(
+            Domain::from_subtrees(vec![Node::int(9)]).dialects(),
+            &[Dialect::default()]
+        );
+    }
+
+    #[test]
+    fn equality_ignores_dialect_tags() {
+        use pi_ast::Dialect;
+        // The same analysis mined from a SQL log and from a frames log must yield equal
+        // domains — the tags are presentation metadata, not structure.
+        let mut sql_origin = Domain::new();
+        sql_origin.insert_tagged(Node::int(1), Dialect::SQL);
+        sql_origin.insert_tagged(Node::int(2), Dialect::SQL);
+        let mut frames_origin = Domain::new();
+        frames_origin.insert_tagged(Node::int(1), Dialect::FRAMES);
+        frames_origin.insert_tagged(Node::int(2), Dialect::FRAMES);
+        assert_eq!(sql_origin, frames_origin);
+        // Structure still matters: members, order and the absent option.
+        assert_ne!(
+            sql_origin,
+            Domain::from_subtrees(vec![Node::int(2), Node::int(1)])
+        );
+        let mut with_absent = sql_origin.clone();
+        with_absent.set_includes_absent(true);
+        assert_ne!(sql_origin, with_absent);
+    }
+
+    #[test]
+    fn from_diffs_tagged_tags_each_side_with_its_query() {
+        use pi_ast::Dialect;
+        let q1 = parse("SELECT a FROM t WHERE x = 1").unwrap();
+        let q2 = parse("SELECT a FROM t WHERE x = 2").unwrap();
+        let records = extract_diffs(&q1, &q2, 0, 1, AncestorPolicy::LcaPruned);
+        let tag_of = |q: usize| {
+            if q == 0 {
+                Dialect::SQL
+            } else {
+                Dialect::FRAMES
+            }
+        };
+        let d = Domain::from_diffs_tagged(records.iter(), tag_of);
+        // The literal 1 came from q1 (SQL), the literal 2 from q2 (frames).
+        for (node, dialect) in d.tagged_subtrees() {
+            match node.label().as_str() {
+                "1" => assert_eq!(dialect, Dialect::SQL),
+                "2" => assert_eq!(dialect, Dialect::FRAMES),
+                _ => {}
+            }
+        }
     }
 }

@@ -143,8 +143,12 @@ impl fmt::Display for WidgetType {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pi_ast::Frontend as _;
     use pi_ast::Node;
-    use pi_sql::parse;
+
+    fn parse(sql: &str) -> Result<pi_ast::Node, pi_ast::FrontendError> {
+        pi_sql::SqlFrontend.parse_one(sql)
+    }
 
     fn numeric_domain() -> Domain {
         Domain::from_subtrees(vec![Node::int(1), Node::int(5), Node::int(100)])

@@ -113,8 +113,12 @@ impl Widget {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pi_ast::Frontend as _;
     use pi_diff::{extract_diffs, AncestorPolicy};
-    use pi_sql::parse;
+
+    fn parse(sql: &str) -> Result<pi_ast::Node, pi_ast::FrontendError> {
+        pi_sql::SqlFrontend.parse_one(sql)
+    }
 
     fn slider_widget() -> Widget {
         let domain = Domain::from_subtrees(vec![Node::int(1), Node::int(100)]);

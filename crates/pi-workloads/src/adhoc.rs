@@ -88,7 +88,7 @@ mod tests {
     #[test]
     fn every_template_family_appears() {
         let log = exploration_log(2, 200);
-        let has = |needle: &str| log.sql.iter().any(|q| q.contains(needle));
+        let has = |needle: &str| log.text.iter().any(|q| q.contains(needle));
         assert!(has("CASE"));
         assert!(has("CAST"));
         assert!(has("HAVING"));
@@ -99,6 +99,6 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        assert_ne!(exploration_log(1, 20).sql, exploration_log(2, 20).sql);
+        assert_ne!(exploration_log(1, 20).text, exploration_log(2, 20).text);
     }
 }

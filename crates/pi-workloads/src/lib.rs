@@ -14,6 +14,9 @@
 //!   random dimension, aggregate, or filter of an OnTime OLAP query.
 //! * [`adhoc`] — open-ended exploration with little recurring structure (Listing 3), used to
 //!   show when Precision Interfaces does *not* generalise.
+//! * [`frames`] — the OLAP walk re-rendered in the `pi-frames` dataframe dialect, plus a
+//!   mixed SQL + frames interleaving of the same walk: the cross-dialect workload class the
+//!   multi-front-end refactor opens up (real logs span many query languages).
 //! * [`traces`] — simulated widget interaction timing traces used to fit the widget cost
 //!   functions (§4.3, Example 4.4).
 //! * [`mix`] — multi-client interleaving and train/hold-out splitting utilities used by the
@@ -25,40 +28,86 @@
 #![warn(rust_2018_idioms)]
 
 pub mod adhoc;
+pub mod frames;
 pub mod mix;
 pub mod olap;
 pub mod sdss;
 pub mod traces;
 
-use pi_ast::Node;
+use pi_ast::{Dialect, Frontend, Node};
 
-/// A generated query log: parsed queries in log order, plus the SQL text they came from.
+/// A generated query log: parsed queries in log order, plus the text they came from and
+/// the dialect each entry was written in.
+///
+/// A log can be single-dialect (the SQL generators, [`frames::dataframe_walk`]) or mixed
+/// ([`frames::mixed_walk`]) — the per-entry `dialects` vector is what a
+/// [`Session`](https://docs.rs/pi-core) push needs to tag queries with their originating
+/// front-end.
 #[derive(Debug, Clone, Default)]
 pub struct QueryLog {
     /// Parsed queries in log order.
     pub queries: Vec<Node>,
-    /// The SQL text of each query (same order).
-    pub sql: Vec<String>,
+    /// The source text of each query (same order).
+    pub text: Vec<String>,
+    /// The dialect each query was written in (same order).
+    pub dialects: Vec<Dialect>,
     /// A label describing the log (client id, generator name…).
     pub label: String,
 }
 
 impl QueryLog {
-    /// Creates a log from SQL strings, parsing each one (panics on generator bugs — the
-    /// generators only emit SQL the `pi-sql` dialect supports).
+    /// Creates a log from SQL strings; see [`QueryLog::from_text`].
     pub fn from_sql<I: IntoIterator<Item = String>>(label: &str, sql: I) -> Self {
-        let sql: Vec<String> = sql.into_iter().collect();
-        let queries = sql
+        Self::from_text(&pi_sql::SqlFrontend, label, sql)
+    }
+
+    /// Creates a log by parsing each string with the given front-end (panics on generator
+    /// bugs — the generators only emit text their front-end's dialect supports).
+    pub fn from_text<F, I>(frontend: &F, label: &str, texts: I) -> Self
+    where
+        F: Frontend,
+        I: IntoIterator<Item = String>,
+    {
+        let text: Vec<String> = texts.into_iter().collect();
+        let dialect = frontend.dialect();
+        let queries = text
             .iter()
             .map(|q| {
-                pi_sql::parse(q).unwrap_or_else(|e| panic!("generator produced bad SQL `{q}`: {e}"))
+                frontend
+                    .parse_one(q)
+                    .unwrap_or_else(|e| panic!("generator produced bad {dialect} `{q}`: {e}"))
             })
             .collect();
         QueryLog {
+            dialects: vec![dialect; text.len()],
             queries,
-            sql,
+            text,
             label: label.to_string(),
         }
+    }
+
+    /// Creates a mixed-dialect log: each entry is parsed by the front-end its dialect
+    /// names in `frontends` (panics on generator bugs or unregistered dialects).
+    pub fn from_tagged<I>(frontends: &pi_ast::Frontends, label: &str, entries: I) -> Self
+    where
+        I: IntoIterator<Item = (Dialect, String)>,
+    {
+        let mut log = QueryLog {
+            label: label.to_string(),
+            ..QueryLog::default()
+        };
+        for (dialect, text) in entries {
+            let frontend = frontends
+                .get(dialect)
+                .unwrap_or_else(|| panic!("no front-end registered for dialect {dialect}"));
+            let query = frontend
+                .parse_one(&text)
+                .unwrap_or_else(|e| panic!("generator produced bad {dialect} `{text}`: {e}"));
+            log.queries.push(query);
+            log.text.push(text);
+            log.dialects.push(dialect);
+        }
+        log
     }
 
     /// Number of queries in the log.
@@ -71,11 +120,21 @@ impl QueryLog {
         self.queries.is_empty()
     }
 
+    /// The queries paired with their dialect tags, in log order — the shape a
+    /// mixed-front-end session ingests (`push_all_tagged`).
+    pub fn tagged_queries(&self) -> impl Iterator<Item = (Dialect, Node)> + '_ {
+        self.dialects
+            .iter()
+            .copied()
+            .zip(self.queries.iter().cloned())
+    }
+
     /// The log truncated to its first `n` queries.
     pub fn truncated(&self, n: usize) -> QueryLog {
         QueryLog {
             queries: self.queries.iter().take(n).cloned().collect(),
-            sql: self.sql.iter().take(n).cloned().collect(),
+            text: self.text.iter().take(n).cloned().collect(),
+            dialects: self.dialects.iter().take(n).copied().collect(),
             label: self.label.clone(),
         }
     }
@@ -93,7 +152,7 @@ mod tests {
         );
         assert_eq!(log.len(), 2);
         assert!(!log.is_empty());
-        assert_eq!(log.sql[0], "SELECT a FROM t");
+        assert_eq!(log.text[0], "SELECT a FROM t");
         assert_eq!(log.truncated(1).len(), 1);
         assert_eq!(log.truncated(10).len(), 2);
     }
@@ -102,12 +161,12 @@ mod tests {
     fn generators_are_deterministic() {
         let a = sdss::client_log(sdss::ClientArchetype::ObjectLookup, 7, 40);
         let b = sdss::client_log(sdss::ClientArchetype::ObjectLookup, 7, 40);
-        assert_eq!(a.sql, b.sql);
+        assert_eq!(a.text, b.text);
         let a = olap::random_walk(3, 30);
         let b = olap::random_walk(3, 30);
-        assert_eq!(a.sql, b.sql);
+        assert_eq!(a.text, b.text);
         let a = adhoc::exploration_log(11, 25);
         let b = adhoc::exploration_log(11, 25);
-        assert_eq!(a.sql, b.sql);
+        assert_eq!(a.text, b.text);
     }
 }

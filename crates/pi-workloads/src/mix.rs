@@ -10,9 +10,11 @@ pub fn interleave(logs: &[QueryLog], seed: u64) -> QueryLog {
     let mut rng = StdRng::seed_from_u64(0x2417_0000 ^ seed);
     let mut cursors = vec![0usize; logs.len()];
     let total: usize = logs.iter().map(QueryLog::len).sum();
-    let mut queries = Vec::with_capacity(total);
-    let mut sql = Vec::with_capacity(total);
-    while queries.len() < total {
+    let mut mixed = QueryLog {
+        label: format!("interleaved-{}-clients", logs.len()),
+        ..QueryLog::default()
+    };
+    while mixed.len() < total {
         // Pick a client that still has queries, weighted by how many remain.
         let remaining: Vec<usize> = logs
             .iter()
@@ -21,15 +23,13 @@ pub fn interleave(logs: &[QueryLog], seed: u64) -> QueryLog {
             .map(|(i, _)| i)
             .collect();
         let client = remaining[rng.gen_range(0..remaining.len())];
-        queries.push(logs[client].queries[cursors[client]].clone());
-        sql.push(logs[client].sql[cursors[client]].clone());
+        let cursor = cursors[client];
+        mixed.queries.push(logs[client].queries[cursor].clone());
+        mixed.text.push(logs[client].text[cursor].clone());
+        mixed.dialects.push(logs[client].dialects[cursor]);
         cursors[client] += 1;
     }
-    QueryLog {
-        queries,
-        sql,
-        label: format!("interleaved-{}-clients", logs.len()),
-    }
+    mixed
 }
 
 /// Takes the first `per_client` queries of each client and interleaves them — the
@@ -52,14 +52,14 @@ mod tests {
         // Per-client order is preserved: each client's queries appear as a subsequence.
         for log in &logs {
             let mut cursor = 0;
-            for sql in &mixed.sql {
-                if cursor < log.sql.len() && sql == &log.sql[cursor] {
+            for text in &mixed.text {
+                if cursor < log.text.len() && text == &log.text[cursor] {
                     cursor += 1;
                 }
             }
             assert_eq!(
                 cursor,
-                log.sql.len(),
+                log.text.len(),
                 "client {} not a subsequence",
                 log.label
             );
@@ -69,8 +69,8 @@ mod tests {
     #[test]
     fn interleave_is_deterministic_and_seed_sensitive() {
         let logs = sdss::client_logs(2, 15);
-        assert_eq!(interleave(&logs, 5).sql, interleave(&logs, 5).sql);
-        assert_ne!(interleave(&logs, 5).sql, interleave(&logs, 6).sql);
+        assert_eq!(interleave(&logs, 5).text, interleave(&logs, 5).text);
+        assert_ne!(interleave(&logs, 5).text, interleave(&logs, 6).text);
     }
 
     #[test]

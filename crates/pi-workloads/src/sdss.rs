@@ -166,7 +166,7 @@ mod tests {
         assert_eq!(logs.len(), 8);
         assert!(logs.iter().all(|l| l.len() == 10));
         // Clients 0 and 4 share an archetype but have different seeds.
-        assert_ne!(logs[0].sql, logs[4].sql);
+        assert_ne!(logs[0].text, logs[4].text);
     }
 
     #[test]

@@ -43,7 +43,7 @@ fn main() {
             continue;
         };
         if result.num_columns() == 2 && result.num_rows() >= 3 {
-            println!("--- {}", render_sql(&query));
+            println!("--- {}", SqlFrontend.render(&query));
             println!("{}", render_bar_chart(&result));
             shown += 1;
         }

@@ -35,7 +35,7 @@ fn main() {
     let result = exec(generated.interface.initial_query(), &catalog).expect("query runs");
     println!(
         "\ninitial query:\n{}",
-        render_sql(generated.interface.initial_query())
+        SqlFrontend.render(generated.interface.initial_query())
     );
     println!("\n{}", render(&result));
 
@@ -44,10 +44,11 @@ fn main() {
     //    cheaper than the five fine-grained widgets, but it only replays logged queries, so the
     //    probe reports false.  Disabling merging (`MapperOptions { enable_merging: false, .. }`)
     //    keeps the sliders/drop-downs and makes the unseen combination expressible.
-    let unseen = parse(
-        "SELECT AVG(Delay), Carrier FROM ontime WHERE Month = 9 AND Day = 3 GROUP BY Carrier",
-    )
-    .unwrap();
+    let unseen = SqlFrontend
+        .parse_one(
+            "SELECT AVG(Delay), Carrier FROM ontime WHERE Month = 9 AND Day = 3 GROUP BY Carrier",
+        )
+        .unwrap();
     println!(
         "unseen query expressible through the widgets: {}",
         generated.interface.can_express(&unseen)

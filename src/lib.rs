@@ -9,8 +9,9 @@
 //!
 //! | module | crate | role |
 //! |---|---|---|
-//! | [`ast`] | `pi-ast` | query ASTs, paths, primitive types |
-//! | [`sql`] | `pi-sql` | SQL lexer/parser/renderer |
+//! | [`ast`] | `pi-ast` | query ASTs, paths, primitive types, the `Frontend` trait |
+//! | [`sql`] | `pi-sql` | SQL front-end (lexer/parser/renderer) |
+//! | [`frames`] | `pi-frames` | method-chain dataframe front-end |
 //! | [`diff`] | `pi-diff` | subtree differences (the `diffs` table) |
 //! | [`graph`] | `pi-graph` | the interaction graph and its optimisations |
 //! | [`widgets`] | `pi-widgets` | widget types, rules, cost functions |
@@ -39,7 +40,7 @@
 //!
 //! Query logs grow as the analyst works, so the batch entry point above is itself a thin
 //! wrapper over a stateful [`Session`](core::Session): feed queries one at a time with
-//! `push` / `push_sql` — each append runs only the `O(w)` new alignments the sliding window
+//! `push` / `push_text` — each append runs only the `O(w)` new alignments the sliding window
 //! admits — and take versioned snapshots whenever the interface should refresh.  Snapshots
 //! are byte-identical to batch builds of the same prefix (see `examples/live_session.rs`).
 //!
@@ -56,6 +57,43 @@
 //! assert_eq!(snapshot.version, 3);
 //! assert_eq!(snapshot.interface.widgets().len(), 1);
 //! ```
+//!
+//! ## Mixed front-ends
+//!
+//! Nothing in the pipeline is SQL-specific: sessions route text through a
+//! [`Frontends`](ast::Frontends) registry of [`Frontend`](ast::Frontend) implementations,
+//! and the bundled dataframe dialect (`pi-frames`) targets the same tree model as the SQL
+//! parser, so the *same analysis* written in either language parses to the *same tree*.  A
+//! mixed log therefore mines into one interface, and every widget option remembers — and
+//! renders in — the dialect its query arrived in (`examples/mixed_frontends.rs`):
+//!
+//! ```
+//! use precision_interfaces::prelude::*;
+//!
+//! let mut session = Session::new(PiOptions::default());
+//! session.push_sql("SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 9 GROUP BY DestState");
+//! session.push_text_as(
+//!     Dialect::FRAMES,
+//!     "ontime.filter(Month == 3).groupby(DestState).agg(COUNT(Delay))",
+//! );
+//! let snapshot = session.snapshot();
+//! assert_eq!(snapshot.dialects, vec![Dialect::SQL, Dialect::FRAMES]);
+//! assert_eq!(snapshot.interface.widgets().len(), 1); // one shared month widget
+//! assert!(snapshot.interface.expressiveness(&snapshot.queries) >= 1.0);
+//! ```
+//!
+//! A session over a *non-SQL default* front-end is one constructor away — untagged
+//! `push_text` then parses the dataframe dialect:
+//!
+//! ```
+//! use precision_interfaces::prelude::*;
+//!
+//! let registry = Frontends::new().with(FramesFrontend).with(SqlFrontend);
+//! let mut session = Session::with_frontends(PiOptions::default(), registry);
+//! assert_eq!(session.default_dialect(), Dialect::FRAMES);
+//! session.push_text("t.filter(x == 1).select(a); t.filter(x == 2).select(a)");
+//! assert_eq!(session.snapshot().interface.initial_dialect(), Dialect::FRAMES);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -67,6 +105,11 @@ pub mod ast {
 /// SQL lexing, parsing and rendering (`pi-sql`).
 pub mod sql {
     pub use pi_sql::*;
+}
+
+/// The method-chain dataframe front-end (`pi-frames`).
+pub mod frames {
+    pub use pi_frames::*;
 }
 
 /// Subtree differences between queries (`pi-diff`).
@@ -111,10 +154,13 @@ pub mod study {
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
-    pub use pi_ast::{Node, NodeKind, Path};
-    pub use pi_core::{GeneratedInterface, Interface, PiOptions, PrecisionInterfaces, Session};
+    pub use pi_ast::{Dialect, Frontend, FrontendError, Frontends, Node, NodeKind, Path};
+    pub use pi_core::{
+        standard_frontends, GeneratedInterface, Interface, PiOptions, PrecisionInterfaces, Session,
+    };
     pub use pi_engine::{exec, render, Catalog};
-    pub use pi_sql::{parse, parse_log, render as render_sql};
-    pub use pi_ui::{compile_html, EditorLayout};
+    pub use pi_frames::FramesFrontend;
+    pub use pi_sql::SqlFrontend;
+    pub use pi_ui::{compile_html, compile_html_with, EditorLayout};
     pub use pi_widgets::{Widget, WidgetLibrary, WidgetType};
 }

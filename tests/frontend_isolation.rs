@@ -1,0 +1,70 @@
+//! The front-end isolation contract, as an executable grep: no crate outside the
+//! front-end crates (`pi-sql`, `pi-frames`) names the concrete SQL parse/render entry
+//! points directly.  Everything else reaches parsing/rendering through the `pi_ast::Frontend`
+//! trait (usually via a `Frontends` registry), which is what keeps a second — or tenth —
+//! query language a drop-in.
+
+use std::path::{Path, PathBuf};
+
+/// Directories whose sources are exempt: the front-end crates themselves (including their
+/// tests), and build output.
+const EXEMPT: &[&str] = &["crates/pi-sql", "crates/pi-frames", "target", ".git"];
+
+fn rust_sources(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let relative = path.strip_prefix(root).unwrap_or(&path);
+        if EXEMPT
+            .iter()
+            .any(|exempt| relative.starts_with(Path::new(exempt)))
+        {
+            continue;
+        }
+        if path.is_dir() {
+            rust_sources(&path, root, out);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn no_crate_outside_the_frontends_calls_pi_sql_directly() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut sources = Vec::new();
+    rust_sources(&root, &root, &mut sources);
+    assert!(
+        sources.len() > 40,
+        "the source walk looks broken: only {} files found",
+        sources.len()
+    );
+
+    // Built at runtime so this test file does not match itself.
+    let needles = [
+        format!("pi_sql::{}", "parse"),
+        format!("pi_sql::{}", "render"),
+    ];
+    let mut offenders = Vec::new();
+    for path in &sources {
+        let text = std::fs::read_to_string(path).expect("source file is readable");
+        for (number, line) in text.lines().enumerate() {
+            if needles.iter().any(|needle| line.contains(needle.as_str())) {
+                offenders.push(format!(
+                    "{}:{}: {}",
+                    path.strip_prefix(&root).unwrap_or(path).display(),
+                    number + 1,
+                    line.trim()
+                ));
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "front-end isolation violated — route these through pi_ast::Frontend instead:\n{}",
+        offenders.join("\n")
+    );
+}

@@ -5,7 +5,15 @@ use precision_interfaces::core::precision::{query_is_schema_valid, SchemaMap};
 use precision_interfaces::core::recall::{holdout_recall, split_log};
 use precision_interfaces::core::PiOptions;
 use precision_interfaces::prelude::*;
-use precision_interfaces::workloads::{mix, olap, sdss};
+use precision_interfaces::workloads::{frames as frames_logs, mix, olap, sdss};
+
+fn parse(sql: &str) -> Result<Node, FrontendError> {
+    SqlFrontend.parse_one(sql)
+}
+
+fn render_sql(query: &Node) -> String {
+    SqlFrontend.render(query)
+}
 
 fn catalog_schema(catalog: &Catalog) -> SchemaMap {
     let mut schema = SchemaMap::new();
@@ -200,6 +208,68 @@ fn study_and_interface_agree_on_task_support() {
         .find(|s| s.task == Task::ObjectIdLookup && s.condition == Condition::SdssForm)
         .unwrap();
     assert!(t1_sdss.mean_time_s > 3.0 * t1_pi.mean_time_s);
+}
+
+#[test]
+fn mixed_dialect_log_mines_end_to_end_into_one_dialect_aware_interface() {
+    // The acceptance scenario of the multi-front-end refactor: an interleaved SQL +
+    // dataframe log (the same OLAP walk, each entry's language drawn by a coin) mines into
+    // ONE interface whose HTML/JSON output renders each closure query in its originating
+    // dialect.
+    let mixed = frames_logs::mixed_walk(5, 64);
+    assert!(mixed.dialects.contains(&Dialect::SQL));
+    assert!(mixed.dialects.contains(&Dialect::FRAMES));
+
+    let mut session = Session::new(PiOptions::default());
+    session.push_all_tagged(mixed.tagged_queries());
+    let snapshot = session.snapshot();
+    assert_eq!(snapshot.version as usize, mixed.len());
+    assert_eq!(snapshot.dialects, mixed.dialects);
+
+    // Mining is dialect-blind: the graph — and the widget set itself — equals the
+    // pure-SQL walk's (same trees; domain equality ignores presentation tags).
+    let sql_only = PrecisionInterfaces::default().from_queries(olap::random_walk(5, 64).queries);
+    assert_eq!(snapshot.graph, sql_only.graph);
+    assert_eq!(snapshot.interface.widgets(), sql_only.interface.widgets());
+    assert_eq!(snapshot.interface.describe(), sql_only.interface.describe());
+
+    // The widget domains carry per-option dialect tags from both front-ends...
+    let tags: std::collections::BTreeSet<&str> = snapshot
+        .interface
+        .widgets()
+        .iter()
+        .flat_map(|w| w.domain.dialects().iter().map(|d| d.name()))
+        .collect();
+    assert!(tags.contains("sql") && tags.contains("frames"), "{tags:?}");
+
+    // ...and the compiled page renders every option with its own front-end's renderer.
+    let frontends = standard_frontends();
+    let layout = EditorLayout::new(&snapshot.interface, 2);
+    let html = compile_html_with(&snapshot.interface, &layout, "mixed walk", &frontends);
+    assert!(html.contains("\"dialect\":\"sql\""));
+    assert!(html.contains("\"dialect\":\"frames\""));
+    for widget in snapshot.interface.widgets() {
+        for (subtree, dialect) in widget.domain.tagged_subtrees() {
+            let rendered = frontends.render(dialect, subtree);
+            let json_fragment = format!(
+                "{}",
+                precision_interfaces::ui::json::Json::string(&rendered)
+            );
+            assert!(
+                html.contains(json_fragment.trim_matches('"')),
+                "option `{rendered}` ({dialect}) missing from the page"
+            );
+        }
+    }
+
+    // The initial query renders in the dialect of the log's first entry.
+    let initial = frontends.render(
+        snapshot.interface.initial_dialect(),
+        snapshot.interface.initial_query(),
+    );
+    assert_eq!(snapshot.interface.initial_dialect(), mixed.dialects[0]);
+    assert!(html.contains(&format!("\"initialDialect\":\"{}\"", mixed.dialects[0])));
+    assert!(!initial.is_empty());
 }
 
 #[test]

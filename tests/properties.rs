@@ -6,6 +6,14 @@ use pi_diff::{extract_diffs, AncestorPolicy, ChangeKind};
 use precision_interfaces::prelude::*;
 use proptest::prelude::*;
 
+fn parse(sql: &str) -> Result<Node, FrontendError> {
+    SqlFrontend.parse_one(sql)
+}
+
+fn render_sql(query: &Node) -> String {
+    SqlFrontend.render(query)
+}
+
 // ---------------------------------------------------------------- generators
 
 /// A random OLAP-style query over a small vocabulary (always within the pi-sql dialect).
@@ -50,12 +58,40 @@ proptest! {
 
     // ------------------------------------------------------------ SQL round trips
 
-    /// Rendering any generated query and re-parsing it yields the identical AST.
+    /// Rendering any generated query and re-parsing it yields the identical AST —
+    /// structurally identical under the memoized hash, for BOTH front-ends over the same
+    /// workload trees (the queries the OLAP walk generates are in both dialects' shared
+    /// shape).
     #[test]
     fn sql_render_parse_round_trip(query in arb_query()) {
         let sql = render_sql(&query);
         let reparsed = parse(&sql).expect("rendered SQL parses");
+        prop_assert_eq!(reparsed.structural_hash(), query.structural_hash());
         prop_assert_eq!(reparsed, query);
+    }
+
+    /// The frames front-end round-trips the same generated workload queries: render to
+    /// method-chain text, re-parse, and land on the structurally identical tree.
+    #[test]
+    fn frames_render_parse_round_trip(query in arb_query()) {
+        let text = FramesFrontend.render(&query);
+        let reparsed = FramesFrontend.parse_one(&text)
+            .unwrap_or_else(|e| panic!("rendered frames `{text}` parses: {e}"));
+        prop_assert_eq!(reparsed.structural_hash(), query.structural_hash());
+        prop_assert_eq!(reparsed, query);
+    }
+
+    /// Cross-dialect identity: rendering a workload query through either front-end and
+    /// re-parsing it through that front-end yields one and the same tree — which is what
+    /// makes mixed logs diff cleanly.
+    #[test]
+    fn both_frontends_agree_on_workload_trees(query in arb_query()) {
+        let via_sql = parse(&render_sql(&query)).expect("sql round trip");
+        let via_frames = FramesFrontend
+            .parse_one(&FramesFrontend.render(&query))
+            .expect("frames round trip");
+        prop_assert_eq!(&via_sql, &via_frames);
+        prop_assert_eq!(via_sql.id(), query.id());
     }
 
     // ------------------------------------------------------------ paths
@@ -284,6 +320,59 @@ proptest! {
             prop_assert_eq!(&snap.graph, &batch.graph);
             prop_assert_eq!(snap.interface.widgets(), batch.interface.widgets());
             prop_assert_eq!(snap.interface.describe(), batch.interface.describe());
+        }
+    }
+
+    /// Mixed-dialect streaming equals mixed-dialect batch: pushing an interleaved SQL +
+    /// frames log one *text statement* at a time (each through its own front-end, with
+    /// snapshots interleaved) is identical to one bulk tagged append — same graph, same
+    /// dialect tags, same widgets (including per-option dialect tags), same rendered
+    /// interface — under `AllPairs` and sliding windows.
+    #[test]
+    fn mixed_dialect_session_matches_batch(
+        entries in prop::collection::vec((arb_query(), prop::bool::ANY), 1..10),
+        snap_every in 1usize..4,
+    ) {
+        use precision_interfaces::graph::WindowStrategy;
+        let tagged: Vec<(Dialect, String)> = entries
+            .iter()
+            .map(|(q, frames)| {
+                if *frames {
+                    (Dialect::FRAMES, FramesFrontend.render(q))
+                } else {
+                    (Dialect::SQL, render_sql(q))
+                }
+            })
+            .collect();
+        for window in [WindowStrategy::AllPairs, WindowStrategy::sliding(2), WindowStrategy::sliding(5)] {
+            let options = PiOptions { window, ..Default::default() };
+            // Streaming: one statement at a time, through the per-dialect text path.
+            let mut streamed = Session::new(options.clone());
+            for (k, (dialect, text)) in tagged.iter().enumerate() {
+                prop_assert_eq!(streamed.push_text_as(*dialect, text), vec![k]);
+                if (k + 1) % snap_every == 0 {
+                    let _ = streamed.snapshot();
+                }
+            }
+            // Batch: one bulk tagged append of the pre-parsed trees.
+            let mut batch = Session::new(options.clone());
+            batch.push_all_tagged(entries.iter().zip(&tagged).map(|((q, _), (dialect, _))| {
+                (*dialect, q.clone())
+            }));
+            let s = streamed.snapshot();
+            let b = batch.into_snapshot();
+            prop_assert_eq!(s.version, b.version);
+            prop_assert_eq!(&s.dialects, &b.dialects);
+            prop_assert_eq!(s.graph_stats, b.graph_stats);
+            prop_assert_eq!(&s.graph, &b.graph);
+            prop_assert_eq!(s.interface.widgets(), b.interface.widgets());
+            prop_assert_eq!(s.interface.initial_dialect(), b.interface.initial_dialect());
+            prop_assert_eq!(s.interface.describe(), b.interface.describe());
+            // And mining stays dialect-blind: an untagged build of the same trees has the
+            // identical graph.
+            let untagged = PrecisionInterfaces::new(options)
+                .from_queries(entries.iter().map(|(q, _)| q.clone()).collect::<Vec<_>>());
+            prop_assert_eq!(&s.graph, &untagged.graph);
         }
     }
 

@@ -44,6 +44,12 @@ fn bench_stages(c: &mut Criterion) {
     );
 
     let log = sdss::client_log(sdss::ClientArchetype::ObjectLookup, 1, 2).queries;
+    // The raw ordered-tree alignment alone (no ancestor expansion): the inner loop the
+    // AllPairs memo amortises, and the unit the prefix/suffix-trimmed flat-buffer LCS
+    // optimises.  Before/after numbers for that change live in README.md.
+    group.bench_function("leaf_changes_pair", |b| {
+        b.iter(|| pi_diff::leaf_changes(&log[0], &log[1]))
+    });
     group.bench_function("diff_pair_lca", |b| {
         b.iter(|| extract_diffs(&log[0], &log[1], 0, 1, AncestorPolicy::LcaPruned))
     });

@@ -23,6 +23,32 @@ fn olap_log() -> QueryLog {
     olap::random_walk(3, LOG_SIZE).queries.into_query_log()
 }
 
+/// The duplicate-heavy 512-query log (~64 distinct shapes revisited Zipf-style) the dedup
+/// benches mine.
+fn dedup_log() -> QueryLog {
+    olap::repetitive_walk(3, LOG_SIZE, 64)
+        .queries
+        .into_query_log()
+}
+
+/// A fully-distinct 512-query adversarial log: walk states deduplicated by structural hash,
+/// drawn from as many seeds as it takes — the memo can never hit on it.
+fn distinct_log() -> QueryLog {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(LOG_SIZE);
+    'seeds: for seed in 100.. {
+        for q in olap::random_walk(seed, LOG_SIZE).queries {
+            if seen.insert(q.structural_hash()) {
+                out.push(q);
+                if out.len() == LOG_SIZE {
+                    break 'seeds;
+                }
+            }
+        }
+    }
+    out.into_query_log()
+}
+
 fn bench_mining_throughput(c: &mut Criterion) {
     let queries = olap_log();
     let mut group = c.benchmark_group("mining_throughput");
@@ -177,12 +203,85 @@ fn bench_mining_throughput(c: &mut Criterion) {
         });
     });
 
+    // The duplicate-collapsing headline: the same 512-query AllPairs mining over a
+    // Zipf-repetitive log (~64 distinct shapes), with the dedup + alignment memo on vs off.
+    // The memo runs the expensive alignment once per distinct ordered pair (O(d²)) instead
+    // of once per log pair (O(n²)); the `_nomemo` arm is the A/B control and must produce a
+    // byte-identical graph (asserted by `assert_determinism_contracts` before any number is
+    // published).  These four benches exclude the drop of the ~1M-record result from the
+    // timed window (`iter_with_large_drop`): deallocation is identical in both arms — the
+    // graphs are byte-identical — so timing it would only dilute the comparison.  They run
+    // last so the long-lived benches above keep their historical heap conditions.
+    let dedup_log = dedup_log();
+    group.bench_function("mine_all_pairs_dedup_512", |b| {
+        let builder = GraphBuilder::new().window(WindowStrategy::AllPairs);
+        b.iter_with_large_drop(|| builder.build(&dedup_log));
+    });
+    group.bench_function("mine_all_pairs_dedup_512_nomemo", |b| {
+        let builder = GraphBuilder::new()
+            .window(WindowStrategy::AllPairs)
+            .memoize(false);
+        b.iter_with_large_drop(|| builder.build(&dedup_log));
+    });
+
     group.finish();
+
+    // The adversarial control: 512 pairwise-distinct shapes, where the memo can never hit —
+    // every pair still pays a full alignment, plus the dedup bookkeeping (which must stay
+    // within noise, ≤2%).  At ~700 ms per build, sequential benches are at the mercy of
+    // this box's slow frequency drift (observed swinging means ±6% between back-to-back
+    // arms whose *minimums* agree to 0.1%), so the two arms are measured as a PAIRED
+    // comparison: samples alternate memo-on / memo-off, letting drift hit both arms
+    // equally, and both are recorded under their own bench ids.
+    paired_all_pairs_distinct(c);
+}
+
+/// Interleaved A/B measurement of AllPairs mining over the fully-distinct log with the
+/// memo on vs off; see the comment at the call site.
+fn paired_all_pairs_distinct(c: &mut Criterion) {
+    let distinct_log = distinct_log();
+    let memoized = GraphBuilder::new().window(WindowStrategy::AllPairs);
+    let unmemoized = GraphBuilder::new()
+        .window(WindowStrategy::AllPairs)
+        .memoize(false);
+    // One warm-up build per arm (also a cheap byte-identity spot check).
+    assert_eq!(
+        memoized.build(&distinct_log),
+        unmemoized.build(&distinct_log)
+    );
+    const SAMPLES: usize = 8;
+    let mut on_ns: Vec<f64> = Vec::with_capacity(SAMPLES);
+    let mut off_ns: Vec<f64> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        for (builder, samples) in [(&memoized, &mut on_ns), (&unmemoized, &mut off_ns)] {
+            let start = std::time::Instant::now();
+            let graph = std::hint::black_box(builder.build(&distinct_log));
+            samples.push(start.elapsed().as_nanos() as f64);
+            drop(graph); // deallocation outside the timed window, as for the dedup benches
+        }
+    }
+    for (id, samples) in [
+        ("mining_throughput/mine_all_pairs_distinct_512", on_ns),
+        (
+            "mining_throughput/mine_all_pairs_distinct_512_nomemo",
+            off_ns,
+        ),
+    ] {
+        let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+        c.record(criterion::Measurement {
+            id: id.to_string(),
+            mean_ns,
+            min_ns: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max_ns: samples.iter().copied().fold(0.0, f64::max),
+            iterations: samples.len() as u64,
+        });
+    }
 }
 
 /// Sanity-checks the determinism contracts before publishing numbers: parallel and serial
-/// builds of the same log must be identical, and a streaming session's graph must be
-/// identical to the batch build of the same log.
+/// builds of the same log must be identical, a streaming session's graph must be identical
+/// to the batch build of the same log, and the dedup/alignment memo must be invisible —
+/// memo-on and memo-off AllPairs builds of the duplicate-heavy log must be byte-identical.
 fn assert_determinism_contracts(queries: &QueryLog) {
     let serial = GraphBuilder::new()
         .window(WindowStrategy::Sliding(16))
@@ -200,6 +299,68 @@ fn assert_determinism_contracts(queries: &QueryLog) {
     let streamed = session.graph();
     assert_eq!(serial, parallel);
     assert_eq!(serial, streamed);
+    let dedup = dedup_log();
+    let memoized = GraphBuilder::new()
+        .window(WindowStrategy::AllPairs)
+        .memoize(true)
+        .build(&dedup);
+    let unmemoized = GraphBuilder::new()
+        .window(WindowStrategy::AllPairs)
+        .memoize(false)
+        .build(&dedup);
+    assert_eq!(memoized, unmemoized);
+}
+
+/// Parses the previous `BENCH_mining.json` (if any) into `(bench id, mean ns)` pairs, with
+/// a by-hand scan rather than a JSON dependency — the file is machine-written by
+/// `export_json` below, so the shape is known.
+fn read_previous(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(id) = line
+            .split("\"id\": \"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+        else {
+            continue;
+        };
+        let Some(mean) = line
+            .split("\"mean_ns\": ")
+            .nth(1)
+            .and_then(|rest| rest.split([',', '}']).next())
+            .and_then(|v| v.trim().parse::<f64>().ok())
+        else {
+            continue;
+        };
+        out.push((id.to_string(), mean));
+    }
+    out
+}
+
+/// Prints a one-line old-vs-new comparison per bench id present in both runs, so a bench
+/// run against a checked-in `BENCH_mining.json` reports the delta without leaving the
+/// terminal.
+fn print_comparison(previous: &[(String, f64)], c: &Criterion) {
+    if previous.is_empty() {
+        return;
+    }
+    println!("vs previous BENCH_mining.json:");
+    for m in c.measurements() {
+        let Some((_, old)) = previous.iter().find(|(id, _)| *id == m.id) else {
+            continue;
+        };
+        let ratio = old / m.mean_ns;
+        println!(
+            "  {}: {:.3} ms -> {:.3} ms ({:.2}x)",
+            m.id,
+            old / 1e6,
+            m.mean_ns / 1e6,
+            ratio
+        );
+    }
 }
 
 fn export_json(c: &Criterion) {
@@ -230,7 +391,13 @@ criterion_group!(benches, bench_mining_throughput);
 
 fn main() {
     assert_determinism_contracts(&olap_log());
+    // Snapshot the previous run's numbers before export_json overwrites them.
+    let previous = read_previous(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_mining.json"
+    ));
     let mut c = Criterion::new();
     benches(&mut c);
     export_json(&c);
+    print_comparison(&previous, &c);
 }

@@ -61,6 +61,17 @@ impl Criterion {
     pub fn measurements(&self) -> &[Measurement] {
         &self.measurements
     }
+
+    /// Records an externally timed measurement, printing it like a harness-run bench.
+    ///
+    /// An extension over the real criterion API (like [`Criterion::measurements`]): it lets
+    /// a bench binary implement *paired* A/B comparisons — alternating samples between two
+    /// variants so slow frequency drift cancels out — and still publish both arms through
+    /// the same report/JSON pipeline as ordinary benches.
+    pub fn record(&mut self, m: Measurement) {
+        print_measurement(&m);
+        self.measurements.push(m);
+    }
 }
 
 /// A named parameterised benchmark id.
@@ -164,12 +175,31 @@ pub struct Bencher {
 
 impl Bencher {
     /// Runs `f` `self.iters` times and records the total elapsed time.
+    ///
+    /// The returned value is dropped *inside* the timed window (as in real criterion's
+    /// `iter`); benches whose output is large enough for its drop to distort the
+    /// measurement should use [`Bencher::iter_with_large_drop`].
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         let start = Instant::now();
         for _ in 0..self.iters {
             black_box(f());
         }
         self.elapsed = start.elapsed();
+    }
+
+    /// Like [`Bencher::iter`], but the returned value's drop runs *outside* the timed
+    /// window — mirroring real criterion's `iter_with_large_drop`, for benches that build
+    /// large structures (a million-record diff store) where deallocation would otherwise
+    /// be a fixed tax on every variant being compared.
+    pub fn iter_with_large_drop<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            let out = black_box(f());
+            elapsed += start.elapsed();
+            drop(out);
+        }
+        self.elapsed = elapsed;
     }
 }
 
@@ -225,20 +255,26 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     }
 
     let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
-    println!(
-        "bench {id:<50} mean {:>12}  (min {}, max {}, {} iters)",
-        fmt_ns(mean_ns),
-        fmt_ns(min_ns),
-        fmt_ns(max_ns),
-        total_iters
-    );
-    Measurement {
+    let m = Measurement {
         id: id.to_string(),
         mean_ns,
         min_ns,
         max_ns,
         iterations: total_iters,
-    }
+    };
+    print_measurement(&m);
+    m
+}
+
+fn print_measurement(m: &Measurement) {
+    println!(
+        "bench {:<50} mean {:>12}  (min {}, max {}, {} iters)",
+        m.id,
+        fmt_ns(m.mean_ns),
+        fmt_ns(m.min_ns),
+        fmt_ns(m.max_ns),
+        m.iterations
+    );
 }
 
 fn fmt_ns(ns: f64) -> String {

@@ -26,6 +26,10 @@ pub struct PiOptions {
     pub policy: AncestorPolicy,
     /// Parallelise pairwise diffing across cores.
     pub parallel: bool,
+    /// Collapse duplicate queries and memoize pairwise alignments per distinct tree pair
+    /// (on by default; beyond the paper's optimisations).  The mined graph is
+    /// byte-identical either way — this knob exists for A/B measurement of the memo.
+    pub memoize: bool,
     /// The widget type library (and cost functions) available to the mapper.
     pub library: WidgetLibrary,
     /// Mapper options (merging on/off, pass budget).
@@ -38,6 +42,7 @@ impl Default for PiOptions {
             window: WindowStrategy::Sliding(2),
             policy: AncestorPolicy::LcaPruned,
             parallel: false,
+            memoize: true,
             library: WidgetLibrary::standard(),
             mapper: MapperOptions::default(),
         }
@@ -206,6 +211,7 @@ impl PrecisionInterfaces {
             .window(self.options.window)
             .policy(self.options.policy)
             .parallel(self.options.parallel)
+            .memoize(self.options.memoize)
             .build(queries)
     }
 

@@ -63,6 +63,12 @@ struct CachedSnapshot {
 /// language.  Mining itself is dialect-blind — the front-ends target one tree model, so a
 /// mixed SQL + dataframe log diffs into one interaction graph.
 ///
+/// Sessions exploit log repetition the same way batch builds do: the duplicate-collapsing
+/// alignment memo (`pi_graph::DiffMemo`) lives in the session's accumulator and persists
+/// across pushes, so re-pushing an already-seen query shape costs hash lookups — the
+/// expensive tree alignments ran when its shape first paired with the others.  The memo is
+/// invisible in snapshots (byte-identical graphs with [`PiOptions::memoize`] on or off).
+///
 /// Cloning a session forks it: both halves share the diff subtrees accumulated so far
 /// (records are `Arc`-shared) but evolve independently from the clone point.
 #[derive(Debug, Clone)]
@@ -94,7 +100,8 @@ impl Session {
         let builder = GraphBuilder::new()
             .window(options.window)
             .policy(options.policy)
-            .parallel(options.parallel);
+            .parallel(options.parallel)
+            .memoize(options.memoize);
         let default_dialect = frontends.default_dialect().unwrap_or_default();
         Session {
             options,

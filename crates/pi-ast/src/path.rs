@@ -9,11 +9,63 @@
 use std::fmt;
 use std::str::FromStr;
 
+/// Steps a path can hold without touching the heap.  Real query paths are short — the
+/// deepest location in a typical SELECT is 5–7 steps — so almost every path the pipeline
+/// makes (traversal, alignment, diff records, widgets) stays inline: `clone()` is a memcpy,
+/// `child()` never allocates.  Deeper paths (nested subquery towers) spill to a `Vec`.
+const INLINE_STEPS: usize = 8;
+
+/// The storage behind a [`Path`]: inline up to [`INLINE_STEPS`] steps, heap beyond.
+///
+/// The representation is *not* canonical — a long path popped back under the inline limit
+/// stays heap-allocated — so all comparisons and hashing go through [`Path::steps`], never
+/// the representation.
+#[derive(Debug, Clone)]
+enum PathRep {
+    /// `(length, steps)`; only the first `length` entries are meaningful.
+    Inline(u8, [usize; INLINE_STEPS]),
+    Heap(Vec<usize>),
+}
+
 /// The location of a subtree inside an AST: a sequence of 0-based child indices from the root.
 ///
 /// The empty path designates the root node itself.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Path(Vec<usize>);
+#[derive(Debug, Clone)]
+pub struct Path(PathRep);
+
+impl Default for Path {
+    fn default() -> Self {
+        Path::root()
+    }
+}
+
+impl PartialEq for Path {
+    fn eq(&self, other: &Self) -> bool {
+        self.steps() == other.steps()
+    }
+}
+
+impl Eq for Path {}
+
+impl std::hash::Hash for Path {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Matches the old derive over `Vec<usize>`: a slice hash of the steps.
+        self.steps().hash(state);
+    }
+}
+
+impl PartialOrd for Path {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Path {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Lexicographic over steps, exactly the old derived `Vec` ordering.
+        self.steps().cmp(other.steps())
+    }
+}
 
 /// Error produced when parsing a textual path fails.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,86 +85,129 @@ impl std::error::Error for ParsePathError {}
 impl Path {
     /// The root path (empty sequence of steps).
     pub fn root() -> Self {
-        Path(Vec::new())
+        Path(PathRep::Inline(0, [0; INLINE_STEPS]))
+    }
+
+    /// Builds a path from a slice of steps, inline when it fits.
+    fn from_slice(steps: &[usize]) -> Self {
+        if steps.len() <= INLINE_STEPS {
+            let mut inline = [0; INLINE_STEPS];
+            inline[..steps.len()].copy_from_slice(steps);
+            Path(PathRep::Inline(steps.len() as u8, inline))
+        } else {
+            Path(PathRep::Heap(steps.to_vec()))
+        }
     }
 
     /// Builds a path from explicit steps.
     pub fn from_steps<I: IntoIterator<Item = usize>>(steps: I) -> Self {
-        Path(steps.into_iter().collect())
+        let mut path = Path::root();
+        for step in steps {
+            path.push(step);
+        }
+        path
     }
 
     /// The steps of the path, outermost first.
     pub fn steps(&self) -> &[usize] {
-        &self.0
+        match &self.0 {
+            PathRep::Inline(len, steps) => &steps[..*len as usize],
+            PathRep::Heap(steps) => steps,
+        }
     }
 
     /// Number of steps; the root has depth 0.
     pub fn depth(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            PathRep::Inline(len, _) => *len as usize,
+            PathRep::Heap(steps) => steps.len(),
+        }
     }
 
     /// True when this is the root path.
     pub fn is_root(&self) -> bool {
-        self.0.is_empty()
+        self.depth() == 0
     }
 
     /// Returns a new path with `child` appended.
     pub fn child(&self, child: usize) -> Path {
-        let mut steps = self.0.clone();
-        steps.push(child);
-        Path(steps)
+        let mut out = self.clone();
+        out.push(child);
+        out
     }
 
     /// Appends a step in place.
     pub fn push(&mut self, child: usize) {
-        self.0.push(child);
+        match &mut self.0 {
+            PathRep::Inline(len, steps) => {
+                if (*len as usize) < INLINE_STEPS {
+                    steps[*len as usize] = child;
+                    *len += 1;
+                } else {
+                    // Spill to the heap: the inline capacity is a fast path, not a limit.
+                    let mut spilled = steps.to_vec();
+                    spilled.push(child);
+                    self.0 = PathRep::Heap(spilled);
+                }
+            }
+            PathRep::Heap(steps) => steps.push(child),
+        }
     }
 
     /// Removes and returns the last step.
     pub fn pop(&mut self) -> Option<usize> {
-        self.0.pop()
+        match &mut self.0 {
+            PathRep::Inline(len, steps) => {
+                if *len == 0 {
+                    None
+                } else {
+                    *len -= 1;
+                    Some(steps[*len as usize])
+                }
+            }
+            PathRep::Heap(steps) => steps.pop(),
+        }
     }
 
     /// The parent path, or `None` if this is the root.
     pub fn parent(&self) -> Option<Path> {
-        if self.0.is_empty() {
+        let steps = self.steps();
+        if steps.is_empty() {
             None
         } else {
-            Some(Path(self.0[..self.0.len() - 1].to_vec()))
+            Some(Path::from_slice(&steps[..steps.len() - 1]))
         }
     }
 
     /// The last step of the path (the index of this subtree within its parent).
     pub fn last(&self) -> Option<usize> {
-        self.0.last().copied()
+        self.steps().last().copied()
     }
 
     /// True when `self` is a (non-strict) prefix of `other`, i.e. `self` is an ancestor-or-self
     /// location of `other`.
     pub fn is_prefix_of(&self, other: &Path) -> bool {
-        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+        let (a, b) = (self.steps(), other.steps());
+        b.len() >= a.len() && b[..a.len()] == *a
     }
 
     /// True when `self` is a strict prefix of `other`.
     pub fn is_strict_prefix_of(&self, other: &Path) -> bool {
-        other.0.len() > self.0.len() && other.0[..self.0.len()] == self.0[..]
+        let (a, b) = (self.steps(), other.steps());
+        b.len() > a.len() && b[..a.len()] == *a
     }
 
     /// The longest common prefix of two paths (their least common ancestor location).
     pub fn common_prefix(&self, other: &Path) -> Path {
-        let n = self
-            .0
-            .iter()
-            .zip(other.0.iter())
-            .take_while(|(a, b)| a == b)
-            .count();
-        Path(self.0[..n].to_vec())
+        let (a, b) = (self.steps(), other.steps());
+        let n = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+        Path::from_slice(&a[..n])
     }
 
     /// The suffix of `other` relative to `self`, if `self` is a prefix of `other`.
     pub fn relative_to(&self, ancestor: &Path) -> Option<Path> {
         if ancestor.is_prefix_of(self) {
-            Some(Path(self.0[ancestor.0.len()..].to_vec()))
+            Some(Path::from_slice(&self.steps()[ancestor.depth()..]))
         } else {
             None
         }
@@ -120,19 +215,22 @@ impl Path {
 
     /// Concatenates two paths.
     pub fn join(&self, suffix: &Path) -> Path {
-        let mut steps = self.0.clone();
-        steps.extend_from_slice(&suffix.0);
-        Path(steps)
+        let mut out = self.clone();
+        for &step in suffix.steps() {
+            out.push(step);
+        }
+        out
     }
 }
 
 impl fmt::Display for Path {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0.is_empty() {
+        let steps = self.steps();
+        if steps.is_empty() {
             return f.write_str("/");
         }
         let mut first = true;
-        for step in &self.0 {
+        for step in steps {
             if !first {
                 f.write_str("/")?;
             }
@@ -151,26 +249,31 @@ impl FromStr for Path {
         if s.is_empty() || s == "/" {
             return Ok(Path::root());
         }
-        let mut steps = Vec::new();
+        let mut path = Path::root();
         for seg in s.trim_matches('/').split('/') {
             let idx: usize = seg.parse().map_err(|_| ParsePathError {
                 segment: seg.to_string(),
             })?;
-            steps.push(idx);
+            path.push(idx);
         }
-        Ok(Path(steps))
+        Ok(path)
     }
 }
 
 impl From<Vec<usize>> for Path {
     fn from(steps: Vec<usize>) -> Self {
-        Path(steps)
+        if steps.len() > INLINE_STEPS {
+            // Deep path: move the caller's allocation straight in instead of re-copying.
+            Path(PathRep::Heap(steps))
+        } else {
+            Path::from_slice(&steps)
+        }
     }
 }
 
 impl From<&[usize]> for Path {
     fn from(steps: &[usize]) -> Self {
-        Path(steps.to_vec())
+        Path::from_slice(steps)
     }
 }
 
@@ -239,6 +342,45 @@ mod tests {
         assert_eq!(rel.to_string(), "3/2");
         assert_eq!(anc.join(&rel), full);
         assert_eq!(full.relative_to(&"4".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn deep_paths_spill_to_the_heap_and_stay_equal_to_inline_construction() {
+        // Grow one step past the inline capacity and back: every operation must behave
+        // identically to a from-scratch path with the same steps, whatever representation
+        // each side happens to be in.
+        let steps: Vec<usize> = (0..INLINE_STEPS + 3).collect();
+        let mut grown = Path::root();
+        for &s in &steps {
+            grown.push(s);
+        }
+        let built = Path::from_steps(steps.iter().copied());
+        assert_eq!(grown, built);
+        assert_eq!(grown.depth(), INLINE_STEPS + 3);
+        assert_eq!(grown.steps(), &steps[..]);
+        // Pop back under the inline limit: the (now heap) path must still compare, hash
+        // and order like an inline path with the same steps.
+        for _ in 0..4 {
+            grown.pop();
+        }
+        let inline = Path::from_steps((0..INLINE_STEPS - 1) as std::ops::Range<usize>);
+        assert_eq!(grown, inline);
+        assert_eq!(grown.cmp(&inline), std::cmp::Ordering::Equal);
+        let hash = |p: &Path| {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            p.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&grown), hash(&inline));
+        assert_eq!(grown.to_string(), inline.to_string());
+        // Deep paths round-trip through text and navigation too.
+        let deep: Path = "0/1/2/3/4/5/6/7/8/9/10".parse().unwrap();
+        assert_eq!(deep.depth(), 11);
+        assert_eq!(deep.to_string(), "0/1/2/3/4/5/6/7/8/9/10");
+        assert_eq!(deep.parent().unwrap().depth(), 10);
+        assert_eq!(deep.child(11).last(), Some(11));
+        assert!(deep.parent().unwrap().is_strict_prefix_of(&deep));
     }
 
     #[test]

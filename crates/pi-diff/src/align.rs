@@ -70,11 +70,42 @@ fn diff_nodes(a: &Node, b: &Node, path: &Path, out: &mut Vec<LeafChange>) {
 fn align_children(a: &Node, b: &Node, path: &Path, out: &mut Vec<LeafChange>) {
     let ac = a.children();
     let bc = b.children();
+    let (n, m) = (ac.len(), bc.len());
 
-    // Anchor exactly-equal subtrees with an LCS over structural hashes.
-    let ah: Vec<u64> = ac.iter().map(Node::structural_hash).collect();
-    let bh: Vec<u64> = bc.iter().map(Node::structural_hash).collect();
-    let anchors = lcs_pairs(&ah, &bh);
+    // Anchor exactly-equal subtrees with an LCS over structural hashes.  Child lists of log
+    // queries overwhelmingly agree at both ends (one clause changed in the middle), so trim
+    // the common prefix and suffix first: greedily matching equal ends always yields *a*
+    // maximal LCS, and trimming shrinks the quadratic DP to the changed middle (often
+    // empty).  When sibling hashes repeat, this is a different — equally optimal —
+    // tie-break than the untrimmed DP walk would pick: end-anchored matches keep changes
+    // local (one in-place replacement rather than a delete/insert pair straddling the
+    // duplicate), which is at worst neutral for the record count.
+    let mut prefix = 0usize;
+    while prefix < n && prefix < m && ac[prefix].same_tree(&bc[prefix]) {
+        prefix += 1;
+    }
+    let mut suffix = 0usize;
+    while suffix < n - prefix
+        && suffix < m - prefix
+        && ac[n - 1 - suffix].same_tree(&bc[m - 1 - suffix])
+    {
+        suffix += 1;
+    }
+    let ah: Vec<u64> = ac[prefix..n - suffix]
+        .iter()
+        .map(Node::structural_hash)
+        .collect();
+    let bh: Vec<u64> = bc[prefix..m - suffix]
+        .iter()
+        .map(Node::structural_hash)
+        .collect();
+    let mut anchors: Vec<(usize, usize)> = (0..prefix).map(|k| (k, k)).collect();
+    anchors.extend(
+        lcs_pairs(&ah, &bh)
+            .into_iter()
+            .map(|(i, j)| (i + prefix, j + prefix)),
+    );
+    anchors.extend((0..suffix).map(|k| (n - suffix + k, m - suffix + k)));
 
     let mut ai = 0usize;
     let mut bi = 0usize;
@@ -115,14 +146,17 @@ fn lcs_pairs(a: &[u64], b: &[u64]) -> Vec<(usize, usize)> {
     if n == 0 || m == 0 {
         return Vec::new();
     }
-    // dp[i][j] = LCS length of a[i..], b[j..]
-    let mut dp = vec![vec![0u32; m + 1]; n + 1];
+    // dp[i·w + j] = LCS length of a[i..], b[j..], in one flat row-major buffer (one
+    // allocation instead of a Vec per row, and sequential index arithmetic the optimiser
+    // can keep in registers).
+    let w = m + 1;
+    let mut dp = vec![0u32; (n + 1) * w];
     for i in (0..n).rev() {
         for j in (0..m).rev() {
-            dp[i][j] = if a[i] == b[j] {
-                dp[i + 1][j + 1] + 1
+            dp[i * w + j] = if a[i] == b[j] {
+                dp[(i + 1) * w + j + 1] + 1
             } else {
-                dp[i + 1][j].max(dp[i][j + 1])
+                dp[(i + 1) * w + j].max(dp[i * w + j + 1])
             };
         }
     }
@@ -133,7 +167,7 @@ fn lcs_pairs(a: &[u64], b: &[u64]) -> Vec<(usize, usize)> {
             out.push((i, j));
             i += 1;
             j += 1;
-        } else if dp[i + 1][j] >= dp[i][j + 1] {
+        } else if dp[(i + 1) * w + j] >= dp[i * w + j + 1] {
             i += 1;
         } else {
             j += 1;

@@ -27,7 +27,7 @@ mod record;
 mod store;
 
 pub use align::{diff_trees, leaf_changes, LeafChange};
-pub use record::{apply_leaf_changes, AncestorPolicy, ChangeKind, DiffRecord};
+pub use record::{apply_leaf_changes, AncestorPolicy, ChangeKind, DiffRecord, TreeChange};
 pub use store::{DiffId, DiffStore};
 
 use pi_ast::Node;
@@ -45,6 +45,18 @@ pub fn extract_diffs(
     policy: AncestorPolicy,
 ) -> Vec<DiffRecord> {
     record::build_records(a, b, q1_idx, q2_idx, policy)
+}
+
+/// Extracts the *index-free* change list between two trees: exactly the [`extract_diffs`]
+/// records minus the `(q1, q2)` endpoints, which [`TreeChange::to_record`] re-attaches.
+///
+/// This is the memoizable unit of pair mining — alignment depends only on tree structure, so
+/// one change list serves every log pair whose members are structurally identical to
+/// `(a, b)`.  The invariant the memoized graph builder relies on (and property tests pin):
+/// for all `i`, `j`,
+/// `extract_changes(a, b, p).iter().map(|c| c.to_record(i, j)) == extract_diffs(a, b, i, j, p)`.
+pub fn extract_changes(a: &Node, b: &Node, policy: AncestorPolicy) -> Vec<TreeChange> {
+    record::build_changes(a, b, policy)
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 use crate::align::{leaf_changes, LeafChange};
 use pi_ast::{Node, Path, PrimitiveType, ReplaceError};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// How the ancestor closure of leaf diffs is materialised.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -30,25 +31,50 @@ pub enum ChangeKind {
 
 /// One row of the `diffs` table: `d = (q1, q2, p, t1, t2, type)` (paper Table 1).
 ///
-/// Subtree sides alias the queries they came from ([`Node`] is a copy-on-write handle):
-/// cloning a record (or the whole store) copies pointers, never trees.
+/// The `(p, t1, t2)` payload lives in a shared [`TreeChange`] (`Arc`-allocated), reachable
+/// through `Deref` — `record.path`, `record.before`, `record.after` and `record.is_leaf`
+/// all read the shared payload.  Duplicate-collapsed mining mints one payload per distinct
+/// tree pair and stamps it with `(q1, q2)` per log pair, so a record is 4 words and its
+/// clone is a single refcount bump; subtree sides in turn alias the queries they came from
+/// ([`Node`] is a copy-on-write handle), so nothing here ever deep-copies a tree.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffRecord {
     /// Index of the source query in the log.
     pub q1: usize,
     /// Index of the target query in the log.
     pub q2: usize,
-    /// Path of the transformed subtree.
-    pub path: Path,
-    /// Subtree in the source query (`t1`); `None` for additions.
-    pub before: Option<Node>,
-    /// Subtree in the target query (`t2`); `None` for deletions.
-    pub after: Option<Node>,
-    /// True when this is a minimal changed subtree (leaf diff) rather than an ancestor record.
-    pub is_leaf: bool,
+    /// The index-free transformation, shared across every log pair it recurs in.
+    change: Arc<TreeChange>,
+}
+
+impl std::ops::Deref for DiffRecord {
+    type Target = TreeChange;
+
+    fn deref(&self) -> &TreeChange {
+        &self.change
+    }
 }
 
 impl DiffRecord {
+    /// Builds a record from an owned change (the payload is `Arc`-allocated here).
+    pub fn new(q1: usize, q2: usize, change: TreeChange) -> Self {
+        DiffRecord {
+            q1,
+            q2,
+            change: Arc::new(change),
+        }
+    }
+
+    /// Builds a record sharing an already-allocated change payload — the memoized mining
+    /// path, where one alignment's changes are stamped with many `(q1, q2)` endpoints.
+    pub fn from_shared(q1: usize, q2: usize, change: Arc<TreeChange>) -> Self {
+        DiffRecord { q1, q2, change }
+    }
+
+    /// The shared index-free change payload.
+    pub fn change(&self) -> &Arc<TreeChange> {
+        &self.change
+    }
     /// Whether the record replaces, adds, or removes a subtree.
     pub fn change_kind(&self) -> ChangeKind {
         match (&self.before, &self.after) {
@@ -170,14 +196,38 @@ pub fn apply_leaf_changes(base: &Node, records: &[DiffRecord]) -> Result<Node, R
     Ok(out)
 }
 
-/// Builds the diff records between two queries, expanding (and optionally pruning) ancestors.
-pub fn build_records(
-    a: &Node,
-    b: &Node,
-    q1_idx: usize,
-    q2_idx: usize,
-    policy: AncestorPolicy,
-) -> Vec<DiffRecord> {
+/// One change of a pair alignment, *index-free*: a [`DiffRecord`] minus the `(q1, q2)` log
+/// endpoints.
+///
+/// Alignment is purely structural — two structurally identical tree pairs produce identical
+/// change lists wherever they sit in the log — so this is the unit worth memoizing per
+/// distinct tree pair.  [`TreeChange::to_record`] re-wraps a memoized change into a
+/// [`DiffRecord`] for a concrete `(q1, q2)` pair: a cheap per-occurrence step (a path clone
+/// plus subtree refcount bumps), against the expensive once-per-distinct-pair alignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeChange {
+    /// Path of the transformed subtree (source-tree coordinates).
+    pub path: Path,
+    /// Subtree in the source tree; `None` for additions.
+    pub before: Option<Node>,
+    /// Subtree in the target tree; `None` for deletions.
+    pub after: Option<Node>,
+    /// True for a minimal changed subtree (leaf diff) rather than an ancestor record.
+    pub is_leaf: bool,
+}
+
+impl TreeChange {
+    /// Attaches log endpoints, producing the [`DiffRecord`] row for one concrete query pair
+    /// (clones the change into a fresh shared payload; use [`DiffRecord::from_shared`]
+    /// when the payload is already `Arc`-allocated).
+    pub fn to_record(&self, q1: usize, q2: usize) -> DiffRecord {
+        DiffRecord::new(q1, q2, self.clone())
+    }
+}
+
+/// Builds the index-free change list between two trees, expanding (and optionally pruning)
+/// ancestors — everything [`build_records`] computes except the log endpoints.
+pub fn build_changes(a: &Node, b: &Node, policy: AncestorPolicy) -> Vec<TreeChange> {
     let leaves = leaf_changes(a, b);
     if leaves.is_empty() {
         return Vec::new();
@@ -185,16 +235,14 @@ pub fn build_records(
 
     let ancestor_paths = ancestor_paths(&leaves, policy);
 
-    let mut out: Vec<DiffRecord> = leaves
+    let mut out: Vec<TreeChange> = leaves
         .into_iter()
         .map(
             |LeafChange {
                  path,
                  before,
                  after,
-             }| DiffRecord {
-                q1: q1_idx,
-                q2: q2_idx,
+             }| TreeChange {
                 path,
                 before,
                 after,
@@ -216,9 +264,7 @@ pub fn build_records(
             if before.same_tree(after) {
                 continue;
             }
-            out.push(DiffRecord {
-                q1: q1_idx,
-                q2: q2_idx,
+            out.push(TreeChange {
                 path: path.clone(),
                 before: Some(before.clone()),
                 after: Some(after.clone()),
@@ -227,6 +273,20 @@ pub fn build_records(
         }
     }
     out
+}
+
+/// Builds the diff records between two queries, expanding (and optionally pruning) ancestors.
+pub fn build_records(
+    a: &Node,
+    b: &Node,
+    q1_idx: usize,
+    q2_idx: usize,
+    policy: AncestorPolicy,
+) -> Vec<DiffRecord> {
+    build_changes(a, b, policy)
+        .into_iter()
+        .map(|change| DiffRecord::new(q1_idx, q2_idx, change))
+        .collect()
 }
 
 /// Computes the set of ancestor paths to materialise for a set of leaf changes.
@@ -281,27 +341,21 @@ mod tests {
     #[test]
     fn change_kind_covers_all_shapes() {
         let n = Node::int(1);
-        let repl = DiffRecord {
-            q1: 0,
-            q2: 1,
+        let change = |before: Option<Node>, after: Option<Node>| TreeChange {
             path: Path::root(),
-            before: Some(n.clone()),
-            after: Some(Node::int(2)),
+            before,
+            after,
             is_leaf: true,
         };
+        let repl = DiffRecord::new(0, 1, change(Some(n.clone()), Some(Node::int(2))));
         assert_eq!(repl.change_kind(), ChangeKind::Replacement);
-        let add = DiffRecord {
-            before: None,
-            after: Some(n.clone()),
-            ..repl.clone()
-        };
+        let add = DiffRecord::new(0, 1, change(None, Some(n.clone())));
         assert_eq!(add.change_kind(), ChangeKind::Addition);
-        let del = DiffRecord {
-            before: Some(n),
-            after: None,
-            ..repl
-        };
+        let del = DiffRecord::new(0, 1, change(Some(n), None));
         assert_eq!(del.change_kind(), ChangeKind::Deletion);
+        // Records sharing one payload are equal to records owning an identical one.
+        let shared = DiffRecord::from_shared(0, 1, std::sync::Arc::clone(repl.change()));
+        assert_eq!(shared, repl);
     }
 
     #[test]

@@ -8,9 +8,13 @@
 //! appends queries one at a time produces a graph byte-identical to a one-shot build of the
 //! same prefix — the invariant `pi-core`'s `Session` is built on.
 
+use crate::dedup::DiffMemo;
 use crate::graph::{Edge, GraphStats, InteractionGraph, IntoQueryLog, QueryLog};
 use pi_ast::Node;
-use pi_diff::{extract_diffs, AncestorPolicy, DiffRecord, DiffStore};
+use pi_diff::{
+    extract_changes, extract_diffs, AncestorPolicy, DiffId, DiffRecord, DiffStore, TreeChange,
+};
+use std::collections::HashSet;
 use std::ops::Range;
 
 /// Which query pairs are compared when building the interaction graph.
@@ -100,6 +104,10 @@ pub struct GraphAccumulator {
     pub(crate) queries: Vec<Node>,
     pub(crate) store: DiffStore,
     pub(crate) edges: Vec<Edge>,
+    /// The duplicate-collapsing alignment memo, persisted across extends so a streaming
+    /// session pays one alignment per distinct ordered tree pair over its whole lifetime.
+    /// Never observable in the graph: snapshots are byte-identical with or without it.
+    pub(crate) memo: DiffMemo,
 }
 
 impl GraphAccumulator {
@@ -131,6 +139,13 @@ impl GraphAccumulator {
     /// The edges accumulated so far.
     pub fn edges(&self) -> &[Edge] {
         &self.edges
+    }
+
+    /// The duplicate-collapsing alignment memo accumulated so far (empty when every extend
+    /// ran with memoization disabled).  Exposed for introspection — `distinct()`,
+    /// `alignments()` — never needed for correctness.
+    pub fn memo(&self) -> &DiffMemo {
+        &self.memo
     }
 
     /// Summary statistics of the graph accumulated so far.
@@ -167,6 +182,7 @@ pub struct GraphBuilder {
     window: WindowStrategy,
     policy: AncestorPolicy,
     parallel: bool,
+    memoize: bool,
 }
 
 impl Default for GraphBuilder {
@@ -175,6 +191,7 @@ impl Default for GraphBuilder {
             window: WindowStrategy::Sliding(2),
             policy: AncestorPolicy::LcaPruned,
             parallel: false,
+            memoize: true,
         }
     }
 }
@@ -206,6 +223,19 @@ impl GraphBuilder {
         self
     }
 
+    /// Enables or disables duplicate collapsing + alignment memoization (default: on).
+    ///
+    /// With memoization the expensive ordered-tree alignment runs once per distinct ordered
+    /// pair of tree *shapes* (`O(d²)` for `d` distinct shapes) instead of once per log pair
+    /// (`O(n²)` under [`WindowStrategy::AllPairs`]); identical-shape pairs short-circuit to
+    /// zero work.  The produced graph is **byte-identical** either way — same edges, same
+    /// records, same `DiffId` offsets (property-tested) — so this knob exists purely for
+    /// A/B measurement of the memo itself.
+    pub fn memoize(mut self, memoize: bool) -> Self {
+        self.memoize = memoize;
+        self
+    }
+
     /// Appends one query to an incrementally built graph, running only the new alignments
     /// the window strategy admits ([`WindowStrategy::prev_pairs`]) and appending their
     /// records to the accumulator's store at stable `DiffId` offsets.  Returns the appended
@@ -232,11 +262,27 @@ impl GraphBuilder {
         let start = acc.queries.len();
         acc.queries.extend(queries);
         let end = acc.queries.len();
+        if self.memoize {
+            // Split borrows: the memo/store/edges grow while the log is read.
+            let GraphAccumulator {
+                queries,
+                store,
+                edges,
+                memo,
+            } = acc;
+            self.mine_rows_memoized(queries, start..end, memo, store, edges);
+            return start..end;
+        }
         let new_pairs = self.window.pair_count(end) - self.window.pair_count(start);
         // The fan-out is row-granular, so a single appended row can never parallelise —
         // don't pay the thread-scope overhead for it (the common per-query `extend` case).
         if self.parallel && end - start > 1 && available_cores() > 1 && new_pairs > 32 {
-            for (i, j, records) in self.diff_pairs_parallel(&acc.queries, start..end) {
+            let queries = &acc.queries;
+            let policy = self.policy;
+            let results = self.diff_pairs_parallel(start..end, |i, j| {
+                extract_diffs(&queries[i], &queries[j], i, j, policy)
+            });
+            for (i, j, records) in results {
                 append_pair(&mut acc.store, &mut acc.edges, i, j, records);
             }
         } else {
@@ -263,8 +309,15 @@ impl GraphBuilder {
         let n = queries.len();
         let mut store = DiffStore::new();
         let mut edges = Vec::new();
-        if self.parallel && available_cores() > 1 && self.window.pair_count(n) > 32 {
-            for (i, j, records) in self.diff_pairs_parallel(&queries, 0..n) {
+        if self.memoize {
+            let mut memo = DiffMemo::new();
+            self.mine_rows_memoized(&queries, 0..n, &mut memo, &mut store, &mut edges);
+        } else if self.parallel && available_cores() > 1 && self.window.pair_count(n) > 32 {
+            let policy = self.policy;
+            let log = &queries;
+            let results = self
+                .diff_pairs_parallel(0..n, |i, j| extract_diffs(&log[i], &log[j], i, j, policy));
+            for (i, j, records) in results {
                 append_pair(&mut store, &mut edges, i, j, records);
             }
         } else {
@@ -278,8 +331,152 @@ impl GraphBuilder {
         InteractionGraph::from_parts(queries, store, edges)
     }
 
-    /// Fans pairwise diffing out over the available cores with scoped threads, for the
-    /// append-order rows `rows` (query `j` paired with its admitted predecessors) of a log.
+    /// The duplicate-collapsing mining path shared by batch builds and incremental extends:
+    /// ingest the rows into the memo's dedup table, then walk the log pairs in append
+    /// order.  Identical-shape pairs short-circuit before the memo is even consulted;
+    /// *recurring* pairs (a duplicated shape on either side) are aligned once and their
+    /// memoized change lists streamed straight into the store per occurrence; pairs of two
+    /// singleton shapes — which cannot recur — are aligned directly, exactly like a
+    /// memo-off build, so fully-distinct logs pay only the dedup bookkeeping.
+    ///
+    /// When the builder is parallel and the batch is large, the missing recurring
+    /// alignments are pre-computed across cores and the per-pair record construction rides
+    /// the same row-chunked fan-out as the unmemoized path.
+    ///
+    /// Every path is the same fold over the same append order, so the resulting store and
+    /// edge list are byte-identical to the unmemoized builder's — alignment is purely
+    /// structural, and every query is structurally identical to its class representative.
+    fn mine_rows_memoized(
+        &self,
+        queries: &[Node],
+        rows: Range<usize>,
+        memo: &mut DiffMemo,
+        store: &mut DiffStore,
+        edges: &mut Vec<Edge>,
+    ) {
+        memo.set_policy(self.policy);
+        // Catch up from whatever prefix is already ingested: earlier extends may have run
+        // with memoization disabled, and ingest order must stay append order either way.
+        memo.ingest_through(queries, rows.end);
+        let policy = self.policy;
+        if self.parallel && rows.len() > 1 && available_cores() > 1 {
+            // Pre-align the distinct ordered pairs this batch will admit to the memo but
+            // the memo lacks, in first-demand order (the order is irrelevant to the
+            // output — results are keyed — but determinism costs nothing).  The admission
+            // scan mirrors the serial loop's, so the same pairs end up memoized.
+            let mut queued: HashSet<(u32, u32)> = HashSet::new();
+            let mut needed: Vec<(u32, u32)> = Vec::new();
+            for j in rows.clone() {
+                let cb = memo.class(j);
+                for i in self.window.prev_pairs(j) {
+                    let ca = memo.class(i);
+                    if ca != cb
+                        && memo.get(ca, cb).is_none()
+                        && !queued.contains(&(ca, cb))
+                        && memo.admit(ca, cb)
+                        && queued.insert((ca, cb))
+                    {
+                        needed.push((ca, cb));
+                    }
+                }
+            }
+            if !needed.is_empty() {
+                for ((ca, cb), changes) in self.align_pairs_parallel(memo, &needed) {
+                    memo.insert(ca, cb, changes);
+                }
+            }
+            if self.window.pair_count(rows.end) - self.window.pair_count(rows.start) > 32 {
+                // Row-chunked fan-out, with workers reading the (now complete) memo:
+                // memoized pairs re-wrap their change lists, singleton pairs align
+                // directly — the same records the serial loop below would produce.
+                let memo_view: &DiffMemo = memo;
+                let results = self.diff_pairs_parallel(rows, |i, j| {
+                    let (ca, cb) = (memo_view.class(i), memo_view.class(j));
+                    if ca == cb {
+                        return Vec::new();
+                    }
+                    match memo_view.get(ca, cb) {
+                        Some(entry) => entry
+                            .changes()
+                            .iter()
+                            .map(|change| {
+                                DiffRecord::from_shared(i, j, std::sync::Arc::clone(change))
+                            })
+                            .collect(),
+                        None => extract_diffs(&queries[i], &queries[j], i, j, policy),
+                    }
+                });
+                for (i, j, records) in results {
+                    append_pair(store, edges, i, j, records);
+                }
+                return;
+            }
+        }
+        for j in rows {
+            let cb = memo.class(j);
+            for i in self.window.prev_pairs(j) {
+                let ca = memo.class(i);
+                if ca == cb {
+                    // Structurally identical pair: zero records, no edge — exactly what an
+                    // unmemoized `extract_diffs` of the pair would conclude the hard way.
+                    continue;
+                }
+                if let Some(entry) = memo.get(ca, cb) {
+                    append_memoized(store, edges, i, j, entry);
+                } else if memo.admit(ca, cb) {
+                    let entry = memo.changes(ca, cb, policy);
+                    append_memoized(store, edges, i, j, &entry);
+                } else {
+                    memo.count_direct_alignment();
+                    let records = extract_diffs(&queries[i], &queries[j], i, j, policy);
+                    append_pair(store, edges, i, j, records);
+                }
+            }
+        }
+    }
+
+    /// Aligns the given distinct ordered class pairs across the available cores.  Workers
+    /// own contiguous chunks and return results by value; since every result is keyed by
+    /// its class pair, assembly order cannot affect the memo's contents.
+    fn align_pairs_parallel(
+        &self,
+        memo: &DiffMemo,
+        needed: &[(u32, u32)],
+    ) -> Vec<((u32, u32), Vec<TreeChange>)> {
+        let threads = available_cores().min(needed.len());
+        let chunk = needed.len().div_ceil(threads);
+        let policy = self.policy;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = needed
+                .chunks(chunk)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|&(ca, cb)| {
+                                let changes = extract_changes(
+                                    memo.dedup().representative(ca),
+                                    memo.dedup().representative(cb),
+                                    policy,
+                                );
+                                ((ca, cb), changes)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("align worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Fans pairwise record construction out over the available cores with scoped threads,
+    /// for the append-order rows `rows` (query `j` paired with its admitted predecessors)
+    /// of a log.  `pair_records` produces the records of one `(i, j)` pair — a plain
+    /// alignment for the unmemoized path, a memo probe with alignment fallback for the
+    /// memoized one.
     ///
     /// The row range is cut into small chunks (4 per worker) and exactly `threads` workers
     /// each process every `threads`-th chunk — the stride balances the triangular AllPairs
@@ -287,18 +484,21 @@ impl GraphBuilder {
     /// oversubscribing the CPU.  Workers collect results per chunk, and the chunks are
     /// re-assembled in append order afterwards, so the output is *identical* to the serial
     /// enumeration — no shared mutable state, no lock contention.
-    fn diff_pairs_parallel(
+    fn diff_pairs_parallel<F>(
         &self,
-        queries: &[Node],
         rows: Range<usize>,
-    ) -> Vec<(usize, usize, Vec<DiffRecord>)> {
+        pair_records: F,
+    ) -> Vec<(usize, usize, Vec<DiffRecord>)>
+    where
+        F: Fn(usize, usize) -> Vec<DiffRecord> + Sync,
+    {
         let (rows_start, rows_end) = (rows.start, rows.end);
         let m = rows_end - rows_start;
         let threads = available_cores().min(m.max(1));
         let chunk = m.div_ceil(threads * 4).max(1);
         let chunk_count = m.div_ceil(chunk);
         let window = self.window;
-        let policy = self.policy;
+        let pair_records = &pair_records;
 
         type ChunkResults = Vec<(usize, Vec<(usize, usize, Vec<DiffRecord>)>)>;
         let mut chunks: ChunkResults = std::thread::scope(|scope| {
@@ -312,9 +512,7 @@ impl GraphBuilder {
                             let mut local = Vec::new();
                             for j in start..end {
                                 for i in window.prev_pairs(j) {
-                                    let records =
-                                        extract_diffs(&queries[i], &queries[j], i, j, policy);
-                                    local.push((i, j, records));
+                                    local.push((i, j, pair_records(i, j)));
                                 }
                             }
                             mine.push((c, local));
@@ -339,6 +537,33 @@ fn available_cores() -> usize {
     std::thread::available_parallelism()
         .map(|t| t.get())
         .unwrap_or(1)
+}
+
+/// Streams a memoized pair entry straight into the store: the entry is pre-partitioned
+/// (leaves first), so the leaf ids are exactly the next `leaf_count` appended ids — the
+/// same byte-level layout [`append_pair`] produces with its per-pair partition, without
+/// the per-pair partition.  Hash-collision entries (distinct classes, zero changes — the
+/// equality the aligner, like the memo-off path, infers from equal hashes) contribute
+/// nothing, matching `append_pair`'s empty-records early return.
+fn append_memoized(
+    store: &mut DiffStore,
+    edges: &mut Vec<Edge>,
+    i: usize,
+    j: usize,
+    entry: &crate::dedup::PairChanges,
+) {
+    if entry.is_empty() {
+        return;
+    }
+    let first = store.next_id().0;
+    for change in entry.changes() {
+        store.push(DiffRecord::from_shared(i, j, std::sync::Arc::clone(change)));
+    }
+    edges.push(Edge {
+        from: i,
+        to: j,
+        diffs: (first..first + entry.leaf_count()).map(DiffId).collect(),
+    });
 }
 
 /// Appends one compared pair's records to the growing store and edge list: leaf records
@@ -551,6 +776,81 @@ mod tests {
             }
             assert_eq!(bulk.to_graph(), single.to_graph());
         }
+    }
+
+    #[test]
+    fn memoized_builds_are_byte_identical_to_unmemoized_builds() {
+        // A duplicate-heavy log: 30 queries over 5 distinct shapes, in a mixing order.
+        let log: Vec<Node> = (0..30)
+            .map(|i| parse(&format!("SELECT a FROM t WHERE x = {}", (i * 7) % 5)).unwrap())
+            .collect();
+        for window in [
+            WindowStrategy::AllPairs,
+            WindowStrategy::sliding(2),
+            WindowStrategy::sliding(5),
+        ] {
+            for policy in [AncestorPolicy::LcaPruned, AncestorPolicy::Full] {
+                for parallel in [false, true] {
+                    let base = GraphBuilder::new()
+                        .window(window)
+                        .policy(policy)
+                        .parallel(parallel);
+                    let on = base.clone().memoize(true).build(&log);
+                    let off = base.memoize(false).build(&log);
+                    assert_eq!(on, off, "{window:?} {policy:?} parallel={parallel}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_extends_persist_the_memo_and_match_unmemoized_extends() {
+        let log: Vec<Node> = (0..24)
+            .map(|i| parse(&format!("SELECT a FROM t WHERE x = {}", i % 4)).unwrap())
+            .collect();
+        let builder = GraphBuilder::new().window(WindowStrategy::AllPairs);
+        let mut memoized = GraphAccumulator::new();
+        let mut plain = GraphAccumulator::new();
+        for q in &log {
+            builder.extend(&mut memoized, q.clone());
+            builder.clone().memoize(false).extend(&mut plain, q.clone());
+        }
+        assert_eq!(memoized.to_graph(), plain.to_graph());
+        // 4 distinct shapes seen across all pushes: each ordered shape pair is fully
+        // aligned at most three times (singleton era, one seen-once sighting, the memoized
+        // computation) — so at most 3·4·3 alignments ever ran, although 24·23/2 log pairs
+        // were enumerated.
+        assert_eq!(memoized.memo().distinct(), 4);
+        assert!(
+            memoized.memo().alignments() <= 3 * 4 * 3,
+            "{}",
+            memoized.memo().alignments()
+        );
+        // The unmemoized accumulator never touched its memo.
+        assert_eq!(plain.memo().distinct(), 0);
+        // And a memoized extend after unmemoized ones catches the dedup table up.
+        builder.extend(&mut plain, log[0].clone());
+        assert_eq!(plain.memo().distinct(), 4);
+        builder.extend(&mut memoized, log[0].clone());
+        assert_eq!(memoized.to_graph(), plain.to_graph());
+    }
+
+    #[test]
+    fn parallel_memoized_build_matches_serial_memoized_build() {
+        // Enough distinct shapes (> 32 missing pairs) to cross the parallel pre-alignment
+        // threshold.
+        let log: Vec<Node> = (0..60)
+            .map(|i| parse(&format!("SELECT a FROM t WHERE x = {}", i % 10)).unwrap())
+            .collect();
+        let serial = GraphBuilder::new()
+            .window(WindowStrategy::AllPairs)
+            .parallel(false)
+            .build(&log);
+        let parallel = GraphBuilder::new()
+            .window(WindowStrategy::AllPairs)
+            .parallel(true)
+            .build(&log);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -1,0 +1,503 @@
+//! Duplicate collapsing and alignment memoization: the machinery that makes AllPairs mining
+//! cost `O(d²)` alignments over the `d` *distinct* tree shapes of a log instead of `O(n²)`
+//! over its `n` queries.
+//!
+//! Real query logs are overwhelmingly repetitive — a handful of distinct query shapes
+//! accounts for most of a log (the paper's SDSS/SQLShare samples, the Archive Query Log
+//! study) — yet pairwise alignment depends only on tree *structure*.  So the builder
+//! collapses the log to its distinct shapes at ingest ([`DedupTable`]) and runs the
+//! expensive ordered-tree alignment once per *recurring* distinct ordered pair
+//! ([`DiffMemo`]), re-wrapping the memoized index-free change list into concrete `(i, j)`
+//! records per log pair.  Both layers are invisible in the output: graphs, stores,
+//! `DiffId` offsets and edges are byte-identical with the memo on or off — only the work
+//! to produce them changes.
+
+use pi_ast::Node;
+use pi_diff::{extract_changes, AncestorPolicy, TreeChange};
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+/// A structural deduplication table over an append-only query log.
+///
+/// Each ingested query maps to a *distinct-tree id* (its equivalence class under structural
+/// equality); the first query observed with a given shape becomes the class
+/// **representative**, and every later duplicate resolves to the same id in O(1) expected
+/// time via the memoized [`Node::structural_hash`].
+///
+/// # Hash-collision fallback contract
+///
+/// Classes are bucketed by the 64-bit structural hash, but the hash alone never decides
+/// membership: on a bucket hit the candidate class's representative is compared with full
+/// [`Node`] equality (`PartialEq` verifies kind, attributes and children whenever hashes
+/// agree), so two structurally *distinct* trees that collide in the hash are kept as two
+/// distinct classes.  This is load-bearing for the memoized builder's byte-identity
+/// guarantee: if colliding shapes were merged, alignments for *other* pairs involving the
+/// swallowed shape would run against the wrong representative and produce records a
+/// memo-off build would not.  (The aligner's own `same_tree` short-circuit still treats a
+/// colliding *pair* as equal — that tolerance is the paper's, shared by the memo-off path,
+/// so the outputs agree there too.)
+#[derive(Debug, Clone, Default)]
+pub struct DedupTable {
+    /// Canonical representative per class, indexed by distinct-tree id: the first query of
+    /// that shape to be ingested (a refcount bump, never a tree copy).
+    classes: Vec<Node>,
+    /// How many ingested queries each class has absorbed.
+    counts: Vec<u32>,
+    /// Structural hash → ids of the classes whose representatives carry that hash.  The
+    /// bucket has one entry except under a 64-bit collision.  Keyed by the memoized
+    /// structural hash — already well-mixed — through a single splitmix round instead of
+    /// SipHash: ingest sits on the per-query hot path.
+    by_hash: HashMap<u64, Bucket, BuildHasherDefault<PairKeyHasher>>,
+    /// Distinct-tree id per ingested query, in log order.
+    class_of: Vec<u32>,
+}
+
+/// A bucket of class ids sharing one structural hash: inline for the overwhelmingly common
+/// collision-free case (no heap allocation per distinct shape), a `Vec` under a real 64-bit
+/// collision.
+#[derive(Debug, Clone)]
+enum Bucket {
+    One(u32),
+    Colliding(Vec<u32>),
+}
+
+impl Bucket {
+    fn ids(&self) -> &[u32] {
+        match self {
+            Bucket::One(id) => std::slice::from_ref(id),
+            Bucket::Colliding(ids) => ids,
+        }
+    }
+
+    fn push(&mut self, id: u32) {
+        match self {
+            Bucket::One(first) => *self = Bucket::Colliding(vec![*first, id]),
+            Bucket::Colliding(ids) => ids.push(id),
+        }
+    }
+}
+
+impl DedupTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests the next query of the log, returning its distinct-tree id.
+    pub fn ingest(&mut self, query: &Node) -> u32 {
+        self.ingest_hashed(query.structural_hash(), query)
+    }
+
+    /// [`DedupTable::ingest`] with the bucket hash supplied by the caller — the test seam
+    /// that lets the collision fallback be exercised without manufacturing a real 64-bit
+    /// collision.
+    pub(crate) fn ingest_hashed(&mut self, hash: u64, query: &Node) -> u32 {
+        let fresh = u32::try_from(self.classes.len()).expect("fewer than 2^32 shapes");
+        let class = match self.by_hash.entry(hash) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                // Full equality on every bucket probe: the hash routed us here, the
+                // representative decides (see the collision contract above).
+                match slot
+                    .get()
+                    .ids()
+                    .iter()
+                    .copied()
+                    .find(|&c| self.classes[c as usize] == *query)
+                {
+                    Some(class) => {
+                        self.counts[class as usize] += 1;
+                        class
+                    }
+                    None => {
+                        slot.get_mut().push(fresh);
+                        self.classes.push(query.clone());
+                        self.counts.push(1);
+                        fresh
+                    }
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Bucket::One(fresh));
+                self.classes.push(query.clone());
+                self.counts.push(1);
+                fresh
+            }
+        };
+        self.class_of.push(class);
+        class
+    }
+
+    /// Number of queries ingested so far.
+    pub fn len(&self) -> usize {
+        self.class_of.len()
+    }
+
+    /// True when no query has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.class_of.is_empty()
+    }
+
+    /// Number of distinct tree shapes observed so far (`d ≤ n`).
+    pub fn distinct(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The distinct-tree id of the query at log index `idx`.
+    pub fn class_of(&self, idx: usize) -> u32 {
+        self.class_of[idx]
+    }
+
+    /// How many ingested queries share the shape of class `class` (≥ 1).
+    pub fn count(&self, class: u32) -> u32 {
+        self.counts[class as usize]
+    }
+
+    /// The canonical representative of a class: the first ingested query of that shape.
+    pub fn representative(&self, class: u32) -> &Node {
+        &self.classes[class as usize]
+    }
+}
+
+/// A memoized alignment: the index-free change list of one ordered distinct pair, stored
+/// *pre-partitioned* — leaf changes first, ancestors after, each side in extraction order.
+/// That is exactly the stable partition the graph's append step applies per pair, so the
+/// builder can stream a memoized entry straight into the diff store (leaf ids are the first
+/// `leaf_count` appended ids) without re-partitioning per log pair.
+///
+/// Each change is individually `Arc`-allocated so a log pair's [`pi_diff::DiffRecord`]s
+/// can *share* the payloads (`DiffRecord::from_shared`): stamping a memoized pair into the
+/// store costs one refcount bump and a 4-word write per record.
+#[derive(Debug, Clone)]
+pub(crate) struct PairChanges {
+    changes: Arc<[Arc<TreeChange>]>,
+    leaf_count: usize,
+}
+
+impl PairChanges {
+    pub(crate) fn from_changes(changes: Vec<TreeChange>) -> Self {
+        let (leaves, ancestors): (Vec<TreeChange>, Vec<TreeChange>) =
+            changes.into_iter().partition(|c| c.is_leaf);
+        let leaf_count = leaves.len();
+        let shared: Vec<Arc<TreeChange>> =
+            leaves.into_iter().chain(ancestors).map(Arc::new).collect();
+        PairChanges {
+            changes: shared.into(),
+            leaf_count,
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Leaves first, ancestors after (both in extraction order).
+    pub(crate) fn changes(&self) -> &[Arc<TreeChange>] {
+        &self.changes
+    }
+
+    pub(crate) fn leaf_count(&self) -> usize {
+        self.leaf_count
+    }
+}
+
+/// A fast, deterministic hasher for the `(u32, u32)` class-pair keys (packed into one
+/// `u64`): a single splitmix64 round instead of SipHash, since the hot loop performs one
+/// memo probe per enumerated log pair.
+#[derive(Default)]
+pub(crate) struct PairKeyHasher(u64);
+
+impl Hasher for PairKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("pair keys hash through write_u64");
+    }
+
+    fn write_u64(&mut self, key: u64) {
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+fn pair_key(ca: u32, cb: u32) -> u64 {
+    (u64::from(ca) << 32) | u64::from(cb)
+}
+
+/// The alignment memo: one [`DedupTable`] plus the index-free change list per *recurring*
+/// distinct ordered pair of tree shapes already aligned.
+///
+/// Keys are **ordered** `(source class, target class)` pairs, not unordered sets: the
+/// aligner's LCS tie-breaking is direction-sensitive (and change paths are expressed in
+/// source-tree coordinates), so deriving the reverse direction from a forward alignment
+/// could produce a change list a memo-off `extract_diffs(b, a, …)` would not — breaking the
+/// byte-identity contract.  An ordered memo costs at most twice the unordered pair count
+/// and keeps the guarantee unconditional; the alignment budget is still `O(d²)`, not
+/// `O(n²)`.
+///
+/// Admission is tiered by demonstrated repetition, because a memo entry only ever pays off
+/// if its pair is looked up again:
+///
+/// * both shapes duplicated → memoize on first encounter (a duplicate-heavy log ingested
+///   as a batch collapses straight to `O(d²)` alignments);
+/// * exactly one shape duplicated → align directly on the first sighting and memoize on
+///   the second (a seen-once set), so a mostly-distinct walk never builds entries its
+///   window will not revisit;
+/// * both shapes singletons → always align directly, exactly like a memo-off build (the
+///   pair cannot have occurred before), keeping fully-distinct adversarial logs at
+///   memo-off speed.
+///
+/// Each ordered distinct pair is therefore fully aligned at most three times (singleton
+/// era, one seen-once sighting, the memoized computation) — still `O(d²)` total — and hit
+/// from the memo ever after.
+///
+/// Entries are computed under one [`AncestorPolicy`]; mining with a different policy
+/// discards them (they would describe different ancestor closures).
+///
+/// Cloning a memo is cheap: representatives and change lists are `Arc`-shared, so a forked
+/// streaming session keeps the alignments mined so far without copying a tree.
+#[derive(Debug, Clone, Default)]
+pub struct DiffMemo {
+    dedup: DedupTable,
+    pairs: HashMap<u64, PairChanges, BuildHasherDefault<PairKeyHasher>>,
+    /// Ordered pairs sighted exactly once with one duplicated side — the candidates that
+    /// graduate into `pairs` on their next sighting.
+    seen_once: HashSet<u64, BuildHasherDefault<PairKeyHasher>>,
+    policy: Option<AncestorPolicy>,
+    alignments: usize,
+}
+
+impl DiffMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The structural dedup table accumulated so far.
+    pub fn dedup(&self) -> &DedupTable {
+        &self.dedup
+    }
+
+    /// Number of distinct tree shapes ingested so far.
+    pub fn distinct(&self) -> usize {
+        self.dedup.distinct()
+    }
+
+    /// Number of ordered distinct pairs whose alignment is memoized.
+    pub fn memoized_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of full alignments (`extract_changes` / `extract_diffs` runs) performed
+    /// through the memoized mining path — the work term duplicate collapsing bounds by
+    /// `O(d²)` (at most three per distinct ordered pair; see the admission tiers above)
+    /// regardless of how many log pairs were enumerated.  (Alignments run inside parallel
+    /// fan-out workers for non-memoized pairs are not tracked; the serial path and the
+    /// parallel pre-computation are.)
+    pub fn alignments(&self) -> usize {
+        self.alignments
+    }
+
+    /// Pins the ancestor policy, discarding memoized pairs computed under a different one.
+    pub(crate) fn set_policy(&mut self, policy: AncestorPolicy) {
+        if self.policy != Some(policy) {
+            self.pairs.clear();
+            self.seen_once.clear();
+            self.policy = Some(policy);
+        }
+    }
+
+    /// Ingests log queries `[dedup.len(), end)` into the dedup table, catching up from
+    /// whatever prefix was already ingested (extends that skipped the memo included).
+    pub(crate) fn ingest_through(&mut self, queries: &[Node], end: usize) {
+        while self.dedup.len() < end {
+            self.dedup.ingest(&queries[self.dedup.len()]);
+        }
+    }
+
+    /// The distinct-tree id of the query at log index `idx` (must be ingested).
+    pub(crate) fn class(&self, idx: usize) -> u32 {
+        self.dedup.class_of(idx)
+    }
+
+    /// Decides whether a pair *missing from the memo* should be memoized now (`true`) or
+    /// aligned directly this once (`false`) — the tiered admission policy described on
+    /// [`DiffMemo`].  Stateful: a one-duplicated-side pair is recorded on its first
+    /// sighting and admitted on its second.
+    pub(crate) fn admit(&mut self, ca: u32, cb: u32) -> bool {
+        let (na, nb) = (self.dedup.count(ca), self.dedup.count(cb));
+        if na > 1 && nb > 1 {
+            return true;
+        }
+        if na == 1 && nb == 1 {
+            // Two singleton shapes: this is the pair's first possible occurrence, and a
+            // second would require a duplicate (which bumps a count) — skip the set.
+            return false;
+        }
+        !self.seen_once.insert(pair_key(ca, cb))
+    }
+
+    /// The memoized entry for the ordered pair `(ca, cb)`, if present.
+    pub(crate) fn get(&self, ca: u32, cb: u32) -> Option<&PairChanges> {
+        self.pairs.get(&pair_key(ca, cb))
+    }
+
+    /// The memoized entry for the ordered pair `(ca, cb)`, aligning the class
+    /// representatives on a miss.  Callers must have pinned the policy via `set_policy`.
+    pub(crate) fn changes(&mut self, ca: u32, cb: u32, policy: AncestorPolicy) -> PairChanges {
+        debug_assert_eq!(self.policy, Some(policy), "set_policy before changes");
+        if let Some(changes) = self.pairs.get(&pair_key(ca, cb)) {
+            return changes.clone();
+        }
+        let computed = PairChanges::from_changes(extract_changes(
+            self.dedup.representative(ca),
+            self.dedup.representative(cb),
+            policy,
+        ));
+        self.alignments += 1;
+        self.pairs.insert(pair_key(ca, cb), computed.clone());
+        computed
+    }
+
+    /// Inserts an externally computed alignment (the parallel pre-computation path).
+    pub(crate) fn insert(&mut self, ca: u32, cb: u32, changes: Vec<TreeChange>) {
+        self.alignments += 1;
+        self.pairs
+            .insert(pair_key(ca, cb), PairChanges::from_changes(changes));
+    }
+
+    /// Counts a direct (unmemoized) alignment so [`DiffMemo::alignments`] reflects the
+    /// serial mining path's full work term.
+    pub(crate) fn count_direct_alignment(&mut self) {
+        self.alignments += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_ast::Frontend as _;
+
+    fn parse(sql: &str) -> Node {
+        pi_sql::SqlFrontend.parse_one(sql).unwrap()
+    }
+
+    #[test]
+    fn duplicates_collapse_to_one_class_with_the_first_occurrence_as_representative() {
+        let mut table = DedupTable::new();
+        let a = parse("SELECT a FROM t WHERE x = 1");
+        let a_again = parse("SELECT a FROM t WHERE x = 1");
+        let b = parse("SELECT a FROM t WHERE x = 2");
+        assert_eq!(table.ingest(&a), 0);
+        assert_eq!(table.ingest(&b), 1);
+        assert_eq!(table.ingest(&a_again), 0);
+        assert_eq!((table.len(), table.distinct()), (3, 2));
+        assert_eq!(table.class_of(2), table.class_of(0));
+        assert_eq!((table.count(0), table.count(1)), (2, 1));
+        // The representative is the *first* ingested query — physically, not just
+        // structurally (a refcount bump of `a`, not of `a_again`).
+        assert!(table.representative(0).ptr_eq(&a));
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn hash_collisions_fall_back_to_full_equality_and_stay_distinct() {
+        // Two structurally different trees forced into the same bucket must come out as two
+        // classes: the bucket scan compares representatives with full `Node` equality.
+        let mut table = DedupTable::new();
+        let a = parse("SELECT a FROM t WHERE x = 1");
+        let b = parse("SELECT b FROM u WHERE y = 2");
+        let forced = 0xdead_beef;
+        assert_eq!(table.ingest_hashed(forced, &a), 0);
+        assert_eq!(table.ingest_hashed(forced, &b), 1);
+        assert_eq!(table.distinct(), 2);
+        // And re-probing the shared bucket still resolves each shape to its own class.
+        assert_eq!(table.ingest_hashed(forced, &a), 0);
+        assert_eq!(table.ingest_hashed(forced, &b), 1);
+        assert_eq!((table.count(0), table.count(1)), (2, 2));
+    }
+
+    #[test]
+    fn memo_aligns_each_recurring_ordered_pair_once_and_matches_extract_diffs() {
+        let queries = vec![
+            parse("SELECT a FROM t WHERE x = 1"),
+            parse("SELECT a FROM t WHERE x = 2"),
+            parse("SELECT a FROM t WHERE x = 1"),
+            parse("SELECT a FROM t WHERE x = 2"),
+        ];
+        let mut memo = DiffMemo::new();
+        let policy = AncestorPolicy::LcaPruned;
+        memo.set_policy(policy);
+        memo.ingest_through(&queries, queries.len());
+        assert_eq!(memo.distinct(), 2);
+        for j in 1..queries.len() {
+            for i in 0..j {
+                let (ca, cb) = (memo.class(i), memo.class(j));
+                if ca == cb {
+                    continue;
+                }
+                // Both shapes appear twice in the ingested log: immediate admission.
+                assert!(memo.admit(ca, cb));
+                let entry = memo.changes(ca, cb, policy);
+                // The memoized entry is the stable leaf/ancestor partition of the direct
+                // extraction — exactly what the graph's append step would produce.
+                let records: Vec<_> = entry.changes().iter().map(|c| c.to_record(i, j)).collect();
+                let direct = pi_diff::extract_diffs(&queries[i], &queries[j], i, j, policy);
+                let (leaves, ancestors): (Vec<_>, Vec<_>) =
+                    direct.into_iter().partition(|r| r.is_leaf);
+                assert_eq!(entry.leaf_count(), leaves.len());
+                let expected: Vec<_> = leaves.into_iter().chain(ancestors).collect();
+                assert_eq!(records, expected);
+                assert!(!entry.is_empty());
+            }
+        }
+        // Four differing log pairs, but only the two recurring ordered distinct pairs were
+        // ever aligned.
+        assert_eq!(memo.alignments(), 2);
+        assert_eq!(memo.memoized_pairs(), 2);
+    }
+
+    #[test]
+    fn admission_is_tiered_by_demonstrated_repetition() {
+        let queries = vec![
+            parse("SELECT a FROM t WHERE x = 1"),
+            parse("SELECT a FROM t WHERE x = 2"),
+            parse("SELECT a FROM t WHERE x = 1"),
+        ];
+        // Two singleton shapes: never admitted (the pair cannot have occurred before).
+        let mut singletons = DiffMemo::new();
+        singletons.ingest_through(&queries[..2], 2);
+        assert!(!singletons.admit(0, 1));
+        assert!(!singletons.admit(0, 1));
+        // One duplicated side: first sighting aligns directly, second admits.
+        let mut memo = DiffMemo::new();
+        memo.ingest_through(&queries, queries.len());
+        let (dup, single) = (memo.class(0), memo.class(1));
+        assert!(!memo.admit(dup, single));
+        assert!(memo.admit(dup, single));
+        // The reverse ordered pair tracks its own sightings.
+        assert!(!memo.admit(single, dup));
+        assert!(memo.admit(single, dup));
+    }
+
+    #[test]
+    fn changing_the_ancestor_policy_discards_memoized_pairs() {
+        let queries = vec![
+            parse("SELECT a FROM t WHERE x = 1"),
+            parse("SELECT a FROM t WHERE x = 2"),
+            parse("SELECT a FROM t WHERE x = 1"),
+        ];
+        let mut memo = DiffMemo::new();
+        memo.set_policy(AncestorPolicy::LcaPruned);
+        memo.ingest_through(&queries, 3);
+        let pruned = memo.changes(0, 1, AncestorPolicy::LcaPruned);
+        memo.set_policy(AncestorPolicy::Full);
+        assert_eq!(memo.memoized_pairs(), 0);
+        let full = memo.changes(0, 1, AncestorPolicy::Full);
+        assert!(full.changes().len() > pruned.changes().len());
+    }
+}

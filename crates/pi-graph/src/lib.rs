@@ -13,6 +13,15 @@
 //! * **LCA pruning** (§6.2) — forwarded to `pi-diff`, it keeps the number of materialised
 //!   ancestor records (and therefore the mapper's input size) small.
 //!
+//! Beyond the paper, the builder exploits how *repetitive* real logs are (a handful of
+//! distinct query shapes dominates most logs): at ingest every query is collapsed to a
+//! distinct-tree id ([`DedupTable`]), and the expensive alignment runs once per distinct
+//! ordered pair of shapes ([`DiffMemo`]) — `O(d²)` alignments for `d` distinct shapes
+//! instead of `O(n²)` under `AllPairs` — while a cheap per-pair step re-wraps the memoized
+//! change lists into records carrying the original log indices.  Memoization is on by
+//! default and *invisible*: graphs are byte-identical with it on or off
+//! ([`GraphBuilder::memoize`] exists for A/B measurement).
+//!
 //! Pairwise diffing is embarrassingly parallel; the builder optionally fans the work out over
 //! all available cores with `std::thread::scope`: each worker owns a contiguous chunk of log
 //! rows and returns its results by value, which are concatenated in spawn order — the parallel
@@ -29,9 +38,11 @@
 #![warn(rust_2018_idioms)]
 
 mod builder;
+mod dedup;
 mod graph;
 
 pub use builder::{GraphAccumulator, GraphBuilder, WindowStrategy};
+pub use dedup::{DedupTable, DiffMemo};
 pub use graph::{Edge, GraphStats, InteractionGraph, IntoQueryLog, QueryLog};
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 //! mines into the same interaction graph as either pure log: the cross-dialect workload
 //! class the multi-front-end refactor opens up.
 
-use crate::olap::{walk_states, OlapState};
+use crate::olap::{repetitive_states, walk_states, OlapState};
 use crate::QueryLog;
 use pi_ast::{Dialect, Frontends};
 use rand::rngs::StdRng;
@@ -53,6 +53,41 @@ pub fn mixed_walk(seed: u64, n: usize) -> QueryLog {
         })
         .collect();
     QueryLog::from_tagged(&both_frontends(), &format!("mixed-walk-{seed}"), entries)
+}
+
+/// The duplicate-heavy walk of [`crate::olap::repetitive_walk`], rendered in the frames
+/// dialect: same seed ⇒ the same Zipf-revisited state sequence ⇒ structurally identical
+/// queries, different surface language.
+pub fn repetitive_dataframe_walk(seed: u64, n: usize, distinct: usize) -> QueryLog {
+    QueryLog::from_text(
+        &pi_frames::FramesFrontend,
+        &format!("frames-repetitive-{seed}"),
+        repetitive_states(seed, n, distinct)
+            .iter()
+            .map(OlapState::to_frames),
+    )
+}
+
+/// The duplicate-heavy walk with every query independently written in SQL or frames (a fair
+/// coin per entry, deterministic in the seed): a repetitive analyst who mixes a SQL console
+/// with a notebook — the workload the duplicate-collapsing property tests replay.
+pub fn repetitive_mixed_walk(seed: u64, n: usize, distinct: usize) -> QueryLog {
+    let mut rng = StdRng::seed_from_u64(0x3e9e_0000 ^ seed);
+    let entries: Vec<(Dialect, String)> = repetitive_states(seed, n, distinct)
+        .iter()
+        .map(|state| {
+            if rng.gen_bool(0.5) {
+                (Dialect::FRAMES, state.to_frames())
+            } else {
+                (Dialect::SQL, state.to_sql())
+            }
+        })
+        .collect();
+    QueryLog::from_tagged(
+        &both_frontends(),
+        &format!("mixed-repetitive-{seed}"),
+        entries,
+    )
 }
 
 #[cfg(test)]
@@ -99,6 +134,38 @@ mod tests {
         assert_eq!(dataframe_walk(1, 30).text, dataframe_walk(1, 30).text);
         assert_eq!(mixed_walk(1, 30).text, mixed_walk(1, 30).text);
         assert_ne!(mixed_walk(1, 30).text, mixed_walk(2, 30).text);
+        assert_eq!(
+            repetitive_dataframe_walk(1, 30, 8).text,
+            repetitive_dataframe_walk(1, 30, 8).text
+        );
+        assert_eq!(
+            repetitive_mixed_walk(1, 30, 8).text,
+            repetitive_mixed_walk(1, 30, 8).text
+        );
+    }
+
+    #[test]
+    fn repetitive_variants_render_the_same_duplicate_heavy_sequence() {
+        let sql = olap::repetitive_walk(5, 96, 16);
+        let frames = repetitive_dataframe_walk(5, 96, 16);
+        let mixed = repetitive_mixed_walk(5, 96, 16);
+        // All three spell the same tree sequence, duplicate structure included.
+        assert_eq!(sql.queries, frames.queries);
+        assert_eq!(sql.queries, mixed.queries);
+        assert!(frames.dialects.iter().all(|&d| d == Dialect::FRAMES));
+        let frames_count = mixed
+            .dialects
+            .iter()
+            .filter(|&&d| d == Dialect::FRAMES)
+            .count();
+        assert!(frames_count > 10 && frames_count < 86, "{frames_count}");
+        // And the sequence really is duplicate-heavy.
+        let distinct: std::collections::BTreeSet<u64> = sql
+            .queries
+            .iter()
+            .map(pi_ast::Node::structural_hash)
+            .collect();
+        assert!(distinct.len() <= 16, "{}", distinct.len());
     }
 
     #[test]

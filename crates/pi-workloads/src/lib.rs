@@ -11,7 +11,10 @@
 //!   client the transformations are highly structured and recurring; across clients they are
 //!   heterogeneous — exactly the properties the recall/precision/runtime experiments rely on.
 //! * [`olap`] — the random walk of §7 (Listing 2): each step adds, removes, or modifies a
-//!   random dimension, aggregate, or filter of an OnTime OLAP query.
+//!   random dimension, aggregate, or filter of an OnTime OLAP query; plus
+//!   [`olap::repetitive_walk`], which revisits a small pool of walk states Zipf-style — the
+//!   duplicate-heavy log shape real query logs overwhelmingly have, and the workload the
+//!   mining dedup memo is benchmarked on.
 //! * [`adhoc`] — open-ended exploration with little recurring structure (Listing 3), used to
 //!   show when Precision Interfaces does *not* generalise.
 //! * [`frames`] — the OLAP walk re-rendered in the `pi-frames` dataframe dialect, plus a
@@ -63,6 +66,13 @@ impl QueryLog {
 
     /// Creates a log by parsing each string with the given front-end (panics on generator
     /// bugs — the generators only emit text their front-end's dialect supports).
+    ///
+    /// Parses are **interned by text**: a repeated statement (query logs are overwhelmingly
+    /// repetitive) is parsed once, and its later occurrences share the same `Node`
+    /// allocation — a refcount bump instead of a re-parse, exactly what a production
+    /// ingest's parse cache would do.  Sharing is unobservable downstream (property-tested
+    /// by the shared-vs-fresh mining tests) but lets structural dedup confirm duplicates by
+    /// pointer identity.
     pub fn from_text<F, I>(frontend: &F, label: &str, texts: I) -> Self
     where
         F: Frontend,
@@ -70,14 +80,22 @@ impl QueryLog {
     {
         let text: Vec<String> = texts.into_iter().collect();
         let dialect = frontend.dialect();
-        let queries = text
-            .iter()
-            .map(|q| {
-                frontend
-                    .parse_one(q)
-                    .unwrap_or_else(|e| panic!("generator produced bad {dialect} `{q}`: {e}"))
-            })
-            .collect();
+        let queries = {
+            let mut interned: std::collections::HashMap<&str, Node> =
+                std::collections::HashMap::new();
+            text.iter()
+                .map(|q| {
+                    interned
+                        .entry(q)
+                        .or_insert_with(|| {
+                            frontend.parse_one(q).unwrap_or_else(|e| {
+                                panic!("generator produced bad {dialect} `{q}`: {e}")
+                            })
+                        })
+                        .clone()
+                })
+                .collect()
+        };
         QueryLog {
             dialects: vec![dialect; text.len()],
             queries,
@@ -88,6 +106,8 @@ impl QueryLog {
 
     /// Creates a mixed-dialect log: each entry is parsed by the front-end its dialect
     /// names in `frontends` (panics on generator bugs or unregistered dialects).
+    ///
+    /// Parses are interned by `(dialect, text)`, like [`QueryLog::from_text`].
     pub fn from_tagged<I>(frontends: &pi_ast::Frontends, label: &str, entries: I) -> Self
     where
         I: IntoIterator<Item = (Dialect, String)>,
@@ -96,13 +116,20 @@ impl QueryLog {
             label: label.to_string(),
             ..QueryLog::default()
         };
+        let mut interned: std::collections::HashMap<(Dialect, String), Node> =
+            std::collections::HashMap::new();
         for (dialect, text) in entries {
-            let frontend = frontends
-                .get(dialect)
-                .unwrap_or_else(|| panic!("no front-end registered for dialect {dialect}"));
-            let query = frontend
-                .parse_one(&text)
-                .unwrap_or_else(|e| panic!("generator produced bad {dialect} `{text}`: {e}"));
+            let query = interned
+                .entry((dialect, text.clone()))
+                .or_insert_with(|| {
+                    let frontend = frontends
+                        .get(dialect)
+                        .unwrap_or_else(|| panic!("no front-end registered for dialect {dialect}"));
+                    frontend.parse_one(&text).unwrap_or_else(|e| {
+                        panic!("generator produced bad {dialect} `{text}`: {e}")
+                    })
+                })
+                .clone();
             log.queries.push(query);
             log.text.push(text);
             log.dialects.push(dialect);

@@ -304,6 +304,55 @@ fn mining_is_identical_under_shared_and_fresh_subtrees() {
 }
 
 #[test]
+fn dedup_memoized_mining_collapses_work_on_repetitive_logs_without_changing_output() {
+    use precision_interfaces::graph::{GraphAccumulator, GraphBuilder, WindowStrategy};
+    // A duplicate-heavy mixed SQL + frames log: ~24 distinct shapes over 160 queries.
+    let log = frames_logs::repetitive_mixed_walk(7, 160, 24);
+    for window in [WindowStrategy::AllPairs, WindowStrategy::sliding(5)] {
+        let memoized = GraphBuilder::new().window(window).build(&log.queries);
+        let unmemoized = GraphBuilder::new()
+            .window(window)
+            .memoize(false)
+            .build(&log.queries);
+        // Byte-identical graphs: same edges, same records at the same DiffId offsets.
+        assert_eq!(memoized, unmemoized);
+        // And the full pipeline (widgets included) agrees too.
+        let on = PrecisionInterfaces::new(PiOptions {
+            window,
+            ..PiOptions::default()
+        })
+        .from_queries(log.queries.clone());
+        let off = PrecisionInterfaces::new(PiOptions {
+            window,
+            memoize: false,
+            ..PiOptions::default()
+        })
+        .from_queries(log.queries.clone());
+        assert_eq!(on.graph, off.graph);
+        assert_eq!(on.interface.widgets(), off.interface.widgets());
+        assert_eq!(on.interface.describe(), off.interface.describe());
+    }
+    // The work actually collapses: an AllPairs stream of all 160 queries runs at most
+    // 3·d·(d−1) alignments for the d ≤ 24 distinct shapes (each ordered shape pair is
+    // fully aligned at most three times — in the singleton era, on one seen-once sighting,
+    // and once into the memo — and hit from the memo ever after), not the 160·159/2 =
+    // 12720 the pair enumeration visits.
+    let builder = GraphBuilder::new().window(WindowStrategy::AllPairs);
+    let mut acc = GraphAccumulator::new();
+    for q in &log.queries {
+        builder.extend(&mut acc, q.clone());
+    }
+    let d = acc.memo().distinct();
+    assert!(d <= 24, "{d} distinct shapes");
+    assert!(
+        acc.memo().alignments() <= 3 * d * d.saturating_sub(1),
+        "{} alignments for {d} shapes",
+        acc.memo().alignments()
+    );
+    assert_eq!(acc.to_graph(), builder.build(&log.queries));
+}
+
+#[test]
 fn scratch_mutations_on_cow_copies_never_perturb_mining() {
     // Mine a log, then torture every query with mutations applied to COW copies (the
     // enumerate_closure access pattern), then mine again: results must be identical.

@@ -376,6 +376,72 @@ proptest! {
         }
     }
 
+    // ------------------------------------------------------------ duplicate collapsing
+
+    /// The dedup/alignment memo is invisible: with memoization on or off, batch builds and
+    /// interleaved streaming sessions over duplicate-heavy mixed SQL/frames logs produce
+    /// byte-identical graphs — same edges, same diff records at the same `DiffId` offsets,
+    /// same widgets (per-option dialect tags included), same rendered interface — under
+    /// `AllPairs` and sliding windows.
+    #[test]
+    fn memoized_mining_is_identical_to_unmemoized(
+        base in prop::collection::vec((arb_query(), prop::bool::ANY), 2..8),
+        dups in prop::collection::vec((0usize..64, 0usize..64), 1..8),
+        snap_every in 1usize..4,
+    ) {
+        use precision_interfaces::graph::WindowStrategy;
+        // Inject duplicates: each (source, position) pair re-inserts an existing log entry
+        // (query + dialect tag) somewhere in the log, so the final log mixes dialects AND
+        // repeats shapes at arbitrary distances.
+        let mut log: Vec<(Dialect, Node)> = base
+            .iter()
+            .map(|(q, frames)| {
+                (if *frames { Dialect::FRAMES } else { Dialect::SQL }, q.clone())
+            })
+            .collect();
+        for &(src, pos) in &dups {
+            let entry = log[src % log.len()].clone();
+            log.insert(pos % (log.len() + 1), entry);
+        }
+        let queries: Vec<Node> = log.iter().map(|(_, q)| q.clone()).collect();
+        for window in [
+            WindowStrategy::AllPairs,
+            WindowStrategy::sliding(2),
+            WindowStrategy::sliding(5),
+        ] {
+            let memo_on = PiOptions { window, memoize: true, ..Default::default() };
+            let memo_off = PiOptions { window, memoize: false, ..Default::default() };
+            // Batch builds.
+            let on = PrecisionInterfaces::new(memo_on.clone()).from_queries(queries.clone());
+            let off = PrecisionInterfaces::new(memo_off.clone()).from_queries(queries.clone());
+            prop_assert_eq!(on.graph_stats, off.graph_stats);
+            prop_assert_eq!(&on.graph, &off.graph);
+            prop_assert_eq!(on.interface.widgets(), off.interface.widgets());
+            prop_assert_eq!(on.interface.describe(), off.interface.describe());
+            // Streaming sessions with interleaved snapshots: the memo persists across
+            // pushes, and every snapshot along the way must agree with the memo-off twin.
+            let mut s_on = Session::new(memo_on);
+            let mut s_off = Session::new(memo_off);
+            for (k, (dialect, q)) in log.iter().enumerate() {
+                prop_assert_eq!(s_on.push_tagged(*dialect, q.clone()), k);
+                prop_assert_eq!(s_off.push_tagged(*dialect, q.clone()), k);
+                if (k + 1) % snap_every != 0 && k + 1 != log.len() {
+                    continue;
+                }
+                let a = s_on.snapshot();
+                let b = s_off.snapshot();
+                prop_assert_eq!(a.version, b.version);
+                prop_assert_eq!(&a.dialects, &b.dialects);
+                prop_assert_eq!(a.graph_stats, b.graph_stats);
+                prop_assert_eq!(&a.graph, &b.graph);
+                prop_assert_eq!(a.interface.widgets(), b.interface.widgets());
+                prop_assert_eq!(a.interface.describe(), b.interface.describe());
+            }
+            // The streamed memo-on graph equals the memo-off batch build outright.
+            prop_assert_eq!(&s_on.graph(), &off.graph);
+        }
+    }
+
     // ------------------------------------------------------------ COW aliasing
 
     /// The copy-on-write contract: `replaced()` shares every subtree off the root→path spine

@@ -24,6 +24,10 @@ pub struct Measurement {
     pub max_ns: f64,
     /// Total iterations measured.
     pub iterations: u64,
+    /// Worker thread count the measured code ran with, when the bench is one arm of a
+    /// scaling curve (`None` for ordinary benches).  Exporters carry it through so
+    /// comparisons can match on `(id, threads)` instead of id alone.
+    pub threads: Option<u64>,
 }
 
 /// Drives benchmark execution and collects [`Measurement`]s.
@@ -261,15 +265,19 @@ fn run_bench<F: FnMut(&mut Bencher)>(
         min_ns,
         max_ns,
         iterations: total_iters,
+        threads: None,
     };
     print_measurement(&m);
     m
 }
 
 fn print_measurement(m: &Measurement) {
+    let id = match m.threads {
+        Some(t) => format!("{} [threads={t}]", m.id),
+        None => m.id.clone(),
+    };
     println!(
-        "bench {:<50} mean {:>12}  (min {}, max {}, {} iters)",
-        m.id,
+        "bench {id:<50} mean {:>12}  (min {}, max {}, {} iters)",
         fmt_ns(m.mean_ns),
         fmt_ns(m.min_ns),
         fmt_ns(m.max_ns),

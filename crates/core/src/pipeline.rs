@@ -26,6 +26,21 @@ pub struct PiOptions {
     pub policy: AncestorPolicy,
     /// Parallelise pairwise diffing across cores.
     pub parallel: bool,
+    /// Worker-thread override for parallel mining (default `0` = automatic).
+    ///
+    /// `0` resolves to the `PI_THREADS` environment variable if set to a positive integer,
+    /// else to every available core when [`PiOptions::parallel`] is on, else serial.  An
+    /// explicit `n ≥ 1` wins over both: `1` forces the serial path, `n > 1` enables the
+    /// work-stealing scheduler with exactly `n` workers even when `parallel` is off.  The
+    /// mined graph is byte-identical at every setting — worker count only redistributes the
+    /// work.
+    pub threads: usize,
+    /// Test-only hook: seeds a deterministic perturbation of the work-stealing schedule and
+    /// bypasses the scheduler's cost gate, so property tests can drive tiny logs through
+    /// steal interleavings a natural run would rarely produce.  `None` (the default) in
+    /// production.  Snapshots are byte-identical for every seed — the scheduler merges
+    /// results in block order, never steal order (property-tested).
+    pub steal_seed: Option<u64>,
     /// Collapse duplicate queries and memoize pairwise alignments per distinct tree pair
     /// (on by default; beyond the paper's optimisations).  The mined graph is
     /// byte-identical either way — this knob exists for A/B measurement of the memo.
@@ -42,6 +57,8 @@ impl Default for PiOptions {
             window: WindowStrategy::Sliding(2),
             policy: AncestorPolicy::LcaPruned,
             parallel: false,
+            threads: 0,
+            steal_seed: None,
             memoize: true,
             library: WidgetLibrary::standard(),
             mapper: MapperOptions::default(),
@@ -211,6 +228,8 @@ impl PrecisionInterfaces {
             .window(self.options.window)
             .policy(self.options.policy)
             .parallel(self.options.parallel)
+            .threads(self.options.threads)
+            .steal_seed(self.options.steal_seed)
             .memoize(self.options.memoize)
             .build(queries)
     }

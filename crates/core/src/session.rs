@@ -101,6 +101,8 @@ impl Session {
             .window(options.window)
             .policy(options.policy)
             .parallel(options.parallel)
+            .threads(options.threads)
+            .steal_seed(options.steal_seed)
             .memoize(options.memoize);
         let default_dialect = frontends.default_dialect().unwrap_or_default();
         Session {

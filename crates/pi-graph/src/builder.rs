@@ -7,15 +7,85 @@
 //! exactly the fold of [`GraphBuilder::extend`] over the log, so a streaming session that
 //! appends queries one at a time produces a graph byte-identical to a one-shot build of the
 //! same prefix — the invariant `pi-core`'s `Session` is built on.
+//!
+//! Parallel mining is cost-modelled and work-stealing: a batch's pairs are packed into
+//! blocks of comparable *estimated alignment cost* ([`pi_diff::align_cost_model`] over
+//! cached node counts) and executed by the [`steal`](crate::steal) scheduler, whose
+//! determinism contract — block order, not steal order, defines the output — keeps every
+//! parallel build byte-identical to the serial fold.  The fan-out only engages when the
+//! estimated work would amortise the thread-scope overhead (`PARALLEL_MIN_COST`), so small
+//! batches and latency-sensitive single-query extends never pay for threads they cannot
+//! use.
 
 use crate::dedup::DiffMemo;
 use crate::graph::{Edge, GraphStats, InteractionGraph, IntoQueryLog, QueryLog};
+use crate::steal;
 use pi_ast::Node;
 use pi_diff::{
-    extract_changes, extract_diffs, AncestorPolicy, DiffId, DiffRecord, DiffStore, TreeChange,
+    align_cost_model, extract_changes, extract_diffs, AncestorPolicy, DiffId, DiffRecord,
+    DiffStore, TreeChange,
 };
 use std::collections::HashSet;
 use std::ops::Range;
+use std::sync::OnceLock;
+
+/// The estimated new work, in [`pi_diff::align_cost_model`] units, below which mining stays
+/// serial even when multiple workers are available.
+///
+/// Calibration, from the committed `BENCH_mining.json` anchors: `mine_sliding16` runs 7,936
+/// pair alignments over ~30-node trees (≈ 900 units each, ≈ 7.1 M units total) in ≈ 11.5 ms
+/// serial — ≈ 1.6 ns per unit.  600 k units therefore correspond to ≈ 1 ms of serial
+/// alignment work, well above the measured tens-of-microseconds cost of a scoped
+/// spawn/join cycle, so a batch that crosses the gate has real work to amortise the fan-out
+/// against.  The old `new_pairs > 32` gate counted pairs instead of work and sent 32-pair
+/// batches of tiny trees (≈ 30 µs of alignment) through the thread scope — the root of the
+/// `mine_sliding16` parallel regression this gate fixes.
+const PARALLEL_MIN_COST: u64 = 600_000;
+
+/// Floor on a block's estimated cost (≈ 25 µs of alignment work) so stealing never
+/// degenerates into per-pair deque traffic when a workload is dominated by near-zero-cost
+/// pairs (identical shapes, memo hits).
+const MIN_BLOCK_COST: u64 = 16_000;
+
+/// Target number of blocks dealt per worker: enough slack for stealing to balance the
+/// triangular AllPairs tail (late rows have more predecessors than early ones) without
+/// flooding the deques with tiny blocks.
+const BLOCKS_PER_WORKER: u64 = 8;
+
+/// Estimated cost of re-wrapping one memoized change into a store record: a refcount bump
+/// plus a 4-word write — tens of nanoseconds, i.e. a few dozen cost units.
+const MEMO_WRAP_COST_PER_RECORD: u64 = 32;
+
+/// Fixed per-pair overhead of the memoized fast path (two class lookups, one memo probe,
+/// edge bookkeeping).
+const MEMO_PAIR_BASE_COST: u64 = 16;
+
+/// Width, in distinct-class ids, of the square tiles the memo pre-alignment pass iterates:
+/// pairs are sorted so one tile touches at most `2 · CLASS_TILE` representatives, keeping
+/// both trees of every alignment in flight hot in cache.
+const CLASS_TILE: u32 = 8;
+
+/// Parses a `PI_THREADS` override value: a positive integer forces that many mining
+/// workers; `0`, an empty value, or junk means "no override".
+fn parse_thread_override(value: &str) -> Option<usize> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => None,
+    }
+}
+
+/// The process-wide `PI_THREADS` override, read once per process.  CI sets it before launch
+/// to force every builder in a test run through one scheduler configuration — the serial
+/// and 4-worker runs must both reproduce the same graphs bit for bit, so a single-core
+/// runner cannot mask a multi-thread identity bug.
+fn env_thread_override() -> Option<usize> {
+    static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        std::env::var("PI_THREADS")
+            .ok()
+            .and_then(|v| parse_thread_override(&v))
+    })
+}
 
 /// Which query pairs are compared when building the interaction graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,6 +253,8 @@ pub struct GraphBuilder {
     policy: AncestorPolicy,
     parallel: bool,
     memoize: bool,
+    threads: usize,
+    steal_seed: Option<u64>,
 }
 
 impl Default for GraphBuilder {
@@ -192,6 +264,8 @@ impl Default for GraphBuilder {
             policy: AncestorPolicy::LcaPruned,
             parallel: false,
             memoize: true,
+            threads: 0,
+            steal_seed: None,
         }
     }
 }
@@ -216,11 +290,63 @@ impl GraphBuilder {
 
     /// Enables or disables multi-threaded pairwise diffing.
     ///
-    /// On a single-core host this is a no-op: the builder falls back to the serial path, so
-    /// `parallel(true)` is never slower than serial there.
+    /// When enabled, batches whose estimated alignment work crosses the cost-model gate are
+    /// packed into cost-sized blocks and mined by the work-stealing scheduler; smaller
+    /// batches — and any build on a single-core host — fall back to the serial path, so
+    /// `parallel(true)` is never slower than serial on work too small to share.  The built
+    /// graph is byte-identical either way.  See [`GraphBuilder::threads`] for explicit
+    /// worker counts.
     pub fn parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
+    }
+
+    /// Overrides the number of mining workers (default `0` = automatic).
+    ///
+    /// `0` resolves automatically: the `PI_THREADS` environment variable if set to a
+    /// positive integer, else every available core when [`GraphBuilder::parallel`] is on,
+    /// else serial.  An explicit `n ≥ 1` wins over both: `threads(1)` forces the serial
+    /// path outright, and `threads(n > 1)` enables the work-stealing scheduler with exactly
+    /// `n` workers even when `parallel` was never switched on (asking for workers *is*
+    /// asking for parallelism).  Counts above the physical core count still spawn that many
+    /// real workers — oversubscription costs a little time but lets a single-core host
+    /// exercise genuine multi-worker interleavings.  Whatever the setting, the built graph
+    /// is byte-identical: worker count only changes who does the work, never the output
+    /// (see [`GraphBuilder::steal_seed`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Test-only hook: seeds a deterministic perturbation of the work-stealing schedule
+    /// *and* bypasses the cost-model gate, so tests can drive logs of any size through the
+    /// scheduler and exercise steal interleavings (scattered block deals, rotated victim
+    /// scans) a natural run would rarely produce.
+    ///
+    /// The scheduler's determinism contract — results are merged in *block* order, never
+    /// steal order — means the output must not change: every seed, and `None` (the
+    /// production default), yields byte-identical graphs.  Property-tested across thread
+    /// counts 1–8.
+    pub fn steal_seed(mut self, seed: Option<u64>) -> Self {
+        self.steal_seed = seed;
+        self
+    }
+
+    /// The number of mining workers this build may use — see [`GraphBuilder::threads`] for
+    /// the precedence order (explicit override, then `PI_THREADS`, then the `parallel`
+    /// flag).
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Some(n) = env_thread_override() {
+            return n;
+        }
+        if self.parallel {
+            available_cores()
+        } else {
+            1
+        }
     }
 
     /// Enables or disables duplicate collapsing + alignment memoization (default: on).
@@ -273,25 +399,35 @@ impl GraphBuilder {
             self.mine_rows_memoized(queries, start..end, memo, store, edges);
             return start..end;
         }
-        let new_pairs = self.window.pair_count(end) - self.window.pair_count(start);
-        // The fan-out is row-granular, so a single appended row can never parallelise —
-        // don't pay the thread-scope overhead for it (the common per-query `extend` case).
-        if self.parallel && end - start > 1 && available_cores() > 1 && new_pairs > 32 {
+        let threads = self.effective_threads();
+        // Cost estimation walks the referenced predecessor trees once, so it is only worth
+        // attempting for a real batch — the latency-sensitive single-query `extend` goes
+        // straight to the serial loop (unless the test hook forces the scheduler).
+        if (threads > 1 && end - start > 1) || self.steal_seed.is_some() {
             let queries = &acc.queries;
             let policy = self.policy;
-            let results = self.diff_pairs_parallel(start..end, |i, j| {
-                extract_diffs(&queries[i], &queries[j], i, j, policy)
-            });
-            for (i, j, records) in results {
-                append_pair(&mut acc.store, &mut acc.edges, i, j, records);
-            }
-        } else {
-            for j in start..end {
-                for i in self.window.prev_pairs(j) {
-                    let records =
-                        extract_diffs(&acc.queries[i], &acc.queries[j], i, j, self.policy);
+            // Node counts for every tree a new pair can reference: the appended rows plus
+            // the window's reachable predecessors (all of them under `AllPairs`, the last
+            // `w - 1` for a sliding window).
+            let lo = self.window.prev_pairs(start).start;
+            let sizes: Vec<usize> = queries[lo..end].iter().map(Node::size).collect();
+            let mined = self.mine_pair_blocks(
+                threads,
+                start..end,
+                |i, j| align_cost_model(sizes[i - lo], sizes[j - lo]),
+                |i, j| extract_diffs(&queries[i], &queries[j], i, j, policy),
+            );
+            if let Some(results) = mined {
+                for (i, j, records) in results {
                     append_pair(&mut acc.store, &mut acc.edges, i, j, records);
                 }
+                return start..end;
+            }
+        }
+        for j in start..end {
+            for i in self.window.prev_pairs(j) {
+                let records = extract_diffs(&acc.queries[i], &acc.queries[j], i, j, self.policy);
+                append_pair(&mut acc.store, &mut acc.edges, i, j, records);
             }
         }
         start..end
@@ -312,19 +448,33 @@ impl GraphBuilder {
         if self.memoize {
             let mut memo = DiffMemo::new();
             self.mine_rows_memoized(&queries, 0..n, &mut memo, &mut store, &mut edges);
-        } else if self.parallel && available_cores() > 1 && self.window.pair_count(n) > 32 {
+            return InteractionGraph::from_parts(queries, store, edges);
+        }
+        let threads = self.effective_threads();
+        let mut mined = None;
+        if (threads > 1 && n > 1) || self.steal_seed.is_some() {
             let policy = self.policy;
             let log = &queries;
-            let results = self
-                .diff_pairs_parallel(0..n, |i, j| extract_diffs(&log[i], &log[j], i, j, policy));
-            for (i, j, records) in results {
-                append_pair(&mut store, &mut edges, i, j, records);
-            }
-        } else {
-            for j in 0..n {
-                for i in self.window.prev_pairs(j) {
-                    let records = extract_diffs(&queries[i], &queries[j], i, j, self.policy);
+            let sizes: Vec<usize> = log.iter().map(Node::size).collect();
+            mined = self.mine_pair_blocks(
+                threads,
+                0..n,
+                |i, j| align_cost_model(sizes[i], sizes[j]),
+                |i, j| extract_diffs(&log[i], &log[j], i, j, policy),
+            );
+        }
+        match mined {
+            Some(results) => {
+                for (i, j, records) in results {
                     append_pair(&mut store, &mut edges, i, j, records);
+                }
+            }
+            None => {
+                for j in 0..n {
+                    for i in self.window.prev_pairs(j) {
+                        let records = extract_diffs(&queries[i], &queries[j], i, j, self.policy);
+                        append_pair(&mut store, &mut edges, i, j, records);
+                    }
                 }
             }
         }
@@ -339,9 +489,10 @@ impl GraphBuilder {
     /// singleton shapes — which cannot recur — are aligned directly, exactly like a
     /// memo-off build, so fully-distinct logs pay only the dedup bookkeeping.
     ///
-    /// When the builder is parallel and the batch is large, the missing recurring
-    /// alignments are pre-computed across cores and the per-pair record construction rides
-    /// the same row-chunked fan-out as the unmemoized path.
+    /// When multiple workers are available and the batch is large, the missing recurring
+    /// alignments are pre-computed in cache-conscious tiles over the distinct-pair space
+    /// and the per-pair record construction rides the same cost-blocked work-stealing
+    /// fan-out as the unmemoized path.
     ///
     /// Every path is the same fold over the same append order, so the resulting store and
     /// edge list are byte-identical to the unmemoized builder's — alignment is purely
@@ -359,11 +510,11 @@ impl GraphBuilder {
         // with memoization disabled, and ingest order must stay append order either way.
         memo.ingest_through(queries, rows.end);
         let policy = self.policy;
-        if self.parallel && rows.len() > 1 && available_cores() > 1 {
+        let threads = self.effective_threads();
+        if (threads > 1 && rows.len() > 1) || self.steal_seed.is_some() {
             // Pre-align the distinct ordered pairs this batch will admit to the memo but
-            // the memo lacks, in first-demand order (the order is irrelevant to the
-            // output — results are keyed — but determinism costs nothing).  The admission
-            // scan mirrors the serial loop's, so the same pairs end up memoized.
+            // the memo lacks, in first-demand order.  The admission scan mirrors the
+            // serial loop's, so the same pairs end up memoized.
             let mut queued: HashSet<(u32, u32)> = HashSet::new();
             let mut needed: Vec<(u32, u32)> = Vec::new();
             for j in rows.clone() {
@@ -380,17 +531,31 @@ impl GraphBuilder {
                     }
                 }
             }
-            if !needed.is_empty() {
-                for ((ca, cb), changes) in self.align_pairs_parallel(memo, &needed) {
-                    memo.insert(ca, cb, changes);
-                }
-            }
-            if self.window.pair_count(rows.end) - self.window.pair_count(rows.start) > 32 {
-                // Row-chunked fan-out, with workers reading the (now complete) memo:
-                // memoized pairs re-wrap their change lists, singleton pairs align
-                // directly — the same records the serial loop below would produce.
-                let memo_view: &DiffMemo = memo;
-                let results = self.diff_pairs_parallel(rows, |i, j| {
+            self.align_missing_pairs(memo, needed, threads);
+            // Per-pair record construction on the (now complete) memo: memoized pairs
+            // re-wrap their change lists, singleton pairs align directly — the same
+            // records the serial loop below would produce, in the same append order.
+            // The per-pair cost estimate mirrors that split, so blocks of memo hits and
+            // blocks of real alignments come out comparably sized.
+            let memo_view: &DiffMemo = memo;
+            let dedup = memo_view.dedup();
+            let mined = self.mine_pair_blocks(
+                threads,
+                rows.clone(),
+                |i, j| {
+                    let (ca, cb) = (memo_view.class(i), memo_view.class(j));
+                    if ca == cb {
+                        return 1;
+                    }
+                    match memo_view.get(ca, cb) {
+                        Some(entry) => {
+                            MEMO_PAIR_BASE_COST
+                                + MEMO_WRAP_COST_PER_RECORD * entry.changes().len() as u64
+                        }
+                        None => align_cost_model(dedup.tree_size(ca), dedup.tree_size(cb)),
+                    }
+                },
+                |i, j| {
                     let (ca, cb) = (memo_view.class(i), memo_view.class(j));
                     if ca == cb {
                         return Vec::new();
@@ -405,7 +570,9 @@ impl GraphBuilder {
                             .collect(),
                         None => extract_diffs(&queries[i], &queries[j], i, j, policy),
                     }
-                });
+                },
+            );
+            if let Some(results) = mined {
                 for (i, j, records) in results {
                     append_pair(store, edges, i, j, records);
                 }
@@ -435,99 +602,130 @@ impl GraphBuilder {
         }
     }
 
-    /// Aligns the given distinct ordered class pairs across the available cores.  Workers
-    /// own contiguous chunks and return results by value; since every result is keyed by
-    /// its class pair, assembly order cannot affect the memo's contents.
+    /// Ensures every pair in `needed` — the distinct ordered class pairs the admission
+    /// scan accepted but the memo lacks — is memoized before per-pair record construction
+    /// runs.  Small sets are aligned inline (the old code paid a full thread scope even
+    /// for one missing pair); sets whose estimated cost crosses the parallel gate fan out
+    /// through [`GraphBuilder::align_pairs_parallel`].
+    fn align_missing_pairs(&self, memo: &mut DiffMemo, needed: Vec<(u32, u32)>, threads: usize) {
+        if needed.is_empty() {
+            return;
+        }
+        let total: u64 = {
+            let dedup = memo.dedup();
+            needed
+                .iter()
+                .map(|&(ca, cb)| align_cost_model(dedup.tree_size(ca), dedup.tree_size(cb)))
+                .sum()
+        };
+        if threads > 1 && (total >= PARALLEL_MIN_COST || self.steal_seed.is_some()) {
+            for ((ca, cb), changes) in self.align_pairs_parallel(memo, needed, threads) {
+                memo.insert(ca, cb, changes);
+            }
+        } else {
+            for (ca, cb) in needed {
+                let changes = extract_changes(
+                    memo.dedup().representative(ca),
+                    memo.dedup().representative(cb),
+                    self.policy,
+                );
+                memo.insert(ca, cb, changes);
+            }
+        }
+    }
+
+    /// Aligns the given distinct ordered class pairs on the work-stealing scheduler.
+    ///
+    /// The pairs are first sorted into [`CLASS_TILE`]-wide square tiles over the
+    /// distinct-pair plane — one tile touches at most `2 · CLASS_TILE` representatives, so
+    /// both trees of every alignment in flight stay hot in cache — then packed into blocks
+    /// of comparable estimated cost, so the alignment load balances by work rather than by
+    /// pair count.  Every result is keyed by its class pair, so neither block order nor
+    /// steal order can affect the memo's contents.
     fn align_pairs_parallel(
         &self,
         memo: &DiffMemo,
-        needed: &[(u32, u32)],
+        mut needed: Vec<(u32, u32)>,
+        threads: usize,
     ) -> Vec<((u32, u32), Vec<TreeChange>)> {
-        let threads = available_cores().min(needed.len());
-        let chunk = needed.len().div_ceil(threads);
+        needed.sort_unstable_by_key(|&(ca, cb)| (ca / CLASS_TILE, cb / CLASS_TILE, ca, cb));
+        let dedup = memo.dedup();
+        let cost =
+            |&(ca, cb): &(u32, u32)| align_cost_model(dedup.tree_size(ca), dedup.tree_size(cb));
+        let total: u64 = needed.iter().map(cost).sum();
+        let target = (total / (threads as u64 * BLOCKS_PER_WORKER)).max(MIN_BLOCK_COST);
+        let blocks = steal::pack_by_cost(needed, cost, target);
         let policy = self.policy;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = needed
-                .chunks(chunk)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|&(ca, cb)| {
-                                let changes = extract_changes(
-                                    memo.dedup().representative(ca),
-                                    memo.dedup().representative(cb),
-                                    policy,
-                                );
-                                ((ca, cb), changes)
-                            })
-                            .collect::<Vec<_>>()
+        steal::run_blocks(
+            threads,
+            self.steal_seed,
+            blocks,
+            |_, block: &Vec<(u32, u32)>| {
+                block
+                    .iter()
+                    .map(|&(ca, cb)| {
+                        let changes = extract_changes(
+                            dedup.representative(ca),
+                            dedup.representative(cb),
+                            policy,
+                        );
+                        ((ca, cb), changes)
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("align worker panicked"))
-                .collect()
-        })
+                    .collect::<Vec<_>>()
+            },
+        )
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
-    /// Fans pairwise record construction out over the available cores with scoped threads,
-    /// for the append-order rows `rows` (query `j` paired with its admitted predecessors)
-    /// of a log.  `pair_records` produces the records of one `(i, j)` pair — a plain
-    /// alignment for the unmemoized path, a memo probe with alignment fallback for the
-    /// memoized one.
+    /// Enumerates the append-order pairs of `rows`, estimates their total alignment cost,
+    /// and — when that cost crosses the parallel gate (or the test hook forces it) — mines
+    /// them on the work-stealing scheduler, returning the per-pair records **in append
+    /// order**: blocks are contiguous runs of the serial enumeration sized by estimated
+    /// cost, and [`steal::run_blocks`] merges results in block order regardless of steal
+    /// interleaving, so the output is identical to the serial loop's.
     ///
-    /// The row range is cut into small chunks (4 per worker) and exactly `threads` workers
-    /// each process every `threads`-th chunk — the stride balances the triangular AllPairs
-    /// workload (late queries have more predecessors than early ones) without
-    /// oversubscribing the CPU.  Workers collect results per chunk, and the chunks are
-    /// re-assembled in append order afterwards, so the output is *identical* to the serial
-    /// enumeration — no shared mutable state, no lock contention.
-    fn diff_pairs_parallel<F>(
+    /// Returns `None` when the estimated work is too small to amortise the fan-out,
+    /// leaving the caller on the serial path — this cost gate replaces the old row-count
+    /// (`new_pairs > 32`) threshold, which charged tiny-tree sliding windows a full
+    /// thread scope for microseconds of alignment.
+    fn mine_pair_blocks<C, F>(
         &self,
+        threads: usize,
         rows: Range<usize>,
+        pair_cost: C,
         pair_records: F,
-    ) -> Vec<(usize, usize, Vec<DiffRecord>)>
+    ) -> Option<Vec<(usize, usize, Vec<DiffRecord>)>>
     where
+        C: Fn(usize, usize) -> u64,
         F: Fn(usize, usize) -> Vec<DiffRecord> + Sync,
     {
-        let (rows_start, rows_end) = (rows.start, rows.end);
-        let m = rows_end - rows_start;
-        let threads = available_cores().min(m.max(1));
-        let chunk = m.div_ceil(threads * 4).max(1);
-        let chunk_count = m.div_ceil(chunk);
-        let window = self.window;
-        let pair_records = &pair_records;
-
-        type ChunkResults = Vec<(usize, Vec<(usize, usize, Vec<DiffRecord>)>)>;
-        let mut chunks: ChunkResults = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|worker| {
-                    scope.spawn(move || {
-                        let mut mine = Vec::new();
-                        for c in (worker..chunk_count).step_by(threads) {
-                            let start = rows_start + c * chunk;
-                            let end = (start + chunk).min(rows_end);
-                            let mut local = Vec::new();
-                            for j in start..end {
-                                for i in window.prev_pairs(j) {
-                                    local.push((i, j, pair_records(i, j)));
-                                }
-                            }
-                            mine.push((c, local));
-                        }
-                        mine
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("diff worker panicked"))
-                .collect()
-        });
-        chunks.sort_unstable_by_key(|(c, _)| *c);
-        chunks.into_iter().flat_map(|(_, local)| local).collect()
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        let mut total: u64 = 0;
+        for j in rows {
+            for i in self.window.prev_pairs(j) {
+                total = total.saturating_add(pair_cost(i, j).max(1));
+                pairs.push((i, j));
+            }
+        }
+        if pairs.is_empty() || (total < PARALLEL_MIN_COST && self.steal_seed.is_none()) {
+            return None;
+        }
+        let target = (total / (threads as u64 * BLOCKS_PER_WORKER)).max(MIN_BLOCK_COST);
+        let blocks = steal::pack_by_cost(pairs, |&(i, j)| pair_cost(i, j), target);
+        let results = steal::run_blocks(
+            threads,
+            self.steal_seed,
+            blocks,
+            |_, block: &Vec<(usize, usize)>| {
+                block
+                    .iter()
+                    .map(|&(i, j)| (i, j, pair_records(i, j)))
+                    .collect::<Vec<_>>()
+            },
+        );
+        Some(results.into_iter().flatten().collect())
     }
 }
 
@@ -851,6 +1049,88 @@ mod tests {
             .parallel(true)
             .build(&log);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn pi_threads_values_parse_as_positive_overrides() {
+        assert_eq!(parse_thread_override("4"), Some(4));
+        assert_eq!(parse_thread_override(" 2 "), Some(2));
+        assert_eq!(parse_thread_override("1"), Some(1));
+        // 0, empty, and junk all mean "no override".
+        assert_eq!(parse_thread_override("0"), None);
+        assert_eq!(parse_thread_override(""), None);
+        assert_eq!(parse_thread_override("auto"), None);
+        assert_eq!(parse_thread_override("-2"), None);
+    }
+
+    #[test]
+    fn forced_thread_counts_build_identical_graphs() {
+        // Real multi-worker runs even on a single-core host: an explicit count spawns that
+        // many workers, and the steal-seed hook pushes every pair through the scheduler.
+        let log: Vec<Node> = (0..30)
+            .map(|i| parse(&format!("SELECT a FROM t WHERE x = {}", (i * 5) % 9)).unwrap())
+            .collect();
+        for window in [WindowStrategy::AllPairs, WindowStrategy::sliding(4)] {
+            for memoize in [true, false] {
+                let reference = GraphBuilder::new()
+                    .window(window)
+                    .memoize(memoize)
+                    .threads(1)
+                    .build(&log);
+                for threads in 2..=8 {
+                    let forced = GraphBuilder::new()
+                        .window(window)
+                        .memoize(memoize)
+                        .threads(threads)
+                        .steal_seed(Some(threads as u64 * 977))
+                        .build(&log);
+                    assert_eq!(forced, reference, "{window:?} memo={memoize} t={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steal_seed_forces_the_scheduler_through_interleaved_extends() {
+        let log: Vec<Node> = (0..12)
+            .map(|i| parse(&format!("SELECT a FROM t WHERE x = {}", i % 4)).unwrap())
+            .collect();
+        for memoize in [true, false] {
+            let serial = GraphBuilder::new()
+                .window(WindowStrategy::AllPairs)
+                .memoize(memoize)
+                .build(&log);
+            let builder = GraphBuilder::new()
+                .window(WindowStrategy::AllPairs)
+                .memoize(memoize)
+                .threads(3)
+                .steal_seed(Some(0xfeed));
+            let mut acc = GraphAccumulator::new();
+            // Single-query pushes normally stay serial; the seed drags even those through
+            // the scheduler, so this exercises one-row block mining too.
+            for q in &log {
+                builder.extend(&mut acc, q.clone());
+            }
+            assert_eq!(acc.to_graph(), serial, "memo={memoize}");
+        }
+    }
+
+    #[test]
+    fn explicit_threads_one_beats_the_parallel_flag() {
+        // threads(1) forces the serial path even with parallel(true); the output is the
+        // same either way — this pins the precedence, not the bytes.
+        let log: Vec<Node> = (0..20)
+            .map(|i| parse(&format!("SELECT a FROM t WHERE x = {i}")).unwrap())
+            .collect();
+        let a = GraphBuilder::new()
+            .window(WindowStrategy::AllPairs)
+            .parallel(true)
+            .threads(1)
+            .build(&log);
+        let b = GraphBuilder::new()
+            .window(WindowStrategy::AllPairs)
+            .build(&log);
+        assert_eq!(a, b);
     }
 
     #[test]

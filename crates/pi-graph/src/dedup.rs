@@ -44,6 +44,11 @@ pub struct DedupTable {
     classes: Vec<Node>,
     /// How many ingested queries each class has absorbed.
     counts: Vec<u32>,
+    /// Node count of each class representative, measured once at class creation.  The
+    /// parallel scheduler's cost model ([`pi_diff::align_cost_model`]) reads these on every
+    /// enumerated pair, and [`Node::size`] is an `O(tree)` walk — caching it here turns the
+    /// per-pair estimate into two array loads and a multiply.
+    sizes: Vec<u32>,
     /// Structural hash → ids of the classes whose representatives carry that hash.  The
     /// bucket has one entry except under a 64-bit collision.  Keyed by the memoized
     /// structural hash — already well-mixed — through a single splitmix round instead of
@@ -113,6 +118,7 @@ impl DedupTable {
                         slot.get_mut().push(fresh);
                         self.classes.push(query.clone());
                         self.counts.push(1);
+                        self.sizes.push(measured_size(query));
                         fresh
                     }
                 }
@@ -121,6 +127,7 @@ impl DedupTable {
                 slot.insert(Bucket::One(fresh));
                 self.classes.push(query.clone());
                 self.counts.push(1);
+                self.sizes.push(measured_size(query));
                 fresh
             }
         };
@@ -157,6 +164,18 @@ impl DedupTable {
     pub fn representative(&self, class: u32) -> &Node {
         &self.classes[class as usize]
     }
+
+    /// Node count of the class representative, cached at class creation — the input to the
+    /// parallel scheduler's per-pair cost estimate ([`pi_diff::align_cost_model`]).
+    pub fn tree_size(&self, class: u32) -> usize {
+        self.sizes[class as usize] as usize
+    }
+}
+
+/// A tree's node count saturated into the cache's `u32` (a tree of ≥ 2³² nodes would not
+/// fit in memory anyway; saturation merely caps the cost estimate).
+fn measured_size(query: &Node) -> u32 {
+    u32::try_from(query.size()).unwrap_or(u32::MAX)
 }
 
 /// A memoized alignment: the index-free change list of one ordered distinct pair, stored
@@ -402,6 +421,19 @@ mod tests {
         // structurally (a refcount bump of `a`, not of `a_again`).
         assert!(table.representative(0).ptr_eq(&a));
         assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn class_tree_sizes_are_cached_at_ingest() {
+        let mut table = DedupTable::new();
+        let a = parse("SELECT a FROM t WHERE x = 1");
+        let b = parse("SELECT a, b, c FROM t WHERE x = 1 AND y = 2");
+        table.ingest(&a);
+        table.ingest(&b);
+        table.ingest(&a);
+        assert_eq!(table.tree_size(0), a.size());
+        assert_eq!(table.tree_size(1), b.size());
+        assert!(table.tree_size(1) > table.tree_size(0));
     }
 
     #[test]

@@ -22,11 +22,18 @@
 //! default and *invisible*: graphs are byte-identical with it on or off
 //! ([`GraphBuilder::memoize`] exists for A/B measurement).
 //!
-//! Pairwise diffing is embarrassingly parallel; the builder optionally fans the work out over
-//! all available cores with `std::thread::scope`: each worker owns a contiguous chunk of log
-//! rows and returns its results by value, which are concatenated in spawn order — the parallel
-//! build is byte-identical to the serial one by construction (and on a single-core host the
-//! builder falls back to the serial path outright).
+//! Pairwise diffing is embarrassingly parallel; the builder fans it out over a deque-based
+//! **work-stealing scheduler**: a batch's pairs are packed into blocks of comparable
+//! *estimated alignment cost* (cached node counts through `pi_diff::align_cost_model`, so
+//! the triangular `AllPairs` load balances by work, not row count), each worker owns a
+//! local deque of blocks and steals from a victim's when dry, and every block writes its
+//! result into a slot indexed by the deterministic global block order.  **Block order, not
+//! steal order, defines the output** — the merged graph is byte-identical to the serial
+//! fold for every worker count and every steal interleaving (property-tested under seeded
+//! schedule perturbation).  The fan-out engages only when the estimated work would
+//! amortise the thread overhead, so small batches and single-query extends stay serial;
+//! worker counts resolve from [`GraphBuilder::threads`], the `PI_THREADS` environment
+//! variable, or the available cores, in that order.
 //!
 //! Construction is *incremental at heart*: [`GraphBuilder::extend`] appends one query to a
 //! [`GraphAccumulator`], diffing it only against the predecessors the window strategy admits,
@@ -40,6 +47,7 @@
 mod builder;
 mod dedup;
 mod graph;
+mod steal;
 
 pub use builder::{GraphAccumulator, GraphBuilder, WindowStrategy};
 pub use dedup::{DedupTable, DiffMemo};

@@ -442,6 +442,68 @@ proptest! {
         }
     }
 
+    // ------------------------------------------------------------ work-stealing determinism
+
+    /// The work-stealing scheduler is invisible: for forced worker counts up to 8 and any
+    /// steal-order seed (injected through the test-only `steal_seed` hook, which also
+    /// bypasses the cost gate so tiny logs exercise real multi-worker schedules), batch
+    /// builds and interleaved `push`/`snapshot` sessions — memo on and off — produce
+    /// outputs byte-identical to the single-threaded build: same graph (same `DiffStore`
+    /// ids and record order), same widgets, same rendered `describe()`.  Block order, not
+    /// steal order, defines the output.
+    #[test]
+    fn work_stealing_is_byte_identical_across_thread_counts_and_steal_orders(
+        base in prop::collection::vec((arb_query(), prop::bool::ANY), 2..8),
+        dups in prop::collection::vec((0usize..64, 0usize..64), 1..6),
+        seed in 0u64..u64::MAX,
+        threads in 2usize..9,
+        snap_every in 2usize..5,
+    ) {
+        use precision_interfaces::graph::WindowStrategy;
+        // Duplicate injection (as in the memo test) so the memoized paths hit every
+        // admission tier while the scheduler is being perturbed.
+        let mut queries: Vec<Node> = base.iter().map(|(q, _)| q.clone()).collect();
+        for &(src, pos) in &dups {
+            let entry = queries[src % queries.len()].clone();
+            queries.insert(pos % (queries.len() + 1), entry);
+        }
+        for window in [WindowStrategy::AllPairs, WindowStrategy::sliding(3)] {
+            for memoize in [true, false] {
+                let serial = PiOptions { window, memoize, threads: 1, ..Default::default() };
+                let stolen = PiOptions {
+                    window,
+                    memoize,
+                    threads,
+                    steal_seed: Some(seed),
+                    ..Default::default()
+                };
+                let reference = PrecisionInterfaces::new(serial.clone()).from_queries(queries.clone());
+                let forced = PrecisionInterfaces::new(stolen.clone()).from_queries(queries.clone());
+                prop_assert_eq!(forced.graph_stats, reference.graph_stats);
+                prop_assert_eq!(&forced.graph, &reference.graph);
+                prop_assert_eq!(forced.interface.widgets(), reference.interface.widgets());
+                prop_assert_eq!(forced.interface.describe(), reference.interface.describe());
+                // Interleaved streaming under the perturbed schedule: every prefix the
+                // snapshot pattern lands on must match the single-threaded batch build of
+                // exactly that prefix.
+                let mut session = Session::new(stolen);
+                for (k, q) in queries.iter().enumerate() {
+                    prop_assert_eq!(session.push(q.clone()), k);
+                    if (k + 1) % snap_every != 0 && k + 1 != queries.len() {
+                        continue;
+                    }
+                    let snap = session.snapshot();
+                    let batch = PrecisionInterfaces::new(serial.clone())
+                        .from_queries(queries[..=k].to_vec());
+                    prop_assert_eq!(snap.version, batch.version);
+                    prop_assert_eq!(&snap.graph, &batch.graph);
+                    prop_assert_eq!(snap.interface.widgets(), batch.interface.widgets());
+                    prop_assert_eq!(snap.interface.describe(), batch.interface.describe());
+                }
+            }
+        }
+    }
+
     // ------------------------------------------------------------ COW aliasing
 
     /// The copy-on-write contract: `replaced()` shares every subtree off the root→path spine

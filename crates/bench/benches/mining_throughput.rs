@@ -429,113 +429,37 @@ fn assert_determinism_contracts(queries: &QueryLog) {
     assert_eq!(memoized, unmemoized);
 }
 
-/// Parses the previous `BENCH_mining.json` (if any) into `(bench id, threads, mean ns)`
-/// tuples, with a by-hand scan rather than a JSON dependency — the file is machine-written
-/// by `export_json` below, so the shape is known.  The `threads` component is `None` for
-/// lines without a `"threads"` key (all pre-scaling-curve files), so old and new files
-/// compare cleanly.
-fn read_previous(path: &str) -> Vec<(String, Option<u64>, f64)> {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return Vec::new();
-    };
-    let mut out = Vec::new();
-    for line in text.lines() {
-        let Some(id) = line
-            .split("\"id\": \"")
-            .nth(1)
-            .and_then(|rest| rest.split('"').next())
-        else {
-            continue;
-        };
-        let Some(mean) = line
-            .split("\"mean_ns\": ")
-            .nth(1)
-            .and_then(|rest| rest.split([',', '}']).next())
-            .and_then(|v| v.trim().parse::<f64>().ok())
-        else {
-            continue;
-        };
-        let threads = line
-            .split("\"threads\": ")
-            .nth(1)
-            .and_then(|rest| rest.split([',', '}']).next())
-            .and_then(|v| v.trim().parse::<u64>().ok());
-        out.push((id.to_string(), threads, mean));
-    }
-    out
-}
-
-/// Prints a one-line old-vs-new comparison per bench present in both runs, so a bench run
-/// against a checked-in `BENCH_mining.json` reports the delta without leaving the terminal.
-/// Benches are matched on `(id, threads)`, not id alone — the arms of a scaling curve share
-/// an id and differ only in worker count.
-fn print_comparison(previous: &[(String, Option<u64>, f64)], c: &Criterion) {
-    if previous.is_empty() {
-        return;
-    }
-    println!("vs previous BENCH_mining.json:");
-    for m in c.measurements() {
-        let Some((_, _, old)) = previous
-            .iter()
-            .find(|(id, threads, _)| *id == m.id && *threads == m.threads)
-        else {
-            continue;
-        };
-        let ratio = old / m.mean_ns;
-        let label = match m.threads {
-            Some(t) => format!("{} [threads={t}]", m.id),
-            None => m.id.clone(),
-        };
-        println!(
-            "  {label}: {:.3} ms -> {:.3} ms ({:.2}x)",
-            old / 1e6,
-            m.mean_ns / 1e6,
-            ratio
-        );
-    }
-}
-
-fn export_json(c: &Criterion) {
-    let mut out = String::from("{\n  \"log\": \"olap_random_walk\",\n");
-    out.push_str(&format!("  \"queries\": {LOG_SIZE},\n  \"benches\": [\n"));
-    let measurements = c.measurements();
-    for (i, m) in measurements.iter().enumerate() {
-        let threads = match m.threads {
-            Some(t) => format!("\"threads\": {t}, "),
-            None => String::new(),
-        };
-        out.push_str(&format!(
-            "    {{\"id\": \"{}\", {threads}\"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"iterations\": {}}}{}\n",
-            m.id,
-            m.mean_ns,
-            m.min_ns,
-            m.max_ns,
-            m.iterations,
-            if i + 1 == measurements.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    // crates/bench -> workspace root.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mining.json");
-    match std::fs::write(path, &out) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
-}
-
 criterion_group!(benches, bench_mining_throughput);
 
 fn main() {
     assert_determinism_contracts(&olap_log());
-    // Snapshot the previous run's numbers before export_json overwrites them.
-    let previous = read_previous(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../BENCH_mining.json"
-    ));
+    // crates/bench -> workspace root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mining.json");
+    // Snapshot the previous run's numbers before write_bench_json overwrites them.
+    let previous = bench::read_bench_json(path);
     let mut c = Criterion::new();
     benches(&mut c);
     thread_scaling(&mut c);
     sliding16_ab_note(&c);
-    export_json(&c);
-    print_comparison(&previous, &c);
+    let lines: Vec<bench::BenchLine> = c
+        .measurements()
+        .iter()
+        .map(|m| bench::BenchLine {
+            id: m.id.clone(),
+            threads: m.threads,
+            mean_ns: m.mean_ns,
+            min_ns: m.min_ns,
+            max_ns: m.max_ns,
+            iterations: m.iterations,
+        })
+        .collect();
+    bench::write_bench_json(
+        path,
+        &[
+            ("log", "\"olap_random_walk\"".to_string()),
+            ("queries", LOG_SIZE.to_string()),
+        ],
+        &lines,
+    );
+    bench::print_comparison("BENCH_mining.json", &previous, &lines);
 }

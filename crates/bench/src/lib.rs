@@ -22,6 +22,135 @@ pub fn interleaved_log(n: usize) -> Vec<Node> {
     queries
 }
 
+/// One recorded line of a `BENCH_*.json` trajectory file.
+///
+/// Mirrors the harness's measurement shape without depending on it, so both the Criterion
+/// benches (which convert their measurements) and custom harnesses like the serving load
+/// generator (which compute percentiles by hand) write through the same code path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchLine {
+    /// Bench id, e.g. `"serving/ingest_post_p99"`.
+    pub id: String,
+    /// Worker count for scaling-curve arms sharing one id; `None` otherwise.
+    pub threads: Option<u64>,
+    /// Mean (or, for percentile lines, the percentile itself), in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample, ns.
+    pub min_ns: f64,
+    /// Slowest sample, ns.
+    pub max_ns: f64,
+    /// Samples behind the line.
+    pub iterations: u64,
+}
+
+/// Parses a previous trajectory file (if any) into `(bench id, threads, mean ns)` tuples,
+/// with a by-hand line scan rather than a JSON dependency — these files are machine-written
+/// by [`write_bench_json`], so the one-line-per-bench shape is known.  The `threads`
+/// component is `None` for lines without a `"threads"` key, so files from before a scaling
+/// curve was added compare cleanly against files from after.
+pub fn read_bench_json(path: &str) -> Vec<(String, Option<u64>, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(id) = line
+            .split("\"id\": \"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+        else {
+            continue;
+        };
+        let Some(mean) = line
+            .split("\"mean_ns\": ")
+            .nth(1)
+            .and_then(|rest| rest.split([',', '}']).next())
+            .and_then(|v| v.trim().parse::<f64>().ok())
+        else {
+            continue;
+        };
+        let threads = line
+            .split("\"threads\": ")
+            .nth(1)
+            .and_then(|rest| rest.split([',', '}']).next())
+            .and_then(|v| v.trim().parse::<u64>().ok());
+        out.push((id.to_string(), threads, mean));
+    }
+    out
+}
+
+/// Renders a trajectory file: the `header` key/value pairs (values are raw JSON fragments,
+/// e.g. `"512"` or `"\"olap_random_walk\""`) followed by one line per bench.
+pub fn render_bench_json(header: &[(&str, String)], lines: &[BenchLine]) -> String {
+    let mut out = String::from("{\n");
+    for (key, value) in header {
+        out.push_str(&format!("  \"{key}\": {value},\n"));
+    }
+    out.push_str("  \"benches\": [\n");
+    for (i, line) in lines.iter().enumerate() {
+        let threads = match line.threads {
+            Some(t) => format!("\"threads\": {t}, "),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", {threads}\"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"iterations\": {}}}{}\n",
+            line.id,
+            line.mean_ns,
+            line.min_ns,
+            line.max_ns,
+            line.iterations,
+            if i + 1 == lines.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes a trajectory file via [`render_bench_json`], reporting the outcome to the
+/// terminal (benches run with `--nocapture` semantics, so this is the user-visible record
+/// of where the numbers went).
+pub fn write_bench_json(path: &str, header: &[(&str, String)], lines: &[BenchLine]) {
+    match std::fs::write(path, render_bench_json(header, lines)) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Prints a one-line old-vs-new comparison per bench present in both runs, so a bench run
+/// against a checked-in trajectory file reports the delta without leaving the terminal.
+/// Benches are matched on `(id, threads)`, not id alone — the arms of a scaling curve share
+/// an id and differ only in worker count.  `file_label` names the file the old numbers came
+/// from (`BENCH_mining.json`, `BENCH_serving.json`, …).
+pub fn print_comparison(
+    file_label: &str,
+    previous: &[(String, Option<u64>, f64)],
+    current: &[BenchLine],
+) {
+    if previous.is_empty() {
+        return;
+    }
+    println!("vs previous {file_label}:");
+    for line in current {
+        let Some((_, _, old)) = previous
+            .iter()
+            .find(|(id, threads, _)| *id == line.id && *threads == line.threads)
+        else {
+            continue;
+        };
+        let ratio = old / line.mean_ns;
+        let label = match line.threads {
+            Some(t) => format!("{} [threads={t}]", line.id),
+            None => line.id.clone(),
+        };
+        println!(
+            "  {label}: {:.3} ms -> {:.3} ms ({:.2}x)",
+            old / 1e6,
+            line.mean_ns / 1e6,
+            ratio
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -31,5 +160,42 @@ mod tests {
         assert_eq!(client_log(50).len(), 50);
         assert_eq!(interleaved_log(100).len(), 100);
         assert_eq!(interleaved_log(999).len(), 999);
+    }
+
+    #[test]
+    fn bench_json_round_trips_through_the_line_scanner() {
+        let lines = vec![
+            BenchLine {
+                id: "serving/ingest_post".into(),
+                threads: None,
+                mean_ns: 125000.0,
+                min_ns: 90000.0,
+                max_ns: 410000.0,
+                iterations: 384,
+            },
+            BenchLine {
+                id: "mining/scaling".into(),
+                threads: Some(4),
+                mean_ns: 2.5e6,
+                min_ns: 2.1e6,
+                max_ns: 3.0e6,
+                iterations: 6,
+            },
+        ];
+        let header = [("tenants", "64".to_string())];
+        let text = render_bench_json(&header, &lines);
+        assert!(text.contains("\"tenants\": 64"));
+        let dir = std::env::temp_dir().join("pi-bench-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        std::fs::write(&path, &text).unwrap();
+        let parsed = read_bench_json(path.to_str().unwrap());
+        assert_eq!(
+            parsed,
+            vec![
+                ("serving/ingest_post".to_string(), None, 125000.0),
+                ("mining/scaling".to_string(), Some(4), 2500000.0),
+            ]
+        );
     }
 }

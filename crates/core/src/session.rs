@@ -71,6 +71,11 @@ struct CachedSnapshot {
 ///
 /// Cloning a session forks it: both halves share the diff subtrees accumulated so far
 /// (records are `Arc`-shared) but evolve independently from the clone point.
+///
+/// Sessions are `Send` (asserted by a compile-time test): a multi-tenant host like
+/// `pi-server`'s `SessionPool` can move each tenant's session behind its own lock and
+/// apply pushes from whichever worker thread picks the tenant up.  They are *not* designed
+/// for shared mutation — one session, one writer at a time.
 #[derive(Debug, Clone)]
 pub struct Session {
     options: PiOptions,
@@ -241,6 +246,10 @@ impl Session {
     }
 
     /// Number of queries ingested so far.
+    ///
+    /// Cheap (a field read, no snapshot) — this is what occupancy gauges poll, e.g. the
+    /// per-tenant `queries` figure in `pi-server`'s `/stats`, without forcing the mapper
+    /// to run.  Equals [`Session::version`].
     pub fn len(&self) -> usize {
         self.acc.len()
     }
@@ -250,7 +259,12 @@ impl Session {
         self.acc.is_empty()
     }
 
-    /// Number of unparseable statements skipped by [`Session::push_sql`] so far.
+    /// Number of unparseable (or unregistered-dialect) statements skipped so far by the
+    /// text entry points — [`Session::push_text`], [`Session::push_text_as`] and the
+    /// [`Session::push_sql`] alias.
+    ///
+    /// Cheap (a field read, no snapshot), so health endpoints can report parse-garbage
+    /// rates per poll without re-deriving them from [`GeneratedInterface::skipped`].
     pub fn skipped(&self) -> usize {
         self.skipped
     }
@@ -590,6 +604,22 @@ mod tests {
         // with_default_dialect re-routes untagged pushes.
         let rerouted = Session::new(PiOptions::default()).with_default_dialect(Dialect::FRAMES);
         assert_eq!(rerouted.default_dialect(), Dialect::FRAMES);
+    }
+
+    #[test]
+    fn sessions_are_send_and_cheap_accessors_track_state() {
+        // The pool-facing audit: a SessionPool moves sessions across worker threads, so
+        // Session (and a generated snapshot) must stay Send — if a future change smuggles
+        // in an Rc or a non-Send trait object, this stops compiling.
+        fn assert_send<T: Send>() {}
+        assert_send::<Session>();
+        assert_send::<GeneratedInterface>();
+        // len()/skipped() are the no-snapshot accessors /stats-style gauges poll.
+        let mut session = Session::new(PiOptions::default());
+        assert_eq!((session.len(), session.skipped()), (0, 0));
+        session.push_sql("SELECT a FROM t WHERE x = 1; NOT SQL;");
+        assert_eq!((session.len(), session.skipped()), (1, 1));
+        assert_eq!(session.len() as u64, session.version());
     }
 
     #[test]

@@ -65,12 +65,19 @@ const MEMO_PAIR_BASE_COST: u64 = 16;
 /// both trees of every alignment in flight hot in cache.
 const CLASS_TILE: u32 = 8;
 
-/// Parses a `PI_THREADS` override value: a positive integer forces that many mining
-/// workers; `0`, an empty value, or junk means "no override".
-fn parse_thread_override(value: &str) -> Option<usize> {
-    match value.trim().parse::<usize>() {
-        Ok(n) if n > 0 => Some(n),
-        _ => None,
+/// Parses a `PI_THREADS` override value: `Ok(Some(n))` forces `n` mining workers,
+/// `Ok(None)` for the explicit "no override" spellings (empty or `0`), and `Err` for
+/// anything else — a typo like `PI_THREADS=fourteen` must not be silently indistinguishable
+/// from the variable being unset.
+fn parse_thread_override(value: &str) -> Result<Option<usize>, ()> {
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Ok(None),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(()),
     }
 }
 
@@ -78,12 +85,21 @@ fn parse_thread_override(value: &str) -> Option<usize> {
 /// to force every builder in a test run through one scheduler configuration — the serial
 /// and 4-worker runs must both reproduce the same graphs bit for bit, so a single-core
 /// runner cannot mask a multi-thread identity bug.
+///
+/// A malformed value is ignored, but *loudly*: one `eprintln!` per process (the `OnceLock`
+/// guarantees the once), so a `PI_THREADS=four` typo shows up in the log instead of
+/// silently running the auto-sizing policy the operator thought they had overridden.
 fn env_thread_override() -> Option<usize> {
     static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
-    *OVERRIDE.get_or_init(|| {
-        std::env::var("PI_THREADS")
-            .ok()
-            .and_then(|v| parse_thread_override(&v))
+    *OVERRIDE.get_or_init(|| match std::env::var("PI_THREADS") {
+        Ok(value) => parse_thread_override(&value).unwrap_or_else(|()| {
+            eprintln!(
+                "PI_THREADS={value:?} is not a valid worker count (expected a positive \
+                 integer); ignoring the override"
+            );
+            None
+        }),
+        Err(_) => None,
     })
 }
 
@@ -1053,14 +1069,31 @@ mod tests {
 
     #[test]
     fn pi_threads_values_parse_as_positive_overrides() {
-        assert_eq!(parse_thread_override("4"), Some(4));
-        assert_eq!(parse_thread_override(" 2 "), Some(2));
-        assert_eq!(parse_thread_override("1"), Some(1));
-        // 0, empty, and junk all mean "no override".
-        assert_eq!(parse_thread_override("0"), None);
-        assert_eq!(parse_thread_override(""), None);
-        assert_eq!(parse_thread_override("auto"), None);
-        assert_eq!(parse_thread_override("-2"), None);
+        assert_eq!(parse_thread_override("4"), Ok(Some(4)));
+        assert_eq!(parse_thread_override(" 2 "), Ok(Some(2)));
+        assert_eq!(parse_thread_override("1"), Ok(Some(1)));
+        // 0 and empty are deliberate "no override" spellings.
+        assert_eq!(parse_thread_override("0"), Ok(None));
+        assert_eq!(parse_thread_override(""), Ok(None));
+        assert_eq!(parse_thread_override("  "), Ok(None));
+    }
+
+    #[test]
+    fn malformed_pi_threads_values_are_flagged_not_swallowed() {
+        // Garbage is an *error*, distinct from the unset-like spellings above, so the env
+        // reader can warn once instead of silently ignoring an operator's typo.
+        for junk in [
+            "auto",
+            "-2",
+            "four",
+            "4x",
+            "1.5",
+            "0x4",
+            "+",
+            "9999999999999999999999",
+        ] {
+            assert_eq!(parse_thread_override(junk), Err(()), "junk input {junk:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! A minimal blocking HTTP/1.1 client for loopback use: the crate's own tests, the
+//! examples, and the serving benchmark's load generator.  It speaks exactly the subset the
+//! server emits (`Content-Length` framing, keep-alive) — it is not a general HTTP client.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One response: status code, headers (name, value), body.
+pub type Response = (u16, Vec<(String, String)>, String);
+
+/// A keep-alive connection to the server, good for many sequential requests.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Connection {
+    /// Connects to the server.
+    pub fn open(addr: SocketAddr) -> std::io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Connection { stream, reader })
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<Response> {
+        send_request(&mut self.stream, method, path, body)?;
+        read_response(&mut self.reader)
+    }
+}
+
+/// One-shot request on a fresh connection.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<Response> {
+    Connection::open(addr)?.request(method, path, body)
+}
+
+/// Writes a request with `Content-Length` framing.
+pub fn send_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<()> {
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())
+}
+
+/// Reads one `Content-Length`-framed response.
+pub fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<Response> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("missing status code"))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad("connection closed mid-headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let name = name.trim().to_string();
+            let value = value.trim().to_string();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| bad("bad Content-Length"))?;
+            }
+            headers.push((name, value));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad("response body is not UTF-8"))?;
+    Ok((status, headers, body))
+}

@@ -113,12 +113,17 @@ refresh();
     )
 }
 
-/// The JSON specification embedded in the page: the initial query plus, for every widget, its
+/// The JSON specification of an interface: the initial query plus, for every widget, its
 /// type, path, option fragments and the fragment currently in the initial query.  Option
 /// `text` (the splice fragment) is rendered in the initial query's dialect so substitution
 /// stays well-formed; option `native` carries the originating dialect's rendering, tagged
 /// with the dialect name.
-fn interface_spec(interface: &Interface, layout: &EditorLayout, frontends: &Frontends) -> Json {
+///
+/// This is the single serialisation of an interface the workspace has: the HTML compiler
+/// embeds it in the generated page's `<script>` block, and `pi-server` serves it verbatim
+/// as the `GET /interfaces/{user}/{thread}` response body — so a snapshot fetched over
+/// HTTP and a compiled page always agree on what the interface contains.
+pub fn interface_spec(interface: &Interface, layout: &EditorLayout, frontends: &Frontends) -> Json {
     let initial_dialect = interface.initial_dialect();
     let widgets = layout
         .placements()

@@ -25,4 +25,5 @@ pub mod html;
 pub mod json;
 
 pub use editor::{EditorLayout, WidgetPlacement};
-pub use html::{compile_html, compile_html_with};
+pub use html::{compile_html, compile_html_with, interface_spec};
+pub use json::{Json, JsonError};

@@ -1,0 +1,71 @@
+//! The serving loop end-to-end on loopback: bind the multi-tenant HTTP service on an
+//! ephemeral port, ingest a short mixed-dialect query log over `POST /logs`, fetch the
+//! mined interface back as JSON from `GET /interfaces/{user}/{thread}`, and shut down
+//! gracefully.  Doubles as the CI smoke test for `pi-server` — every assertion here is a
+//! wire-level contract a real client depends on.
+//!
+//! ```sh
+//! cargo run --example serve
+//! ```
+
+use precision_interfaces::server::client::http_request;
+use precision_interfaces::server::{Server, ServerOptions};
+use precision_interfaces::ui::Json;
+
+fn main() -> std::io::Result<()> {
+    // Port 0 = ephemeral: the OS picks a free port, `server.addr()` reports it.
+    let server = Server::bind("127.0.0.1:0", ServerOptions::default())?;
+    let addr = server.addr();
+    println!("serving on http://{addr}");
+
+    let (status, _, body) = http_request(addr, "GET", "/healthz", None)?;
+    assert_eq!(status, 200, "healthz: {body}");
+
+    // One analyst's three-query exploration: two SQL refinements and a dataframe variant of
+    // the same shape, batched the way an upstream query logger would ship them.
+    let batch = r#"{"logs": [{"user_id": "ada", "thread_id": "thread-1", "log": {"queries": [
+        "SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 9 GROUP BY DestState",
+        "SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 3 GROUP BY DestState",
+        {"query": "ontime.filter(Month == 5).groupby(DestState).agg(count(Delay))", "dialect": "frames"}
+    ]}}]}"#;
+    let (status, _, body) = http_request(addr, "POST", "/logs", Some(batch))?;
+    assert_eq!(status, 202, "ingest: {body}");
+    let counts = Json::parse(&body).expect("ingest response is JSON");
+    assert_eq!(counts.get("accepted").and_then(Json::as_f64), Some(3.0));
+    println!("ingested: {body}");
+
+    // Read-your-writes: the snapshot right after ingest already covers all three queries.
+    let (status, _, body) = http_request(addr, "GET", "/interfaces/ada/thread-1", None)?;
+    assert_eq!(status, 200, "fetch: {body}");
+    let interface = Json::parse(&body).expect("interface response is JSON");
+    assert_eq!(interface.get("version").and_then(Json::as_f64), Some(3.0));
+    let widgets = interface
+        .get("interface")
+        .and_then(|spec| spec.get("widgets"))
+        .and_then(Json::as_array)
+        .expect("interface spec carries a widgets array");
+    assert!(
+        !widgets.is_empty(),
+        "three refinements of one shape must map at least one widget"
+    );
+    println!(
+        "interface v{}: {} widget(s) over dialects {:?}",
+        interface
+            .get("version")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+        widgets.len(),
+        interface
+            .get("dialects")
+            .and_then(Json::as_array)
+            .map(|d| d.len())
+    );
+
+    let (status, _, stats) = http_request(addr, "GET", "/stats", None)?;
+    assert_eq!(status, 200);
+    println!("stats: {stats}");
+
+    server.shutdown();
+    println!("clean shutdown");
+    Ok(())
+}

@@ -152,6 +152,11 @@ pub mod study {
     pub use pi_study::*;
 }
 
+/// The multi-tenant HTTP interface service (`pi-server`).
+pub mod server {
+    pub use pi_server::*;
+}
+
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use pi_ast::{Dialect, Frontend, FrontendError, Frontends, Node, NodeKind, Path};
@@ -160,6 +165,7 @@ pub mod prelude {
     };
     pub use pi_engine::{exec, render, Catalog};
     pub use pi_frames::FramesFrontend;
+    pub use pi_server::{Server, ServerOptions, SessionPool};
     pub use pi_sql::SqlFrontend;
     pub use pi_ui::{compile_html, compile_html_with, EditorLayout};
     pub use pi_widgets::{Widget, WidgetLibrary, WidgetType};

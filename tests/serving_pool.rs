@@ -1,0 +1,166 @@
+//! Property tests for the multi-tenant `SessionPool`: concurrent interleaved ingest — with
+//! forced LRU eviction and replay rehydration in the loop — must be invisible in every
+//! tenant's snapshot.  The contract under test is the serving layer's whole correctness
+//! story: a pooled, queued, evicted-and-rehydrated session yields **byte-identical**
+//! interfaces to a plain single-threaded [`Session`] fed the same statements in the same
+//! order (wall-clock timings excepted).
+//!
+//! The pool is configured adversarially: one shard (so LRU order is global and every
+//! insert contends), capacity two with four tenants (so residency churns constantly), and
+//! one pushing thread per tenant with mid-stream snapshots (so rehydration races live
+//! ingest).  Runs under `PI_THREADS=1` and `PI_THREADS=4` in CI like every other
+//! determinism property.
+
+use precision_interfaces::core::{GeneratedInterface, PiOptions, Session};
+use precision_interfaces::server::{PoolOptions, SessionPool};
+use precision_interfaces::workloads::frames::repetitive_mixed_walk;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const TENANTS: usize = 4;
+
+/// The single-threaded ground truth: one fresh session fed the tenant's statements in
+/// order, snapshotted once at the end.
+fn replay(statements: &[(precision_interfaces::ast::Dialect, String)]) -> GeneratedInterface {
+    let mut session = Session::new(PiOptions::default());
+    for (dialect, text) in statements {
+        session.push_text_as(*dialect, text);
+    }
+    session.snapshot()
+}
+
+fn assert_identical(tenant: usize, pooled: &GeneratedInterface, solo: &GeneratedInterface) {
+    assert_eq!(pooled.version, solo.version, "tenant {tenant}: version");
+    assert_eq!(pooled.skipped, solo.skipped, "tenant {tenant}: skipped");
+    assert_eq!(pooled.dialects, solo.dialects, "tenant {tenant}: dialects");
+    assert_eq!(pooled.graph, solo.graph, "tenant {tenant}: graph");
+    assert_eq!(
+        pooled.graph_stats, solo.graph_stats,
+        "tenant {tenant}: graph stats"
+    );
+    assert_eq!(
+        pooled.interface.describe(),
+        solo.interface.describe(),
+        "tenant {tenant}: interface"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Four tenants push concurrently through a two-seat pool; every tenant's final
+    /// snapshot equals its solo replay, despite arbitrary cross-tenant interleaving,
+    /// queueing, eviction and rehydration in between.
+    #[test]
+    fn concurrent_pooled_ingest_is_byte_identical_to_solo_replay(
+        seed in 0u64..1024,
+        lengths in prop::collection::vec(1usize..16, TENANTS..TENANTS + 1),
+        snapshot_every in 1usize..5,
+        garble in prop::collection::vec(prop::bool::ANY, TENANTS..TENANTS + 1),
+    ) {
+        // Each tenant's stream: a Zipf-repetitive mixed SQL + frames walk on its own seed,
+        // with an unparseable statement spliced in for half the tenants (the skip counter
+        // must survive eviction round-trips too).
+        let streams: Vec<Vec<(precision_interfaces::ast::Dialect, String)>> = (0..TENANTS)
+            .map(|t| {
+                let log = repetitive_mixed_walk(seed * 31 + t as u64, lengths[t], 5);
+                let mut stream: Vec<_> = log
+                    .dialects
+                    .iter()
+                    .copied()
+                    .zip(log.text.iter().cloned())
+                    .collect();
+                if garble[t] {
+                    let dialect = stream[0].0;
+                    stream.insert(stream.len() / 2, (dialect, "NOT A QUERY ((".to_string()));
+                }
+                stream
+            })
+            .collect();
+
+        let pool = SessionPool::new(PoolOptions {
+            capacity: 2, // far below TENANTS: residency churns on nearly every touch
+            shards: 1,   // one global LRU order, maximal contention
+            queue_depth: 256,
+            workers: 2,
+            session: PiOptions::default(),
+        });
+
+        std::thread::scope(|scope| {
+            for (t, stream) in streams.iter().enumerate() {
+                let pool: &Arc<SessionPool> = &pool;
+                scope.spawn(move || {
+                    let user = format!("user-{t}");
+                    for (i, (dialect, text)) in stream.iter().enumerate() {
+                        pool.enqueue_tagged(&user, "t0", [(*dialect, text.as_str())])
+                            .expect("queue_depth is far above any stream length");
+                        // Mid-stream snapshots force rehydration *during* another tenant's
+                        // live ingest, not just at the quiet end.
+                        if (i + 1) % snapshot_every == 0 {
+                            pool.snapshot(&user, "t0").expect("tenant just pushed");
+                        }
+                    }
+                });
+            }
+        });
+
+        // Final pass: every tenant's pooled snapshot vs its solo replay.  With 4 tenants
+        // in 2 seats this pass alone forces evictions and rehydrations.
+        for (t, stream) in streams.iter().enumerate() {
+            let pooled = pool
+                .snapshot(&format!("user-{t}"), "t0")
+                .expect("every tenant pushed at least one statement");
+            let solo = replay(stream);
+            assert_identical(t, &pooled, &solo);
+        }
+
+        // The adversarial shape really did exercise the archive: four tenants cannot have
+        // shared two seats without churn.
+        let gauge = pool.gauge();
+        prop_assert!(gauge.evictions >= 1, "expected evictions, saw none");
+        prop_assert!(gauge.rehydrations >= 1, "expected rehydrations, saw none");
+        pool.close();
+    }
+}
+
+/// Deterministic companion to the property: a fixed script whose eviction and rehydration
+/// points are known, so a regression fails with a readable trace rather than a shrunken
+/// proptest case.
+#[test]
+fn eviction_and_rehydration_are_invisible_in_snapshots() {
+    let pool = SessionPool::new(PoolOptions {
+        capacity: 2,
+        shards: 1,
+        queue_depth: 64,
+        workers: 1,
+        session: PiOptions::default(),
+    });
+    let streams: Vec<Vec<_>> = (0..3)
+        .map(|t| {
+            let log = repetitive_mixed_walk(77 + t, 8, 4);
+            log.dialects
+                .iter()
+                .copied()
+                .zip(log.text.iter().cloned())
+                .collect()
+        })
+        .collect();
+    // Round-robin single-statement pushes: every third touch evicts somebody.
+    for i in 0..8 {
+        for (t, stream) in streams.iter().enumerate() {
+            let (dialect, text): &(_, String) = &stream[i];
+            pool.enqueue_tagged(&format!("user-{t}"), "t0", [(*dialect, text.as_str())])
+                .expect("queue has room");
+        }
+    }
+    for (t, stream) in streams.iter().enumerate() {
+        let pooled = pool
+            .snapshot(&format!("user-{t}"), "t0")
+            .expect("resident or archived");
+        assert_identical(t, &pooled, &replay(stream));
+    }
+    let gauge = pool.gauge();
+    assert!(gauge.evictions >= 1);
+    assert!(gauge.rehydrations >= 1);
+    pool.close();
+}

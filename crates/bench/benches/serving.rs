@@ -74,7 +74,7 @@ fn drive_tenants(
         for (slot, tenant) in tenants.iter().enumerate() {
             let log = &logs[slot];
             let queries: Vec<_> = (round * BATCH..(round + 1) * BATCH)
-                .map(|i| (log.dialects[i], log.text[i].clone()))
+                .map(|i| (log.dialects[i], log.text[i].as_str().into()))
                 .collect();
             let item = LogItem {
                 user_id: format!("user-{tenant}"),

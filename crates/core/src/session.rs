@@ -41,8 +41,9 @@
 
 use crate::interface::Interface;
 use crate::pipeline::{GeneratedInterface, PiOptions, StageTimings};
-use pi_ast::{Dialect, Frontends, Node};
+use pi_ast::{Dialect, ErrorSample, FrontendError, Frontends, Node};
 use pi_graph::{GraphAccumulator, GraphBuilder, GraphStats, InteractionGraph};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// A memoised snapshot, reused until the next push invalidates it.
@@ -52,6 +53,85 @@ struct CachedSnapshot {
     graph: InteractionGraph,
     stats: GraphStats,
     interface: Interface,
+}
+
+/// How many parsed queries a streaming push buffers before handing them to the graph
+/// builder in one `extend_batch` call.  Large enough to amortise per-batch overhead and let
+/// parallel mining fan out; small enough that a streaming session never materialises more
+/// than a sliver of the trace.
+const STREAM_CHUNK: usize = 1024;
+
+/// Estimated footprint cap for the parse cache; reaching it clears the cache (generational
+/// eviction — the hot fragments of a repetitive trace repopulate it within one chunk).
+const PARSE_CACHE_MAX_BYTES: usize = 16 << 20;
+
+/// A hash-keyed, collision-safe cache of parsed text fragments.
+///
+/// Query logs are overwhelmingly repetitive — the same statement text arrives thousands of
+/// times — and parsing is the streaming bottleneck (~8µs per SQL statement vs ~100ns for a
+/// dedup hash lookup).  The cache maps `(dialect, fragment text)` to the parsed statements,
+/// keyed by a 64-bit hash but verified by exact text + dialect comparison (a colliding
+/// fragment can never serve another's trees).  Cache hits clone the cached trees, which is
+/// a refcount bump per statement; the dedup arena then recognises the duplicate shape and
+/// drops the clone, so a cached hit allocates nothing.
+///
+/// Only fragments that parse *cleanly* are cached: a fragment with garbage statements is
+/// re-parsed on every occurrence so its failures keep counting (each occurrence of a bad
+/// line is one skipped statement, cached or not).
+#[derive(Debug, Clone, Default)]
+struct ParseCache {
+    entries: HashMap<u64, Vec<CachedFragment>>,
+    bytes: usize,
+}
+
+#[derive(Debug, Clone)]
+struct CachedFragment {
+    dialect: Dialect,
+    text: Box<str>,
+    statements: Vec<Node>,
+}
+
+impl ParseCache {
+    fn key(dialect: Dialect, text: &str) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        dialect.name().hash(&mut h);
+        text.hash(&mut h);
+        h.finish()
+    }
+
+    fn get(&self, dialect: Dialect, text: &str) -> Option<&[Node]> {
+        self.entries
+            .get(&Self::key(dialect, text))?
+            .iter()
+            .find(|f| f.dialect == dialect && &*f.text == text)
+            .map(|f| f.statements.as_slice())
+    }
+
+    fn insert(&mut self, dialect: Dialect, text: &str, statements: Vec<Node>) {
+        // Entry estimate: the owned text, the statement handles, map/bucket overhead.  The
+        // trees themselves are shared with the dedup arena (the arena's representative is
+        // physically the tree parsed here), so they are accounted there, not twice.
+        let cost = text.len() + statements.len() * std::mem::size_of::<Node>() + 96;
+        if self.bytes + cost > PARSE_CACHE_MAX_BYTES {
+            self.entries.clear();
+            self.bytes = 0;
+        }
+        self.bytes += cost;
+        self.entries
+            .entry(Self::key(dialect, text))
+            .or_default()
+            .push(CachedFragment {
+                dialect,
+                text: text.into(),
+                statements,
+            });
+    }
+
+    /// Estimated bytes retained (text + handles + overhead; shared subtrees excluded).
+    fn footprint_bytes(&self) -> usize {
+        self.bytes
+    }
 }
 
 /// A stateful, append-only ingestion session over one analysis's query stream.
@@ -83,8 +163,14 @@ pub struct Session {
     default_dialect: Dialect,
     builder: GraphBuilder,
     acc: GraphAccumulator,
-    dialects: Vec<Dialect>,
+    /// Distinct dialects seen so far, in first-push order (a handful of entries).
+    dialect_table: Vec<Dialect>,
+    /// Per-row dialect tag: one byte indexing [`Session::dialect_table`], instead of a
+    /// 16-byte `Dialect` per row — at trace scale the difference is megabytes.
+    dialect_tags: Vec<u8>,
     skipped: usize,
+    errors: ErrorSample,
+    parse_cache: ParseCache,
     parse_ms: f64,
     mining_ms: f64,
     mapping_ms: f64,
@@ -116,12 +202,30 @@ impl Session {
             default_dialect,
             builder,
             acc: GraphAccumulator::new(),
-            dialects: Vec::new(),
+            dialect_table: Vec::new(),
+            dialect_tags: Vec::new(),
             skipped: 0,
+            errors: ErrorSample::new(ErrorSample::DEFAULT_CAPACITY),
+            parse_cache: ParseCache::default(),
             parse_ms: 0.0,
             mining_ms: 0.0,
             mapping_ms: 0.0,
             cache: None,
+        }
+    }
+
+    /// The table index for `dialect`, minting a new slot on first sight.
+    fn tag_for(&mut self, dialect: Dialect) -> u8 {
+        match self.dialect_table.iter().position(|d| *d == dialect) {
+            Some(i) => i as u8,
+            None => {
+                assert!(
+                    self.dialect_table.len() < 256,
+                    "a session supports at most 256 distinct dialects"
+                );
+                self.dialect_table.push(dialect);
+                (self.dialect_table.len() - 1) as u8
+            }
         }
     }
 
@@ -147,9 +251,17 @@ impl Session {
         self.default_dialect
     }
 
-    /// The dialect each ingested query arrived in, parallel to [`Session::queries`].
-    pub fn dialects(&self) -> &[Dialect] {
-        &self.dialects
+    /// The dialect each ingested query arrived in, parallel to the log rows (row `i` was
+    /// pushed in `dialects()[i]`).
+    ///
+    /// Materialised on demand: internally the session stores one *byte* per row (an index
+    /// into a tiny table of distinct dialects), so this allocates `O(n)`.  Poll
+    /// [`Session::len`]/[`Session::skipped`] for gauges instead.
+    pub fn dialects(&self) -> Vec<Dialect> {
+        self.dialect_tags
+            .iter()
+            .map(|&t| self.dialect_table[t as usize])
+            .collect()
     }
 
     /// Appends one parsed query tagged with the default dialect; see
@@ -164,10 +276,11 @@ impl Session {
     /// originating in `dialect` (presentation metadata — mining never looks at it).
     /// Returns the query's log index.
     pub fn push_tagged(&mut self, dialect: Dialect, query: Node) -> usize {
+        let tag = self.tag_for(dialect);
         let start = Instant::now();
         let index = self.builder.extend(&mut self.acc, query);
         self.mining_ms += start.elapsed().as_secs_f64() * 1e3;
-        self.dialects.push(dialect);
+        self.dialect_tags.push(tag);
         index
     }
 
@@ -177,11 +290,12 @@ impl Session {
     /// Uniform tags keep the batch fast path: the iterator flows straight into the graph
     /// builder (no per-item tag pairing) and the tag vector extends by count.
     pub fn push_all<I: IntoIterator<Item = Node>>(&mut self, queries: I) -> usize {
+        let tag = self.tag_for(self.default_dialect);
         let start = Instant::now();
         let appended = self.builder.extend_batch(&mut self.acc, queries);
         self.mining_ms += start.elapsed().as_secs_f64() * 1e3;
-        self.dialects
-            .resize(self.dialects.len() + appended.len(), self.default_dialect);
+        self.dialect_tags
+            .resize(self.dialect_tags.len() + appended.len(), tag);
         appended.len()
     }
 
@@ -197,11 +311,12 @@ impl Session {
         queries: I,
     ) -> usize {
         let (tags, nodes): (Vec<Dialect>, Vec<Node>) = queries.into_iter().unzip();
+        let tags: Vec<u8> = tags.into_iter().map(|d| self.tag_for(d)).collect();
         let start = Instant::now();
         let appended = self.builder.extend_batch(&mut self.acc, nodes);
         self.mining_ms += start.elapsed().as_secs_f64() * 1e3;
         debug_assert_eq!(appended.len(), tags.len());
-        self.dialects.extend(tags);
+        self.dialect_tags.extend(tags);
         appended.len()
     }
 
@@ -221,19 +336,109 @@ impl Session {
     pub fn push_text_as(&mut self, dialect: Dialect, text: &str) -> Vec<usize> {
         let Some(frontend) = self.frontends.get(dialect).cloned() else {
             self.skipped += 1;
+            self.errors.offer_with(|| {
+                FrontendError::new(dialect, "no front-end registered for this dialect")
+            });
             return Vec::new();
         };
         let start = Instant::now();
-        let parsed = frontend.parse_statements(text);
+        let mut parsed = Vec::new();
+        let skipped = frontend.parse_statements_lossy(text, &mut parsed, &mut self.errors);
         self.parse_ms += start.elapsed().as_secs_f64() * 1e3;
-        let mut indices = Vec::new();
-        for result in parsed {
-            match result {
-                Ok(query) => indices.push(self.push_tagged(dialect, query)),
-                Err(_) => self.skipped += 1,
+        self.skipped += skipped;
+        parsed
+            .into_iter()
+            .map(|query| self.push_tagged(dialect, query))
+            .collect()
+    }
+
+    /// Streams text fragments tagged with the default dialect; see
+    /// [`Session::push_stream_tagged`].
+    pub fn push_stream<I>(&mut self, lines: I) -> usize
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let dialect = self.default_dialect;
+        self.push_stream_tagged(lines.into_iter().map(move |line| (dialect, line)))
+    }
+
+    /// Streams an arbitrarily long sequence of `(dialect, text)` fragments through the
+    /// session in bounded memory, returning how many statements were appended.
+    ///
+    /// This is the trace-scale ingest path.  Three things distinguish it from looping over
+    /// [`Session::push_text_as`]:
+    ///
+    /// * **the trace is never materialised** — fragments are parsed as they arrive and
+    ///   buffered in fixed-size chunks (1024 parsed queries), each handed to the graph
+    ///   builder in one batch (which also lets parallel mining fan out when the options ask
+    ///   for it); peak transient state is one chunk, however long the stream;
+    /// * **repeated text parses once** — a collision-safe cache maps `(dialect, text)` to
+    ///   its parsed statements, so the duplicate-heavy steady state of a real query log
+    ///   costs a hash lookup and a refcount bump per repeat instead of a full parse;
+    /// * **garbage is skip-and-count** — malformed statements increment
+    ///   [`Session::skipped`] and feed the bounded [`Session::parse_errors`] sample without
+    ///   allocating per failure, and never abort the stream.
+    ///
+    /// Combined with the accumulator's distinct-tree arena (duplicate shapes share one
+    /// retained tree), session memory grows with the number of *distinct* statements `d`
+    /// plus ~5 bytes per row — see [`Session::memory_footprint`] — not with total trace
+    /// volume.  The graph, snapshots and widgets are byte-identical to pushing the same
+    /// statements one at a time.
+    pub fn push_stream_tagged<I, S>(&mut self, lines: I) -> usize
+    where
+        I: IntoIterator<Item = (Dialect, S)>,
+        S: AsRef<str>,
+    {
+        let mut appended = 0usize;
+        let mut chunk: Vec<Node> = Vec::with_capacity(STREAM_CHUNK);
+        let mut chunk_tags: Vec<u8> = Vec::with_capacity(STREAM_CHUNK);
+        let mut scratch: Vec<Node> = Vec::new();
+        for (dialect, line) in lines {
+            let text = line.as_ref();
+            let tag = self.tag_for(dialect);
+            if let Some(statements) = self.parse_cache.get(dialect, text) {
+                chunk.extend(statements.iter().cloned());
+                chunk_tags.resize(chunk.len(), tag);
+            } else {
+                let Some(frontend) = self.frontends.get(dialect).cloned() else {
+                    self.skipped += 1;
+                    self.errors.offer_with(|| {
+                        FrontendError::new(dialect, "no front-end registered for this dialect")
+                    });
+                    continue;
+                };
+                let start = Instant::now();
+                let skipped = frontend.parse_statements_lossy(text, &mut scratch, &mut self.errors);
+                self.parse_ms += start.elapsed().as_secs_f64() * 1e3;
+                self.skipped += skipped;
+                if skipped == 0 {
+                    // Clean fragments are cached; the cached handles share the trees the
+                    // dedup arena will retain, so this pins no extra tree memory.
+                    self.parse_cache.insert(dialect, text, scratch.clone());
+                }
+                chunk.append(&mut scratch);
+                chunk_tags.resize(chunk.len(), tag);
+            }
+            if chunk.len() >= STREAM_CHUNK {
+                appended += self.flush_chunk(&mut chunk, &mut chunk_tags);
             }
         }
-        indices
+        appended += self.flush_chunk(&mut chunk, &mut chunk_tags);
+        appended
+    }
+
+    /// Hands one buffered chunk of parsed queries to the graph builder.
+    fn flush_chunk(&mut self, chunk: &mut Vec<Node>, tags: &mut Vec<u8>) -> usize {
+        if chunk.is_empty() {
+            return 0;
+        }
+        let start = Instant::now();
+        let appended = self.builder.extend_batch(&mut self.acc, chunk.drain(..));
+        self.mining_ms += start.elapsed().as_secs_f64() * 1e3;
+        debug_assert_eq!(appended.len(), tags.len());
+        self.dialect_tags.append(tags);
+        appended.len()
     }
 
     /// Parses a fragment of SQL text and appends every statement that parses.
@@ -269,6 +474,36 @@ impl Session {
         self.skipped
     }
 
+    /// A bounded sample of recent parse failures (plus an exact total in
+    /// [`ErrorSample::seen`]), for `/stats`-style health endpoints.  Retention is capped:
+    /// streaming a garbage-heavy trace keeps a recent-ish window of
+    /// [`ErrorSample::DEFAULT_CAPACITY`] errors, not one per failure.
+    pub fn parse_errors(&self) -> &ErrorSample {
+        &self.errors
+    }
+
+    /// Estimated bytes of query-log storage this session retains, live (no snapshot).
+    ///
+    /// Counts the distinct-tree arena (~128 bytes per retained tree node, one tree per
+    /// *distinct* query shape), per-class bookkeeping, the per-row class id (4 bytes) and
+    /// dialect tag (1 byte), the parse cache (fragment text + handles; its trees are the
+    /// arena's, not double-counted) and the bounded error sample.  For a repetitive trace
+    /// the estimate is dominated by the `d` distinct shapes and grows only ~5 bytes per
+    /// additional duplicate row — the property the trace-scale smoke test asserts.
+    ///
+    /// Deliberately excluded: mined artifacts (the `DiffStore`'s records and the edge list,
+    /// which grow with mining volume and are observable via [`Session::graph_stats`]) and
+    /// any cached snapshot (dropped/refreshed per version).  The figure is an estimate from
+    /// documented per-node constants, not an allocator measurement, so it is stable across
+    /// platforms and suitable for assertions and gauges.
+    pub fn memory_footprint(&self) -> usize {
+        self.acc.log_footprint_bytes()
+            + self.dialect_tags.len()
+            + self.dialect_table.len() * std::mem::size_of::<Dialect>()
+            + self.parse_cache.footprint_bytes()
+            + self.errors.len() * 96
+    }
+
     /// The session version: the number of queries ingested so far.  Bumps on every
     /// successful append, so two snapshots with the same version have identical graphs,
     /// stats and interfaces — and a snapshot at version `n` is identical to a batch build
@@ -279,9 +514,18 @@ impl Session {
         self.acc.len() as u64
     }
 
-    /// The queries ingested so far, in append order.
-    pub fn queries(&self) -> &[Node] {
-        self.acc.queries()
+    /// The number of distinct tree shapes among the ingested queries (`d ≤ n`): the size of
+    /// the arena the session actually retains trees in.  Cheap (a field read).
+    pub fn distinct(&self) -> usize {
+        self.acc.distinct()
+    }
+
+    /// The query at log row `idx` — the retained representative of its shape class,
+    /// structurally identical to the query pushed at that row.  The full row-indexed log is
+    /// available from [`Session::snapshot`] (`queries`), which materialises it once per
+    /// version.
+    pub fn query(&self, idx: usize) -> &Node {
+        self.acc.query(idx)
     }
 
     /// Summary statistics of the graph mined so far (cheap; does not run the mapper).
@@ -312,11 +556,12 @@ impl Session {
     /// `session_refresh_sliding16` bench tracks this cost honestly.
     pub fn snapshot(&mut self) -> GeneratedInterface {
         let version = self.version();
+        let dialects = self.dialects();
         let stale = !matches!(&self.cache, Some(c) if c.version == version);
         if stale {
             let graph = self.acc.to_graph();
             let start = Instant::now();
-            let interface = crate::pipeline::map_graph(&self.options, &graph, &self.dialects);
+            let interface = crate::pipeline::map_graph(&self.options, &graph, &dialects);
             self.mapping_ms += start.elapsed().as_secs_f64() * 1e3;
             self.cache = Some(CachedSnapshot {
                 version,
@@ -330,7 +575,7 @@ impl Session {
             interface: cached.interface.clone(),
             queries: cached.graph.queries().clone(),
             graph: cached.graph.clone(),
-            dialects: self.dialects.clone(),
+            dialects,
             skipped: self.skipped,
             graph_stats: cached.stats,
             timings: self.timings(),
@@ -346,13 +591,14 @@ impl Session {
     /// take the single snapshot for free.
     pub fn into_snapshot(mut self) -> GeneratedInterface {
         let version = self.version();
+        let dialects = self.dialects();
         // A fresh cache already holds the mapped interface and frozen graph — move them out.
         let (graph, stats, interface) = match self.cache.take() {
             Some(c) if c.version == version => (c.graph, c.stats, c.interface),
             _ => {
                 let graph = std::mem::take(&mut self.acc).into_graph();
                 let start = Instant::now();
-                let interface = crate::pipeline::map_graph(&self.options, &graph, &self.dialects);
+                let interface = crate::pipeline::map_graph(&self.options, &graph, &dialects);
                 self.mapping_ms += start.elapsed().as_secs_f64() * 1e3;
                 let stats = graph.stats();
                 (graph, stats, interface)
@@ -362,7 +608,7 @@ impl Session {
             interface,
             queries: graph.queries().clone(),
             graph,
-            dialects: std::mem::take(&mut self.dialects),
+            dialects,
             skipped: self.skipped,
             graph_stats: stats,
             timings: self.timings(),
@@ -620,6 +866,73 @@ mod tests {
         session.push_sql("SELECT a FROM t WHERE x = 1; NOT SQL;");
         assert_eq!((session.len(), session.skipped()), (1, 1));
         assert_eq!(session.len() as u64, session.version());
+    }
+
+    #[test]
+    fn push_stream_matches_per_fragment_pushes() {
+        // Chunked, cache-served streaming must be invisible: same graph, same widgets,
+        // same dialect tags as pushing each fragment through push_sql.
+        let lines: Vec<String> = (0..300)
+            .map(|i| format!("SELECT a FROM t WHERE x = {}", i % 7))
+            .collect();
+        let options = PiOptions {
+            window: WindowStrategy::sliding(8),
+            ..PiOptions::default()
+        };
+        let mut streamed = Session::new(options.clone());
+        let mut pushed = Session::new(options);
+        assert_eq!(streamed.push_stream(&lines), 300);
+        for line in &lines {
+            pushed.push_sql(line);
+        }
+        assert_batch_identical(&streamed.snapshot(), &pushed.snapshot());
+        assert_eq!(streamed.dialects(), pushed.dialects());
+    }
+
+    #[test]
+    fn push_stream_mixed_dialects_and_garbage() {
+        let mut session = Session::new(PiOptions::default());
+        let appended = session.push_stream_tagged([
+            (Dialect::SQL, "SELECT a FROM t WHERE x = 1"),
+            (Dialect::SQL, "THIS IS NOT SQL"),
+            (Dialect::FRAMES, "t.filter(x == 2).select(a)"),
+            (Dialect::new("sparql"), "SELECT ?s WHERE { }"),
+            (Dialect::SQL, "SELECT a FROM t WHERE x = 3"),
+        ]);
+        assert_eq!(appended, 3);
+        assert_eq!(session.len(), 3);
+        assert_eq!(session.skipped(), 2);
+        assert_eq!(session.parse_errors().seen(), 2);
+        assert!(session.parse_errors().entries().count() >= 1);
+        assert_eq!(
+            session.dialects(),
+            vec![Dialect::SQL, Dialect::FRAMES, Dialect::SQL]
+        );
+    }
+
+    #[test]
+    fn streamed_duplicates_cost_per_row_bookkeeping_not_trees() {
+        // 8 distinct shapes repeated 10k times: after the shapes are warm, each further
+        // row may only add per-row bookkeeping (4-byte class id + 1-byte dialect tag) to
+        // the footprint — no new trees, no new parse-cache entries.
+        let shapes: Vec<String> = (0..8)
+            .map(|i| format!("SELECT a FROM t WHERE x = {i}"))
+            .collect();
+        let mut session = Session::new(PiOptions {
+            window: WindowStrategy::sliding(4),
+            ..PiOptions::default()
+        });
+        session.push_stream(shapes.iter().cycle().take(1000));
+        let warm = session.memory_footprint();
+        assert_eq!(session.distinct(), 8);
+        session.push_stream(shapes.iter().cycle().take(9000));
+        assert_eq!(session.len(), 10_000);
+        assert_eq!(session.distinct(), 8);
+        let grown = session.memory_footprint();
+        assert!(
+            grown - warm <= 6 * 9000,
+            "footprint grew {warm} -> {grown} for duplicate-only rows"
+        );
     }
 
     #[test]

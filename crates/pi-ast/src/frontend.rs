@@ -92,6 +92,79 @@ impl fmt::Display for FrontendError {
 
 impl std::error::Error for FrontendError {}
 
+/// A bounded sample of recent parse failures, for skip-and-count streaming ingestion.
+///
+/// Streaming a million-query trace with a few percent of garbage lines must not allocate a
+/// `FrontendError` (dialect + formatted message) per failure — at trace scale that is tens
+/// of thousands of throwaway `String`s.  An `ErrorSample` keeps an exact *count* of every
+/// failure but materialises only a capped window of them: it records every error until the
+/// ring is full, then refreshes one slot per [`ErrorSample::THIN_EVERY`] further failures
+/// (dropping the oldest), so the sample stays recent-ish while the steady-state allocation
+/// rate is ~1/128th of the error rate.  [`ErrorSample::offer_with`] takes a closure so
+/// callers can skip *formatting* the error entirely when it will not be recorded —
+/// [`ErrorSample::would_record`] tells them in advance.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorSample {
+    cap: usize,
+    seen: usize,
+    entries: std::collections::VecDeque<FrontendError>,
+}
+
+impl ErrorSample {
+    /// Default ring capacity used by sessions.
+    pub const DEFAULT_CAPACITY: usize = 16;
+    /// Once the ring is full, one further error in this many refreshes a slot.
+    pub const THIN_EVERY: usize = 128;
+
+    /// A sample retaining at most `cap` errors (0 disables retention; counting still works).
+    pub fn new(cap: usize) -> Self {
+        ErrorSample {
+            cap,
+            seen: 0,
+            entries: std::collections::VecDeque::with_capacity(cap.min(64)),
+        }
+    }
+
+    /// Total number of failures offered, recorded or not.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Number of failures currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no failure has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when the *next* [`ErrorSample::offer_with`] will invoke its closure.  Callers
+    /// on a hot path can test this first and hand in a pre-formatted error only when it
+    /// will actually be kept.
+    pub fn would_record(&self) -> bool {
+        self.cap != 0 && (self.entries.len() < self.cap || (self.seen + 1) % Self::THIN_EVERY == 0)
+    }
+
+    /// Counts one failure, materialising it (via `make`) only if it will be retained.
+    pub fn offer_with(&mut self, make: impl FnOnce() -> FrontendError) {
+        let record = self.would_record();
+        self.seen += 1;
+        if record {
+            if self.entries.len() == self.cap {
+                self.entries.pop_front();
+            }
+            self.entries.push_back(make());
+        }
+    }
+
+    /// The retained failures, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &FrontendError> {
+        self.entries.iter()
+    }
+}
+
 /// A query language front-end: text ⇄ [`Node`] trees.
 ///
 /// Implementations must target the shared tree shapes (same clause order, same node kinds,
@@ -121,6 +194,33 @@ pub trait Frontend: fmt::Debug + Send + Sync {
             Ok(nodes) => nodes.into_iter().map(Ok).collect(),
             Err(e) => vec![Err(e)],
         }
+    }
+
+    /// Skip-and-count streaming parse: appends each well-formed statement in `text` to
+    /// `out`, counts every malformed one into `errors` (which retains only a bounded
+    /// sample), and returns the number skipped.
+    ///
+    /// The default delegates to [`Frontend::parse_statements`], which already pays for a
+    /// formatted [`FrontendError`] per failure; front-ends with a cheaper internal error
+    /// type should override it and hand [`ErrorSample::offer_with`] a closure that formats
+    /// on demand, so a garbage-heavy trace costs no per-failure allocation.
+    fn parse_statements_lossy(
+        &self,
+        text: &str,
+        out: &mut Vec<Node>,
+        errors: &mut ErrorSample,
+    ) -> usize {
+        let mut skipped = 0;
+        for result in self.parse_statements(text) {
+            match result {
+                Ok(node) => out.push(node),
+                Err(e) => {
+                    skipped += 1;
+                    errors.offer_with(|| e);
+                }
+            }
+        }
+        skipped
     }
 
     /// Parses exactly one statement.
@@ -328,6 +428,56 @@ mod tests {
             }
         }
         assert_eq!(Spacey.render_compact(&Node::star()), "a b c");
+    }
+
+    #[test]
+    fn error_sample_counts_everything_but_retains_a_bounded_recent_window() {
+        let mut sample = ErrorSample::new(4);
+        assert!(sample.is_empty());
+        let mut made = 0usize;
+        for i in 0..1000 {
+            sample.offer_with(|| {
+                made += 1;
+                FrontendError::new(Dialect::SQL, format!("err {i}"))
+            });
+        }
+        assert_eq!(sample.seen(), 1000);
+        assert_eq!(sample.len(), 4);
+        // First 4 recorded eagerly, then one per THIN_EVERY offers: formatting is rare.
+        assert!(
+            made <= 4 + 1000 / ErrorSample::THIN_EVERY + 1,
+            "{made} formats"
+        );
+        // The retained window drifts forward: the oldest entries have been evicted.
+        let msgs: Vec<_> = sample.entries().map(|e| e.message.clone()).collect();
+        assert!(!msgs.contains(&"err 0".to_string()), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.as_str() >= "err 5"), "{msgs:?}");
+    }
+
+    #[test]
+    fn error_sample_with_zero_capacity_only_counts() {
+        let mut sample = ErrorSample::new(0);
+        for _ in 0..10 {
+            assert!(!sample.would_record());
+            sample.offer_with(|| unreachable!("capacity 0 must never format"));
+        }
+        assert_eq!(sample.seen(), 10);
+        assert!(sample.is_empty());
+    }
+
+    #[test]
+    fn parse_statements_lossy_default_skips_and_counts() {
+        let toy = Toy(Dialect::new("toy"));
+        let mut out = Vec::new();
+        let mut errors = ErrorSample::new(8);
+        // The default routes through parse_statements, which for Toy is all-or-nothing
+        // per fragment; feed fragments separately to exercise the skip path.
+        let skipped = toy.parse_statements_lossy("leaf:a; leaf:b", &mut out, &mut errors)
+            + toy.parse_statements_lossy("nope", &mut out, &mut errors);
+        assert_eq!(out.len(), 2);
+        assert_eq!(skipped, 1);
+        assert_eq!(errors.seen(), 1);
+        assert_eq!(errors.entries().count(), 1);
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! A process-wide, shard-locked intern arena for literal and identifier strings.
+//!
+//! [`Sym`](crate::Sym) interns the *bounded* vocabulary of attribute names; [`IStr`] extends
+//! interning to the *unbounded-but-repetitive* population of attribute values — column
+//! identifiers, string literals, operators — so a million-query trace that mentions `'CA'`
+//! in half its filters stores those bytes once, and every `AttrValue::Str` is a copyable
+//! 16-byte handle instead of an owned `String`.
+//!
+//! Design points:
+//!
+//! * The table is split into [`SHARD_COUNT`] independently `RwLock`ed shards keyed by the
+//!   string's FNV-1a hash, so the `PI_THREADS` worker pool (and the server's session pool)
+//!   can intern concurrently without funnelling through one lock.  Reads take a shard read
+//!   lock; only first-sight insertion takes the write lock (double-checked).
+//! * Interned strings are leaked (`Box::leak`), so [`IStr::as_str`] is a field read and the
+//!   handle is `Copy`.  The arena therefore grows with the number of *distinct* strings ever
+//!   interned and never shrinks — by construction the right trade for trace ingest, where
+//!   the distinct population is bounded by the schema/literal vocabulary while the log is
+//!   not.  [`IStr::arena_stats`] reports the live size for memory accounting.
+//! * Equality is a pointer compare: the arena guarantees one leaked allocation per distinct
+//!   string, so two handles are equal iff their `&'static str`s alias.  [`Hash`] and [`Ord`]
+//!   go through the string *content*, which keeps structural hashes and orderings
+//!   independent of interning order — exactly the property `Sym::hash64` pins for names.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+use crate::intern::str_hash64;
+
+/// Number of independently locked arena shards (a power of two so shard selection is a mask).
+const SHARD_COUNT: usize = 16;
+
+/// Live size of the intern arena; see [`IStr::arena_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaStats {
+    /// Distinct strings interned so far, process-wide.
+    pub strings: usize,
+    /// Total bytes of interned string payload (excluding table overhead).
+    pub bytes: usize,
+}
+
+static STRINGS: AtomicUsize = AtomicUsize::new(0);
+static BYTES: AtomicUsize = AtomicUsize::new(0);
+
+fn shards() -> &'static [RwLock<HashSet<&'static str>>; SHARD_COUNT] {
+    static SHARDS: OnceLock<[RwLock<HashSet<&'static str>>; SHARD_COUNT]> = OnceLock::new();
+    SHARDS.get_or_init(|| std::array::from_fn(|_| RwLock::new(HashSet::new())))
+}
+
+/// An interned string value: a `Copy` handle into the process-wide literal arena.
+///
+/// Obtain one with [`IStr::intern`] (or the `From` impls); read it back with
+/// [`IStr::as_str`] — a field read, no lock.  `IStr` also derefs to `str`.
+#[derive(Clone, Copy)]
+pub struct IStr {
+    text: &'static str,
+}
+
+impl IStr {
+    /// Interns a string, returning its handle (inserting on first sight).
+    pub fn intern(s: &str) -> IStr {
+        let shard = &shards()[(str_hash64(s) as usize) & (SHARD_COUNT - 1)];
+        if let Some(&text) = shard.read().expect("istr arena poisoned").get(s) {
+            return IStr { text };
+        }
+        let mut table = shard.write().expect("istr arena poisoned");
+        // Re-check under the write lock: another thread may have inserted meanwhile.
+        if let Some(&text) = table.get(s) {
+            return IStr { text };
+        }
+        let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+        table.insert(leaked);
+        STRINGS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(leaked.len(), Ordering::Relaxed);
+        IStr { text: leaked }
+    }
+
+    /// Interns an owned string, reusing its allocation when it is the first sighting.
+    pub fn intern_owned(s: String) -> IStr {
+        let shard = &shards()[(str_hash64(&s) as usize) & (SHARD_COUNT - 1)];
+        if let Some(&text) = shard.read().expect("istr arena poisoned").get(s.as_str()) {
+            return IStr { text };
+        }
+        let mut table = shard.write().expect("istr arena poisoned");
+        if let Some(&text) = table.get(s.as_str()) {
+            return IStr { text };
+        }
+        let leaked: &'static str = Box::leak(s.into_boxed_str());
+        table.insert(leaked);
+        STRINGS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(leaked.len(), Ordering::Relaxed);
+        IStr { text: leaked }
+    }
+
+    /// The interned string (a field read, no lock).
+    pub fn as_str(self) -> &'static str {
+        self.text
+    }
+
+    /// Current size of the process-wide arena, for memory accounting.  Monotonic: the arena
+    /// never shrinks.
+    pub fn arena_stats() -> ArenaStats {
+        ArenaStats {
+            strings: STRINGS.load(Ordering::Relaxed),
+            bytes: BYTES.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl PartialEq for IStr {
+    fn eq(&self, other: &Self) -> bool {
+        // The arena holds one allocation per distinct string, so aliasing ⇔ equal content.
+        std::ptr::eq(self.text as *const str, other.text as *const str)
+    }
+}
+
+impl Eq for IStr {}
+
+impl PartialOrd for IStr {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IStr {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.text.cmp(other.text)
+    }
+}
+
+impl Hash for IStr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Content hashing, byte-compatible with `String`/`str`, so swapping `String` payloads
+        // for `IStr` leaves every structural hash in the workspace unchanged.
+        self.text.hash(state);
+    }
+}
+
+impl std::ops::Deref for IStr {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.text
+    }
+}
+
+impl fmt::Debug for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.text, f)
+    }
+}
+
+impl fmt::Display for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.text)
+    }
+}
+
+impl From<&str> for IStr {
+    fn from(s: &str) -> Self {
+        IStr::intern(s)
+    }
+}
+
+impl From<String> for IStr {
+    fn from(s: String) -> Self {
+        IStr::intern_owned(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_pointer_equal() {
+        let a = IStr::intern("istr_idempotent");
+        let b = IStr::intern("istr_idempotent");
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        assert_eq!(a.as_str(), "istr_idempotent");
+    }
+
+    #[test]
+    fn distinct_strings_are_unequal() {
+        assert_ne!(IStr::intern("istr_alpha"), IStr::intern("istr_beta"));
+    }
+
+    #[test]
+    fn hash_matches_str_content_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        let h = |v: &dyn Fn(&mut DefaultHasher)| {
+            let mut s = DefaultHasher::new();
+            v(&mut s);
+            s.finish()
+        };
+        let interned = IStr::intern("istr_hash_probe");
+        assert_eq!(
+            h(&|s| interned.hash(s)),
+            h(&|s| "istr_hash_probe".to_string().hash(s)),
+        );
+    }
+
+    #[test]
+    fn ordering_follows_content() {
+        assert!(IStr::intern("istr_a") < IStr::intern("istr_b"));
+    }
+
+    #[test]
+    fn arena_stats_grow_only_on_first_sight() {
+        let before = IStr::arena_stats();
+        let s = IStr::intern("istr_stats_probe_once");
+        let after = IStr::arena_stats();
+        assert!(after.strings > before.strings);
+        assert!(after.bytes >= before.bytes + s.len());
+        // Re-interning hands back the same allocation; the counters are monotonic and only
+        // first sightings bump them (pointer equality proves no second allocation happened).
+        let again = IStr::intern("istr_stats_probe_once");
+        assert!(std::ptr::eq(s.as_str(), again.as_str()));
+    }
+
+    #[test]
+    fn interning_is_thread_safe() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|i| IStr::intern(&format!("istr_threaded_{}", (t + i) % 20)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<IStr>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for row in &all[1..] {
+            for (a, b) in all[0].iter().zip(row) {
+                if a.as_str() == b.as_str() {
+                    assert_eq!(a, b);
+                }
+            }
+        }
+    }
+}

@@ -45,6 +45,7 @@
 #![warn(rust_2018_idioms)]
 
 mod intern;
+mod istr;
 mod kind;
 mod node;
 mod path;
@@ -54,8 +55,9 @@ mod value;
 pub mod builder;
 pub mod frontend;
 
-pub use frontend::{Dialect, Frontend, FrontendError, Frontends};
+pub use frontend::{Dialect, ErrorSample, Frontend, FrontendError, Frontends};
 pub use intern::Sym;
+pub use istr::{ArenaStats, IStr};
 pub use kind::{CollectionKind, NodeKind, PrimitiveType};
 pub use node::{Node, NodeId, ReplaceError};
 pub use path::{ParsePathError, Path};

@@ -5,16 +5,22 @@
 //! Figure 3).  Values are restricted to the primitive shapes the rest of the pipeline
 //! understands; widget rules only ever distinguish strings from numbers from "anything else".
 
+use crate::istr::IStr;
 use std::fmt;
 
 /// A primitive value stored in a node attribute.
 ///
 /// The ordering/equality semantics are *syntactic*: `Int(1)` and `Float(1.0)` are different
 /// values because the query text differs, which matters for a purely syntactic system.
+///
+/// String payloads are interned ([`IStr`]): a trace that repeats the same literal in a
+/// million queries stores its bytes once, `clone()` is a 16-byte copy, and equality is a
+/// pointer compare — while hashing still reads the string *content*, so structural hashes
+/// are identical to the owned-`String` representation this replaced.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AttrValue {
-    /// A string value (identifiers, string literals, operators…).
-    Str(String),
+    /// A string value (identifiers, string literals, operators…), interned process-wide.
+    Str(IStr),
     /// An integer value.
     Int(i64),
     /// A floating point value.
@@ -27,7 +33,7 @@ impl AttrValue {
     /// Returns the value as a string slice if it is a [`AttrValue::Str`].
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            AttrValue::Str(s) => Some(s),
+            AttrValue::Str(s) => Some(s.as_str()),
             _ => None,
         }
     }
@@ -65,7 +71,7 @@ impl AttrValue {
     /// A stable textual rendering used for hashing and display.
     pub fn render(&self) -> String {
         match self {
-            AttrValue::Str(s) => s.clone(),
+            AttrValue::Str(s) => s.as_str().to_string(),
             AttrValue::Int(i) => i.to_string(),
             AttrValue::Float(f) => {
                 // Keep a trailing `.0` so the rendering round-trips as a float literal.
@@ -88,12 +94,18 @@ impl fmt::Display for AttrValue {
 
 impl From<&str> for AttrValue {
     fn from(s: &str) -> Self {
-        AttrValue::Str(s.to_string())
+        AttrValue::Str(IStr::intern(s))
     }
 }
 
 impl From<String> for AttrValue {
     fn from(s: String) -> Self {
+        AttrValue::Str(IStr::intern_owned(s))
+    }
+}
+
+impl From<IStr> for AttrValue {
+    fn from(s: IStr) -> Self {
         AttrValue::Str(s)
     }
 }

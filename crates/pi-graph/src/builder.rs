@@ -17,7 +17,7 @@
 //! batches and latency-sensitive single-query extends never pay for threads they cannot
 //! use.
 
-use crate::dedup::DiffMemo;
+use crate::dedup::{DedupTable, DiffMemo};
 use crate::graph::{Edge, GraphStats, InteractionGraph, IntoQueryLog, QueryLog};
 use crate::steal;
 use pi_ast::Node;
@@ -177,8 +177,16 @@ impl WindowStrategy {
     }
 }
 
-/// The growable state behind an incremental graph build: the log ingested so far, the
-/// append-only [`DiffStore`], and the edges discovered per appended query.
+/// The growable state behind an incremental graph build: the log ingested so far —
+/// **arena-backed**: one retained [`Node`] per *distinct* tree shape plus a 4-byte class id
+/// per row — the append-only [`DiffStore`], and the edges discovered per appended query.
+///
+/// Duplicate queries resolve to their distinct-tree id at ingest and the duplicate tree is
+/// dropped, so a million-query log of `d` distinct shapes retains `d` trees, not a million.
+/// Row indices are unchanged everywhere else: the store and edges keep indexing by log row,
+/// and [`GraphAccumulator::to_graph`] materialises the full row-indexed [`QueryLog`] (one
+/// refcount bump per row) so frozen graphs are byte-identical to pre-arena builds
+/// (property-tested).
 ///
 /// Grown one query at a time with [`GraphBuilder::extend`]; frozen into an
 /// [`InteractionGraph`] with [`GraphAccumulator::to_graph`] (non-destructive, for streaming
@@ -187,7 +195,9 @@ impl WindowStrategy {
 /// identical — across all later snapshots.
 #[derive(Debug, Clone, Default)]
 pub struct GraphAccumulator {
-    pub(crate) queries: Vec<Node>,
+    /// Row storage: distinct-tree arena + per-row class ids.  Always maintained (with the
+    /// memo on *or* off) — this is the accumulator's query log, not an optimisation.
+    pub(crate) dedup: DedupTable,
     pub(crate) store: DiffStore,
     pub(crate) edges: Vec<Edge>,
     /// The duplicate-collapsing alignment memo, persisted across extends so a streaming
@@ -204,17 +214,28 @@ impl GraphAccumulator {
 
     /// Number of queries ingested so far.
     pub fn len(&self) -> usize {
-        self.queries.len()
+        self.dedup.len()
     }
 
     /// True when no query has been ingested yet.
     pub fn is_empty(&self) -> bool {
-        self.queries.is_empty()
+        self.dedup.is_empty()
     }
 
-    /// The queries ingested so far, in append order.
-    pub fn queries(&self) -> &[Node] {
-        &self.queries
+    /// Number of distinct tree shapes among the ingested queries (`d ≤ n`).
+    pub fn distinct(&self) -> usize {
+        self.dedup.distinct()
+    }
+
+    /// The query at log row `idx` — the retained representative of its shape class,
+    /// structurally identical to the query that was pushed.
+    pub fn query(&self, idx: usize) -> &Node {
+        self.dedup.representative(self.dedup.class_of(idx))
+    }
+
+    /// The arena-backed row storage: distinct-tree classes plus per-row class ids.
+    pub fn dedup(&self) -> &DedupTable {
+        &self.dedup
     }
 
     /// The diff records accumulated so far.
@@ -228,7 +249,7 @@ impl GraphAccumulator {
     }
 
     /// The duplicate-collapsing alignment memo accumulated so far (empty when every extend
-    /// ran with memoization disabled).  Exposed for introspection — `distinct()`,
+    /// ran with memoization disabled).  Exposed for introspection — `memoized_pairs()`,
     /// `alignments()` — never needed for correctness.
     pub fn memo(&self) -> &DiffMemo {
         &self.memo
@@ -237,28 +258,48 @@ impl GraphAccumulator {
     /// Summary statistics of the graph accumulated so far.
     pub fn stats(&self) -> GraphStats {
         GraphStats {
-            queries: self.queries.len(),
+            queries: self.dedup.len(),
             edges: self.edges.len(),
             diff_records: self.store.len(),
             distinct_paths: self.store.partition_by_path().len(),
         }
     }
 
+    /// Estimated heap bytes of the accumulated *query-log storage*: the distinct-tree arena
+    /// plus the per-row class ids ([`DedupTable::footprint_bytes`]).  Grows with the number
+    /// of distinct shapes `d` plus 4 bytes per row — not with retained trees per row.
+    /// Mined artifacts (store, edges, memo) are intentionally excluded; they are sized by
+    /// the window strategy, not by log storage, and are reported separately by
+    /// `pi-core`'s session breakdown.
+    pub fn log_footprint_bytes(&self) -> usize {
+        self.dedup.footprint_bytes()
+    }
+
+    /// The full row-indexed query log, materialised from the arena: one representative
+    /// refcount bump per row.
+    fn materialised_log(&self) -> Vec<Node> {
+        (0..self.dedup.len())
+            .map(|idx| self.query(idx).clone())
+            .collect()
+    }
+
     /// Freezes the current state into an [`InteractionGraph`] without consuming the
-    /// accumulator: the log is cloned into a fresh shared allocation, the store and edges
-    /// are cloned as-is (record subtrees are `Arc`-shared, so this copies pointers, not
-    /// trees).
+    /// accumulator: the row-indexed log is materialised from the arena into a fresh shared
+    /// allocation (a refcount bump per row, never a tree copy), the store and edges are
+    /// cloned as-is (record subtrees are `Arc`-shared, so this copies pointers, not trees).
     pub fn to_graph(&self) -> InteractionGraph {
         InteractionGraph::from_parts(
-            self.queries.as_slice(),
+            self.materialised_log(),
             self.store.clone(),
             self.edges.clone(),
         )
     }
 
-    /// Consumes the accumulator, moving its state into an [`InteractionGraph`].
+    /// Consumes the accumulator, moving its store and edges into an [`InteractionGraph`]
+    /// (the row-indexed log is materialised from the arena, as in
+    /// [`GraphAccumulator::to_graph`]).
     pub fn into_graph(self) -> InteractionGraph {
-        InteractionGraph::from_parts(self.queries, self.store, self.edges)
+        InteractionGraph::from_parts(self.materialised_log(), self.store, self.edges)
     }
 }
 
@@ -401,37 +442,50 @@ impl GraphBuilder {
         acc: &mut GraphAccumulator,
         queries: impl IntoIterator<Item = Node>,
     ) -> Range<usize> {
-        let start = acc.queries.len();
-        acc.queries.extend(queries);
-        let end = acc.queries.len();
+        let start = acc.dedup.len();
+        // Row storage first: every query resolves to its distinct-tree id and the duplicate
+        // tree is dropped right here — the batch never retains more than `d` trees however
+        // long it is.  Mining below reads trees back through the class representatives
+        // (structurally identical to the pushed queries, so the mined bytes cannot differ).
+        for query in queries {
+            acc.dedup.ingest(&query);
+        }
+        let end = acc.dedup.len();
         if self.memoize {
-            // Split borrows: the memo/store/edges grow while the log is read.
+            // Split borrows: the memo/store/edges grow while the dedup table is read.
             let GraphAccumulator {
-                queries,
+                dedup,
                 store,
                 edges,
                 memo,
             } = acc;
-            self.mine_rows_memoized(queries, start..end, memo, store, edges);
+            self.mine_rows_memoized(dedup, start..end, memo, store, edges);
             return start..end;
         }
         let threads = self.effective_threads();
-        // Cost estimation walks the referenced predecessor trees once, so it is only worth
-        // attempting for a real batch — the latency-sensitive single-query `extend` goes
-        // straight to the serial loop (unless the test hook forces the scheduler).
         if (threads > 1 && end - start > 1) || self.steal_seed.is_some() {
-            let queries = &acc.queries;
+            let dedup = &acc.dedup;
             let policy = self.policy;
-            // Node counts for every tree a new pair can reference: the appended rows plus
-            // the window's reachable predecessors (all of them under `AllPairs`, the last
-            // `w - 1` for a sliding window).
-            let lo = self.window.prev_pairs(start).start;
-            let sizes: Vec<usize> = queries[lo..end].iter().map(Node::size).collect();
             let mined = self.mine_pair_blocks(
                 threads,
                 start..end,
-                |i, j| align_cost_model(sizes[i - lo], sizes[j - lo]),
-                |i, j| extract_diffs(&queries[i], &queries[j], i, j, policy),
+                // Node counts come from the dedup table's per-class cache — two array loads
+                // per pair, no `Node::size` walks over the window's predecessors.
+                |i, j| {
+                    align_cost_model(
+                        dedup.tree_size(dedup.class_of(i)),
+                        dedup.tree_size(dedup.class_of(j)),
+                    )
+                },
+                |i, j| {
+                    extract_diffs(
+                        dedup.representative(dedup.class_of(i)),
+                        dedup.representative(dedup.class_of(j)),
+                        i,
+                        j,
+                        policy,
+                    )
+                },
             );
             if let Some(results) = mined {
                 for (i, j, records) in results {
@@ -442,7 +496,7 @@ impl GraphBuilder {
         }
         for j in start..end {
             for i in self.window.prev_pairs(j) {
-                let records = extract_diffs(&acc.queries[i], &acc.queries[j], i, j, self.policy);
+                let records = extract_diffs(acc.query(i), acc.query(j), i, j, self.policy);
                 append_pair(&mut acc.store, &mut acc.edges, i, j, records);
             }
         }
@@ -462,8 +516,14 @@ impl GraphBuilder {
         let mut store = DiffStore::new();
         let mut edges = Vec::new();
         if self.memoize {
+            // A one-shot build shares (or takes over) the input log Arc, so the arena is
+            // only a mining-side view: a local dedup table over the log's rows.
+            let mut dedup = DedupTable::new();
+            for query in queries.iter() {
+                dedup.ingest(query);
+            }
             let mut memo = DiffMemo::new();
-            self.mine_rows_memoized(&queries, 0..n, &mut memo, &mut store, &mut edges);
+            self.mine_rows_memoized(&dedup, 0..n, &mut memo, &mut store, &mut edges);
             return InteractionGraph::from_parts(queries, store, edges);
         }
         let threads = self.effective_threads();
@@ -515,79 +575,97 @@ impl GraphBuilder {
     /// structural, and every query is structurally identical to its class representative.
     fn mine_rows_memoized(
         &self,
-        queries: &[Node],
+        dedup: &DedupTable,
         rows: Range<usize>,
         memo: &mut DiffMemo,
         store: &mut DiffStore,
         edges: &mut Vec<Edge>,
     ) {
         memo.set_policy(self.policy);
-        // Catch up from whatever prefix is already ingested: earlier extends may have run
-        // with memoization disabled, and ingest order must stay append order either way.
-        memo.ingest_through(queries, rows.end);
+        debug_assert!(dedup.len() >= rows.end, "rows ingested before mining");
         let policy = self.policy;
         let threads = self.effective_threads();
         if (threads > 1 && rows.len() > 1) || self.steal_seed.is_some() {
             // Pre-align the distinct ordered pairs this batch will admit to the memo but
             // the memo lacks, in first-demand order.  The admission scan mirrors the
-            // serial loop's, so the same pairs end up memoized.
+            // serial loop's, so the same pairs end up memoized.  It also totals the cost
+            // of the alignments that will *stay* direct (un-admitted pairs): that — not
+            // the memo-hit volume — is what decides whether per-pair record construction
+            // fans out below.
             let mut queued: HashSet<(u32, u32)> = HashSet::new();
             let mut needed: Vec<(u32, u32)> = Vec::new();
+            let mut direct_cost: u64 = 0;
             for j in rows.clone() {
-                let cb = memo.class(j);
+                let cb = dedup.class_of(j);
                 for i in self.window.prev_pairs(j) {
-                    let ca = memo.class(i);
-                    if ca != cb
-                        && memo.get(ca, cb).is_none()
-                        && !queued.contains(&(ca, cb))
-                        && memo.admit(ca, cb)
-                        && queued.insert((ca, cb))
-                    {
+                    let ca = dedup.class_of(i);
+                    if ca == cb || memo.get(ca, cb).is_some() || queued.contains(&(ca, cb)) {
+                        continue;
+                    }
+                    if memo.admit(dedup, ca, cb) {
+                        queued.insert((ca, cb));
                         needed.push((ca, cb));
+                    } else {
+                        direct_cost = direct_cost.saturating_add(align_cost_model(
+                            dedup.tree_size(ca),
+                            dedup.tree_size(cb),
+                        ));
                     }
                 }
             }
-            self.align_missing_pairs(memo, needed, threads);
+            self.align_missing_pairs(dedup, memo, needed, threads);
             // Per-pair record construction on the (now complete) memo: memoized pairs
             // re-wrap their change lists, singleton pairs align directly — the same
             // records the serial loop below would produce, in the same append order.
-            // The per-pair cost estimate mirrors that split, so blocks of memo hits and
-            // blocks of real alignments come out comparably sized.
+            // Fanning out is only worth it when the *direct* alignments left over carry
+            // real work: memo hits are bandwidth-bound Arc-clone appends, and a streaming
+            // chunk of mostly-hits is faster folded serially than scattered across
+            // workers and gathered back (the wrap cost still shapes block sizes so mixed
+            // blocks stay balanced).
             let memo_view: &DiffMemo = memo;
-            let dedup = memo_view.dedup();
-            let mined = self.mine_pair_blocks(
-                threads,
-                rows.clone(),
-                |i, j| {
-                    let (ca, cb) = (memo_view.class(i), memo_view.class(j));
-                    if ca == cb {
-                        return 1;
-                    }
-                    match memo_view.get(ca, cb) {
-                        Some(entry) => {
-                            MEMO_PAIR_BASE_COST
-                                + MEMO_WRAP_COST_PER_RECORD * entry.changes().len() as u64
+            let mined = if direct_cost >= PARALLEL_MIN_COST || self.steal_seed.is_some() {
+                self.mine_pair_blocks(
+                    threads,
+                    rows.clone(),
+                    |i, j| {
+                        let (ca, cb) = (dedup.class_of(i), dedup.class_of(j));
+                        if ca == cb {
+                            return 1;
                         }
-                        None => align_cost_model(dedup.tree_size(ca), dedup.tree_size(cb)),
-                    }
-                },
-                |i, j| {
-                    let (ca, cb) = (memo_view.class(i), memo_view.class(j));
-                    if ca == cb {
-                        return Vec::new();
-                    }
-                    match memo_view.get(ca, cb) {
-                        Some(entry) => entry
-                            .changes()
-                            .iter()
-                            .map(|change| {
-                                DiffRecord::from_shared(i, j, std::sync::Arc::clone(change))
-                            })
-                            .collect(),
-                        None => extract_diffs(&queries[i], &queries[j], i, j, policy),
-                    }
-                },
-            );
+                        match memo_view.get(ca, cb) {
+                            Some(entry) => {
+                                MEMO_PAIR_BASE_COST
+                                    + MEMO_WRAP_COST_PER_RECORD * entry.changes().len() as u64
+                            }
+                            None => align_cost_model(dedup.tree_size(ca), dedup.tree_size(cb)),
+                        }
+                    },
+                    |i, j| {
+                        let (ca, cb) = (dedup.class_of(i), dedup.class_of(j));
+                        if ca == cb {
+                            return Vec::new();
+                        }
+                        match memo_view.get(ca, cb) {
+                            Some(entry) => entry
+                                .changes()
+                                .iter()
+                                .map(|change| {
+                                    DiffRecord::from_shared(i, j, std::sync::Arc::clone(change))
+                                })
+                                .collect(),
+                            None => extract_diffs(
+                                dedup.representative(ca),
+                                dedup.representative(cb),
+                                i,
+                                j,
+                                policy,
+                            ),
+                        }
+                    },
+                )
+            } else {
+                None
+            };
             if let Some(results) = mined {
                 for (i, j, records) in results {
                     append_pair(store, edges, i, j, records);
@@ -596,9 +674,9 @@ impl GraphBuilder {
             }
         }
         for j in rows {
-            let cb = memo.class(j);
+            let cb = dedup.class_of(j);
             for i in self.window.prev_pairs(j) {
-                let ca = memo.class(i);
+                let ca = dedup.class_of(i);
                 if ca == cb {
                     // Structurally identical pair: zero records, no edge — exactly what an
                     // unmemoized `extract_diffs` of the pair would conclude the hard way.
@@ -606,12 +684,18 @@ impl GraphBuilder {
                 }
                 if let Some(entry) = memo.get(ca, cb) {
                     append_memoized(store, edges, i, j, entry);
-                } else if memo.admit(ca, cb) {
-                    let entry = memo.changes(ca, cb, policy);
+                } else if memo.admit(dedup, ca, cb) {
+                    let entry = memo.changes(dedup, ca, cb, policy);
                     append_memoized(store, edges, i, j, &entry);
                 } else {
                     memo.count_direct_alignment();
-                    let records = extract_diffs(&queries[i], &queries[j], i, j, policy);
+                    let records = extract_diffs(
+                        dedup.representative(ca),
+                        dedup.representative(cb),
+                        i,
+                        j,
+                        policy,
+                    );
                     append_pair(store, edges, i, j, records);
                 }
             }
@@ -623,26 +707,29 @@ impl GraphBuilder {
     /// runs.  Small sets are aligned inline (the old code paid a full thread scope even
     /// for one missing pair); sets whose estimated cost crosses the parallel gate fan out
     /// through [`GraphBuilder::align_pairs_parallel`].
-    fn align_missing_pairs(&self, memo: &mut DiffMemo, needed: Vec<(u32, u32)>, threads: usize) {
+    fn align_missing_pairs(
+        &self,
+        dedup: &DedupTable,
+        memo: &mut DiffMemo,
+        needed: Vec<(u32, u32)>,
+        threads: usize,
+    ) {
         if needed.is_empty() {
             return;
         }
-        let total: u64 = {
-            let dedup = memo.dedup();
-            needed
-                .iter()
-                .map(|&(ca, cb)| align_cost_model(dedup.tree_size(ca), dedup.tree_size(cb)))
-                .sum()
-        };
+        let total: u64 = needed
+            .iter()
+            .map(|&(ca, cb)| align_cost_model(dedup.tree_size(ca), dedup.tree_size(cb)))
+            .sum();
         if threads > 1 && (total >= PARALLEL_MIN_COST || self.steal_seed.is_some()) {
-            for ((ca, cb), changes) in self.align_pairs_parallel(memo, needed, threads) {
+            for ((ca, cb), changes) in self.align_pairs_parallel(dedup, needed, threads) {
                 memo.insert(ca, cb, changes);
             }
         } else {
             for (ca, cb) in needed {
                 let changes = extract_changes(
-                    memo.dedup().representative(ca),
-                    memo.dedup().representative(cb),
+                    dedup.representative(ca),
+                    dedup.representative(cb),
                     self.policy,
                 );
                 memo.insert(ca, cb, changes);
@@ -660,12 +747,11 @@ impl GraphBuilder {
     /// steal order can affect the memo's contents.
     fn align_pairs_parallel(
         &self,
-        memo: &DiffMemo,
+        dedup: &DedupTable,
         mut needed: Vec<(u32, u32)>,
         threads: usize,
     ) -> Vec<((u32, u32), Vec<TreeChange>)> {
         needed.sort_unstable_by_key(|&(ca, cb)| (ca / CLASS_TILE, cb / CLASS_TILE, ca, cb));
-        let dedup = memo.dedup();
         let cost =
             |&(ca, cb): &(u32, u32)| align_cost_model(dedup.tree_size(ca), dedup.tree_size(cb));
         let total: u64 = needed.iter().map(cost).sum();
@@ -1034,17 +1120,19 @@ mod tests {
         // aligned at most three times (singleton era, one seen-once sighting, the memoized
         // computation) — so at most 3·4·3 alignments ever ran, although 24·23/2 log pairs
         // were enumerated.
-        assert_eq!(memoized.memo().distinct(), 4);
+        assert_eq!(memoized.distinct(), 4);
         assert!(
             memoized.memo().alignments() <= 3 * 4 * 3,
             "{}",
             memoized.memo().alignments()
         );
-        // The unmemoized accumulator never touched its memo.
-        assert_eq!(plain.memo().distinct(), 0);
-        // And a memoized extend after unmemoized ones catches the dedup table up.
+        // The arena-backed row storage is maintained with the memo off too (it *is* the
+        // accumulator's query log), but the unmemoized accumulator never memoized a pair.
+        assert_eq!(plain.distinct(), 4);
+        assert_eq!(plain.memo().memoized_pairs(), 0);
+        // And a memoized extend picks up seamlessly after unmemoized ones.
         builder.extend(&mut plain, log[0].clone());
-        assert_eq!(plain.memo().distinct(), 4);
+        assert_eq!(plain.distinct(), 4);
         builder.extend(&mut memoized, log[0].clone());
         assert_eq!(memoized.to_graph(), plain.to_graph());
     }

@@ -56,7 +56,20 @@ pub struct DedupTable {
     by_hash: HashMap<u64, Bucket, BuildHasherDefault<PairKeyHasher>>,
     /// Distinct-tree id per ingested query, in log order.
     class_of: Vec<u32>,
+    /// Running Σ of `sizes` — total nodes retained across all class representatives, so the
+    /// memory-footprint estimate is an O(1) read rather than an O(d) sum per poll.
+    arena_nodes: usize,
 }
+
+/// Rough per-node heap footprint of a retained tree, in bytes: one `NodeInner` (kind,
+/// hashes, attr/children vector headers) plus its `Arc` header and amortised attribute
+/// entries.  Attribute *strings* are interned process-wide (`pi_ast::IStr`) and therefore
+/// excluded — they are accounted once globally, not per retained tree.
+const NODE_FOOTPRINT_ESTIMATE: usize = 128;
+
+/// Bookkeeping bytes per distinct class: the `classes`/`counts`/`sizes` entries plus the
+/// hash-bucket slot.
+const CLASS_OVERHEAD_ESTIMATE: usize = 64;
 
 /// A bucket of class ids sharing one structural hash: inline for the overwhelmingly common
 /// collision-free case (no heap allocation per distinct shape), a `Vec` under a real 64-bit
@@ -118,7 +131,9 @@ impl DedupTable {
                         slot.get_mut().push(fresh);
                         self.classes.push(query.clone());
                         self.counts.push(1);
-                        self.sizes.push(measured_size(query));
+                        let size = measured_size(query);
+                        self.sizes.push(size);
+                        self.arena_nodes += size as usize;
                         fresh
                     }
                 }
@@ -127,7 +142,9 @@ impl DedupTable {
                 slot.insert(Bucket::One(fresh));
                 self.classes.push(query.clone());
                 self.counts.push(1);
-                self.sizes.push(measured_size(query));
+                let size = measured_size(query);
+                self.sizes.push(size);
+                self.arena_nodes += size as usize;
                 fresh
             }
         };
@@ -169,6 +186,22 @@ impl DedupTable {
     /// parallel scheduler's per-pair cost estimate ([`pi_diff::align_cost_model`]).
     pub fn tree_size(&self, class: u32) -> usize {
         self.sizes[class as usize] as usize
+    }
+
+    /// Total nodes retained across all class representatives (Σ of [`DedupTable::tree_size`]
+    /// over the classes; an O(1) read of a running sum).
+    pub fn arena_nodes(&self) -> usize {
+        self.arena_nodes
+    }
+
+    /// Estimated heap bytes this table retains: the distinct-tree arena (grows with the
+    /// number of distinct shapes `d`) plus the 4-byte per-row class index (grows with log
+    /// length `n` — the *only* per-row term).  O(1); the estimate is documented on the
+    /// constants, not measured, so it is stable across allocators.
+    pub fn footprint_bytes(&self) -> usize {
+        self.arena_nodes * NODE_FOOTPRINT_ESTIMATE
+            + self.classes.len() * CLASS_OVERHEAD_ESTIMATE
+            + self.class_of.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -247,8 +280,10 @@ fn pair_key(ca: u32, cb: u32) -> u64 {
     (u64::from(ca) << 32) | u64::from(cb)
 }
 
-/// The alignment memo: one [`DedupTable`] plus the index-free change list per *recurring*
-/// distinct ordered pair of tree shapes already aligned.
+/// The alignment memo: the index-free change list per *recurring* distinct ordered pair of
+/// tree shapes already aligned.  The class vocabulary itself lives in the accumulator's
+/// [`DedupTable`] — the memo holds only derived alignments, so the admission and lookup
+/// methods borrow the table per call instead of owning a second copy of the log's shapes.
 ///
 /// Keys are **ordered** `(source class, target class)` pairs, not unordered sets: the
 /// aligner's LCS tie-breaking is direction-sensitive (and change paths are expressed in
@@ -281,7 +316,6 @@ fn pair_key(ca: u32, cb: u32) -> u64 {
 /// streaming session keeps the alignments mined so far without copying a tree.
 #[derive(Debug, Clone, Default)]
 pub struct DiffMemo {
-    dedup: DedupTable,
     pairs: HashMap<u64, PairChanges, BuildHasherDefault<PairKeyHasher>>,
     /// Ordered pairs sighted exactly once with one duplicated side — the candidates that
     /// graduate into `pairs` on their next sighting.
@@ -294,16 +328,6 @@ impl DiffMemo {
     /// An empty memo.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// The structural dedup table accumulated so far.
-    pub fn dedup(&self) -> &DedupTable {
-        &self.dedup
-    }
-
-    /// Number of distinct tree shapes ingested so far.
-    pub fn distinct(&self) -> usize {
-        self.dedup.distinct()
     }
 
     /// Number of ordered distinct pairs whose alignment is memoized.
@@ -330,25 +354,13 @@ impl DiffMemo {
         }
     }
 
-    /// Ingests log queries `[dedup.len(), end)` into the dedup table, catching up from
-    /// whatever prefix was already ingested (extends that skipped the memo included).
-    pub(crate) fn ingest_through(&mut self, queries: &[Node], end: usize) {
-        while self.dedup.len() < end {
-            self.dedup.ingest(&queries[self.dedup.len()]);
-        }
-    }
-
-    /// The distinct-tree id of the query at log index `idx` (must be ingested).
-    pub(crate) fn class(&self, idx: usize) -> u32 {
-        self.dedup.class_of(idx)
-    }
-
     /// Decides whether a pair *missing from the memo* should be memoized now (`true`) or
     /// aligned directly this once (`false`) — the tiered admission policy described on
     /// [`DiffMemo`].  Stateful: a one-duplicated-side pair is recorded on its first
-    /// sighting and admitted on its second.
-    pub(crate) fn admit(&mut self, ca: u32, cb: u32) -> bool {
-        let (na, nb) = (self.dedup.count(ca), self.dedup.count(cb));
+    /// sighting and admitted on its second.  `dedup` is the accumulator's class table the
+    /// pair's ids come from.
+    pub(crate) fn admit(&mut self, dedup: &DedupTable, ca: u32, cb: u32) -> bool {
+        let (na, nb) = (dedup.count(ca), dedup.count(cb));
         if na > 1 && nb > 1 {
             return true;
         }
@@ -367,14 +379,20 @@ impl DiffMemo {
 
     /// The memoized entry for the ordered pair `(ca, cb)`, aligning the class
     /// representatives on a miss.  Callers must have pinned the policy via `set_policy`.
-    pub(crate) fn changes(&mut self, ca: u32, cb: u32, policy: AncestorPolicy) -> PairChanges {
+    pub(crate) fn changes(
+        &mut self,
+        dedup: &DedupTable,
+        ca: u32,
+        cb: u32,
+        policy: AncestorPolicy,
+    ) -> PairChanges {
         debug_assert_eq!(self.policy, Some(policy), "set_policy before changes");
         if let Some(changes) = self.pairs.get(&pair_key(ca, cb)) {
             return changes.clone();
         }
         let computed = PairChanges::from_changes(extract_changes(
-            self.dedup.representative(ca),
-            self.dedup.representative(cb),
+            dedup.representative(ca),
+            dedup.representative(cb),
             policy,
         ));
         self.alignments += 1;
@@ -454,6 +472,42 @@ mod tests {
     }
 
     #[test]
+    fn collision_buckets_resolve_ten_thousand_distinct_shapes() {
+        // Trace-scale collision pressure: 10 000 distinct trees forced into 8-way 64-bit
+        // collision buckets (1 250 buckets, every probe scanning up to 8 representatives
+        // with full equality), each shape ingested twice.  Class ids must be dense and
+        // first-come, the second pass must resolve every shape to its existing class, and
+        // the arena must hold exactly the distinct trees — collision fallback may never
+        // mint a duplicate class or merge two shapes.
+        use pi_ast::builder::SelectBuilder;
+        const SHAPES: usize = 10_000;
+        let shapes: Vec<Node> = (0..SHAPES)
+            .map(|i| {
+                SelectBuilder::new()
+                    .project(Node::column("a"))
+                    .from_table("t")
+                    .where_pred(SelectBuilder::eq(Node::column("x"), Node::int(i as i64)))
+                    .build()
+            })
+            .collect();
+        let mut table = DedupTable::new();
+        for (i, query) in shapes.iter().enumerate() {
+            assert_eq!(table.ingest_hashed((i / 8) as u64, query), i as u32);
+        }
+        for (i, query) in shapes.iter().enumerate() {
+            assert_eq!(table.ingest_hashed((i / 8) as u64, query), i as u32);
+        }
+        assert_eq!((table.len(), table.distinct()), (2 * SHAPES, SHAPES));
+        for (class, shape) in shapes.iter().enumerate() {
+            assert_eq!(table.count(class as u32), 2);
+            // Representatives are the first pass's trees, physically.
+            assert!(table.representative(class as u32).ptr_eq(shape));
+        }
+        // Row → class mapping covers both passes.
+        assert_eq!(table.class_of(SHAPES + 1_234), 1_234);
+    }
+
+    #[test]
     fn memo_aligns_each_recurring_ordered_pair_once_and_matches_extract_diffs() {
         let queries = vec![
             parse("SELECT a FROM t WHERE x = 1"),
@@ -461,20 +515,23 @@ mod tests {
             parse("SELECT a FROM t WHERE x = 1"),
             parse("SELECT a FROM t WHERE x = 2"),
         ];
+        let mut dedup = DedupTable::new();
+        for query in &queries {
+            dedup.ingest(query);
+        }
         let mut memo = DiffMemo::new();
         let policy = AncestorPolicy::LcaPruned;
         memo.set_policy(policy);
-        memo.ingest_through(&queries, queries.len());
-        assert_eq!(memo.distinct(), 2);
+        assert_eq!(dedup.distinct(), 2);
         for j in 1..queries.len() {
             for i in 0..j {
-                let (ca, cb) = (memo.class(i), memo.class(j));
+                let (ca, cb) = (dedup.class_of(i), dedup.class_of(j));
                 if ca == cb {
                     continue;
                 }
                 // Both shapes appear twice in the ingested log: immediate admission.
-                assert!(memo.admit(ca, cb));
-                let entry = memo.changes(ca, cb, policy);
+                assert!(memo.admit(&dedup, ca, cb));
+                let entry = memo.changes(&dedup, ca, cb, policy);
                 // The memoized entry is the stable leaf/ancestor partition of the direct
                 // extraction — exactly what the graph's append step would produce.
                 let records: Vec<_> = entry.changes().iter().map(|c| c.to_record(i, j)).collect();
@@ -501,19 +558,24 @@ mod tests {
             parse("SELECT a FROM t WHERE x = 1"),
         ];
         // Two singleton shapes: never admitted (the pair cannot have occurred before).
+        let mut two = DedupTable::new();
+        two.ingest(&queries[0]);
+        two.ingest(&queries[1]);
         let mut singletons = DiffMemo::new();
-        singletons.ingest_through(&queries[..2], 2);
-        assert!(!singletons.admit(0, 1));
-        assert!(!singletons.admit(0, 1));
+        assert!(!singletons.admit(&two, 0, 1));
+        assert!(!singletons.admit(&two, 0, 1));
         // One duplicated side: first sighting aligns directly, second admits.
+        let mut dedup = DedupTable::new();
+        for query in &queries {
+            dedup.ingest(query);
+        }
         let mut memo = DiffMemo::new();
-        memo.ingest_through(&queries, queries.len());
-        let (dup, single) = (memo.class(0), memo.class(1));
-        assert!(!memo.admit(dup, single));
-        assert!(memo.admit(dup, single));
+        let (dup, single) = (dedup.class_of(0), dedup.class_of(1));
+        assert!(!memo.admit(&dedup, dup, single));
+        assert!(memo.admit(&dedup, dup, single));
         // The reverse ordered pair tracks its own sightings.
-        assert!(!memo.admit(single, dup));
-        assert!(memo.admit(single, dup));
+        assert!(!memo.admit(&dedup, single, dup));
+        assert!(memo.admit(&dedup, single, dup));
     }
 
     #[test]
@@ -523,13 +585,16 @@ mod tests {
             parse("SELECT a FROM t WHERE x = 2"),
             parse("SELECT a FROM t WHERE x = 1"),
         ];
+        let mut dedup = DedupTable::new();
+        for query in &queries {
+            dedup.ingest(query);
+        }
         let mut memo = DiffMemo::new();
         memo.set_policy(AncestorPolicy::LcaPruned);
-        memo.ingest_through(&queries, 3);
-        let pruned = memo.changes(0, 1, AncestorPolicy::LcaPruned);
+        let pruned = memo.changes(&dedup, 0, 1, AncestorPolicy::LcaPruned);
         memo.set_policy(AncestorPolicy::Full);
         assert_eq!(memo.memoized_pairs(), 0);
-        let full = memo.changes(0, 1, AncestorPolicy::Full);
+        let full = memo.changes(&dedup, 0, 1, AncestorPolicy::Full);
         assert!(full.changes().len() > pruned.changes().len());
     }
 }

@@ -474,6 +474,16 @@ fn stats_json(pool: &Arc<SessionPool>) -> Json {
                 ("mapping".into(), Json::Number(gauge.mapping_ms)),
             ]),
         ),
+        (
+            "parse_error_samples".into(),
+            Json::Array(
+                gauge
+                    .parse_error_samples
+                    .iter()
+                    .map(|s| Json::string(s))
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -512,6 +522,29 @@ mod tests {
         assert_eq!(status, 200);
         let stats = Json::parse(&body).unwrap();
         assert_eq!(stats.get("occupancy").and_then(Json::as_f64), Some(0.0));
+        // Empty pool, empty samples — but the field is always present for scrapers.
+        assert_eq!(
+            stats
+                .get("parse_error_samples")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(0)
+        );
+
+        // A garbage statement surfaces in the sample list once ingested.
+        let body = r#"{"logs": [{"user_id": "ada", "thread_id": "t1",
+            "log": {"queries": ["THIS IS NOT SQL"]}}]}"#;
+        let (status, _, _) = http_request(server.addr(), "POST", "/logs", Some(body));
+        assert_eq!(status, 202);
+        server.pool().flush("ada", "t1");
+        let (_, _, body) = http_request(server.addr(), "GET", "/stats", None);
+        let stats = Json::parse(&body).unwrap();
+        let samples = stats
+            .get("parse_error_samples")
+            .and_then(Json::as_array)
+            .expect("samples array");
+        assert_eq!(samples.len(), 1);
+        assert!(samples[0].as_str().unwrap().contains("sql"));
         server.shutdown();
     }
 

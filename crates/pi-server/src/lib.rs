@@ -41,5 +41,5 @@ pub mod pool;
 pub mod wire;
 
 pub use http::{Server, ServerOptions};
-pub use pool::{EnqueueError, PoolGauge, PoolOptions, SessionPool};
+pub use pool::{EnqueueError, PoolGauge, PoolOptions, SessionPool, GAUGE_ERROR_SAMPLES};
 pub use wire::{decode_batch, encode_batch, DecodedBatch, LogItem};

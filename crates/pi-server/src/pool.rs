@@ -128,14 +128,26 @@ pub struct PoolGauge {
     pub mining_ms: f64,
     /// Accumulated mapping time across resident sessions, milliseconds.
     pub mapping_ms: f64,
+    /// A bounded sample of recent parse failures across resident sessions (each session
+    /// keeps its own capped [`pi_ast::ErrorSample`]; the gauge takes the first
+    /// [`GAUGE_ERROR_SAMPLES`] it encounters).  `skipped` has the full count — this is
+    /// the *what*, not the *how many*.
+    pub parse_error_samples: Vec<String>,
 }
+
+/// How many parse-failure samples a [`PoolGauge`] carries at most — enough for an
+/// operator squinting at `/stats` to recognise the garbage's shape, small enough that a
+/// garbage flood cannot bloat the endpoint.
+pub const GAUGE_ERROR_SAMPLES: usize = 8;
 
 struct TenantInner {
     session: Session,
     /// Raw tagged statement texts applied so far, in order — the rehydration source.
-    history: Vec<(pi_ast::Dialect, String)>,
+    /// `Arc`-shared with the wire decoder's batch and the archive, so the history costs
+    /// two words per statement, not a copy of its text.
+    history: Vec<(pi_ast::Dialect, Arc<str>)>,
     /// Statements accepted but not yet applied.
-    queue: VecDeque<(pi_ast::Dialect, String)>,
+    queue: VecDeque<(pi_ast::Dialect, Arc<str>)>,
     /// How many queued entries are an eviction replay (exempt from the queue bound —
     /// rehydration must never be rejected for being larger than one ingest burst).
     replaying: usize,
@@ -152,14 +164,24 @@ impl Tenant {
     /// Applies every queued statement to the session, recording it into the history.
     /// Called with the tenant lock held (and never the shard lock — mining is the slow
     /// part, and membership must stay available while it runs).
+    ///
+    /// The backlog goes through [`Session::push_stream_tagged`] — the trace-scale ingest
+    /// path — so a large drain (an eviction replay of a long history, a burst behind a
+    /// slow worker) mines in bounded chunks and repeated statements hit the session's
+    /// parse cache instead of re-parsing; streaming is fold-identical to per-fragment
+    /// pushes (property-tested), so rehydration stays byte-identical.
     fn apply_pending(inner: &mut TenantInner) -> usize {
-        let mut applied = 0;
-        while let Some((dialect, text)) = inner.queue.pop_front() {
-            inner.replaying = inner.replaying.saturating_sub(1);
-            inner.session.push_text_as(dialect, &text);
-            inner.history.push((dialect, text));
-            applied += 1;
+        let applied = inner.queue.len();
+        if applied == 0 {
+            return 0;
         }
+        inner.replaying = inner.replaying.saturating_sub(applied);
+        let start = inner.history.len();
+        inner.history.reserve(applied);
+        inner.history.extend(inner.queue.drain(..));
+        inner
+            .session
+            .push_stream_tagged(inner.history[start..].iter().map(|(d, t)| (*d, &**t)));
         applied
     }
 }
@@ -172,8 +194,9 @@ struct Resident {
 #[derive(Default)]
 struct Shard {
     tenants: HashMap<TenantId, Resident>,
-    /// Evicted tenants' histories, awaiting replay if they return.
-    archive: HashMap<TenantId, Vec<(pi_ast::Dialect, String)>>,
+    /// Evicted tenants' histories, awaiting replay if they return.  Moving a history in
+    /// and out of the archive moves `Arc` handles; the statement text is never copied.
+    archive: HashMap<TenantId, Vec<(pi_ast::Dialect, Arc<str>)>>,
     /// LRU clock: bumps on every touch; the resident with the smallest stamp is evicted.
     clock: u64,
 }
@@ -253,7 +276,7 @@ impl SessionPool {
         self.enqueue_tagged(
             &item.user_id,
             &item.thread_id,
-            item.queries.iter().map(|(d, t)| (*d, t.as_str())),
+            item.queries.iter().map(|(d, t)| (*d, Arc::clone(t))),
         )
     }
 
@@ -262,19 +285,25 @@ impl SessionPool {
     /// All-or-nothing per batch: either every statement fits under the queue bound or the
     /// whole batch is rejected — partial ingest would silently reorder a tenant's log when
     /// the client retries the remainder.
-    pub fn enqueue_tagged<'a, I>(
+    ///
+    /// Statements arriving as `Arc<str>` (the wire decoder's shape) are enqueued by
+    /// refcount bump; `&str` callers pay the one owning allocation here and never again —
+    /// the queue, the history and any eviction replay all share it.
+    pub fn enqueue_tagged<I, S>(
         &self,
         user_id: &str,
         thread_id: &str,
         statements: I,
     ) -> Result<usize, EnqueueError>
     where
-        I: IntoIterator<Item = (pi_ast::Dialect, &'a str)>,
+        I: IntoIterator<Item = (pi_ast::Dialect, S)>,
+        S: Into<Arc<str>>,
     {
         if self.shutdown.load(Ordering::SeqCst) {
             return Err(EnqueueError::ShuttingDown);
         }
-        let statements: Vec<(pi_ast::Dialect, &str)> = statements.into_iter().collect();
+        let statements: Vec<(pi_ast::Dialect, Arc<str>)> =
+            statements.into_iter().map(|(d, s)| (d, s.into())).collect();
         let key: TenantId = (user_id.to_string(), thread_id.to_string());
         let shard = &self.shards[self.shard_of(&key)];
         let mut guard = shard.lock().unwrap();
@@ -290,11 +319,10 @@ impl SessionPool {
                     depth: self.opts.queue_depth,
                 });
             }
-            inner
-                .queue
-                .extend(statements.iter().map(|(d, t)| (*d, (*t).to_string())));
+            let accepted = statements.len();
+            inner.queue.extend(statements);
             self.mark_dispatched(&tenant, &mut inner);
-            statements.len()
+            accepted
         };
         drop(guard);
         self.accepted.fetch_add(accepted as u64, Ordering::Relaxed);
@@ -358,6 +386,12 @@ impl SessionPool {
                 gauge.parse_ms += timings.parse_ms;
                 gauge.mining_ms += timings.mining_ms;
                 gauge.mapping_ms += timings.mapping_ms;
+                for error in inner.session.parse_errors().entries() {
+                    if gauge.parse_error_samples.len() >= GAUGE_ERROR_SAMPLES {
+                        break;
+                    }
+                    gauge.parse_error_samples.push(error.to_string());
+                }
             }
         }
         gauge
@@ -659,7 +693,29 @@ mod tests {
         let snap = pool.snapshot("ada", "t1").unwrap();
         assert_eq!(snap.version, 1);
         assert_eq!(snap.skipped, 2);
-        assert_eq!(pool.gauge().skipped, 2);
+        let gauge = pool.gauge();
+        assert_eq!(gauge.skipped, 2);
+        // The gauge carries what was skipped, not just how much: one sample per failure
+        // here (both under the per-session cap), each naming its dialect.
+        assert_eq!(gauge.parse_error_samples.len(), 2);
+        assert!(gauge.parse_error_samples[0].contains("sql"));
+        assert!(gauge.parse_error_samples[1].contains("unrecognized"));
+        pool.close();
+    }
+
+    #[test]
+    fn gauge_error_samples_stay_bounded_under_a_garbage_flood() {
+        let pool = pool(4, 1, 1024);
+        let garbage: Vec<(Dialect, String)> = (0..200)
+            .map(|i| (Dialect::SQL, format!("%% not sql #{i} %%")))
+            .collect();
+        pool.enqueue_tagged("ada", "t1", garbage.iter().map(|(d, t)| (*d, t.as_str())))
+            .unwrap();
+        pool.flush("ada", "t1");
+        let gauge = pool.gauge();
+        assert_eq!(gauge.skipped, 200);
+        assert!(!gauge.parse_error_samples.is_empty());
+        assert!(gauge.parse_error_samples.len() <= GAUGE_ERROR_SAMPLES);
         pool.close();
     }
 

@@ -12,8 +12,14 @@
 
 use pi_ast::Dialect;
 use pi_ui::Json;
+use std::sync::Arc;
 
 /// One decoded ingest item: a tenant identity plus the tagged query texts it carries.
+///
+/// Statement text is held as `Arc<str>` from the moment it leaves the JSON decoder: the
+/// pool's queue, the tenant history and an eviction replay all share the same allocation,
+/// so a statement's bytes are copied out of the request body exactly once however many
+/// times it is queued, archived and replayed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogItem {
     /// The tenant's user id.
@@ -21,7 +27,7 @@ pub struct LogItem {
     /// The tenant's thread id (one user can run many concurrent analysis threads).
     pub thread_id: String,
     /// The queries of this log item, in arrival order, each tagged with its dialect.
-    pub queries: Vec<(Dialect, String)>,
+    pub queries: Vec<(Dialect, Arc<str>)>,
 }
 
 impl LogItem {
@@ -128,7 +134,7 @@ fn decode_item(entry: &Json, default_dialect: Dialect, known: &[Dialect]) -> Opt
                     .find(|d| d.name() == name)
                     .unwrap_or(UNRECOGNIZED_DIALECT),
             };
-            Some((dialect, text.to_string()))
+            Some((dialect, Arc::from(text)))
         })
         .collect();
     Some(LogItem {
@@ -148,10 +154,7 @@ mod tests {
         LogItem {
             user_id: user.into(),
             thread_id: thread.into(),
-            queries: queries
-                .iter()
-                .map(|(d, t)| (*d, (*t).to_string()))
-                .collect(),
+            queries: queries.iter().map(|(d, t)| (*d, Arc::from(*t))).collect(),
         }
     }
 
@@ -200,9 +203,9 @@ mod tests {
         assert_eq!(
             decoded.items[0].queries,
             vec![
-                (Dialect::SQL, "SELECT a FROM t WHERE x = 1".to_string()),
-                (Dialect::SQL, "SELECT a FROM t WHERE x = 2".to_string()),
-                (Dialect::FRAMES, "t.filter(x == 3)".to_string()),
+                (Dialect::SQL, Arc::from("SELECT a FROM t WHERE x = 1")),
+                (Dialect::SQL, Arc::from("SELECT a FROM t WHERE x = 2")),
+                (Dialect::FRAMES, Arc::from("t.filter(x == 3)")),
             ]
         );
     }

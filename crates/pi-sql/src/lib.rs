@@ -79,6 +79,29 @@ impl Frontend for SqlFrontend {
             .collect()
     }
 
+    fn parse_statements_lossy(
+        &self,
+        text: &str,
+        out: &mut Vec<Node>,
+        errors: &mut pi_ast::ErrorSample,
+    ) -> usize {
+        // Unlike the default (which routes through `parse_statements` and formats a
+        // `FrontendError` per failure), this formats the message only when the sample will
+        // actually retain it — on a garbage-heavy trace the steady state is a counter bump
+        // per bad line.
+        let mut skipped = 0;
+        for result in parse_log(text) {
+            match result {
+                Ok(node) => out.push(node),
+                Err(e) => {
+                    skipped += 1;
+                    errors.offer_with(|| FrontendError::new(Dialect::SQL, e.to_string()));
+                }
+            }
+        }
+        skipped
+    }
+
     fn parse_one(&self, text: &str) -> std::result::Result<Node, FrontendError> {
         // The single-statement parser lexes the whole text, so `;` inside a string
         // literal stays part of the literal — unlike parse/parse_statements, whose

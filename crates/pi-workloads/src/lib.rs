@@ -20,6 +20,9 @@
 //! * [`frames`] — the OLAP walk re-rendered in the `pi-frames` dataframe dialect, plus a
 //!   mixed SQL + frames interleaving of the same walk: the cross-dialect workload class the
 //!   multi-front-end refactor opens up (real logs span many query languages).
+//! * [`trace`] — *lazy* trace-scale ingest streams (10⁵–10⁶ lines): Zipf-revisited shape
+//!   pools, mixed SQL + frames, configurable garbage — the streaming-ingest benchmark's
+//!   workload, generated in `O(shapes)` memory.
 //! * [`traces`] — simulated widget interaction timing traces used to fit the widget cost
 //!   functions (§4.3, Example 4.4).
 //! * [`mix`] — multi-client interleaving and train/hold-out splitting utilities used by the
@@ -35,6 +38,7 @@ pub mod frames;
 pub mod mix;
 pub mod olap;
 pub mod sdss;
+pub mod trace;
 pub mod traces;
 
 use pi_ast::{Dialect, Frontend, Node};
@@ -107,29 +111,43 @@ impl QueryLog {
     /// Creates a mixed-dialect log: each entry is parsed by the front-end its dialect
     /// names in `frontends` (panics on generator bugs or unregistered dialects).
     ///
-    /// Parses are interned by `(dialect, text)`, like [`QueryLog::from_text`].
+    /// Parses are interned by `(dialect, text)`, like [`QueryLog::from_text`] — but the
+    /// intern map stores *row indices* into the log under a 64-bit key (verified by exact
+    /// text + dialect comparison), so a duplicate-heavy trace never clones statement text
+    /// just to use it as a map key.
     pub fn from_tagged<I>(frontends: &pi_ast::Frontends, label: &str, entries: I) -> Self
     where
         I: IntoIterator<Item = (Dialect, String)>,
     {
+        use std::hash::{Hash, Hasher};
         let mut log = QueryLog {
             label: label.to_string(),
             ..QueryLog::default()
         };
-        let mut interned: std::collections::HashMap<(Dialect, String), Node> =
+        // hash(dialect, text) → first log rows with that hash; text lives in the log only.
+        let mut interned: std::collections::HashMap<u64, Vec<usize>> =
             std::collections::HashMap::new();
         for (dialect, text) in entries {
-            let query = interned
-                .entry((dialect, text.clone()))
-                .or_insert_with(|| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            dialect.name().hash(&mut h);
+            text.hash(&mut h);
+            let bucket = interned.entry(h.finish()).or_default();
+            let hit = bucket
+                .iter()
+                .copied()
+                .find(|&i| log.dialects[i] == dialect && log.text[i] == text);
+            let query = match hit {
+                Some(i) => log.queries[i].clone(),
+                None => {
+                    bucket.push(log.queries.len());
                     let frontend = frontends
                         .get(dialect)
                         .unwrap_or_else(|| panic!("no front-end registered for dialect {dialect}"));
                     frontend.parse_one(&text).unwrap_or_else(|e| {
                         panic!("generator produced bad {dialect} `{text}`: {e}")
                     })
-                })
-                .clone();
+                }
+            };
             log.queries.push(query);
             log.text.push(text);
             log.dialects.push(dialect);

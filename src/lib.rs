@@ -58,6 +58,33 @@
 //! assert_eq!(snapshot.interface.widgets().len(), 1);
 //! ```
 //!
+//! For trace-scale logs (10⁵–10⁶ lines), [`Session::push_stream`](core::Session::push_stream)
+//! and [`push_stream_tagged`](core::Session::push_stream_tagged) ingest any
+//! `(Dialect, &str)` iterator without materialising the log: lines parse in fixed-size
+//! chunks through a per-session parse cache (a repeated statement is a hash probe, not a
+//! re-parse), unparseable lines are skipped, counted and sampled
+//! ([`Session::parse_errors`](core::Session::parse_errors)), and
+//! [`Session::memory_footprint`](core::Session::memory_footprint) reports the bytes
+//! retained — bounded by the log's *distinct* content, not its length, because distinct
+//! trees and interned strings are stored once however often they recur.  Streamed ingest
+//! is byte-identical to pushing the same statements one at a time (property-tested):
+//!
+//! ```
+//! use precision_interfaces::prelude::*;
+//!
+//! let mut session = Session::new(PiOptions::default());
+//! let lines = [
+//!     (Dialect::SQL, "SELECT a FROM t WHERE x = 1"),
+//!     (Dialect::FRAMES, "t.filter(x == 2).select(a)"),
+//!     (Dialect::SQL, "%% log noise, skipped and sampled %%"),
+//!     (Dialect::SQL, "SELECT a FROM t WHERE x = 1"), // repeat: parse-cache hit
+//! ];
+//! let appended = session.push_stream_tagged(lines);
+//! assert_eq!((appended, session.skipped()), (3, 1));
+//! assert_eq!(session.parse_errors().seen(), 1);
+//! assert!(session.memory_footprint() > 0);
+//! ```
+//!
 //! ## Mixed front-ends
 //!
 //! Nothing in the pipeline is SQL-specific: sessions route text through a

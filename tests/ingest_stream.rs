@@ -1,0 +1,59 @@
+//! Tier-1 smoke test for trace-scale streaming ingest: a 10⁵-line Zipf trace streams
+//! through `Session::push_stream_tagged` and the session's memory footprint must stay
+//! bounded — growth past the warm point is per-row bookkeeping (a few bytes per row), not
+//! per-query trees.
+//!
+//! The mining window is kept minimal (`sliding(2)`) so the test is about the *ingest*
+//! path — chunked extends, the parse cache, skip-and-count, arena-backed log storage —
+//! and stays fast in debug builds; the footprint contract it asserts is independent of
+//! how many pairs the window mines (mined artifacts are excluded from
+//! `memory_footprint()` by design and observable through `graph_stats` instead).
+
+use precision_interfaces::graph::WindowStrategy;
+use precision_interfaces::prelude::*;
+
+#[test]
+fn streaming_a_hundred_thousand_line_trace_keeps_the_footprint_bounded() {
+    const LINES: usize = 100_000;
+    const WARM: usize = LINES / 10;
+
+    let mut session = Session::new(PiOptions {
+        window: WindowStrategy::sliding(2),
+        ..PiOptions::default()
+    });
+    let mut trace = pi_workloads::trace::zipf_trace(LINES, 256, 0.01, 7);
+    let pool = trace.pool_size();
+
+    let warm_appended = session.push_stream_tagged(trace.by_ref().take(WARM));
+    let warm_footprint = session.memory_footprint();
+    assert!(warm_appended > 0 && warm_footprint > 0);
+
+    let appended = warm_appended + session.push_stream_tagged(trace.by_ref());
+    let footprint = session.memory_footprint();
+
+    // Every line was either appended or skipped as garbage, and the garbage was sampled.
+    assert_eq!(appended + session.skipped(), LINES);
+    assert_eq!(session.skipped(), trace.garbage_emitted());
+    assert_eq!(session.parse_errors().seen(), trace.garbage_emitted());
+
+    // The log collapsed to the shape pool: the arena holds distinct trees, not rows.
+    assert!(
+        session.distinct() <= pool,
+        "{} distinct trees from a {pool}-shape pool",
+        session.distinct()
+    );
+
+    // The bounded-memory contract: with the pool fully introduced during warm-up (the
+    // trace front-loads its shapes), the remaining 90% of the stream may not double the
+    // session's footprint.
+    assert!(
+        footprint <= 2 * warm_footprint,
+        "footprint doubled across the stream: {warm_footprint} -> {footprint} bytes"
+    );
+    // And an absolute sanity bound: ~5 bytes/row of bookkeeping plus the arena and parse
+    // cache land around 1 MiB; a retained per-query tree would blow far past this.
+    assert!(
+        footprint < 8 << 20,
+        "footprint {footprint} bytes is not trace-scale bounded"
+    );
+}

@@ -342,7 +342,7 @@ fn dedup_memoized_mining_collapses_work_on_repetitive_logs_without_changing_outp
     for q in &log.queries {
         builder.extend(&mut acc, q.clone());
     }
-    let d = acc.memo().distinct();
+    let d = acc.distinct();
     assert!(d <= 24, "{d} distinct shapes");
     assert!(
         acc.memo().alignments() <= 3 * d * d.saturating_sub(1),

@@ -504,6 +504,67 @@ proptest! {
         }
     }
 
+    // ------------------------------------------------------------ streaming text ingest
+
+    /// The trace-scale streaming path (`push_stream_tagged`: chunked batch extends, the
+    /// parse cache, lossy error sampling) is invisible: streaming a mixed-dialect line
+    /// soup with duplicates and garbage leaves the session byte-identical to per-fragment
+    /// `push_text_as` pushes of the same lines — same appended/skip counts, same distinct
+    /// trees, same graph, same interface — across worker counts and memo on/off.
+    #[test]
+    fn streamed_text_ingest_is_identical_to_per_fragment_pushes(
+        base in prop::collection::vec((arb_query(), prop::bool::ANY), 2..8),
+        dups in prop::collection::vec((0usize..64, 0usize..64), 1..8),
+        garbage_at in prop::collection::vec(0usize..64, 0..4),
+        threads in 1usize..5,
+        memoize in prop::bool::ANY,
+    ) {
+        use precision_interfaces::graph::WindowStrategy;
+        // Duplicate-heavy mixed-dialect lines (the parse cache and dedup layers both
+        // engage), with unparseable lines interleaved at arbitrary positions.
+        let mut lines: Vec<(Dialect, String)> = base
+            .iter()
+            .map(|(q, frames)| {
+                if *frames {
+                    (Dialect::FRAMES, FramesFrontend.render(q))
+                } else {
+                    (Dialect::SQL, render_sql(q))
+                }
+            })
+            .collect();
+        for &(src, pos) in &dups {
+            let entry = lines[src % lines.len()].clone();
+            lines.insert(pos % (lines.len() + 1), entry);
+        }
+        for &pos in &garbage_at {
+            lines.insert(pos % (lines.len() + 1), (Dialect::SQL, "%% garbage %%".to_string()));
+        }
+        let opts = PiOptions {
+            window: WindowStrategy::sliding(4),
+            memoize,
+            threads,
+            ..Default::default()
+        };
+        let mut streamed = Session::new(opts.clone());
+        let appended = streamed.push_stream_tagged(lines.iter().map(|(d, t)| (*d, t.as_str())));
+        let mut stepped = Session::new(opts);
+        let mut stepped_appended = 0usize;
+        for (dialect, text) in &lines {
+            stepped_appended += stepped.push_text_as(*dialect, text).len();
+        }
+        prop_assert_eq!(appended, stepped_appended);
+        prop_assert_eq!(streamed.skipped(), stepped.skipped());
+        prop_assert_eq!(streamed.parse_errors().seen(), stepped.parse_errors().seen());
+        prop_assert_eq!(streamed.distinct(), stepped.distinct());
+        prop_assert_eq!(&streamed.graph(), &stepped.graph());
+        let a = streamed.snapshot();
+        let b = stepped.snapshot();
+        prop_assert_eq!(&a.dialects, &b.dialects);
+        prop_assert_eq!(a.graph_stats, b.graph_stats);
+        prop_assert_eq!(a.interface.widgets(), b.interface.widgets());
+        prop_assert_eq!(a.interface.describe(), b.interface.describe());
+    }
+
     // ------------------------------------------------------------ COW aliasing
 
     /// The copy-on-write contract: `replaced()` shares every subtree off the root→path spine

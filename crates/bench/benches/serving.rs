@@ -113,6 +113,7 @@ fn main() {
                 workers: 2,
                 ..PoolOptions::default()
             },
+            spill_dir: None,
         },
     )
     .expect("bind loopback server");

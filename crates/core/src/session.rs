@@ -41,10 +41,22 @@
 
 use crate::interface::Interface;
 use crate::pipeline::{GeneratedInterface, PiOptions, StageTimings};
-use pi_ast::{Dialect, ErrorSample, FrontendError, Frontends, Node};
-use pi_graph::{GraphAccumulator, GraphBuilder, GraphStats, InteractionGraph};
+use pi_ast::codec;
+use pi_ast::{CodecError, Dialect, ErrorSample, FrontendError, Frontends, Node};
+use pi_graph::{GraphAccumulator, GraphBuilder, GraphStats, InteractionGraph, WindowStrategy};
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// Leading bytes of every session snapshot — a cheap "is this even ours?" gate before any
+/// structured decoding runs.
+const SNAPSHOT_MAGIC: &[u8; 6] = b"PISNAP";
+
+/// The snapshot format version this build writes and the single version it reads.
+///
+/// Any change to the wire layout — section order, kind table order, primitive encodings —
+/// must bump this; the golden-fixture compatibility test exists to catch layout drift that
+/// forgot to.  Snapshots from other versions fail restore with [`CodecError::Version`].
+pub const SNAPSHOT_VERSION: u32 = 1;
 
 /// A memoised snapshot, reused until the next push invalidates it.
 #[derive(Debug, Clone)]
@@ -163,6 +175,10 @@ pub struct Session {
     default_dialect: Dialect,
     builder: GraphBuilder,
     acc: GraphAccumulator,
+    /// A restored-but-not-yet-expanded pair table ([`Session::restore`] defers store and
+    /// edge materialization; any graph access or push hydrates it first).  `None` for
+    /// live sessions.
+    latent: Option<pi_graph::codec::LatentPairs>,
     /// Distinct dialects seen so far, in first-push order (a handful of entries).
     dialect_table: Vec<Dialect>,
     /// Per-row dialect tag: one byte indexing [`Session::dialect_table`], instead of a
@@ -202,6 +218,7 @@ impl Session {
             default_dialect,
             builder,
             acc: GraphAccumulator::new(),
+            latent: None,
             dialect_table: Vec::new(),
             dialect_tags: Vec::new(),
             skipped: 0,
@@ -276,6 +293,7 @@ impl Session {
     /// originating in `dialect` (presentation metadata — mining never looks at it).
     /// Returns the query's log index.
     pub fn push_tagged(&mut self, dialect: Dialect, query: Node) -> usize {
+        self.ensure_hydrated();
         let tag = self.tag_for(dialect);
         let start = Instant::now();
         let index = self.builder.extend(&mut self.acc, query);
@@ -290,6 +308,7 @@ impl Session {
     /// Uniform tags keep the batch fast path: the iterator flows straight into the graph
     /// builder (no per-item tag pairing) and the tag vector extends by count.
     pub fn push_all<I: IntoIterator<Item = Node>>(&mut self, queries: I) -> usize {
+        self.ensure_hydrated();
         let tag = self.tag_for(self.default_dialect);
         let start = Instant::now();
         let appended = self.builder.extend_batch(&mut self.acc, queries);
@@ -310,6 +329,7 @@ impl Session {
         &mut self,
         queries: I,
     ) -> usize {
+        self.ensure_hydrated();
         let (tags, nodes): (Vec<Dialect>, Vec<Node>) = queries.into_iter().unzip();
         let tags: Vec<u8> = tags.into_iter().map(|d| self.tag_for(d)).collect();
         let start = Instant::now();
@@ -433,6 +453,7 @@ impl Session {
         if chunk.is_empty() {
             return 0;
         }
+        self.ensure_hydrated();
         let start = Instant::now();
         let appended = self.builder.extend_batch(&mut self.acc, chunk.drain(..));
         self.mining_ms += start.elapsed().as_secs_f64() * 1e3;
@@ -491,13 +512,27 @@ impl Session {
     /// the estimate is dominated by the `d` distinct shapes and grows only ~5 bytes per
     /// additional duplicate row — the property the trace-scale smoke test asserts.
     ///
-    /// Deliberately excluded: mined artifacts (the `DiffStore`'s records and the edge list,
-    /// which grow with mining volume and are observable via [`Session::graph_stats`]) and
+    /// Mined state is counted too: the `DiffStore`'s record rows (whose shared change
+    /// payloads alias the arena and are not double-counted) and the alignment memo's
+    /// per-pair bookkeeping — the two structures a persisted snapshot must carry, so this
+    /// figure is also the right capacity gauge for eviction-to-snapshot hosts.  Record rows
+    /// grow with mining volume (each admitted pair appends its records), while the memo
+    /// grows only with *distinct shape pairs* — duplicate-heavy streams keep it flat.
+    ///
+    /// Deliberately excluded: the edge list (observable via [`Session::graph_stats`]) and
     /// any cached snapshot (dropped/refreshed per version).  The figure is an estimate from
     /// documented per-node constants, not an allocator measurement, so it is stable across
     /// platforms and suitable for assertions and gauges.
     pub fn memory_footprint(&self) -> usize {
+        // While a restored pair table is still latent, its compact bytes stand in for the
+        // store it will expand into (the memo and arena are already live).
+        let store_bytes = match &self.latent {
+            Some(latent) => latent.byte_len(),
+            None => self.acc.store().footprint_bytes(),
+        };
         self.acc.log_footprint_bytes()
+            + store_bytes
+            + self.acc.memo().footprint_bytes()
             + self.dialect_tags.len()
             + self.dialect_table.len() * std::mem::size_of::<Dialect>()
             + self.parse_cache.footprint_bytes()
@@ -528,15 +563,43 @@ impl Session {
         self.acc.query(idx)
     }
 
-    /// Summary statistics of the graph mined so far (cheap; does not run the mapper).
-    pub fn graph_stats(&self) -> GraphStats {
+    /// Eagerly expands a restored session's latent pair table into the live store and
+    /// edge list (a no-op on live sessions).
+    ///
+    /// Restore defers this expansion — and the pair table's full validation scan — so
+    /// rehydrating a pooled tenant costs distinct-state-scale milliseconds; it otherwise
+    /// runs implicitly on the first graph access, push or re-persist.  Hosts that want the
+    /// cost paid at a restore boundary rather than on the first request call this.
+    pub fn hydrate(&mut self) {
+        self.ensure_hydrated();
+    }
+
+    fn ensure_hydrated(&mut self) {
+        if let Some(latent) = self.latent.take() {
+            // Deliberately not folded into `mining_ms`: hydration replays already-mined
+            // state, and the persisted timings must stay byte-stable across
+            // persist ∘ restore ∘ persist.
+            //
+            // The expansion scan can only fail on bytes the checksummed frame accepted —
+            // i.e. an encoder bug, not storage corruption — so a panic (not a mangled
+            // graph) is the right failure mode here.
+            pi_graph::codec::hydrate_pairs(&mut self.acc, latent)
+                .expect("checksummed pair table failed its hydration scan");
+        }
+    }
+
+    /// Summary statistics of the graph mined so far (cheap; does not run the mapper —
+    /// though the first call on a freshly restored session expands its latent pair table).
+    pub fn graph_stats(&mut self) -> GraphStats {
+        self.ensure_hydrated();
         self.acc.stats()
     }
 
     /// A frozen copy of the interaction graph mined so far (cheap relative to mining:
     /// record subtrees are `Arc`-shared, only the log's nodes are cloned into the shared
     /// allocation).
-    pub fn graph(&self) -> InteractionGraph {
+    pub fn graph(&mut self) -> InteractionGraph {
+        self.ensure_hydrated();
         self.acc.to_graph()
     }
 
@@ -559,6 +622,7 @@ impl Session {
         let dialects = self.dialects();
         let stale = !matches!(&self.cache, Some(c) if c.version == version);
         if stale {
+            self.ensure_hydrated();
             let graph = self.acc.to_graph();
             let start = Instant::now();
             let interface = crate::pipeline::map_graph(&self.options, &graph, &dialects);
@@ -590,6 +654,7 @@ impl Session {
     /// clone.  This is what the one-shot batch entry points use: ingest everything, then
     /// take the single snapshot for free.
     pub fn into_snapshot(mut self) -> GeneratedInterface {
+        self.ensure_hydrated();
         let version = self.version();
         let dialects = self.dialects();
         // A fresh cache already holds the mapped interface and frozen graph — move them out.
@@ -624,6 +689,260 @@ impl Session {
             mining_ms: self.mining_ms,
             mapping_ms: self.mapping_ms,
         }
+    }
+
+    /// Writes the session's full mining state as a compact, versioned binary snapshot.
+    ///
+    /// The snapshot captures everything [`Session::restore`] needs to continue the stream
+    /// exactly where this session stands: the mined accumulator (distinct-tree arena, diff
+    /// store, edges and the warm alignment memo), the per-row dialect tags, the skip/error
+    /// bookkeeping, accumulated stage timings and the option scalars that shape mining
+    /// (window, policy, parallelism, memoization).  Shared subtrees and interned strings
+    /// serialize once — payloads are deduplicated by structural identity, so snapshot size
+    /// scales with *distinct* state, not log length — and the whole payload rides inside a
+    /// checksummed frame, so a flipped bit or truncated file fails restore cleanly instead
+    /// of producing a silently different graph.
+    ///
+    /// Deterministic: equal sessions persist to identical bytes, and
+    /// `persist ∘ restore ∘ persist` is byte-stable (pinned by the persistence tests).
+    ///
+    /// Not captured: the widget library and mapper options (code-like configuration,
+    /// re-supplied by [`Session::restore_with`]), the front-end registry (ditto), the parse
+    /// cache (a performance artifact that repopulates within one streamed chunk) and any
+    /// cached snapshot (recomputed on the first [`Session::snapshot`] after restore).
+    ///
+    /// Takes `&mut self` only to expand a still-latent pair table first (a session that
+    /// was restored and never touched): the run encoder walks the live store.  Persisting
+    /// a restored session — before or after hydration — reproduces the original bytes.
+    pub fn persist<W: std::io::Write>(&mut self, w: &mut W) -> Result<(), CodecError> {
+        self.ensure_hydrated();
+        w.write_all(SNAPSHOT_MAGIC).map_err(CodecError::Io)?;
+        codec::put_u32(w, SNAPSHOT_VERSION)?;
+        let mut cw = codec::ChecksumWriter::new(w);
+        self.write_envelope(&mut cw)?;
+        let sum = cw.sum();
+        codec::put_u64(cw.into_inner(), sum)
+    }
+
+    /// [`Session::persist`] into a fresh buffer — the archival convenience used by
+    /// eviction-to-snapshot hosts.
+    pub fn persist_to_vec(&mut self) -> Result<Vec<u8>, CodecError> {
+        let mut buf = Vec::new();
+        self.persist(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Restores a session persisted by [`Session::persist`] with default options as the
+    /// base; see [`Session::restore_with`].
+    pub fn restore<R: std::io::Read>(r: &mut R) -> Result<Session, CodecError> {
+        Session::restore_with(r, PiOptions::default())
+    }
+
+    /// Restores a session from a snapshot, taking library-like configuration from `base`.
+    ///
+    /// The snapshot's own option *scalars* (window, policy, parallel, threads, steal seed,
+    /// memoize) win — they shaped the mined state and must keep shaping it — while the
+    /// widget library, mapper options and front-end registry come from `base` and the
+    /// standard registry respectively, because closures and trait objects don't serialize.
+    ///
+    /// The restored session is **byte-identical** to the persisted one where it counts:
+    /// same graph, same `DiffId`s, same versions, same snapshot output — and its alignment
+    /// memo is warm, so the next push only aligns genuinely new shape pairs.  Restoring is
+    /// a deserialization pass over *distinct* state: milliseconds for a trace that took
+    /// seconds to mine (the `persist` bench pins the ratio).  The mined pair table is
+    /// checksum-verified here but scanned and expanded lazily — the first graph access,
+    /// push or re-persist materializes the store and edge list from the compact runs.
+    ///
+    /// Any corruption — truncation, bit flips, a foreign file — fails with a clean
+    /// [`CodecError`]; a snapshot written by a different format version fails with
+    /// [`CodecError::Version`] rather than being misread.
+    pub fn restore_with<R: std::io::Read>(
+        r: &mut R,
+        base: PiOptions,
+    ) -> Result<Session, CodecError> {
+        let mut magic = [0u8; SNAPSHOT_MAGIC.len()];
+        r.read_exact(&mut magic).map_err(CodecError::Io)?;
+        if &magic != SNAPSHOT_MAGIC {
+            return Err(codec::corrupt("not a session snapshot (bad magic)"));
+        }
+        let found = codec::take_u32(r)?;
+        if found != SNAPSHOT_VERSION {
+            return Err(CodecError::Version {
+                found,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        // Buffer the rest of the frame and verify the checksum in one pass over the
+        // slice — folding per `read` call through a `ChecksumReader` costs real
+        // milliseconds against the ms-scale restore budget — then parse the envelope
+        // straight from the verified bytes.
+        let mut frame = Vec::new();
+        r.read_to_end(&mut frame).map_err(CodecError::Io)?;
+        let Some(payload_len) = frame.len().checked_sub(8) else {
+            return Err(codec::corrupt("snapshot truncated before its checksum"));
+        };
+        let (payload, mut tail) = frame.split_at(payload_len);
+        let sum = codec::checksum(payload);
+        let stored = codec::take_u64(&mut tail)?;
+        if stored != sum {
+            return Err(codec::corrupt(format!(
+                "checksum mismatch (stored {stored:#018x}, computed {sum:#018x})"
+            )));
+        }
+        let mut payload = payload;
+        let session = Session::read_envelope(&mut payload, base)?;
+        if !payload.is_empty() {
+            return Err(codec::corrupt("trailing bytes inside the snapshot frame"));
+        }
+        Ok(session)
+    }
+
+    /// Writes everything inside the checksummed frame: option scalars, dialect state,
+    /// skip/error bookkeeping, timings, then the mined accumulator.
+    fn write_envelope<W: std::io::Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        match self.options.window {
+            WindowStrategy::AllPairs => codec::put_u8(w, 0)?,
+            WindowStrategy::Sliding(width) => {
+                codec::put_u8(w, 1)?;
+                codec::put_varint(w, width as u64)?;
+            }
+        }
+        match self.options.policy {
+            pi_diff::AncestorPolicy::Full => codec::put_u8(w, 0)?,
+            pi_diff::AncestorPolicy::LcaPruned => codec::put_u8(w, 1)?,
+        }
+        codec::put_bool(w, self.options.parallel)?;
+        codec::put_varint(w, self.options.threads as u64)?;
+        match self.options.steal_seed {
+            None => codec::put_bool(w, false)?,
+            Some(seed) => {
+                codec::put_bool(w, true)?;
+                codec::put_u64(w, seed)?;
+            }
+        }
+        codec::put_bool(w, self.options.memoize)?;
+
+        codec::put_str(w, self.default_dialect.name())?;
+        codec::put_varint(w, self.dialect_table.len() as u64)?;
+        for dialect in &self.dialect_table {
+            codec::put_str(w, dialect.name())?;
+        }
+        codec::put_varint(w, self.dialect_tags.len() as u64)?;
+        w.write_all(&self.dialect_tags).map_err(CodecError::Io)?;
+
+        codec::put_varint(w, self.skipped as u64)?;
+        codec::put_varint(w, self.errors.capacity() as u64)?;
+        codec::put_varint(w, self.errors.seen() as u64)?;
+        codec::put_varint(w, self.errors.len() as u64)?;
+        for error in self.errors.entries() {
+            codec::put_str(w, error.dialect.name())?;
+            codec::put_str(w, &error.message)?;
+        }
+
+        codec::put_f64(w, self.parse_ms)?;
+        codec::put_f64(w, self.mining_ms)?;
+        codec::put_f64(w, self.mapping_ms)?;
+
+        pi_graph::codec::write_accumulator(w, &self.acc)
+    }
+
+    /// Reads the checksummed frame written by [`Session::write_envelope`], from the
+    /// already-verified in-memory payload.
+    fn read_envelope(r: &mut &[u8], base: PiOptions) -> Result<Session, CodecError> {
+        let window = match codec::take_u8(r)? {
+            0 => WindowStrategy::AllPairs,
+            1 => WindowStrategy::Sliding(codec::take_varint(r)? as usize),
+            tag => return Err(codec::corrupt(format!("invalid window tag {tag}"))),
+        };
+        let policy = match codec::take_u8(r)? {
+            0 => pi_diff::AncestorPolicy::Full,
+            1 => pi_diff::AncestorPolicy::LcaPruned,
+            tag => return Err(codec::corrupt(format!("invalid policy tag {tag}"))),
+        };
+        let parallel = codec::take_bool(r)?;
+        let threads = codec::take_varint(r)? as usize;
+        let steal_seed = if codec::take_bool(r)? {
+            Some(codec::take_u64(r)?)
+        } else {
+            None
+        };
+        let memoize = codec::take_bool(r)?;
+        let options = PiOptions {
+            window,
+            policy,
+            parallel,
+            threads,
+            steal_seed,
+            memoize,
+            ..base
+        };
+
+        let restore_dialect = |name: String| Dialect::new(pi_ast::IStr::intern(&name).as_str());
+        let default_dialect = restore_dialect(codec::take_str(r)?);
+        let table_len = codec::take_count(r)?;
+        if table_len > 256 {
+            return Err(codec::corrupt(format!(
+                "dialect table holds {table_len} entries, sessions cap at 256"
+            )));
+        }
+        let mut dialect_table = Vec::with_capacity(table_len);
+        for _ in 0..table_len {
+            dialect_table.push(restore_dialect(codec::take_str(r)?));
+        }
+        let tag_count = codec::take_count(r)?;
+        let mut dialect_tags = vec![0u8; tag_count];
+        std::io::Read::read_exact(r, &mut dialect_tags).map_err(CodecError::Io)?;
+        if let Some(&bad) = dialect_tags
+            .iter()
+            .find(|&&t| usize::from(t) >= dialect_table.len())
+        {
+            return Err(codec::corrupt(format!(
+                "row tag {bad} exceeds the {}-entry dialect table",
+                dialect_table.len()
+            )));
+        }
+
+        let skipped = codec::take_varint(r)? as usize;
+        let error_cap = codec::take_count(r)?;
+        let error_seen = codec::take_varint(r)? as usize;
+        let error_count = codec::take_count(r)?;
+        if error_count > error_cap {
+            return Err(codec::corrupt(format!(
+                "error sample holds {error_count} entries over a cap of {error_cap}"
+            )));
+        }
+        let mut error_entries = Vec::with_capacity(error_count);
+        for _ in 0..error_count {
+            let dialect = restore_dialect(codec::take_str(r)?);
+            let message = codec::take_str(r)?;
+            error_entries.push(FrontendError::new(dialect, message));
+        }
+
+        let parse_ms = codec::take_f64(r)?;
+        let mining_ms = codec::take_f64(r)?;
+        let mapping_ms = codec::take_f64(r)?;
+
+        let (acc, latent) = pi_graph::codec::read_accumulator_deferred(r)?;
+        if dialect_tags.len() != acc.len() {
+            return Err(codec::corrupt(format!(
+                "{} dialect tags for {} log rows",
+                dialect_tags.len(),
+                acc.len()
+            )));
+        }
+
+        let mut session = Session::with_frontends(options, crate::frontends::standard_frontends());
+        session.default_dialect = default_dialect;
+        session.dialect_table = dialect_table;
+        session.dialect_tags = dialect_tags;
+        session.skipped = skipped;
+        session.errors = ErrorSample::from_parts(error_cap, error_seen, error_entries);
+        session.parse_ms = parse_ms;
+        session.mining_ms = mining_ms;
+        session.mapping_ms = mapping_ms;
+        session.acc = acc;
+        session.latent = Some(latent);
+        Ok(session)
     }
 }
 
@@ -913,8 +1232,10 @@ mod tests {
     #[test]
     fn streamed_duplicates_cost_per_row_bookkeeping_not_trees() {
         // 8 distinct shapes repeated 10k times: after the shapes are warm, each further
-        // row may only add per-row bookkeeping (4-byte class id + 1-byte dialect tag) to
-        // the footprint — no new trees, no new parse-cache entries.
+        // row may only add per-row bookkeeping (4-byte class id + 1-byte dialect tag) and
+        // its mined record rows to the footprint — no new trees, no new parse-cache
+        // entries, and (key to the memo's scaling) no new memo pairs: every admitted pair
+        // re-hits a shape pair already aligned during warm-up.
         let shapes: Vec<String> = (0..8)
             .map(|i| format!("SELECT a FROM t WHERE x = {i}"))
             .collect();
@@ -924,14 +1245,22 @@ mod tests {
         });
         session.push_stream(shapes.iter().cycle().take(1000));
         let warm = session.memory_footprint();
+        let warm_store = session.acc.store().footprint_bytes();
+        let warm_memo = session.acc.memo().footprint_bytes();
         assert_eq!(session.distinct(), 8);
         session.push_stream(shapes.iter().cycle().take(9000));
         assert_eq!(session.len(), 10_000);
         assert_eq!(session.distinct(), 8);
         let grown = session.memory_footprint();
+        let mined_growth = session.acc.store().footprint_bytes() - warm_store;
+        assert_eq!(
+            session.acc.memo().footprint_bytes(),
+            warm_memo,
+            "duplicate-only rows must not grow the alignment memo"
+        );
         assert!(
-            grown - warm <= 6 * 9000,
-            "footprint grew {warm} -> {grown} for duplicate-only rows"
+            grown - warm - mined_growth <= 6 * 9000,
+            "footprint grew {warm} -> {grown} ({mined_growth} of it mined records) for duplicate-only rows"
         );
     }
 

@@ -1,0 +1,756 @@
+//! Binary snapshot codec primitives: varints, checksummed IO and a deduplicated node table.
+//!
+//! Mining state (dedup arenas, diff stores, alignment memos) survives process boundaries as
+//! a compact, version-stamped binary snapshot.  This module holds the language-level layer
+//! of that codec — the byte primitives shared by every section, plus the serialized form of
+//! the tree model itself ([`Node`], [`NodeKind`], [`AttrValue`], [`Path`]):
+//!
+//! * **Primitives** — LEB128 varints for counts and indices, fixed-width little-endian
+//!   integers for hashes and checksums, zigzag for signed values, length-prefixed UTF-8 for
+//!   strings.  Everything reads/writes through `std::io`, so snapshots stream to files and
+//!   sockets without intermediate buffers.
+//! * **Integrity** — [`ChecksumWriter`] / [`ChecksumReader`] fold every byte into an
+//!   FNV-1a checksum so a snapshot's producer can stamp a trailing sum and its consumer can
+//!   reject *any* corruption with a clean [`CodecError::Corrupt`] — never a panic, never a
+//!   silently wrong structure.
+//! * **Structural sharing** — [`NodeTableBuilder`] serializes a set of trees as one table
+//!   of *distinct* subtrees (children-first, deduplicated by structural identity), so a
+//!   snapshot's size scales with distinct state: a subtree shared by a thousand class
+//!   representatives is written once and re-shared (`Arc`-aliased) on load.  Each entry
+//!   carries its memoized structural hash, which the reader verifies after rebuilding —
+//!   a flipped byte anywhere in a tree payload fails restore instead of corrupting mining.
+//!
+//! Interned strings ([`crate::IStr`] payloads, [`crate::Sym`] attribute keys) serialize by
+//! *content* and re-intern on load: the arenas are process-wide and content-hashed, so
+//! restored trees hash and compare identically to the originals regardless of interning
+//! order.
+
+use crate::kind::NodeKind;
+use crate::node::Node;
+use crate::path::Path;
+use crate::value::AttrValue;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard cap on a single length-prefixed string or byte payload (defence against corrupt
+/// length prefixes driving huge allocations before the checksum check is reached).
+const MAX_PAYLOAD: u64 = 1 << 28;
+
+/// Errors produced while writing or reading a binary snapshot.
+///
+/// Restore is total: malformed input of any kind — truncation, bit flips, an unknown
+/// version stamp — surfaces as an `Err`, never a panic and never a silently wrong
+/// structure (tree payloads are re-verified against their stored structural hashes).
+#[derive(Debug)]
+pub enum CodecError {
+    /// An underlying IO failure (includes truncation, surfaced as `UnexpectedEof`).
+    Io(io::Error),
+    /// The payload is malformed: bad magic, an invalid tag, an out-of-range index, a
+    /// structural-hash or checksum mismatch.
+    Corrupt(String),
+    /// The snapshot was written by an incompatible format version.
+    Version {
+        /// The version stamp found in the snapshot header.
+        found: u32,
+        /// The single version this build can read.
+        supported: u32,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "snapshot io error: {e}"),
+            CodecError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            CodecError::Version { found, supported } => write!(
+                f,
+                "unsupported snapshot version {found} (this build reads version {supported})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CodecError {
+    fn from(e: io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+/// Shorthand for a malformed-payload error.
+pub fn corrupt(msg: impl Into<String>) -> CodecError {
+    CodecError::Corrupt(msg.into())
+}
+
+// ------------------------------------------------------------------ checksum adapters
+
+/// FNV-1a offset basis / prime, matching the deterministic hashing used elsewhere in the
+/// crate.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Frame checksums interleave this many independent FNV-1a accumulators (byte `p` feeds
+/// lane `p % LANES`).  A single FNV chain is latency-bound — one dependent multiply per
+/// byte puts a multi-megabyte snapshot's verify pass at milliseconds — while independent
+/// lanes pipeline to roughly the multiplier's throughput.  Same error-detection class;
+/// the lanes plus the total length fold into one `u64` at the end.
+const LANES: usize = 8;
+
+fn fnv_fold(mut sum: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        sum ^= u64::from(b);
+        sum = sum.wrapping_mul(FNV_PRIME);
+    }
+    sum
+}
+
+/// Streaming state for the laned frame checksum; byte position decides the lane, so any
+/// write/read chunking produces the same sum as [`checksum`] over the concatenation.
+#[derive(Debug, Clone)]
+struct LanedFnv {
+    lanes: [u64; LANES],
+    pos: usize,
+}
+
+impl LanedFnv {
+    fn new() -> Self {
+        LanedFnv {
+            lanes: [FNV_OFFSET; LANES],
+            pos: 0,
+        }
+    }
+
+    fn fold(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let lane = &mut self.lanes[self.pos % LANES];
+            *lane = (*lane ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            self.pos += 1;
+        }
+    }
+
+    fn sum(&self) -> u64 {
+        finalize_lanes(&self.lanes, self.pos)
+    }
+}
+
+fn finalize_lanes(lanes: &[u64; LANES], len: usize) -> u64 {
+    let mut sum = FNV_OFFSET;
+    for lane in lanes {
+        sum = fnv_fold(sum, &lane.to_le_bytes());
+    }
+    fnv_fold(sum, &(len as u64).to_le_bytes())
+}
+
+/// One-shot checksum over a complete buffer — identical to streaming the same bytes
+/// through [`ChecksumWriter`]/[`ChecksumReader`].  Readers that buffer a whole frame
+/// verify it in one pass here instead of folding per `read` call.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut lanes = [FNV_OFFSET; LANES];
+    let mut chunks = bytes.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        for (lane, &b) in lanes.iter_mut().zip(chunk) {
+            *lane = (*lane ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+    for (lane, &b) in lanes.iter_mut().zip(chunks.remainder()) {
+        *lane = (*lane ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    finalize_lanes(&lanes, bytes.len())
+}
+
+/// A [`Write`] adapter folding every written byte into the laned FNV frame checksum.
+///
+/// Snapshot producers write their payload through this and stamp [`ChecksumWriter::sum`]
+/// at the end, so consumers can verify the whole stream.
+#[derive(Debug)]
+pub struct ChecksumWriter<W> {
+    inner: W,
+    sum: LanedFnv,
+}
+
+impl<W: Write> ChecksumWriter<W> {
+    /// Wraps a writer with a fresh checksum.
+    pub fn new(inner: W) -> Self {
+        ChecksumWriter {
+            inner,
+            sum: LanedFnv::new(),
+        }
+    }
+
+    /// The checksum over every byte written so far.
+    pub fn sum(&self) -> u64 {
+        self.sum.sum()
+    }
+
+    /// Unwraps the adapter, returning the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// The underlying writer (e.g. to append the checksum itself, outside the sum).
+    pub fn inner_mut(&mut self) -> &mut W {
+        &mut self.inner
+    }
+}
+
+impl<W: Write> Write for ChecksumWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.sum.fold(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A [`Read`] adapter folding every consumed byte into the laned FNV frame checksum,
+/// mirroring [`ChecksumWriter`].
+#[derive(Debug)]
+pub struct ChecksumReader<R> {
+    inner: R,
+    sum: LanedFnv,
+}
+
+impl<R: Read> ChecksumReader<R> {
+    /// Wraps a reader with a fresh checksum.
+    pub fn new(inner: R) -> Self {
+        ChecksumReader {
+            inner,
+            sum: LanedFnv::new(),
+        }
+    }
+
+    /// The checksum over every byte read so far.
+    pub fn sum(&self) -> u64 {
+        self.sum.sum()
+    }
+
+    /// The underlying reader (e.g. to read the trailing checksum, outside the sum).
+    pub fn inner_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+}
+
+impl<R: Read> Read for ChecksumReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.sum.fold(&buf[..n]);
+        Ok(n)
+    }
+}
+
+// ------------------------------------------------------------------ primitives
+
+/// Writes one byte.
+pub fn put_u8<W: Write>(w: &mut W, v: u8) -> Result<(), CodecError> {
+    w.write_all(&[v]).map_err(CodecError::Io)
+}
+
+/// Reads one byte.
+pub fn take_u8<R: Read>(r: &mut R) -> Result<u8, CodecError> {
+    let mut buf = [0u8; 1];
+    r.read_exact(&mut buf)?;
+    Ok(buf[0])
+}
+
+/// Writes a fixed-width little-endian `u32` (version stamps).
+pub fn put_u32<W: Write>(w: &mut W, v: u32) -> Result<(), CodecError> {
+    w.write_all(&v.to_le_bytes()).map_err(CodecError::Io)
+}
+
+/// Reads a fixed-width little-endian `u32`.
+pub fn take_u32<R: Read>(r: &mut R) -> Result<u32, CodecError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Writes a fixed-width little-endian `u64` (hashes, checksums).
+pub fn put_u64<W: Write>(w: &mut W, v: u64) -> Result<(), CodecError> {
+    w.write_all(&v.to_le_bytes()).map_err(CodecError::Io)
+}
+
+/// Reads a fixed-width little-endian `u64`.
+pub fn take_u64<R: Read>(r: &mut R) -> Result<u64, CodecError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Writes an LEB128 varint (counts, indices — small values cost one byte).
+pub fn put_varint<W: Write>(w: &mut W, mut v: u64) -> Result<(), CodecError> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return put_u8(w, byte);
+        }
+        put_u8(w, byte | 0x80)?;
+    }
+}
+
+/// Reads an LEB128 varint, rejecting over-long encodings.
+pub fn take_varint<R: Read>(r: &mut R) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    for shift in (0..64).step_by(7) {
+        let byte = take_u8(r)?;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(corrupt("varint longer than 10 bytes"))
+}
+
+/// Reads a varint and checks it fits a `usize` count bounded by `MAX_PAYLOAD`.
+pub fn take_count<R: Read>(r: &mut R) -> Result<usize, CodecError> {
+    let v = take_varint(r)?;
+    if v > MAX_PAYLOAD {
+        return Err(corrupt(format!("count {v} exceeds sanity bound")));
+    }
+    Ok(v as usize)
+}
+
+/// Writes a signed integer as a zigzag-encoded varint.
+pub fn put_zigzag<W: Write>(w: &mut W, v: i64) -> Result<(), CodecError> {
+    put_varint(w, ((v << 1) ^ (v >> 63)) as u64)
+}
+
+/// Reads a zigzag-encoded signed integer.
+pub fn take_zigzag<R: Read>(r: &mut R) -> Result<i64, CodecError> {
+    let v = take_varint(r)?;
+    Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+}
+
+/// Writes an `f64` by bit pattern (exact round-trip, NaN included).
+pub fn put_f64<W: Write>(w: &mut W, v: f64) -> Result<(), CodecError> {
+    put_u64(w, v.to_bits())
+}
+
+/// Reads an `f64` by bit pattern.
+pub fn take_f64<R: Read>(r: &mut R) -> Result<f64, CodecError> {
+    Ok(f64::from_bits(take_u64(r)?))
+}
+
+/// Writes a boolean as one byte.
+pub fn put_bool<W: Write>(w: &mut W, v: bool) -> Result<(), CodecError> {
+    put_u8(w, u8::from(v))
+}
+
+/// Reads a boolean, rejecting any byte other than 0 or 1.
+pub fn take_bool<R: Read>(r: &mut R) -> Result<bool, CodecError> {
+    match take_u8(r)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(corrupt(format!("invalid bool byte {other}"))),
+    }
+}
+
+/// Writes a length-prefixed UTF-8 string.
+pub fn put_str<W: Write>(w: &mut W, s: &str) -> Result<(), CodecError> {
+    put_varint(w, s.len() as u64)?;
+    w.write_all(s.as_bytes()).map_err(CodecError::Io)
+}
+
+/// Reads a length-prefixed UTF-8 string, validating the encoding.
+pub fn take_str<R: Read>(r: &mut R) -> Result<String, CodecError> {
+    let len = take_count(r)?;
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| corrupt("string payload is not UTF-8"))
+}
+
+// ------------------------------------------------------------------ path / kind / value
+
+/// Writes a [`Path`] as a varint step count followed by its steps.
+pub fn put_path<W: Write>(w: &mut W, path: &Path) -> Result<(), CodecError> {
+    put_varint(w, path.steps().len() as u64)?;
+    for &step in path.steps() {
+        put_varint(w, step as u64)?;
+    }
+    Ok(())
+}
+
+/// Reads a [`Path`].
+pub fn take_path<R: Read>(r: &mut R) -> Result<Path, CodecError> {
+    let len = take_count(r)?;
+    let mut steps = Vec::with_capacity(len.min(64));
+    for _ in 0..len {
+        steps.push(take_varint(r)? as usize);
+    }
+    Ok(Path::from_steps(steps))
+}
+
+/// The tag minted for [`NodeKind::Other`]; named kinds use their declaration index.
+const KIND_OTHER_TAG: u8 = 255;
+
+/// Named kinds in declaration order.  The *position* of each kind in this table is its wire
+/// tag, so reordering or inserting mid-table is a format break (bump the snapshot version).
+const KIND_TABLE: [NodeKind; 34] = [
+    NodeKind::Select,
+    NodeKind::Project,
+    NodeKind::ProjClause,
+    NodeKind::From,
+    NodeKind::Where,
+    NodeKind::GroupBy,
+    NodeKind::GroupClause,
+    NodeKind::Having,
+    NodeKind::OrderBy,
+    NodeKind::OrderClause,
+    NodeKind::Limit,
+    NodeKind::Distinct,
+    NodeKind::TableRef,
+    NodeKind::SubqueryRef,
+    NodeKind::TableFunc,
+    NodeKind::Join,
+    NodeKind::BiExpr,
+    NodeKind::UnExpr,
+    NodeKind::FuncCall,
+    NodeKind::AggCall,
+    NodeKind::FuncName,
+    NodeKind::Cast,
+    NodeKind::CaseExpr,
+    NodeKind::WhenArm,
+    NodeKind::ElseArm,
+    NodeKind::ColExpr,
+    NodeKind::StrExpr,
+    NodeKind::NumExpr,
+    NodeKind::HexExpr,
+    NodeKind::Star,
+    NodeKind::Null,
+    NodeKind::BoolExpr,
+    NodeKind::ScalarSubquery,
+    NodeKind::ExprList,
+];
+
+/// Writes a [`NodeKind`] as a one-byte tag (plus the name string for `Other`).
+pub fn put_kind<W: Write>(w: &mut W, kind: &NodeKind) -> Result<(), CodecError> {
+    if let NodeKind::Other(name) = kind {
+        put_u8(w, KIND_OTHER_TAG)?;
+        return put_str(w, name);
+    }
+    match KIND_TABLE.iter().position(|k| k == kind) {
+        Some(tag) => put_u8(w, tag as u8),
+        None => Err(corrupt(format!("unmapped node kind {kind:?}"))),
+    }
+}
+
+/// Reads a [`NodeKind`].
+pub fn take_kind<R: Read>(r: &mut R) -> Result<NodeKind, CodecError> {
+    let tag = take_u8(r)?;
+    if tag == KIND_OTHER_TAG {
+        return Ok(NodeKind::Other(take_str(r)?));
+    }
+    KIND_TABLE
+        .get(tag as usize)
+        .cloned()
+        .ok_or_else(|| corrupt(format!("invalid node kind tag {tag}")))
+}
+
+/// Writes an [`AttrValue`] as a one-byte tag plus its payload.
+pub fn put_attr_value<W: Write>(w: &mut W, value: &AttrValue) -> Result<(), CodecError> {
+    match value {
+        AttrValue::Str(s) => {
+            put_u8(w, 0)?;
+            put_str(w, s.as_str())
+        }
+        AttrValue::Int(i) => {
+            put_u8(w, 1)?;
+            put_zigzag(w, *i)
+        }
+        AttrValue::Float(f) => {
+            put_u8(w, 2)?;
+            put_f64(w, *f)
+        }
+        AttrValue::Bool(b) => {
+            put_u8(w, 3)?;
+            put_bool(w, *b)
+        }
+    }
+}
+
+/// Reads an [`AttrValue`]; string payloads re-intern by content.
+pub fn take_attr_value<R: Read>(r: &mut R) -> Result<AttrValue, CodecError> {
+    match take_u8(r)? {
+        0 => Ok(AttrValue::from(take_str(r)?)),
+        1 => Ok(AttrValue::Int(take_zigzag(r)?)),
+        2 => Ok(AttrValue::Float(take_f64(r)?)),
+        3 => Ok(AttrValue::Bool(take_bool(r)?)),
+        other => Err(corrupt(format!("invalid attr value tag {other}"))),
+    }
+}
+
+// ------------------------------------------------------------------ node table
+
+/// Builds the deduplicated table of distinct subtrees referenced by a snapshot.
+///
+/// Usage is two-phase: every section that references trees first [`intern`]s them (a no-op
+/// for subtrees already seen — deduplication is by structural identity, pointer-aliased
+/// clones short-circuit), then the table is written once with [`write_to`] and sections
+/// refer to trees by their `u32` table index.  Entries are ordered children-first, so the
+/// reader can rebuild each tree from already-rebuilt children in a single pass,
+/// `Arc`-sharing every repeated subtree.
+///
+/// [`intern`]: NodeTableBuilder::intern
+/// [`write_to`]: NodeTableBuilder::write_to
+#[derive(Debug, Default)]
+pub struct NodeTableBuilder {
+    /// Structural hash → indices of entries carrying that hash (one except under a real
+    /// 64-bit collision; membership is decided by full equality, mirroring the dedup
+    /// table's collision contract).
+    by_hash: HashMap<u64, Vec<u32>>,
+    /// Distinct subtrees in emission order, each with the table indices of its children.
+    entries: Vec<(Node, Vec<u32>)>,
+}
+
+impl NodeTableBuilder {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct subtrees interned so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no subtree has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn lookup(&self, node: &Node) -> Option<u32> {
+        let indices = self.by_hash.get(&node.structural_hash())?;
+        indices.iter().copied().find(|&i| {
+            let seen = &self.entries[i as usize].0;
+            seen.ptr_eq(node) || seen == node
+        })
+    }
+
+    /// Interns a tree (and, recursively, every distinct subtree of it), returning its table
+    /// index.  Idempotent: structurally identical trees map to one entry.
+    pub fn intern(&mut self, node: &Node) -> u32 {
+        if let Some(idx) = self.lookup(node) {
+            return idx;
+        }
+        let children: Vec<u32> = node.children().iter().map(|c| self.intern(c)).collect();
+        let idx = u32::try_from(self.entries.len()).expect("fewer than 2^32 distinct subtrees");
+        self.by_hash
+            .entry(node.structural_hash())
+            .or_default()
+            .push(idx);
+        self.entries.push((node.clone(), children));
+        idx
+    }
+
+    /// Writes the table: a varint entry count, then per entry the kind, attributes, child
+    /// indices (all smaller than the entry's own index) and the memoized structural hash
+    /// the reader re-verifies.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        put_varint(w, self.entries.len() as u64)?;
+        for (node, children) in &self.entries {
+            put_kind(w, node.kind_ref())?;
+            put_varint(w, node.attrs().len() as u64)?;
+            for (key, value) in node.attrs() {
+                put_str(w, key.as_str())?;
+                put_attr_value(w, value)?;
+            }
+            put_varint(w, children.len() as u64)?;
+            for &child in children {
+                put_varint(w, u64::from(child))?;
+            }
+            put_u64(w, node.structural_hash())?;
+        }
+        Ok(())
+    }
+}
+
+/// Reads a node table written by [`NodeTableBuilder::write_to`], rebuilding every distinct
+/// subtree exactly once (repeated subtrees are `Arc`-shared) and verifying each rebuilt
+/// tree's structural hash against the stored one.
+pub fn read_node_table<R: Read>(r: &mut R) -> Result<Vec<Node>, CodecError> {
+    let count = take_count(r)?;
+    let mut nodes: Vec<Node> = Vec::with_capacity(count.min(1 << 16));
+    for i in 0..count {
+        let kind = take_kind(r)?;
+        let mut node = Node::new(kind);
+        let attr_count = take_count(r)?;
+        for _ in 0..attr_count {
+            let key = take_str(r)?;
+            let value = take_attr_value(r)?;
+            node = node.with_attr(&key, value);
+        }
+        let child_count = take_count(r)?;
+        let mut children = Vec::with_capacity(child_count.min(64));
+        for _ in 0..child_count {
+            let child = take_varint(r)? as usize;
+            if child >= i {
+                return Err(corrupt(format!(
+                    "node {i} references not-yet-defined child {child}"
+                )));
+            }
+            children.push(nodes[child].clone());
+        }
+        node = node.with_children(children);
+        let stored_hash = take_u64(r)?;
+        if node.structural_hash() != stored_hash {
+            return Err(corrupt(format!(
+                "node {i} structural hash mismatch (stored {stored_hash:#x}, rebuilt {:#x})",
+                node.structural_hash()
+            )));
+        }
+        nodes.push(node);
+    }
+    Ok(nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::NodeKind;
+
+    fn sample_tree(tag: i64) -> Node {
+        Node::new(NodeKind::Select)
+            .with_child(
+                Node::new(NodeKind::Project)
+                    .with_child(Node::new(NodeKind::ProjClause).with_child(Node::column("sales"))),
+            )
+            .with_child(Node::new(NodeKind::From).with_child(Node::table("t")))
+            .with_child(
+                Node::new(NodeKind::Where).with_child(
+                    Node::new(NodeKind::BiExpr)
+                        .with_attr("op", "=")
+                        .with_child(Node::column("x"))
+                        .with_child(Node::int(tag)),
+                ),
+            )
+    }
+
+    #[test]
+    fn varints_round_trip_across_magnitudes() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v).unwrap();
+            assert_eq!(take_varint(&mut buf.as_slice()).unwrap(), v);
+        }
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, -123_456] {
+            let mut buf = Vec::new();
+            put_zigzag(&mut buf, v).unwrap();
+            assert_eq!(take_zigzag(&mut buf.as_slice()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_primitives_err_cleanly() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "hello world").unwrap();
+        buf.truncate(4);
+        assert!(take_str(&mut buf.as_slice()).is_err());
+        assert!(take_varint(&mut [0x80u8, 0x80].as_slice()).is_err());
+        assert!(take_bool(&mut [7u8].as_slice()).is_err());
+    }
+
+    #[test]
+    fn kinds_and_values_round_trip() {
+        for kind in KIND_TABLE
+            .iter()
+            .cloned()
+            .chain([NodeKind::Other("SparqlTriple".to_string())])
+        {
+            let mut buf = Vec::new();
+            put_kind(&mut buf, &kind).unwrap();
+            assert_eq!(take_kind(&mut buf.as_slice()).unwrap(), kind);
+        }
+        for value in [
+            AttrValue::from("abc"),
+            AttrValue::Int(-9),
+            AttrValue::Float(2.5),
+            AttrValue::Bool(true),
+        ] {
+            let mut buf = Vec::new();
+            put_attr_value(&mut buf, &value).unwrap();
+            assert_eq!(take_attr_value(&mut buf.as_slice()).unwrap(), value);
+        }
+        let path = Path::from_steps([0usize, 3, 1]);
+        let mut buf = Vec::new();
+        put_path(&mut buf, &path).unwrap();
+        assert_eq!(take_path(&mut buf.as_slice()).unwrap(), path);
+    }
+
+    #[test]
+    fn node_table_deduplicates_shared_subtrees() {
+        let a = sample_tree(1);
+        let b = sample_tree(2);
+        let mut table = NodeTableBuilder::new();
+        let ia = table.intern(&a);
+        let ib = table.intern(&b);
+        assert_ne!(ia, ib);
+        // Interning again is a no-op.
+        assert_eq!(table.intern(&a), ia);
+        // The two trees differ only in the literal: the shared prefix (projection, FROM,
+        // column refs…) must appear once, so the table is far smaller than 2× a tree.
+        assert!(table.len() < a.size() + b.size());
+
+        let mut buf = Vec::new();
+        table.write_to(&mut buf).unwrap();
+        let nodes = read_node_table(&mut buf.as_slice()).unwrap();
+        assert_eq!(nodes.len(), table.len());
+        assert_eq!(nodes[ia as usize], a);
+        assert_eq!(nodes[ib as usize], b);
+        // Structurally shared subtrees come back physically shared.
+        assert!(nodes[ia as usize].children()[1].ptr_eq(&nodes[ib as usize].children()[1]));
+    }
+
+    #[test]
+    fn corrupted_node_table_errs_instead_of_misreading() {
+        let mut table = NodeTableBuilder::new();
+        table.intern(&sample_tree(7));
+        let mut buf = Vec::new();
+        table.write_to(&mut buf).unwrap();
+        // Flip one byte at every offset: every mutation must either read back the exact
+        // same table or fail cleanly — never panic, never return a silently different tree.
+        let original = read_node_table(&mut buf.as_slice()).unwrap();
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x41;
+            if let Ok(nodes) = read_node_table(&mut bad.as_slice()) {
+                assert_eq!(nodes, original, "byte {i} silently changed the table");
+            }
+        }
+        // Truncations fail cleanly too.
+        for len in 0..buf.len() {
+            assert!(read_node_table(&mut buf[..len].as_ref()).is_err());
+        }
+    }
+
+    #[test]
+    fn checksum_adapters_agree_and_detect_flips() {
+        let payload = b"snapshot payload bytes".to_vec();
+        let mut sink = Vec::new();
+        let mut cw = ChecksumWriter::new(&mut sink);
+        cw.write_all(&payload).unwrap();
+        let written_sum = cw.sum();
+
+        let mut cr = ChecksumReader::new(payload.as_slice());
+        let mut out = Vec::new();
+        cr.read_to_end(&mut out).unwrap();
+        assert_eq!(cr.sum(), written_sum);
+
+        let mut flipped = payload.clone();
+        flipped[3] ^= 1;
+        let mut cr2 = ChecksumReader::new(flipped.as_slice());
+        std::io::copy(&mut cr2, &mut std::io::sink()).unwrap();
+        assert_ne!(cr2.sum(), written_sum);
+    }
+}

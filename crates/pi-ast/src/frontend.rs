@@ -125,6 +125,27 @@ impl ErrorSample {
         }
     }
 
+    /// Rebuilds a sample from persisted parts: the ring capacity, the exact failure count
+    /// and the retained window (oldest first, truncated to `cap`).  This is the snapshot
+    /// codec's restore path — `seen` is preserved exactly even though most of the counted
+    /// failures were never materialised.
+    pub fn from_parts(cap: usize, seen: usize, entries: Vec<FrontendError>) -> Self {
+        let mut ring: std::collections::VecDeque<FrontendError> = entries.into();
+        while ring.len() > cap {
+            ring.pop_front();
+        }
+        ErrorSample {
+            cap,
+            seen: seen.max(ring.len()),
+            entries: ring,
+        }
+    }
+
+    /// The ring capacity this sample was created with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
     /// Total number of failures offered, recorded or not.
     pub fn seen(&self) -> usize {
         self.seen

@@ -53,8 +53,10 @@ mod print;
 mod value;
 
 pub mod builder;
+pub mod codec;
 pub mod frontend;
 
+pub use codec::CodecError;
 pub use frontend::{Dialect, ErrorSample, Frontend, FrontendError, Frontends};
 pub use intern::Sym;
 pub use istr::{ArenaStats, IStr};

@@ -1,0 +1,282 @@
+//! Snapshot codec for the diff layer: change payloads and the [`DiffStore`].
+//!
+//! A mined session's diff state is dominated by *shared* [`TreeChange`] payloads — the
+//! memoized mining path stamps one `Arc`-allocated change list onto every log pair it
+//! recurs in.  The codec preserves that sharing on disk and on restore:
+//!
+//! * [`ChangeTableBuilder`] collects the distinct change payloads referenced by a snapshot
+//!   into one table, deduplicating first by `Arc` pointer identity (the common case: a
+//!   payload shared between a store record and a memo entry is interned once for free) and
+//!   then by content, so even a memo-off build — which allocates a fresh payload per log
+//!   pair — snapshots each distinct change once.
+//! * [`read_change_table`] rebuilds the payloads as shared `Arc`s against an
+//!   already-restored node table, so every [`DiffRecord`] and memo entry restored from the
+//!   snapshot aliases one allocation per distinct change.
+//! * [`write_diff_store`] / [`read_diff_store`] serialize the record arena itself as
+//!   `(q1, q2, change-index)` triples — ids are positional, so `DiffId` offsets restore
+//!   byte-identically by construction.
+
+use crate::record::{DiffRecord, TreeChange};
+use crate::store::DiffStore;
+use pi_ast::codec::{
+    corrupt, put_path, put_u8, put_varint, take_count, take_path, take_u8, take_varint, CodecError,
+    NodeTableBuilder,
+};
+use pi_ast::Node;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// Content key of a change payload after node interning: `(before, after, is_leaf, path)`.
+type ChangeKey = (Option<u32>, Option<u32>, bool, Vec<usize>);
+
+/// Builds the deduplicated table of distinct [`TreeChange`] payloads referenced by a
+/// snapshot.
+///
+/// Two-phase like [`NodeTableBuilder`]: sections intern their payloads first (interning a
+/// change also interns its `before`/`after` subtrees into the node table), then the table
+/// is written once with [`ChangeTableBuilder::write_to`] and sections refer to changes by
+/// `u32` index.
+#[derive(Debug, Default)]
+pub struct ChangeTableBuilder {
+    /// `Arc` pointer → index: free dedup for payloads that are physically shared.
+    by_ptr: HashMap<*const TreeChange, u32>,
+    /// Content → index: collapses structurally identical payloads that were allocated
+    /// separately (the memo-off mining path).
+    by_content: HashMap<ChangeKey, u32>,
+    /// Distinct payloads with their interned node indices, in emission order.
+    entries: Vec<(Arc<TreeChange>, Option<u32>, Option<u32>)>,
+}
+
+impl ChangeTableBuilder {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct change payloads interned so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no payload has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Interns a change payload (and its subtrees, into `nodes`), returning its table
+    /// index.  Idempotent by pointer and by content.
+    pub fn intern(&mut self, change: &Arc<TreeChange>, nodes: &mut NodeTableBuilder) -> u32 {
+        let ptr = Arc::as_ptr(change);
+        if let Some(&idx) = self.by_ptr.get(&ptr) {
+            return idx;
+        }
+        let before = change.before.as_ref().map(|n| nodes.intern(n));
+        let after = change.after.as_ref().map(|n| nodes.intern(n));
+        let key: ChangeKey = (before, after, change.is_leaf, change.path.steps().to_vec());
+        if let Some(&idx) = self.by_content.get(&key) {
+            self.by_ptr.insert(ptr, idx);
+            return idx;
+        }
+        let idx = u32::try_from(self.entries.len()).expect("fewer than 2^32 distinct changes");
+        self.by_ptr.insert(ptr, idx);
+        self.by_content.insert(key, idx);
+        self.entries.push((change.clone(), before, after));
+        idx
+    }
+
+    /// Writes the table: a varint count, then per entry the path, a presence/leaf flag
+    /// byte and the optional `before`/`after` node-table indices.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        put_varint(w, self.entries.len() as u64)?;
+        for (change, before, after) in &self.entries {
+            put_path(w, &change.path)?;
+            let flags = u8::from(before.is_some())
+                | (u8::from(after.is_some()) << 1)
+                | (u8::from(change.is_leaf) << 2);
+            put_u8(w, flags)?;
+            if let Some(idx) = before {
+                put_varint(w, u64::from(*idx))?;
+            }
+            if let Some(idx) = after {
+                put_varint(w, u64::from(*idx))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reads a change table written by [`ChangeTableBuilder::write_to`], resolving node
+/// indices against an already-restored node table.
+pub fn read_change_table<R: Read>(
+    r: &mut R,
+    nodes: &[Node],
+) -> Result<Vec<Arc<TreeChange>>, CodecError> {
+    let count = take_count(r)?;
+    let mut changes = Vec::with_capacity(count.min(1 << 16));
+    let node_at = |idx: u64| -> Result<Node, CodecError> {
+        nodes
+            .get(usize::try_from(idx).map_err(|_| corrupt("node index overflow"))?)
+            .cloned()
+            .ok_or_else(|| corrupt(format!("change references missing node {idx}")))
+    };
+    for _ in 0..count {
+        let path = take_path(r)?;
+        let flags = take_u8(r)?;
+        if flags & !0b111 != 0 {
+            return Err(corrupt(format!("invalid change flag byte {flags:#x}")));
+        }
+        let before = if flags & 0b001 != 0 {
+            Some(node_at(take_varint(r)?)?)
+        } else {
+            None
+        };
+        let after = if flags & 0b010 != 0 {
+            Some(node_at(take_varint(r)?)?)
+        } else {
+            None
+        };
+        changes.push(Arc::new(TreeChange {
+            path,
+            before,
+            after,
+            is_leaf: flags & 0b100 != 0,
+        }));
+    }
+    Ok(changes)
+}
+
+/// Writes a [`DiffStore`] as `(q1, q2, change-index)` triples in id order.  Every payload
+/// must already be interned in `changes` (the caller's pre-pass guarantees it; interning
+/// again here is an idempotent lookup).
+pub fn write_diff_store<W: Write>(
+    w: &mut W,
+    store: &DiffStore,
+    changes: &mut ChangeTableBuilder,
+    nodes: &mut NodeTableBuilder,
+) -> Result<(), CodecError> {
+    put_varint(w, store.len() as u64)?;
+    for (_, record) in store.iter() {
+        put_varint(w, record.q1 as u64)?;
+        put_varint(w, record.q2 as u64)?;
+        put_varint(w, u64::from(changes.intern(record.change(), nodes)))?;
+    }
+    Ok(())
+}
+
+/// Reads a [`DiffStore`] written by [`write_diff_store`], re-sharing change payloads from
+/// the restored change table — `DiffId`s are positional, so offsets restore exactly.
+pub fn read_diff_store<R: Read>(
+    r: &mut R,
+    changes: &[Arc<TreeChange>],
+) -> Result<DiffStore, CodecError> {
+    let count = take_count(r)?;
+    let mut store = DiffStore::new();
+    for _ in 0..count {
+        let q1 = take_varint(r)? as usize;
+        let q2 = take_varint(r)? as usize;
+        let idx = take_varint(r)? as usize;
+        let change = changes
+            .get(idx)
+            .ok_or_else(|| corrupt(format!("record references missing change {idx}")))?;
+        store.push(DiffRecord::from_shared(q1, q2, change.clone()));
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::AncestorPolicy;
+    use pi_ast::codec::read_node_table;
+    use pi_ast::Frontend as _;
+
+    fn parse(sql: &str) -> Node {
+        pi_sql::SqlFrontend.parse_one(sql).unwrap()
+    }
+
+    fn sample_store() -> DiffStore {
+        let a = parse("SELECT sales FROM t WHERE cty = 'USA'");
+        let b = parse("SELECT costs FROM t WHERE cty = 'EUR'");
+        let c = parse("SELECT costs FROM t WHERE cty = 'CHN'");
+        let mut store = DiffStore::new();
+        store.extend(crate::extract_diffs(
+            &a,
+            &b,
+            0,
+            1,
+            AncestorPolicy::LcaPruned,
+        ));
+        store.extend(crate::extract_diffs(
+            &b,
+            &c,
+            1,
+            2,
+            AncestorPolicy::LcaPruned,
+        ));
+        // Duplicate pair at new endpoints: separately-allocated but structurally identical
+        // payloads, exercising the content-dedup tier.
+        store.extend(crate::extract_diffs(
+            &a,
+            &b,
+            3,
+            4,
+            AncestorPolicy::LcaPruned,
+        ));
+        store
+    }
+
+    #[test]
+    fn store_round_trips_and_dedups_repeated_changes() {
+        let store = sample_store();
+        let mut nodes = NodeTableBuilder::new();
+        let mut changes = ChangeTableBuilder::new();
+        for (_, record) in store.iter() {
+            changes.intern(record.change(), &mut nodes);
+        }
+        // The (a, b) pair appears twice with fresh allocations; content dedup must fold it.
+        assert!(changes.len() < store.len());
+
+        let mut node_buf = Vec::new();
+        nodes.write_to(&mut node_buf).unwrap();
+        let mut change_buf = Vec::new();
+        changes.write_to(&mut change_buf).unwrap();
+        let mut store_buf = Vec::new();
+        write_diff_store(&mut store_buf, &store, &mut changes, &mut nodes).unwrap();
+
+        let restored_nodes = read_node_table(&mut node_buf.as_slice()).unwrap();
+        let restored_changes =
+            read_change_table(&mut change_buf.as_slice(), &restored_nodes).unwrap();
+        let restored = read_diff_store(&mut store_buf.as_slice(), &restored_changes).unwrap();
+        assert_eq!(restored, store);
+        // Restored records share payloads: the duplicate pair aliases one allocation.
+        let first = restored.get(crate::DiffId(0));
+        let dup = restored
+            .iter()
+            .find(|(id, r)| id.0 > 0 && r.q1 == 3 && r.change() == first.change())
+            .map(|(_, r)| r);
+        if let Some(dup) = dup {
+            assert!(Arc::ptr_eq(first.change(), dup.change()));
+        }
+    }
+
+    #[test]
+    fn corrupt_change_indices_err_cleanly() {
+        let store = sample_store();
+        let mut nodes = NodeTableBuilder::new();
+        let mut changes = ChangeTableBuilder::new();
+        let mut store_buf = Vec::new();
+        write_diff_store(&mut store_buf, &store, &mut changes, &mut nodes).unwrap();
+        // An empty change table makes every record's change index dangle.
+        assert!(read_diff_store(&mut store_buf.as_slice(), &[]).is_err());
+        // Truncations fail cleanly at every prefix length.
+        let mut node_buf = Vec::new();
+        nodes.write_to(&mut node_buf).unwrap();
+        let restored_nodes = read_node_table(&mut node_buf.as_slice()).unwrap();
+        let mut change_buf = Vec::new();
+        changes.write_to(&mut change_buf).unwrap();
+        for len in 0..change_buf.len() {
+            assert!(read_change_table(&mut change_buf[..len].as_ref(), &restored_nodes).is_err());
+        }
+    }
+}

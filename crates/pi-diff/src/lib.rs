@@ -23,6 +23,7 @@
 #![warn(rust_2018_idioms)]
 
 mod align;
+pub mod codec;
 mod record;
 mod store;
 

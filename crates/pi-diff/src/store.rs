@@ -38,6 +38,14 @@ impl DiffStore {
         Self::default()
     }
 
+    /// Creates an empty store with room for `records` appends — bulk rehydration knows its
+    /// exact record count up front and should not pay reallocation churn.
+    pub fn with_capacity(records: usize) -> Self {
+        Self {
+            records: Vec::with_capacity(records),
+        }
+    }
+
     /// The id the *next* pushed record will receive.
     ///
     /// Because the store is append-only this is also the offset at which another store's
@@ -90,6 +98,34 @@ impl DiffStore {
     /// Iterates over `(id, record)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (DiffId, &DiffRecord)> {
         self.records.iter().enumerate().map(|(i, r)| (DiffId(i), r))
+    }
+
+    /// Estimated heap bytes retained by the record arena: the per-record row (endpoints
+    /// plus the shared-payload pointer) and an amortised share of the `Arc`-allocated
+    /// change payloads.  Payload subtrees are excluded — they alias the distinct-tree
+    /// arena, which accounts for them once.  O(1); estimates are documented on the
+    /// constant, not measured, so the figure is stable across allocators.
+    pub fn footprint_bytes(&self) -> usize {
+        /// Amortised bytes per record: the `DiffRecord` row itself (two endpoints plus the
+        /// payload pointer, 24 bytes) and a small share of the shared
+        /// [`TreeChange`](crate::TreeChange) header.  Repetitive logs stamp each distinct
+        /// pair's memoized payload into many records (`DiffRecord::from_shared`), so the
+        /// header's full cost sits with the *distinct* entry — priced by the memo's own
+        /// footprint — and each aliasing record carries only this amortised slice.
+        const RECORD_FOOTPRINT_ESTIMATE: usize = 32;
+        self.records.len() * RECORD_FOOTPRINT_ESTIMATE
+    }
+
+    /// Number of distinct paths across all records — the partition count of
+    /// [`DiffStore::partition_by_path`] without materialising the partition.  Stats gauges
+    /// poll this at trace scale (tens of millions of records), so it hashes path
+    /// *references* instead of cloning every path into a map.
+    pub fn distinct_paths(&self) -> usize {
+        self.records
+            .iter()
+            .map(|r| &r.path)
+            .collect::<std::collections::HashSet<_>>()
+            .len()
     }
 
     /// Groups record ids by path — the partition `W_p` used by the mapper's initialisation

@@ -261,7 +261,7 @@ impl GraphAccumulator {
             queries: self.dedup.len(),
             edges: self.edges.len(),
             diff_records: self.store.len(),
-            distinct_paths: self.store.partition_by_path().len(),
+            distinct_paths: self.store.distinct_paths(),
         }
     }
 

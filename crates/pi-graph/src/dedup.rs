@@ -227,6 +227,15 @@ pub(crate) struct PairChanges {
 }
 
 impl PairChanges {
+    /// Rebuilds an entry from persisted parts: already-shared payloads in stored order
+    /// (leaves first) and the leaf count.  The snapshot codec's restore path.
+    pub(crate) fn from_shared_parts(changes: Vec<Arc<TreeChange>>, leaf_count: usize) -> Self {
+        PairChanges {
+            changes: changes.into(),
+            leaf_count,
+        }
+    }
+
     pub(crate) fn from_changes(changes: Vec<TreeChange>) -> Self {
         let (leaves, ancestors): (Vec<TreeChange>, Vec<TreeChange>) =
             changes.into_iter().partition(|c| c.is_leaf);
@@ -276,7 +285,7 @@ impl Hasher for PairKeyHasher {
     }
 }
 
-fn pair_key(ca: u32, cb: u32) -> u64 {
+pub(crate) fn pair_key(ca: u32, cb: u32) -> u64 {
     (u64::from(ca) << 32) | u64::from(cb)
 }
 
@@ -411,6 +420,57 @@ impl DiffMemo {
     /// serial mining path's full work term.
     pub(crate) fn count_direct_alignment(&mut self) {
         self.alignments += 1;
+    }
+
+    /// The pinned ancestor policy, if any (snapshot codec).
+    pub(crate) fn pinned_policy(&self) -> Option<AncestorPolicy> {
+        self.policy
+    }
+
+    /// Iterates the memoized `(pair key, entry)` pairs in arbitrary order (snapshot codec
+    /// sorts by key before writing).
+    pub(crate) fn pairs_iter(&self) -> impl Iterator<Item = (u64, &PairChanges)> {
+        self.pairs.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Iterates the seen-once pair keys in arbitrary order.
+    pub(crate) fn seen_once_iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.seen_once.iter().copied()
+    }
+
+    /// Rebuilds a memo from persisted parts — pinned policy, lifetime alignment count,
+    /// memoized pairs and the seen-once admission set.  The snapshot codec's restore path:
+    /// a restored memo is *warm*, so the first post-restore push aligns only genuinely new
+    /// pairs.
+    pub(crate) fn from_parts(
+        policy: Option<AncestorPolicy>,
+        alignments: usize,
+        pairs: impl IntoIterator<Item = (u64, PairChanges)>,
+        seen_once: impl IntoIterator<Item = u64>,
+    ) -> Self {
+        DiffMemo {
+            pairs: pairs.into_iter().collect(),
+            seen_once: seen_once.into_iter().collect(),
+            policy,
+            alignments,
+        }
+    }
+
+    /// Estimated heap bytes the memo retains: a fixed overhead per memoized pair (table
+    /// slot, key, entry headers) plus the shared-payload pointers of each change list, and
+    /// the seen-once admission set.  Payload subtrees alias the distinct-tree arena and are
+    /// excluded here.  O(pairs) — the memo is bounded by distinct ordered pairs, not rows.
+    pub fn footprint_bytes(&self) -> usize {
+        /// Table slot + packed key + `PairChanges` headers + `Arc` control block.
+        const PAIR_OVERHEAD_ESTIMATE: usize = 64;
+        /// One shared-payload `Arc` pointer plus its amortised change-header share.
+        const CHANGE_PTR_ESTIMATE: usize = 16;
+        /// One seen-once key in its set slot.
+        const SEEN_ONCE_ESTIMATE: usize = 16;
+        let change_ptrs: usize = self.pairs.values().map(|p| p.changes().len()).sum();
+        self.pairs.len() * PAIR_OVERHEAD_ESTIMATE
+            + change_ptrs * CHANGE_PTR_ESTIMATE
+            + self.seen_once.len() * SEEN_ONCE_ESTIMATE
     }
 }
 

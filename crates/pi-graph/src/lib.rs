@@ -45,6 +45,7 @@
 #![warn(rust_2018_idioms)]
 
 mod builder;
+pub mod codec;
 mod dedup;
 mod graph;
 mod steal;

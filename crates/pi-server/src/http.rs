@@ -45,6 +45,11 @@ pub struct ServerOptions {
     pub http_threads: usize,
     /// The pool behind the routes.
     pub pool: PoolOptions,
+    /// Directory for eviction-snapshot spill files.  When set, evicted tenants' mining
+    /// state is mirrored to disk and a server restarted over the same directory restores
+    /// returning tenants' full state (versions, graph, warm memo) instead of starting
+    /// them empty.  `None` keeps snapshots in memory only.
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerOptions {
@@ -52,6 +57,7 @@ impl Default for ServerOptions {
         ServerOptions {
             http_threads: 4,
             pool: PoolOptions::default(),
+            spill_dir: None,
         }
     }
 }
@@ -71,7 +77,7 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let listener = Arc::new(listener);
-        let pool = SessionPool::new(opts.pool);
+        let pool = SessionPool::with_spill(opts.pool, opts.spill_dir);
         let stop = Arc::new(AtomicBool::new(false));
         let acceptors = (0..opts.http_threads.max(1))
             .map(|i| {
@@ -475,6 +481,33 @@ fn stats_json(pool: &Arc<SessionPool>) -> Json {
             ]),
         ),
         (
+            "persistence".into(),
+            Json::Object(vec![
+                (
+                    "snapshot_bytes".into(),
+                    Json::Number(gauge.snapshot_bytes as f64),
+                ),
+                (
+                    "snapshot_archives".into(),
+                    Json::Number(gauge.snapshot_archives as f64),
+                ),
+                (
+                    "replay_archives".into(),
+                    Json::Number(gauge.replay_archives as f64),
+                ),
+                (
+                    "snapshot_rehydrations".into(),
+                    Json::Number(gauge.snapshot_rehydrations as f64),
+                ),
+                (
+                    "replay_rehydrations".into(),
+                    Json::Number(gauge.replay_rehydrations as f64),
+                ),
+                ("persist_ms".into(), Json::Number(gauge.persist_ms)),
+                ("restore_ms".into(), Json::Number(gauge.restore_ms)),
+            ]),
+        ),
+        (
             "parse_error_samples".into(),
             Json::Array(
                 gauge
@@ -503,6 +536,7 @@ mod tests {
             ServerOptions {
                 http_threads: 2,
                 pool,
+                spill_dir: None,
             },
         )
         .expect("bind ephemeral port")

@@ -24,21 +24,32 @@
 //! ## Eviction and rehydration
 //!
 //! The pool holds at most `capacity` resident sessions.  Inserting into a full shard
-//! evicts the shard's least-recently-used tenant: its pending queue is applied, its
-//! *history* — the raw tagged statement texts it ingested, in order — moves to the shard's
-//! archive, and the session (graph, memo, widgets) is dropped.  When the tenant returns,
-//! the pool replays the archived history through a fresh session via the normal worker
-//! path.  Because a [`Session`] is a deterministic fold over its pushed texts, the
-//! rehydrated session is **byte-identical** to one that was never evicted — same versions,
-//! same graph, same skip counts (property-tested in `tests/`); only accumulated wall-clock
-//! timings differ, exactly as for any re-run.
+//! evicts the shard's least-recently-used tenant: its pending queue is applied, its full
+//! mining state is **persisted to a versioned binary snapshot**
+//! ([`Session::persist`]) and archived together with its *history* — the raw tagged
+//! statement texts it ingested, in order — and the session (graph, memo, widgets) is
+//! dropped.  When the tenant returns, the pool **restores the snapshot** — a
+//! deserialization pass over distinct state, milliseconds where re-mining a long history
+//! takes seconds — and the restored session continues exactly where it stood, warm memo
+//! included.  The history is the *fallback*: if the snapshot fails integrity checks the
+//! pool replays the history through a fresh session via the normal worker path.  Either
+//! way the rehydrated session is **byte-identical** to one that was never evicted — same
+//! versions, same graph, same skip counts (property-tested in `tests/`); only accumulated
+//! wall-clock timings differ.
+//!
+//! With a *spill directory* ([`SessionPool::with_spill`], wired to
+//! `ServerOptions::spill_dir`), eviction snapshots are also written to disk, so a tenant
+//! returning after a **process restart** rehydrates from its spill file instead of
+//! starting empty — persistence across the pool's own lifetime, not just across evictions.
 
 use crate::wire::LogItem;
 use pi_core::{GeneratedInterface, PiOptions, Session};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A tenant identity: `(user_id, thread_id)`.
 pub type TenantId = (String, String);
@@ -133,6 +144,21 @@ pub struct PoolGauge {
     /// [`GAUGE_ERROR_SAMPLES`] it encounters).  `skipped` has the full count — this is
     /// the *what*, not the *how many*.
     pub parse_error_samples: Vec<String>,
+    /// Bytes of versioned binary snapshots currently held for evicted tenants (the
+    /// in-memory archive; spill files on disk are not counted).
+    pub snapshot_bytes: usize,
+    /// Lifetime evictions archived with a binary snapshot.
+    pub snapshot_archives: u64,
+    /// Lifetime evictions archived with raw history only (snapshot persist failed).
+    pub replay_archives: u64,
+    /// Lifetime rehydrations served by deserializing a snapshot (archive or spill file).
+    pub snapshot_rehydrations: u64,
+    /// Lifetime rehydrations served by replaying raw history through a fresh session.
+    pub replay_rehydrations: u64,
+    /// Accumulated wall-clock spent persisting eviction snapshots, milliseconds.
+    pub persist_ms: f64,
+    /// Accumulated wall-clock spent restoring sessions from snapshots, milliseconds.
+    pub restore_ms: f64,
 }
 
 /// How many parse-failure samples a [`PoolGauge`] carries at most — enough for an
@@ -191,12 +217,23 @@ struct Resident {
     last_used: u64,
 }
 
+/// What the shard keeps for an evicted tenant.
+struct ArchiveEntry {
+    /// The evicted session's versioned binary snapshot — the fast rehydration path.
+    /// `None` when persist failed (I/O is infallible into a `Vec`, so in practice this
+    /// only happens if a future snapshot precondition is violated).
+    snapshot: Option<Vec<u8>>,
+    /// The raw tagged statement history, in order — the replay fallback when the snapshot
+    /// fails integrity checks, and the history the rehydrated tenant keeps extending.
+    /// Moving it in and out of the archive moves `Arc` handles; text is never copied.
+    history: Vec<(pi_ast::Dialect, Arc<str>)>,
+}
+
 #[derive(Default)]
 struct Shard {
     tenants: HashMap<TenantId, Resident>,
-    /// Evicted tenants' histories, awaiting replay if they return.  Moving a history in
-    /// and out of the archive moves `Arc` handles; the statement text is never copied.
-    archive: HashMap<TenantId, Vec<(pi_ast::Dialect, Arc<str>)>>,
+    /// Evicted tenants' snapshots and histories, awaiting rehydration if they return.
+    archive: HashMap<TenantId, ArchiveEntry>,
     /// LRU clock: bumps on every touch; the resident with the smallest stamp is evicted.
     clock: u64,
 }
@@ -212,15 +249,42 @@ pub struct SessionPool {
     workers: Mutex<Vec<JoinHandle<()>>>,
     default_dialect: pi_ast::Dialect,
     known_dialects: Vec<pi_ast::Dialect>,
+    /// Eviction snapshots are mirrored here as spill files, and tenants unknown to every
+    /// shard are probed here before being treated as new — restart rehydration.
+    spill_dir: Option<PathBuf>,
     evictions: AtomicU64,
     rehydrations: AtomicU64,
     accepted: AtomicU64,
     rejected_batches: AtomicU64,
+    snapshot_archives: AtomicU64,
+    replay_archives: AtomicU64,
+    snapshot_rehydrations: AtomicU64,
+    replay_rehydrations: AtomicU64,
+    /// Wall-clock totals in microseconds (atomics can't add floats; the gauge divides).
+    persist_us: AtomicU64,
+    restore_us: AtomicU64,
+    /// Bytes of snapshots currently archived, maintained at archive insert/remove.
+    snapshot_bytes: AtomicUsize,
 }
 
 impl SessionPool {
-    /// Builds a pool and spawns its ingest workers.
+    /// Builds a pool and spawns its ingest workers; no spill directory — eviction
+    /// snapshots live in memory only and die with the pool.
     pub fn new(opts: PoolOptions) -> Arc<SessionPool> {
+        SessionPool::with_spill(opts, None)
+    }
+
+    /// Builds a pool whose eviction snapshots are also mirrored into `spill_dir`, so
+    /// tenants survive a process restart: a pool opened over the same directory restores
+    /// any spilled tenant's full mining state on first touch instead of starting empty.
+    ///
+    /// Spilling is best-effort — the directory is created if missing, unwritable files
+    /// degrade silently to the in-memory archive (which preserves all single-process
+    /// guarantees), and a spill file whose integrity check fails on read is ignored.
+    pub fn with_spill(opts: PoolOptions, spill_dir: Option<PathBuf>) -> Arc<SessionPool> {
+        if let Some(dir) = &spill_dir {
+            let _ = std::fs::create_dir_all(dir);
+        }
         let shards = opts.shards.max(1);
         let workers = opts.workers.max(1);
         // Sessions share one standard registry; probe it once rather than per request.
@@ -237,8 +301,16 @@ impl SessionPool {
             rehydrations: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
             rejected_batches: AtomicU64::new(0),
+            snapshot_archives: AtomicU64::new(0),
+            replay_archives: AtomicU64::new(0),
+            snapshot_rehydrations: AtomicU64::new(0),
+            replay_rehydrations: AtomicU64::new(0),
+            persist_us: AtomicU64::new(0),
+            restore_us: AtomicU64::new(0),
+            snapshot_bytes: AtomicUsize::new(0),
             default_dialect,
             known_dialects,
+            spill_dir,
             opts,
         });
         let handles: Vec<_> = (0..workers)
@@ -340,7 +412,9 @@ impl SessionPool {
         let key: TenantId = (user_id.to_string(), thread_id.to_string());
         let shard = &self.shards[self.shard_of(&key)];
         let mut guard = shard.lock().unwrap();
-        let known = guard.tenants.contains_key(&key) || guard.archive.contains_key(&key);
+        let known = guard.tenants.contains_key(&key)
+            || guard.archive.contains_key(&key)
+            || self.has_spill(&key);
         if !known {
             return None;
         }
@@ -371,6 +445,13 @@ impl SessionPool {
             rehydrations: self.rehydrations.load(Ordering::Relaxed),
             accepted: self.accepted.load(Ordering::Relaxed),
             rejected_batches: self.rejected_batches.load(Ordering::Relaxed),
+            snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
+            snapshot_archives: self.snapshot_archives.load(Ordering::Relaxed),
+            replay_archives: self.replay_archives.load(Ordering::Relaxed),
+            snapshot_rehydrations: self.snapshot_rehydrations.load(Ordering::Relaxed),
+            replay_rehydrations: self.replay_rehydrations.load(Ordering::Relaxed),
+            persist_ms: self.persist_us.load(Ordering::Relaxed) as f64 / 1e3,
+            restore_ms: self.restore_us.load(Ordering::Relaxed) as f64 / 1e3,
             ..PoolGauge::default()
         };
         for shard in &self.shards {
@@ -399,7 +480,10 @@ impl SessionPool {
 
     /// Graceful shutdown: stop accepting, join the workers, then drain every remaining
     /// queue and flush a final snapshot per resident session (so the last mapped interface
-    /// and final timings are materialised before the pool drops).  Idempotent.
+    /// and final timings are materialised before the pool drops).  With a spill directory,
+    /// every non-empty resident session is also persisted to disk, so a pool reopened over
+    /// the same directory rehydrates *all* tenants — not just the previously evicted ones.
+    /// Idempotent.
     pub fn close(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.dispatch_cv.notify_all();
@@ -421,6 +505,14 @@ impl SessionPool {
                 Tenant::apply_pending(&mut inner);
                 if !inner.session.is_empty() {
                     inner.session.snapshot();
+                    if self.spill_dir.is_some() {
+                        let start = Instant::now();
+                        if let Ok(bytes) = inner.session.persist_to_vec() {
+                            self.persist_us
+                                .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                            self.write_spill(&tenant.key, &bytes);
+                        }
+                    }
                 }
             }
         }
@@ -447,24 +539,83 @@ impl SessionPool {
         if shard.tenants.len() >= shard_cap {
             self.evict_lru(shard);
         }
-        // Rehydration: preload the archived history as a replay queue; the normal worker
-        // path re-applies it, rebuilding a byte-identical session.
-        let history = shard.archive.remove(key);
-        let replaying = history.as_ref().map_or(0, Vec::len);
-        if replaying > 0 || history.is_some() {
-            self.rehydrations.fetch_add(1, Ordering::Relaxed);
-        }
+        // Rehydration.  Preferred path: deserialize the eviction snapshot — milliseconds,
+        // state byte-identical, memo warm.  Fallback: preload the archived history as a
+        // replay queue; the normal worker path re-applies it, rebuilding the same session
+        // by re-mining.  A tenant in neither the map nor the archive may still have a
+        // spill file from a previous process — restart rehydration, same restore path.
+        let archived = shard.archive.remove(key);
+        let spilled = if archived.is_none() {
+            self.read_spill(key).map(|bytes| ArchiveEntry {
+                snapshot: Some(bytes),
+                history: Vec::new(),
+            })
+        } else {
+            None
+        };
+        let entry = match archived {
+            Some(entry) => {
+                if let Some(snapshot) = &entry.snapshot {
+                    self.snapshot_bytes
+                        .fetch_sub(snapshot.len(), Ordering::Relaxed);
+                }
+                Some(entry)
+            }
+            None => spilled,
+        };
+        let (session, history, queue, replaying) = match entry {
+            None => (
+                Session::new(self.opts.session.clone()),
+                Vec::new(),
+                VecDeque::new(),
+                0,
+            ),
+            Some(entry) => {
+                self.rehydrations.fetch_add(1, Ordering::Relaxed);
+                let restored = entry.snapshot.as_deref().and_then(|bytes| {
+                    let start = Instant::now();
+                    let session =
+                        Session::restore_with(&mut &*bytes, self.opts.session.clone()).ok()?;
+                    self.restore_us
+                        .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    Some(session)
+                });
+                match restored {
+                    Some(session) => {
+                        // Snapshot restore: the session already holds everything the
+                        // history would replay; the history rides along as the fallback
+                        // for the tenant's *next* eviction.
+                        self.snapshot_rehydrations.fetch_add(1, Ordering::Relaxed);
+                        let _ = self.remove_spill(key);
+                        (session, entry.history, VecDeque::new(), 0)
+                    }
+                    None => {
+                        // Corrupt or absent snapshot: replay the history through a fresh
+                        // session via the worker path.
+                        self.replay_rehydrations.fetch_add(1, Ordering::Relaxed);
+                        let _ = self.remove_spill(key);
+                        let replaying = entry.history.len();
+                        (
+                            Session::new(self.opts.session.clone()),
+                            Vec::new(),
+                            entry.history.into(),
+                            replaying,
+                        )
+                    }
+                }
+            }
+        };
         let tenant = Arc::new(Tenant {
             key: key.clone(),
             inner: Mutex::new(TenantInner {
-                session: Session::new(self.opts.session.clone()),
-                history: Vec::new(),
-                queue: history.unwrap_or_default().into(),
+                session,
+                history,
+                queue,
                 replaying,
                 dispatched: false,
             }),
         });
-        if replaying > 0 {
+        {
             let mut inner = tenant.inner.lock().unwrap();
             self.mark_dispatched(&tenant, &mut inner);
         }
@@ -491,14 +642,95 @@ impl SessionPool {
         };
         let resident = shard.tenants.remove(&victim_key).expect("victim resident");
         let mut inner = resident.tenant.inner.lock().unwrap();
-        // Apply the backlog so the archived history covers everything accepted so far.
+        // Apply the backlog so the archived state covers everything accepted so far.
         // This runs under the shard lock — eviction is rare and the backlog small, and it
         // must be atomic with removal or a late worker would apply to an orphaned session.
         Tenant::apply_pending(&mut inner);
+        // Persist the full mining state: rehydration deserializes this in milliseconds
+        // instead of re-mining the history.  The raw history is archived alongside as the
+        // integrity fallback.
+        let start = Instant::now();
+        let snapshot = inner.session.persist_to_vec().ok();
+        self.persist_us
+            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
         let history = std::mem::take(&mut inner.history);
         drop(inner);
-        shard.archive.insert(victim_key, history);
+        match &snapshot {
+            Some(bytes) => {
+                self.snapshot_archives.fetch_add(1, Ordering::Relaxed);
+                self.snapshot_bytes
+                    .fetch_add(bytes.len(), Ordering::Relaxed);
+                self.write_spill(&victim_key, bytes);
+            }
+            None => {
+                self.replay_archives.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard
+            .archive
+            .insert(victim_key, ArchiveEntry { snapshot, history });
         self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The spill file for a tenant, when spilling is enabled.  Named by the key's hash;
+    /// the file's own header carries the exact key, so a hash collision reads as a miss
+    /// for the other tenant rather than serving it foreign state.
+    fn spill_path(&self, key: &TenantId) -> Option<PathBuf> {
+        let dir = self.spill_dir.as_ref()?;
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        Some(dir.join(format!("tenant-{:016x}.pisnap", hasher.finish())))
+    }
+
+    /// True when a spill file exists for this tenant (cheap existence probe; integrity is
+    /// checked at read time).
+    fn has_spill(&self, key: &TenantId) -> bool {
+        self.spill_path(key).is_some_and(|p| p.exists())
+    }
+
+    /// Best-effort spill write: `[user_len][user][thread_len][thread][session snapshot]`,
+    /// via a temp file + rename so readers never observe a half-written spill.
+    fn write_spill(&self, key: &TenantId, snapshot: &[u8]) {
+        let Some(path) = self.spill_path(key) else {
+            return;
+        };
+        let mut buf = Vec::with_capacity(key.0.len() + key.1.len() + snapshot.len() + 8);
+        for part in [&key.0, &key.1] {
+            buf.extend_from_slice(&(part.len() as u32).to_le_bytes());
+            buf.extend_from_slice(part.as_bytes());
+        }
+        buf.extend_from_slice(snapshot);
+        let tmp = path.with_extension("pisnap.tmp");
+        if std::fs::write(&tmp, &buf).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+
+    /// Reads this tenant's spill file, returning the embedded session snapshot — `None`
+    /// on absence, malformed framing, or a key mismatch (hash collision).
+    fn read_spill(&self, key: &TenantId) -> Option<Vec<u8>> {
+        let path = self.spill_path(key)?;
+        let data = std::fs::read(path).ok()?;
+        let mut at = 0usize;
+        for expected in [&key.0, &key.1] {
+            let len_bytes: [u8; 4] = data.get(at..at + 4)?.try_into().ok()?;
+            let len = u32::from_le_bytes(len_bytes) as usize;
+            at += 4;
+            if data.get(at..at + len)? != expected.as_bytes() {
+                return None;
+            }
+            at += len;
+        }
+        Some(data[at..].to_vec())
+    }
+
+    /// Removes this tenant's spill file (after rehydration consumed it).
+    fn remove_spill(&self, key: &TenantId) -> std::io::Result<()> {
+        match self.spill_path(key) {
+            Some(path) => std::fs::remove_file(path),
+            None => Ok(()),
+        }
     }
 
     /// Adds the tenant to the dispatch queue if it is not already there.  Called with the
@@ -675,6 +907,131 @@ mod tests {
             before.version + 1
         );
         pool.close();
+    }
+
+    #[test]
+    fn eviction_archives_a_snapshot_and_rehydration_restores_it() {
+        let pool = pool(2, 1, 64);
+        for i in 0..5 {
+            pool.enqueue_tagged("ada", "t1", [(Dialect::SQL, sql(i).as_str())])
+                .unwrap();
+        }
+        let before = pool.snapshot("ada", "t1").unwrap();
+        // Force ada/t1 out of its seat.
+        pool.enqueue_tagged("bob", "t1", [(Dialect::SQL, sql(0).as_str())])
+            .unwrap();
+        pool.flush("bob", "t1");
+        pool.enqueue_tagged("cyd", "t1", [(Dialect::SQL, sql(1).as_str())])
+            .unwrap();
+        pool.flush("cyd", "t1");
+        let evicted = pool.gauge();
+        assert!(evicted.snapshot_archives >= 1, "eviction must persist");
+        assert_eq!(evicted.replay_archives, 0);
+        assert!(evicted.snapshot_bytes > 0, "archive holds snapshot bytes");
+        assert!(evicted.persist_ms >= 0.0);
+        // The return trip deserializes the snapshot — no replay.
+        let after = pool.snapshot("ada", "t1").unwrap();
+        assert_eq!(after.version, before.version);
+        assert_eq!(after.graph, before.graph);
+        assert_eq!(after.interface.describe(), before.interface.describe());
+        let rehydrated = pool.gauge();
+        assert!(rehydrated.snapshot_rehydrations >= 1);
+        assert_eq!(rehydrated.replay_rehydrations, 0);
+        // The consumed snapshot left the archive; its bytes are no longer held.
+        assert!(rehydrated.snapshot_bytes < evicted.snapshot_bytes || evicted.snapshot_bytes == 0);
+        pool.close();
+    }
+
+    #[test]
+    fn spill_directory_rehydrates_across_pool_restarts() {
+        let dir = std::env::temp_dir().join(format!(
+            "pi-pool-spill-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = PoolOptions {
+            capacity: 4,
+            shards: 1,
+            queue_depth: 64,
+            workers: 1,
+            session: PiOptions::default(),
+        };
+        // First process lifetime: ingest, then close (which spills residents).
+        let first = SessionPool::with_spill(opts.clone(), Some(dir.clone()));
+        for i in 0..4 {
+            first
+                .enqueue_tagged("ada", "t1", [(Dialect::SQL, sql(i).as_str())])
+                .unwrap();
+        }
+        let before = first.snapshot("ada", "t1").unwrap();
+        first.close();
+        drop(first);
+        // Second lifetime over the same directory: the tenant's full state is back.
+        let second = SessionPool::with_spill(opts.clone(), Some(dir.clone()));
+        let after = second
+            .snapshot("ada", "t1")
+            .expect("spilled tenant is known after restart");
+        assert_eq!(after.version, before.version);
+        assert_eq!(after.graph, before.graph);
+        assert_eq!(after.interface.describe(), before.interface.describe());
+        assert!(second.gauge().snapshot_rehydrations >= 1);
+        // …and keeps ingesting from where it left off.
+        second
+            .enqueue_tagged("ada", "t1", [(Dialect::SQL, sql(9).as_str())])
+            .unwrap();
+        assert_eq!(
+            second.snapshot("ada", "t1").unwrap().version,
+            before.version + 1
+        );
+        second.close();
+        // A pool without spill does not know the tenant.
+        let cold = SessionPool::new(opts);
+        assert!(cold.snapshot("ada", "t1").is_none());
+        cold.close();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_spill_files_fall_back_cleanly() {
+        let dir = std::env::temp_dir().join(format!(
+            "pi-pool-corrupt-spill-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = PoolOptions {
+            capacity: 4,
+            shards: 1,
+            queue_depth: 64,
+            workers: 1,
+            session: PiOptions::default(),
+        };
+        let first = SessionPool::with_spill(opts.clone(), Some(dir.clone()));
+        first
+            .enqueue_tagged("ada", "t1", [(Dialect::SQL, sql(1).as_str())])
+            .unwrap();
+        first.snapshot("ada", "t1").unwrap();
+        first.close();
+        drop(first);
+        // Flip a byte in the middle of every spill file: the checksum must reject it and
+        // the tenant reads as unknown (no state to fall back on across a restart), never
+        // a panic or a silently wrong session.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+            std::fs::write(&path, bytes).unwrap();
+        }
+        let second = SessionPool::with_spill(opts, Some(dir.clone()));
+        // Restore fails integrity; with no archived history the pool treats the tenant as
+        // new — a fresh, empty session (replay-kind rehydration).
+        let snap = second.snapshot("ada", "t1").expect("spill file exists");
+        assert_eq!(snap.version, 0);
+        assert!(second.gauge().replay_rehydrations >= 1);
+        second.close();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

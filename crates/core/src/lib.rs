@@ -54,7 +54,7 @@ pub use frontends::standard_frontends;
 pub use interface::Interface;
 pub use mapper::{InteractionMapper, MapperOptions};
 pub use pipeline::{GeneratedInterface, PiOptions, PrecisionInterfaces, StageTimings};
-pub use session::{Session, SNAPSHOT_VERSION};
+pub use session::{RebuildOutcome, Session, SNAPSHOT_VERSION};
 
 #[cfg(test)]
 mod tests {

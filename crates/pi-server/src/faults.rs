@@ -1,0 +1,189 @@
+//! Deterministic fault injection for the durability layer.
+//!
+//! Compiled only under `cfg(test)` or the `faults` feature, this module gives the
+//! crash-recovery suite seeded, repeatable control over every failure mode the journal and
+//! supervisor must survive:
+//!
+//! * **I/O errors** at the n-th occurrence of a named operation (journal append, journal
+//!   fsync, spill write) — the journal must fail the batch *before* acking, never after;
+//! * **crash-at-point**: at the n-th occurrence of an operation the "process dies" — the
+//!   plan flips to a crashed state in which every subsequent durable operation fails, and
+//!   [`crate::pool::SessionPool::simulate_crash`] then discards all volatile state plus
+//!   every journal byte past the fsync watermark (modelling lost page cache), optionally
+//!   leaving a **torn tail** of `torn_keep` extra bytes (modelling a partial sector
+//!   flush at an arbitrary byte offset);
+//! * **forced worker panics**: any statement containing the panic marker panics inside
+//!   the mining apply path, exercising the supervisor's catch/quarantine/rebuild cycle.
+//!
+//! A [`FaultPlan`] is immutable after construction and counts operation hits with
+//! atomics, so a multi-worker pool hits injection points in a deterministic *count* even
+//! when thread interleaving varies; the crash-recovery property test derives every plan
+//! from a proptest seed.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Operations the durability layer routes through a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Appending a record frame to the active journal segment.
+    JournalAppend,
+    /// Fsyncing the active journal segment (group commit or segment seal).
+    JournalSync,
+    /// Writing a tenant spill snapshot (eviction, checkpoint, close).
+    SpillWrite,
+}
+
+const N_OPS: usize = 3;
+
+impl FaultOp {
+    fn index(self) -> usize {
+        match self {
+            FaultOp::JournalAppend => 0,
+            FaultOp::JournalSync => 1,
+            FaultOp::SpillWrite => 2,
+        }
+    }
+}
+
+/// A deterministic schedule of injected failures; see the module docs.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// `(op, nth)` pairs: the nth hit (1-based) of `op` fails with an injected I/O error.
+    io_errors: Vec<(FaultOp, u64)>,
+    /// The hit at which the simulated process dies; after it fires, every durable
+    /// operation fails until the harness rebuilds the pool.
+    crash_at: Option<(FaultOp, u64)>,
+    /// Unsynced bytes the simulated crash leaves behind on the active segment — the torn
+    /// tail recovery must detect and discard.
+    torn_keep: u64,
+    /// Statements containing this marker panic inside the apply path.
+    panic_marker: Option<String>,
+    hits: [AtomicU64; N_OPS],
+    crashed: AtomicBool,
+    panics_fired: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a base for builder calls).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Fails the `nth` (1-based) occurrence of `op` with an injected I/O error.
+    pub fn with_io_error(mut self, op: FaultOp, nth: u64) -> Self {
+        self.io_errors.push((op, nth));
+        self
+    }
+
+    /// Simulates a process crash at the `nth` (1-based) occurrence of `op`.
+    pub fn with_crash(mut self, op: FaultOp, nth: u64) -> Self {
+        self.crash_at = Some((op, nth));
+        self
+    }
+
+    /// Leaves `bytes` of unsynced tail on the active journal segment when the crash is
+    /// simulated (a torn write at an arbitrary byte offset).
+    pub fn with_torn_keep(mut self, bytes: u64) -> Self {
+        self.torn_keep = bytes;
+        self
+    }
+
+    /// Makes every statement containing `marker` panic inside the mining apply path.
+    pub fn with_panic_marker(mut self, marker: impl Into<String>) -> Self {
+        self.panic_marker = Some(marker.into());
+        self
+    }
+
+    /// Registers one occurrence of `op`, returning the injected failure if the schedule
+    /// names this hit.  After a crash fires, every call fails.
+    pub fn hit(&self, op: FaultOp) -> io::Result<()> {
+        if self.crashed.load(Ordering::SeqCst) {
+            return Err(io::Error::other("injected fault: process crashed"));
+        }
+        let count = self.hits[op.index()].fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some((crash_op, nth)) = self.crash_at {
+            if crash_op == op && count == nth {
+                self.crashed.store(true, Ordering::SeqCst);
+                return Err(io::Error::other(format!(
+                    "injected fault: crash at {op:?} #{count}"
+                )));
+            }
+        }
+        if self.io_errors.iter().any(|&(o, n)| o == op && n == count) {
+            return Err(io::Error::other(format!(
+                "injected fault: io error at {op:?} #{count}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Panics iff the plan's marker appears in `statement` (the forced-worker-panic hook;
+    /// the supervisor must catch it, quarantine the statement and rebuild the session).
+    pub fn check_statement(&self, statement: &str) {
+        if let Some(marker) = &self.panic_marker {
+            if statement.contains(marker.as_str()) {
+                self.panics_fired.fetch_add(1, Ordering::SeqCst);
+                panic!("injected fault: poisoned statement: {statement}");
+            }
+        }
+    }
+
+    /// Whether the simulated crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// The torn-tail byte count the simulated crash leaves behind.
+    pub fn torn_keep(&self) -> u64 {
+        self.torn_keep
+    }
+
+    /// How many times the given operation has been hit.
+    pub fn hit_count(&self, op: FaultOp) -> u64 {
+        self.hits[op.index()].load(Ordering::SeqCst)
+    }
+
+    /// How many injected statement panics have fired.
+    pub fn panics_fired(&self) -> u64 {
+        self.panics_fired.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_fire_at_exact_hit_counts_and_crashes_stick() {
+        let plan = FaultPlan::new()
+            .with_io_error(FaultOp::SpillWrite, 2)
+            .with_crash(FaultOp::JournalSync, 3)
+            .with_torn_keep(17);
+        assert!(plan.hit(FaultOp::SpillWrite).is_ok());
+        assert!(plan.hit(FaultOp::SpillWrite).is_err());
+        assert!(plan.hit(FaultOp::SpillWrite).is_ok());
+        assert!(plan.hit(FaultOp::JournalSync).is_ok());
+        assert!(plan.hit(FaultOp::JournalSync).is_ok());
+        assert!(!plan.crashed());
+        assert!(plan.hit(FaultOp::JournalSync).is_err());
+        assert!(plan.crashed());
+        // Everything fails once the process is "dead" — including other ops.
+        assert!(plan.hit(FaultOp::JournalAppend).is_err());
+        assert!(plan.hit(FaultOp::SpillWrite).is_err());
+        assert_eq!(plan.torn_keep(), 17);
+    }
+
+    #[test]
+    fn panic_marker_panics_only_on_matching_statements() {
+        let plan = FaultPlan::new().with_panic_marker("POISON");
+        plan.check_statement("SELECT a FROM t");
+        assert_eq!(plan.panics_fired(), 0);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let caught = std::panic::catch_unwind(|| plan.check_statement("SELECT POISON FROM t"));
+        std::panic::set_hook(prev);
+        assert!(caught.is_err());
+        assert_eq!(plan.panics_fired(), 1);
+    }
+}

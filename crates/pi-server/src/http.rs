@@ -9,10 +9,11 @@
 //!
 //! | Route | Meaning |
 //! |---|---|
-//! | `POST /logs` | Ingest a [`LogItem`](crate::wire::LogItem) batch.  `202` with accepted / rejected / malformed counts; a full tenant queue yields `429` + `Retry-After`. |
+//! | `POST /logs` | Ingest a [`LogItem`](crate::wire::LogItem) batch.  `202` with accepted / rejected / malformed counts; a full tenant queue yields `429` + `Retry-After`; recovery or a failed journal yields `503` + `Retry-After`. |
 //! | `GET /interfaces/{user}/{thread}` | The tenant's current versioned interface snapshot as JSON (widgets via the same spec the HTML compiler embeds). |
-//! | `GET /healthz` | Liveness: `200 {"status":"ok"}`. |
-//! | `GET /stats` | Pool gauge: occupancy, evictions, queue depths, accumulated stage timings. |
+//! | `GET /healthz` · `GET /healthz/live` | Liveness: `200 {"status":"ok"}` whenever the process serves requests — even mid-recovery (restarting a recovering process would only restart its recovery). |
+//! | `GET /readyz` · `GET /healthz/ready` | Readiness: `200` once startup recovery has finished, the journal is healthy and the apply backlog is under the high-water mark; otherwise `503` + `Retry-After` naming the blocker.  Load balancers gate traffic on this, not on liveness. |
+//! | `GET /stats` | Pool gauge: occupancy, evictions, queue depths, accumulated stage timings, durability counters. |
 //!
 //! ## Shutdown
 //!
@@ -299,12 +300,30 @@ fn route(request: &Request, pool: &Arc<SessionPool>) -> Routed {
     let path = request.path.split('?').next().unwrap_or(&request.path);
     match (request.method.as_str(), path) {
         ("POST", "/logs") => post_logs(&request.body, pool),
-        ("GET", "/healthz") => (
+        ("GET", "/healthz" | "/healthz/live") => (
             200,
             "OK",
             Json::Object(vec![("status".into(), Json::string("ok"))]).to_string(),
             Vec::new(),
         ),
+        ("GET", "/readyz" | "/healthz/ready") => match pool.readiness_blocker() {
+            None => (
+                200,
+                "OK",
+                Json::Object(vec![("status".into(), Json::string("ready"))]).to_string(),
+                Vec::new(),
+            ),
+            Some(blocker) => (
+                503,
+                "Service Unavailable",
+                Json::Object(vec![
+                    ("status".into(), Json::string("unready")),
+                    ("reason".into(), Json::string(&blocker)),
+                ])
+                .to_string(),
+                vec![("Retry-After", "1".to_string())],
+            ),
+        },
         ("GET", "/stats") => (200, "OK", stats_json(pool).to_string(), Vec::new()),
         ("GET", _) if path.starts_with("/interfaces/") => get_interface(path, pool),
         _ => (404, "Not Found", error_json("no such route"), Vec::new()),
@@ -353,6 +372,26 @@ fn post_logs(body: &[u8], pool: &Arc<SessionPool>) -> Routed {
                     error_json("server is shutting down"),
                     Vec::new(),
                 )
+            }
+            Err(EnqueueError::Recovering) => {
+                // Startup recovery is replaying the journal; the batch would race the
+                // replay's sequence numbers.  Come back when /readyz goes green.
+                return (
+                    503,
+                    "Service Unavailable",
+                    error_json("server is recovering; retry shortly"),
+                    vec![("Retry-After", "1".to_string())],
+                );
+            }
+            Err(EnqueueError::Journal(err)) => {
+                // Fail-stop: nothing acks once the journal failed, so the client retries
+                // against a restarted (recovered) process instead of losing the batch.
+                return (
+                    503,
+                    "Service Unavailable",
+                    error_json(&format!("write-ahead journal failed: {err}")),
+                    vec![("Retry-After", "5".to_string())],
+                );
             }
         }
     }
@@ -508,10 +547,89 @@ fn stats_json(pool: &Arc<SessionPool>) -> Json {
             ]),
         ),
         (
+            "durability".into(),
+            Json::Object(vec![
+                ("recovering".into(), Json::Bool(gauge.recovering)),
+                (
+                    "journal".into(),
+                    match &gauge.journal {
+                        None => Json::Null,
+                        Some(journal) => Json::Object(vec![
+                            (
+                                "appended_records".into(),
+                                Json::Number(journal.appended_records as f64),
+                            ),
+                            (
+                                "appended_bytes".into(),
+                                Json::Number(journal.appended_bytes as f64),
+                            ),
+                            ("syncs".into(), Json::Number(journal.syncs as f64)),
+                            (
+                                "unchecked_bytes".into(),
+                                Json::Number(journal.unchecked_bytes as f64),
+                            ),
+                            ("failed".into(), Json::Bool(journal.failed)),
+                        ]),
+                    },
+                ),
+                (
+                    "worker_panics".into(),
+                    Json::Number(gauge.worker_panics as f64),
+                ),
+                (
+                    "session_rebuilds".into(),
+                    Json::Number(gauge.session_rebuilds as f64),
+                ),
+                (
+                    "quarantined_statements".into(),
+                    Json::Number(gauge.quarantined_statements as f64),
+                ),
+                (
+                    "lock_poison_recoveries".into(),
+                    Json::Number(gauge.lock_poison_recoveries as f64),
+                ),
+                (
+                    "spill_quarantines".into(),
+                    Json::Number(gauge.spill_quarantines as f64),
+                ),
+                (
+                    "recovered_tenants".into(),
+                    Json::Number(gauge.recovered_tenants as f64),
+                ),
+                (
+                    "recovered_statements".into(),
+                    Json::Number(gauge.recovered_statements as f64),
+                ),
+                (
+                    "recovery_dropped".into(),
+                    Json::Number(gauge.recovery_dropped as f64),
+                ),
+                ("checkpoints".into(), Json::Number(gauge.checkpoints as f64)),
+                (
+                    "pruned_segments".into(),
+                    Json::Number(gauge.pruned_segments as f64),
+                ),
+                (
+                    "last_recovery_ms".into(),
+                    Json::Number(gauge.last_recovery_ms),
+                ),
+            ]),
+        ),
+        (
             "parse_error_samples".into(),
             Json::Array(
                 gauge
                     .parse_error_samples
+                    .iter()
+                    .map(|s| Json::string(s))
+                    .collect(),
+            ),
+        ),
+        (
+            "quarantine_samples".into(),
+            Json::Array(
+                gauge
+                    .quarantine_samples
                     .iter()
                     .map(|s| Json::string(s))
                     .collect(),
@@ -579,6 +697,73 @@ mod tests {
             .expect("samples array");
         assert_eq!(samples.len(), 1);
         assert!(samples[0].as_str().unwrap().contains("sql"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn liveness_and_readiness_are_separate_probes() {
+        // An unready pool (readiness high-water mark of zero is always crossed) still
+        // answers the liveness probes 200 — restarting it would not make it readier —
+        // but readiness sheds the load balancer with 503 + Retry-After and a reason.
+        let server = test_server(PoolOptions {
+            ready_high_water: Some(0),
+            ..PoolOptions::default()
+        });
+        for live in ["/healthz", "/healthz/live"] {
+            let (status, _, body) = http_request(server.addr(), "GET", live, None);
+            assert_eq!(status, 200, "{live}");
+            assert_eq!(body, r#"{"status":"ok"}"#);
+        }
+        for ready in ["/readyz", "/healthz/ready"] {
+            let (status, headers, body) = http_request(server.addr(), "GET", ready, None);
+            assert_eq!(status, 503, "{ready}: {body}");
+            assert!(
+                headers
+                    .iter()
+                    .any(|(name, _)| name.eq_ignore_ascii_case("retry-after")),
+                "{headers:?}"
+            );
+            let parsed = Json::parse(&body).unwrap();
+            assert!(parsed
+                .get("reason")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("high water"));
+        }
+        server.shutdown();
+
+        // Without the knob the probes agree: both green.
+        let server = test_server(PoolOptions::default());
+        let (status, _, body) = http_request(server.addr(), "GET", "/readyz", None);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, r#"{"status":"ready"}"#);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_reports_durability_counters() {
+        let server = test_server(PoolOptions::default());
+        let (_, _, body) = http_request(server.addr(), "GET", "/stats", None);
+        let stats = Json::parse(&body).unwrap();
+        let durability = stats.get("durability").expect("durability object");
+        assert_eq!(
+            durability.get("recovering").and_then(Json::as_bool),
+            Some(false)
+        );
+        // No journal configured: the field is present (scrapers see a stable schema) and
+        // null.
+        assert!(matches!(durability.get("journal"), Some(Json::Null)));
+        assert_eq!(
+            durability.get("worker_panics").and_then(Json::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(
+            stats
+                .get("quarantine_samples")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(0)
+        );
         server.shutdown();
     }
 

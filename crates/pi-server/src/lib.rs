@@ -36,10 +36,14 @@
 //! ```
 
 pub mod client;
+#[cfg(any(test, feature = "faults"))]
+pub mod faults;
 pub mod http;
+pub mod journal;
 pub mod pool;
 pub mod wire;
 
 pub use http::{Server, ServerOptions};
+pub use journal::{DurabilityOptions, JournalStats};
 pub use pool::{EnqueueError, PoolGauge, PoolOptions, SessionPool, GAUGE_ERROR_SAMPLES};
 pub use wire::{decode_batch, encode_batch, DecodedBatch, LogItem};

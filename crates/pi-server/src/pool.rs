@@ -42,14 +42,20 @@
 //! returning after a **process restart** rehydrates from its spill file instead of
 //! starting empty — persistence across the pool's own lifetime, not just across evictions.
 
+use crate::journal::{DurabilityOptions, Journal, JournalStats, RecoveredLog};
 use crate::wire::LogItem;
 use pi_core::{GeneratedInterface, PiOptions, Session};
 use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+#[cfg(any(test, feature = "faults"))]
+use crate::faults::{FaultOp, FaultPlan};
 
 /// A tenant identity: `(user_id, thread_id)`.
 pub type TenantId = (String, String);
@@ -71,6 +77,16 @@ pub struct PoolOptions {
     pub workers: usize,
     /// The mining options every tenant session runs with.
     pub session: PiOptions,
+    /// Crash safety: a write-ahead journal + checkpoint configuration.  `None` (the
+    /// default) keeps the pre-journal behaviour — spill snapshots only, written at
+    /// eviction and close.  `Some` makes every acknowledged batch durable *before* the
+    /// ack and replays the journal tail on the next open.  When set and no explicit
+    /// spill directory is given, spill snapshots share the journal directory.
+    pub durability: Option<DurabilityOptions>,
+    /// Pool-wide queued-statement count above which readiness reports unready (the HTTP
+    /// layer then sheds load with `503 + Retry-After` instead of letting the apply
+    /// backlog grow without bound).  `None` disables the high-water check.
+    pub ready_high_water: Option<usize>,
 }
 
 impl Default for PoolOptions {
@@ -81,6 +97,8 @@ impl Default for PoolOptions {
             queue_depth: 256,
             workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
             session: PiOptions::default(),
+            durability: None,
+            ready_high_water: None,
         }
     }
 }
@@ -97,6 +115,13 @@ pub enum EnqueueError {
     },
     /// The pool is shutting down and no longer accepts work.
     ShuttingDown,
+    /// Startup recovery is still replaying the journal; retry shortly.
+    Recovering,
+    /// The write-ahead journal could not make the batch durable.  The journal is
+    /// fail-stop: after the first failure the pool acknowledges nothing further, so a
+    /// client retry lands on a restarted, recovered process rather than on silently
+    /// un-durable state.
+    Journal(String),
 }
 
 impl std::fmt::Display for EnqueueError {
@@ -106,6 +131,8 @@ impl std::fmt::Display for EnqueueError {
                 write!(f, "tenant queue full ({queued}/{depth} statements)")
             }
             EnqueueError::ShuttingDown => write!(f, "pool is shutting down"),
+            EnqueueError::Recovering => write!(f, "pool is replaying its write-ahead journal"),
+            EnqueueError::Journal(err) => write!(f, "write-ahead journal failed: {err}"),
         }
     }
 }
@@ -159,6 +186,36 @@ pub struct PoolGauge {
     pub persist_ms: f64,
     /// Accumulated wall-clock spent restoring sessions from snapshots, milliseconds.
     pub restore_ms: f64,
+    /// True while startup recovery is still replaying the journal (readiness gates on it).
+    pub recovering: bool,
+    /// Worker panics caught by the supervisor (each triggers a session rebuild).
+    pub worker_panics: u64,
+    /// Sessions rebuilt from durable state after a panic or a poisoned lock.
+    pub session_rebuilds: u64,
+    /// Statements quarantined because applying them panicked even on rebuild.
+    pub quarantined_statements: u64,
+    /// A bounded sample of quarantined statements (tenant, dialect, text, panic message).
+    pub quarantine_samples: Vec<String>,
+    /// Poisoned mutexes recovered instead of propagated (each flags its tenant for a
+    /// rebuild before the session is trusted again).
+    pub lock_poison_recoveries: u64,
+    /// Spill snapshots quarantined (renamed `*.corrupt`) after failing integrity checks.
+    pub spill_quarantines: u64,
+    /// Tenants whose journal tail was replayed by startup recovery.
+    pub recovered_tenants: u64,
+    /// Statements replayed from the journal by startup recovery.
+    pub recovered_statements: u64,
+    /// Journal statements dropped by recovery because a sequence gap preceded them (a
+    /// pruned or lost segment; replaying past a hole would mis-state the session).
+    pub recovery_dropped: u64,
+    /// Completed checkpoints (journal rotated, every tenant snapshot durable, prune ran).
+    pub checkpoints: u64,
+    /// Journal segment files deleted by checkpoint prunes.
+    pub pruned_segments: u64,
+    /// Wall-clock of the last startup recovery, milliseconds (0 when never recovered).
+    pub last_recovery_ms: f64,
+    /// Journal counters, when the pool runs with durability.
+    pub journal: Option<JournalStats>,
 }
 
 /// How many parse-failure samples a [`PoolGauge`] carries at most — enough for an
@@ -179,37 +236,24 @@ struct TenantInner {
     replaying: usize,
     /// Whether the tenant currently sits in the dispatch queue.
     dispatched: bool,
+    /// Statements acknowledged (journaled) so far — the next statement's sequence number.
+    acked: u64,
+    /// Statements applied into the session (≤ `acked`; the journal seq the next spill
+    /// snapshot records, so recovery replay over it is idempotent).
+    applied: u64,
+    /// The spill snapshot this session was restored from, when its `history` does not
+    /// reach back to an empty session (restart rehydration): a supervisor rebuild then
+    /// restores this base and replays `history` over it.  `None` means `history` is the
+    /// tenant's complete record and rebuilds start from a fresh session.
+    base: Option<Arc<Vec<u8>>>,
+    /// Set when a poisoned tenant lock was recovered: the session may be mid-mutation and
+    /// must be rebuilt from durable state before it is trusted again.
+    suspect: bool,
 }
 
 struct Tenant {
     key: TenantId,
     inner: Mutex<TenantInner>,
-}
-
-impl Tenant {
-    /// Applies every queued statement to the session, recording it into the history.
-    /// Called with the tenant lock held (and never the shard lock — mining is the slow
-    /// part, and membership must stay available while it runs).
-    ///
-    /// The backlog goes through [`Session::push_stream_tagged`] — the trace-scale ingest
-    /// path — so a large drain (an eviction replay of a long history, a burst behind a
-    /// slow worker) mines in bounded chunks and repeated statements hit the session's
-    /// parse cache instead of re-parsing; streaming is fold-identical to per-fragment
-    /// pushes (property-tested), so rehydration stays byte-identical.
-    fn apply_pending(inner: &mut TenantInner) -> usize {
-        let applied = inner.queue.len();
-        if applied == 0 {
-            return 0;
-        }
-        inner.replaying = inner.replaying.saturating_sub(applied);
-        let start = inner.history.len();
-        inner.history.reserve(applied);
-        inner.history.extend(inner.queue.drain(..));
-        inner
-            .session
-            .push_stream_tagged(inner.history[start..].iter().map(|(d, t)| (*d, &**t)));
-        applied
-    }
 }
 
 struct Resident {
@@ -223,10 +267,16 @@ struct ArchiveEntry {
     /// `None` when persist failed (I/O is infallible into a `Vec`, so in practice this
     /// only happens if a future snapshot precondition is violated).
     snapshot: Option<Vec<u8>>,
+    /// The evicted tenant's rebuild base (see `TenantInner::base`), carried across the
+    /// eviction so a later supervisor rebuild still has it.
+    base: Option<Arc<Vec<u8>>>,
     /// The raw tagged statement history, in order — the replay fallback when the snapshot
     /// fails integrity checks, and the history the rehydrated tenant keeps extending.
     /// Moving it in and out of the archive moves `Arc` handles; text is never copied.
     history: Vec<(pi_ast::Dialect, Arc<str>)>,
+    /// The tenant's acknowledged / applied statement counters at eviction.
+    acked: u64,
+    applied: u64,
 }
 
 #[derive(Default)]
@@ -252,6 +302,19 @@ pub struct SessionPool {
     /// Eviction snapshots are mirrored here as spill files, and tenants unknown to every
     /// shard are probed here before being treated as new — restart rehydration.
     spill_dir: Option<PathBuf>,
+    /// The write-ahead journal, when the pool runs with durability.
+    journal: Option<Journal>,
+    /// True from construction until startup recovery has replayed the whole journal;
+    /// ingest is refused and readiness reports unready while set.
+    recovering: AtomicBool,
+    /// The background recovery thread, joined by `close()` / `simulate_crash()`.
+    recovery_thread: Mutex<Option<JoinHandle<()>>>,
+    /// Serializes checkpoints (`try_lock`: a checkpoint already running is good enough).
+    checkpoint_lock: Mutex<()>,
+    /// Statements accepted but not yet applied, pool-wide (drives the readiness
+    /// high-water check without walking every shard).
+    queued_statements: AtomicUsize,
+    quarantine_samples: Mutex<Vec<String>>,
     evictions: AtomicU64,
     rehydrations: AtomicU64,
     accepted: AtomicU64,
@@ -260,11 +323,55 @@ pub struct SessionPool {
     replay_archives: AtomicU64,
     snapshot_rehydrations: AtomicU64,
     replay_rehydrations: AtomicU64,
+    worker_panics: AtomicU64,
+    session_rebuilds: AtomicU64,
+    quarantined_statements: AtomicU64,
+    lock_poison_recoveries: AtomicU64,
+    spill_quarantines: AtomicU64,
+    recovered_tenants: AtomicU64,
+    recovered_statements: AtomicU64,
+    recovery_dropped: AtomicU64,
+    checkpoints: AtomicU64,
+    pruned_segments: AtomicU64,
     /// Wall-clock totals in microseconds (atomics can't add floats; the gauge divides).
     persist_us: AtomicU64,
     restore_us: AtomicU64,
+    last_recovery_us: AtomicU64,
     /// Bytes of snapshots currently archived, maintained at archive insert/remove.
     snapshot_bytes: AtomicUsize,
+}
+
+/// Recovers a poisoned lock on pool-global state (dispatch queue, worker list, sample
+/// buffers): these hold plain data a panicking thread cannot leave half-mutated in a way
+/// that matters, so propagating the poison would turn one caught panic into a dead pool.
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Renders a caught panic payload for counters and quarantine samples.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Magic prefix of the versioned spill file format (`applied` watermark + key + snapshot).
+const SPILL_MAGIC: &[u8; 8] = b"PISPILL2";
+
+/// What reading a tenant's spill file yielded.
+enum SpillRead {
+    /// No spill file (or a hash collision with another tenant's — treated as absent).
+    Missing,
+    /// An intact spill: the applied-statement watermark and the session snapshot bytes.
+    Loaded { applied: u64, snapshot: Vec<u8> },
+    /// A malformed spill file: the caller quarantines it and falls back.
+    Corrupt,
 }
 
 impl SessionPool {
@@ -280,13 +387,35 @@ impl SessionPool {
     ///
     /// Spilling is best-effort — the directory is created if missing, unwritable files
     /// degrade silently to the in-memory archive (which preserves all single-process
-    /// guarantees), and a spill file whose integrity check fails on read is ignored.
+    /// guarantees), and a spill file whose integrity check fails on read is quarantined
+    /// (renamed `*.corrupt`) and the tenant falls back to journal/history replay.
+    ///
+    /// With [`PoolOptions::durability`] set, the journal under its directory is opened
+    /// (its tail scanned, torn records discarded) and a background recovery thread
+    /// replays every recovered tenant through the normal ingest path; until it finishes
+    /// the pool reports [`EnqueueError::Recovering`] and readiness is false — use
+    /// [`SessionPool::wait_ready`] to block on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the journal directory cannot be created or scanned — a pool that
+    /// silently ran without its configured durability would be worse than one that
+    /// refuses to start.
     pub fn with_spill(opts: PoolOptions, spill_dir: Option<PathBuf>) -> Arc<SessionPool> {
+        let spill_dir = spill_dir.or_else(|| opts.durability.as_ref().map(|d| d.dir.clone()));
         if let Some(dir) = &spill_dir {
             let _ = std::fs::create_dir_all(dir);
         }
         let shards = opts.shards.max(1);
         let workers = opts.workers.max(1);
+        let (journal, recovered) = match opts.durability.clone() {
+            Some(durability) => {
+                let (journal, recovered) =
+                    Journal::open(durability, shards).expect("open write-ahead journal");
+                (Some(journal), Some(recovered))
+            }
+            None => (None, None),
+        };
         // Sessions share one standard registry; probe it once rather than per request.
         let probe = Session::new(opts.session.clone());
         let default_dialect = probe.default_dialect();
@@ -297,6 +426,11 @@ impl SessionPool {
             dispatch_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
+            recovering: AtomicBool::new(recovered.is_some()),
+            recovery_thread: Mutex::new(None),
+            checkpoint_lock: Mutex::new(()),
+            queued_statements: AtomicUsize::new(0),
+            quarantine_samples: Mutex::new(Vec::new()),
             evictions: AtomicU64::new(0),
             rehydrations: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
@@ -305,12 +439,24 @@ impl SessionPool {
             replay_archives: AtomicU64::new(0),
             snapshot_rehydrations: AtomicU64::new(0),
             replay_rehydrations: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            session_rebuilds: AtomicU64::new(0),
+            quarantined_statements: AtomicU64::new(0),
+            lock_poison_recoveries: AtomicU64::new(0),
+            spill_quarantines: AtomicU64::new(0),
+            recovered_tenants: AtomicU64::new(0),
+            recovered_statements: AtomicU64::new(0),
+            recovery_dropped: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            pruned_segments: AtomicU64::new(0),
             persist_us: AtomicU64::new(0),
             restore_us: AtomicU64::new(0),
+            last_recovery_us: AtomicU64::new(0),
             snapshot_bytes: AtomicUsize::new(0),
             default_dialect,
             known_dialects,
             spill_dir,
+            journal,
             opts,
         });
         let handles: Vec<_> = (0..workers)
@@ -322,7 +468,15 @@ impl SessionPool {
                     .expect("spawn pool worker")
             })
             .collect();
-        *pool.workers.lock().unwrap() = handles;
+        *lock_or_recover(&pool.workers) = handles;
+        if let Some(recovered) = recovered {
+            let recoverer = Arc::clone(&pool);
+            let handle = std::thread::Builder::new()
+                .name("pi-pool-recovery".to_string())
+                .spawn(move || recoverer.recover(recovered))
+                .expect("spawn recovery thread");
+            *lock_or_recover(&pool.recovery_thread) = Some(handle);
+        }
         pool
     }
 
@@ -361,6 +515,11 @@ impl SessionPool {
     /// Statements arriving as `Arc<str>` (the wire decoder's shape) are enqueued by
     /// refcount bump; `&str` callers pay the one owning allocation here and never again —
     /// the queue, the history and any eviction replay all share it.
+    ///
+    /// With durability on, the batch's journal record is appended under the tenant lock
+    /// (atomically with sequence assignment and queue insertion, so file order equals
+    /// sequence order) and group-committed *before* this returns `Ok` — an acknowledged
+    /// batch survives a crash.
     pub fn enqueue_tagged<I, S>(
         &self,
         user_id: &str,
@@ -374,14 +533,23 @@ impl SessionPool {
         if self.shutdown.load(Ordering::SeqCst) {
             return Err(EnqueueError::ShuttingDown);
         }
+        if self.recovering.load(Ordering::Acquire) {
+            return Err(EnqueueError::Recovering);
+        }
+        if self.journal.as_ref().is_some_and(Journal::is_failed) {
+            return Err(EnqueueError::Journal("journal is failed".to_string()));
+        }
         let statements: Vec<(pi_ast::Dialect, Arc<str>)> =
             statements.into_iter().map(|(d, s)| (d, s.into())).collect();
+        if statements.is_empty() {
+            return Ok(0);
+        }
         let key: TenantId = (user_id.to_string(), thread_id.to_string());
-        let shard = &self.shards[self.shard_of(&key)];
-        let mut guard = shard.lock().unwrap();
+        let shard_idx = self.shard_of(&key);
+        let mut guard = self.lock_shard(&self.shards[shard_idx]);
         let tenant = self.resident(&mut guard, &key);
-        let accepted = {
-            let mut inner = tenant.inner.lock().unwrap();
+        let (accepted, ticket) = {
+            let mut inner = self.lock_tenant(&tenant);
             // Replay backlog is exempt from the bound; only genuinely new statements count.
             let backlog = inner.queue.len() - inner.replaying;
             if backlog + statements.len() > self.opts.queue_depth {
@@ -391,12 +559,41 @@ impl SessionPool {
                     depth: self.opts.queue_depth,
                 });
             }
+            let ticket = match &self.journal {
+                Some(journal) => {
+                    let record = crate::journal::encode_batch_record(
+                        &key.0,
+                        &key.1,
+                        inner.acked,
+                        &statements,
+                    );
+                    match journal.append(shard_idx, &record) {
+                        Ok(ticket) => Some(ticket),
+                        Err(err) => return Err(EnqueueError::Journal(err.to_string())),
+                    }
+                }
+                None => None,
+            };
             let accepted = statements.len();
+            inner.acked += accepted as u64;
             inner.queue.extend(statements);
+            self.queued_statements
+                .fetch_add(accepted, Ordering::Relaxed);
             self.mark_dispatched(&tenant, &mut inner);
-            accepted
+            (accepted, ticket)
         };
         drop(guard);
+        // The fsync happens outside every lock: appends from other tenants accumulate
+        // under it (group commit), and mining never waits on the disk.
+        if let (Some(journal), Some(ticket)) = (&self.journal, ticket) {
+            if let Err(err) = journal.commit(ticket) {
+                // The statements are queued (the live session may mine them) but the
+                // batch is NOT acknowledged: the journal is now failed and nothing
+                // further acks, so the client's retry lands after a restart+recovery
+                // instead of on un-durable state.
+                return Err(EnqueueError::Journal(err.to_string()));
+            }
+        }
         self.accepted.fetch_add(accepted as u64, Ordering::Relaxed);
         Ok(accepted)
     }
@@ -410,8 +607,7 @@ impl SessionPool {
     /// first).
     pub fn snapshot(&self, user_id: &str, thread_id: &str) -> Option<GeneratedInterface> {
         let key: TenantId = (user_id.to_string(), thread_id.to_string());
-        let shard = &self.shards[self.shard_of(&key)];
-        let mut guard = shard.lock().unwrap();
+        let mut guard = self.lock_shard(&self.shards[self.shard_of(&key)]);
         let known = guard.tenants.contains_key(&key)
             || guard.archive.contains_key(&key)
             || self.has_spill(&key);
@@ -420,8 +616,8 @@ impl SessionPool {
         }
         let tenant = self.resident(&mut guard, &key);
         drop(guard);
-        let mut inner = tenant.inner.lock().unwrap();
-        Tenant::apply_pending(&mut inner);
+        let mut inner = self.lock_tenant(&tenant);
+        self.apply_supervised(&tenant, &mut inner);
         Some(inner.session.snapshot())
     }
 
@@ -430,12 +626,11 @@ impl SessionPool {
     /// `None` for an unknown tenant.
     pub fn flush(&self, user_id: &str, thread_id: &str) -> Option<usize> {
         let key: TenantId = (user_id.to_string(), thread_id.to_string());
-        let shard = &self.shards[self.shard_of(&key)];
-        let guard = shard.lock().unwrap();
+        let guard = self.lock_shard(&self.shards[self.shard_of(&key)]);
         let tenant = Arc::clone(&guard.tenants.get(&key)?.tenant);
         drop(guard);
-        let mut inner = tenant.inner.lock().unwrap();
-        Some(Tenant::apply_pending(&mut inner))
+        let mut inner = self.lock_tenant(&tenant);
+        Some(self.apply_supervised(&tenant, &mut inner))
     }
 
     /// A point-in-time gauge across every shard (locks each shard and tenant briefly).
@@ -452,14 +647,28 @@ impl SessionPool {
             replay_rehydrations: self.replay_rehydrations.load(Ordering::Relaxed),
             persist_ms: self.persist_us.load(Ordering::Relaxed) as f64 / 1e3,
             restore_ms: self.restore_us.load(Ordering::Relaxed) as f64 / 1e3,
+            recovering: self.recovering.load(Ordering::Acquire),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            session_rebuilds: self.session_rebuilds.load(Ordering::Relaxed),
+            quarantined_statements: self.quarantined_statements.load(Ordering::Relaxed),
+            quarantine_samples: lock_or_recover(&self.quarantine_samples).clone(),
+            lock_poison_recoveries: self.lock_poison_recoveries.load(Ordering::Relaxed),
+            spill_quarantines: self.spill_quarantines.load(Ordering::Relaxed),
+            recovered_tenants: self.recovered_tenants.load(Ordering::Relaxed),
+            recovered_statements: self.recovered_statements.load(Ordering::Relaxed),
+            recovery_dropped: self.recovery_dropped.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            pruned_segments: self.pruned_segments.load(Ordering::Relaxed),
+            last_recovery_ms: self.last_recovery_us.load(Ordering::Relaxed) as f64 / 1e3,
+            journal: self.journal.as_ref().map(Journal::stats),
             ..PoolGauge::default()
         };
         for shard in &self.shards {
-            let guard = shard.lock().unwrap();
+            let guard = self.lock_shard(shard);
             gauge.occupancy += guard.tenants.len();
             gauge.archived += guard.archive.len();
             for resident in guard.tenants.values() {
-                let inner = resident.tenant.inner.lock().unwrap();
+                let inner = self.lock_tenant(&resident.tenant);
                 gauge.queued += inner.queue.len();
                 gauge.queries += inner.session.len();
                 gauge.skipped += inner.session.skipped();
@@ -483,17 +692,25 @@ impl SessionPool {
     /// and final timings are materialised before the pool drops).  With a spill directory,
     /// every non-empty resident session is also persisted to disk, so a pool reopened over
     /// the same directory rehydrates *all* tenants — not just the previously evicted ones.
+    /// With durability, a final checkpoint then prunes the journal the spills now cover.
     /// Idempotent.
     pub fn close(&self) {
+        // Let an in-flight recovery finish first: its replay work must not race the
+        // drain, and an interrupted recovery must keep `recovering` set so no checkpoint
+        // prunes journal segments that were never replayed.
+        let recovery = lock_or_recover(&self.recovery_thread).take();
+        if let Some(handle) = recovery {
+            let _ = handle.join();
+        }
         self.shutdown.store(true, Ordering::SeqCst);
         self.dispatch_cv.notify_all();
-        let handles = std::mem::take(&mut *self.workers.lock().unwrap());
+        let handles = std::mem::take(&mut *lock_or_recover(&self.workers));
         for handle in handles {
             let _ = handle.join();
         }
         for shard in &self.shards {
             let tenants: Vec<Arc<Tenant>> = {
-                let guard = shard.lock().unwrap();
+                let guard = self.lock_shard(shard);
                 guard
                     .tenants
                     .values()
@@ -501,20 +718,27 @@ impl SessionPool {
                     .collect()
             };
             for tenant in tenants {
-                let mut inner = tenant.inner.lock().unwrap();
-                Tenant::apply_pending(&mut inner);
+                let mut inner = self.lock_tenant(&tenant);
+                self.apply_supervised(&tenant, &mut inner);
                 if !inner.session.is_empty() {
                     inner.session.snapshot();
                     if self.spill_dir.is_some() {
                         let start = Instant::now();
+                        let applied = inner.applied;
                         if let Ok(bytes) = inner.session.persist_to_vec() {
                             self.persist_us
                                 .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
-                            self.write_spill(&tenant.key, &bytes);
+                            self.write_spill(&tenant.key, &bytes, applied);
                         }
                     }
                 }
             }
+        }
+        // Every resident is drained and spilled: a full checkpoint now prunes the
+        // journal, so the next open restores from snapshots in milliseconds instead of
+        // replaying the whole log.
+        if self.journal.is_some() && !self.recovering.load(Ordering::Acquire) {
+            self.checkpoint();
         }
     }
 
@@ -545,11 +769,27 @@ impl SessionPool {
         // by re-mining.  A tenant in neither the map nor the archive may still have a
         // spill file from a previous process — restart rehydration, same restore path.
         let archived = shard.archive.remove(key);
-        let spilled = if archived.is_none() {
-            self.read_spill(key).map(|bytes| ArchiveEntry {
-                snapshot: Some(bytes),
-                history: Vec::new(),
-            })
+        let from_spill = archived.is_none();
+        let spilled = if from_spill {
+            match self.read_spill(key) {
+                SpillRead::Loaded { applied, snapshot } => Some(ArchiveEntry {
+                    snapshot: Some(snapshot),
+                    base: None,
+                    history: Vec::new(),
+                    acked: applied,
+                    applied,
+                }),
+                SpillRead::Corrupt => {
+                    // Malformed spill: quarantine the file (an operator can inspect it)
+                    // and start the tenant fresh — journal replay, when durability is on,
+                    // restores whatever the pruned log still covers.
+                    self.quarantine_spill(key);
+                    self.rehydrations.fetch_add(1, Ordering::Relaxed);
+                    self.replay_rehydrations.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+                SpillRead::Missing => None,
+            }
         } else {
             None
         };
@@ -563,13 +803,18 @@ impl SessionPool {
             }
             None => spilled,
         };
-        let (session, history, queue, replaying) = match entry {
-            None => (
-                Session::new(self.opts.session.clone()),
-                Vec::new(),
-                VecDeque::new(),
-                0,
-            ),
+        let inner = match entry {
+            None => TenantInner {
+                session: Session::new(self.opts.session.clone()),
+                history: Vec::new(),
+                queue: VecDeque::new(),
+                replaying: 0,
+                dispatched: false,
+                acked: 0,
+                applied: 0,
+                base: None,
+                suspect: false,
+            },
             Some(entry) => {
                 self.rehydrations.fetch_add(1, Ordering::Relaxed);
                 let restored = entry.snapshot.as_deref().and_then(|bytes| {
@@ -584,39 +829,94 @@ impl SessionPool {
                     Some(session) => {
                         // Snapshot restore: the session already holds everything the
                         // history would replay; the history rides along as the fallback
-                        // for the tenant's *next* eviction.
+                        // for the tenant's *next* eviction.  With durability the spill
+                        // file stays — it is the durable base the pruned journal counts
+                        // on; without, the next eviction/close rewrites it anyway.
                         self.snapshot_rehydrations.fetch_add(1, Ordering::Relaxed);
-                        let _ = self.remove_spill(key);
-                        (session, entry.history, VecDeque::new(), 0)
+                        if self.journal.is_none() {
+                            let _ = self.remove_spill(key);
+                        }
+                        // A restart restore has no history reaching back to empty, so
+                        // the snapshot becomes the rebuild base.
+                        let base = if from_spill {
+                            entry.snapshot.map(Arc::new)
+                        } else {
+                            entry.base
+                        };
+                        TenantInner {
+                            session,
+                            history: entry.history,
+                            queue: VecDeque::new(),
+                            replaying: 0,
+                            dispatched: false,
+                            acked: entry.acked,
+                            applied: entry.applied,
+                            base,
+                            suspect: false,
+                        }
+                    }
+                    None if from_spill => {
+                        // The spill framing was intact but the embedded snapshot failed
+                        // integrity: quarantine it and start fresh at sequence zero, so
+                        // an un-pruned journal replays the full log over the fresh
+                        // session (the best recovery still available).
+                        self.quarantine_spill(key);
+                        self.replay_rehydrations.fetch_add(1, Ordering::Relaxed);
+                        TenantInner {
+                            session: Session::new(self.opts.session.clone()),
+                            history: Vec::new(),
+                            queue: VecDeque::new(),
+                            replaying: 0,
+                            dispatched: false,
+                            acked: 0,
+                            applied: 0,
+                            base: None,
+                            suspect: false,
+                        }
                     }
                     None => {
-                        // Corrupt or absent snapshot: replay the history through a fresh
-                        // session via the worker path.
+                        // Corrupt in-memory archive snapshot: restore the rebuild base
+                        // (if any) and replay the archived history over it through the
+                        // worker path.
                         self.replay_rehydrations.fetch_add(1, Ordering::Relaxed);
                         let _ = self.remove_spill(key);
+                        let session = entry
+                            .base
+                            .as_deref()
+                            .and_then(|bytes| {
+                                Session::restore_with(
+                                    &mut bytes.as_slice(),
+                                    self.opts.session.clone(),
+                                )
+                                .ok()
+                            })
+                            .unwrap_or_else(|| Session::new(self.opts.session.clone()));
                         let replaying = entry.history.len();
-                        (
-                            Session::new(self.opts.session.clone()),
-                            Vec::new(),
-                            entry.history.into(),
+                        TenantInner {
+                            session,
+                            history: Vec::new(),
+                            queue: entry.history.into(),
                             replaying,
-                        )
+                            dispatched: false,
+                            acked: entry.acked,
+                            applied: entry.applied - replaying as u64,
+                            base: entry.base,
+                            suspect: false,
+                        }
                     }
                 }
             }
         };
+        let queued = inner.queue.len();
         let tenant = Arc::new(Tenant {
             key: key.clone(),
-            inner: Mutex::new(TenantInner {
-                session,
-                history,
-                queue,
-                replaying,
-                dispatched: false,
-            }),
+            inner: Mutex::new(inner),
         });
+        if queued > 0 {
+            self.queued_statements.fetch_add(queued, Ordering::Relaxed);
+        }
         {
-            let mut inner = tenant.inner.lock().unwrap();
+            let mut inner = self.lock_tenant(&tenant);
             self.mark_dispatched(&tenant, &mut inner);
         }
         shard.tenants.insert(
@@ -641,11 +941,11 @@ impl SessionPool {
             return;
         };
         let resident = shard.tenants.remove(&victim_key).expect("victim resident");
-        let mut inner = resident.tenant.inner.lock().unwrap();
+        let mut inner = self.lock_tenant(&resident.tenant);
         // Apply the backlog so the archived state covers everything accepted so far.
         // This runs under the shard lock — eviction is rare and the backlog small, and it
         // must be atomic with removal or a late worker would apply to an orphaned session.
-        Tenant::apply_pending(&mut inner);
+        self.apply_supervised(&resident.tenant, &mut inner);
         // Persist the full mining state: rehydration deserializes this in milliseconds
         // instead of re-mining the history.  The raw history is archived alongside as the
         // integrity fallback.
@@ -654,21 +954,31 @@ impl SessionPool {
         self.persist_us
             .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
         let history = std::mem::take(&mut inner.history);
+        let base = inner.base.take();
+        let acked = inner.acked;
+        let applied = inner.applied;
         drop(inner);
         match &snapshot {
             Some(bytes) => {
                 self.snapshot_archives.fetch_add(1, Ordering::Relaxed);
                 self.snapshot_bytes
                     .fetch_add(bytes.len(), Ordering::Relaxed);
-                self.write_spill(&victim_key, bytes);
+                self.write_spill(&victim_key, bytes, applied);
             }
             None => {
                 self.replay_archives.fetch_add(1, Ordering::Relaxed);
             }
         }
-        shard
-            .archive
-            .insert(victim_key, ArchiveEntry { snapshot, history });
+        shard.archive.insert(
+            victim_key,
+            ArchiveEntry {
+                snapshot,
+                base,
+                history,
+                acked,
+                applied,
+            },
+        );
         self.evictions.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -689,40 +999,95 @@ impl SessionPool {
         self.spill_path(key).is_some_and(|p| p.exists())
     }
 
-    /// Best-effort spill write: `[user_len][user][thread_len][thread][session snapshot]`,
-    /// via a temp file + rename so readers never observe a half-written spill.
-    fn write_spill(&self, key: &TenantId, snapshot: &[u8]) {
+    /// Best-effort spill write:
+    /// `PISPILL2 [applied u64][user_len][user][thread_len][thread][session snapshot]`,
+    /// via a temp file + rename so readers never observe a half-written spill.  With
+    /// durability on, the temp file is fsynced before the rename — checkpoint prunes
+    /// count on the spill surviving a crash.  Returns whether the spill is durably (or,
+    /// without a journal, at least atomically) in place.
+    fn write_spill(&self, key: &TenantId, snapshot: &[u8], applied: u64) -> bool {
         let Some(path) = self.spill_path(key) else {
-            return;
+            return false;
         };
-        let mut buf = Vec::with_capacity(key.0.len() + key.1.len() + snapshot.len() + 8);
+        #[cfg(any(test, feature = "faults"))]
+        if let Some(plan) = self.fault_plan() {
+            if plan.hit(FaultOp::SpillWrite).is_err() {
+                return false;
+            }
+        }
+        let mut buf =
+            Vec::with_capacity(SPILL_MAGIC.len() + 16 + key.0.len() + key.1.len() + snapshot.len());
+        buf.extend_from_slice(SPILL_MAGIC);
+        buf.extend_from_slice(&applied.to_le_bytes());
         for part in [&key.0, &key.1] {
             buf.extend_from_slice(&(part.len() as u32).to_le_bytes());
             buf.extend_from_slice(part.as_bytes());
         }
         buf.extend_from_slice(snapshot);
         let tmp = path.with_extension("pisnap.tmp");
-        if std::fs::write(&tmp, &buf).is_ok() {
-            let _ = std::fs::rename(&tmp, &path);
-        }
+        let written = (|| -> std::io::Result<()> {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&buf)?;
+            if self.journal.is_some() {
+                file.sync_all()?;
+            }
+            drop(file);
+            std::fs::rename(&tmp, &path)
+        })();
+        written.is_ok()
     }
 
-    /// Reads this tenant's spill file, returning the embedded session snapshot — `None`
-    /// on absence, malformed framing, or a key mismatch (hash collision).
-    fn read_spill(&self, key: &TenantId) -> Option<Vec<u8>> {
-        let path = self.spill_path(key)?;
-        let data = std::fs::read(path).ok()?;
-        let mut at = 0usize;
+    /// Reads this tenant's spill file; see [`SpillRead`] for the outcomes.  A key
+    /// mismatch (hash collision with another tenant) reads as `Missing` — the file is
+    /// *that* tenant's state, not corruption.
+    fn read_spill(&self, key: &TenantId) -> SpillRead {
+        let Some(path) = self.spill_path(key) else {
+            return SpillRead::Missing;
+        };
+        let data = match std::fs::read(&path) {
+            Ok(data) => data,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => return SpillRead::Missing,
+            Err(_) => return SpillRead::Corrupt,
+        };
+        if data.len() < SPILL_MAGIC.len() + 8 || &data[..SPILL_MAGIC.len()] != SPILL_MAGIC {
+            return SpillRead::Corrupt;
+        }
+        let mut at = SPILL_MAGIC.len();
+        let applied = u64::from_le_bytes(data[at..at + 8].try_into().expect("8 bytes"));
+        at += 8;
         for expected in [&key.0, &key.1] {
-            let len_bytes: [u8; 4] = data.get(at..at + 4)?.try_into().ok()?;
-            let len = u32::from_le_bytes(len_bytes) as usize;
+            let Some(len_bytes) = data.get(at..at + 4) else {
+                return SpillRead::Corrupt;
+            };
+            let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
             at += 4;
-            if data.get(at..at + len)? != expected.as_bytes() {
-                return None;
+            let Some(part) = data.get(at..at + len) else {
+                return SpillRead::Corrupt;
+            };
+            if part != expected.as_bytes() {
+                return SpillRead::Missing;
             }
             at += len;
         }
-        Some(data[at..].to_vec())
+        SpillRead::Loaded {
+            applied,
+            snapshot: data[at..].to_vec(),
+        }
+    }
+
+    /// Quarantines a tenant's spill file by renaming it `*.corrupt` (falling back to
+    /// deletion), so the next probe does not trip over it again while an operator can
+    /// still inspect the bytes.
+    fn quarantine_spill(&self, key: &TenantId) {
+        let Some(path) = self.spill_path(key) else {
+            return;
+        };
+        let mut target = path.clone().into_os_string();
+        target.push(".corrupt");
+        if std::fs::rename(&path, std::path::Path::new(&target)).is_err() {
+            let _ = std::fs::remove_file(&path);
+        }
+        self.spill_quarantines.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Removes this tenant's spill file (after rehydration consumed it).
@@ -738,7 +1103,7 @@ impl SessionPool {
     fn mark_dispatched(&self, tenant: &Arc<Tenant>, inner: &mut TenantInner) {
         if !inner.dispatched && !inner.queue.is_empty() {
             inner.dispatched = true;
-            self.dispatch.lock().unwrap().push_back(tenant.key.clone());
+            lock_or_recover(&self.dispatch).push_back(tenant.key.clone());
             self.dispatch_cv.notify_one();
         }
     }
@@ -746,7 +1111,7 @@ impl SessionPool {
     fn worker_loop(&self) {
         loop {
             let key = {
-                let mut queue = self.dispatch.lock().unwrap();
+                let mut queue = lock_or_recover(&self.dispatch);
                 loop {
                     if let Some(key) = queue.pop_front() {
                         break key;
@@ -754,12 +1119,14 @@ impl SessionPool {
                     if self.shutdown.load(Ordering::SeqCst) {
                         return;
                     }
-                    queue = self.dispatch_cv.wait(queue).unwrap();
+                    queue = self
+                        .dispatch_cv
+                        .wait(queue)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             };
-            let shard = &self.shards[self.shard_of(&key)];
             let tenant = {
-                let guard = shard.lock().unwrap();
+                let guard = self.lock_shard(&self.shards[self.shard_of(&key)]);
                 // Evicted (or already drained) while queued for dispatch: eviction applied
                 // its backlog itself, so there is nothing left to do.
                 match guard.tenants.get(&key) {
@@ -767,9 +1134,387 @@ impl SessionPool {
                     None => continue,
                 }
             };
-            let mut inner = tenant.inner.lock().unwrap();
-            inner.dispatched = false;
-            Tenant::apply_pending(&mut inner);
+            {
+                let mut inner = self.lock_tenant(&tenant);
+                inner.dispatched = false;
+                self.apply_supervised(&tenant, &mut inner);
+            }
+            // The checkpoint trigger rides the worker loop: after a drain, if enough
+            // journal has accumulated, one worker runs the checkpoint (the lock makes
+            // the others skip past).
+            if self
+                .journal
+                .as_ref()
+                .is_some_and(Journal::should_checkpoint)
+            {
+                self.checkpoint();
+            }
+        }
+    }
+
+    /// Locks a shard, recovering (and counting) a poisoned lock: the shard holds
+    /// membership maps whose invariants a panicking thread cannot break mid-operation.
+    fn lock_shard<'a>(&self, shard: &'a Mutex<Shard>) -> MutexGuard<'a, Shard> {
+        shard.lock().unwrap_or_else(|poisoned| {
+            self.lock_poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    /// Locks a tenant, recovering a poisoned lock by flagging the tenant `suspect`: its
+    /// session may be mid-mutation, so the next supervised apply rebuilds it from
+    /// durable state (base snapshot + history) before trusting it again.
+    fn lock_tenant<'a>(&self, tenant: &'a Tenant) -> MutexGuard<'a, TenantInner> {
+        tenant.inner.lock().unwrap_or_else(|poisoned| {
+            self.lock_poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            let mut inner = poisoned.into_inner();
+            inner.suspect = true;
+            inner
+        })
+    }
+
+    #[cfg(any(test, feature = "faults"))]
+    fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.journal
+            .as_ref()
+            .and_then(|j| j.options().faults.as_ref())
+    }
+
+    /// Applies every queued statement to the session, recording it into the history.
+    /// Called with the tenant lock held (and, on the worker path, never the shard lock —
+    /// mining is the slow part, and membership must stay available while it runs).
+    ///
+    /// The backlog goes through [`Session::push_stream_tagged`] — the trace-scale ingest
+    /// path — so a large drain (an eviction replay of a long history, a burst behind a
+    /// slow worker) mines in bounded chunks and repeated statements hit the session's
+    /// parse cache instead of re-parsing; streaming is fold-identical to per-fragment
+    /// pushes (property-tested), so rehydration stays byte-identical.
+    fn apply_pending(&self, inner: &mut TenantInner) -> usize {
+        let applied = inner.queue.len();
+        if applied == 0 {
+            return 0;
+        }
+        inner.replaying = inner.replaying.saturating_sub(applied);
+        let start = inner.history.len();
+        inner.history.reserve(applied);
+        inner.history.extend(inner.queue.drain(..));
+        inner.applied += applied as u64;
+        #[cfg(any(test, feature = "faults"))]
+        let plan = self.fault_plan();
+        inner
+            .session
+            .push_stream_tagged(inner.history[start..].iter().map(|(d, t)| {
+                #[cfg(any(test, feature = "faults"))]
+                if let Some(plan) = plan {
+                    plan.check_statement(t);
+                }
+                (*d, &**t)
+            }));
+        applied
+    }
+
+    /// The supervised apply: drains the queue under `catch_unwind`, so a statement that
+    /// panics the miner takes down neither the worker nor the pool.  The unwind is
+    /// caught *inside* the caller's lock scope — the tenant mutex is never poisoned by
+    /// it — and the session, left in an unknown state by the unwind, is rebuilt from
+    /// durable state with the offending statement quarantined.  Also the entry point
+    /// that heals a `suspect` tenant (poisoned-lock recovery) before its session is
+    /// used.  Returns how many statements left the queue.
+    fn apply_supervised(&self, tenant: &Tenant, inner: &mut TenantInner) -> usize {
+        if inner.suspect {
+            self.rebuild_tenant(tenant, inner, "tenant lock was recovered from poison");
+        }
+        let pending = inner.queue.len();
+        if pending == 0 {
+            return 0;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.apply_pending(inner)));
+        if let Err(payload) = outcome {
+            self.worker_panics.fetch_add(1, Ordering::Relaxed);
+            let message = panic_message(payload.as_ref());
+            self.rebuild_tenant(tenant, inner, &message);
+        }
+        // Either way the queue was drained into the history (the drain precedes the
+        // mining), so `pending` statements left the queue.
+        self.queued_statements.fetch_sub(pending, Ordering::Relaxed);
+        pending
+    }
+
+    /// Rebuilds a tenant's session from durable state: restore the base snapshot (or
+    /// start fresh), then replay the history with each statement individually supervised
+    /// — statements that panic even in isolation are quarantined (dropped from the
+    /// history, counted, sampled) and the rebuild restarts without them, so one
+    /// poisonous statement cannot wedge the tenant forever.
+    fn rebuild_tenant(&self, tenant: &Tenant, inner: &mut TenantInner, reason: &str) {
+        self.session_rebuilds.fetch_add(1, Ordering::Relaxed);
+        // Fold any still-queued statements into the history so the rebuild covers them
+        // (apply_pending drains before mining, so this is normally a no-op).
+        let drained = inner.queue.len();
+        if drained > 0 {
+            inner.replaying = 0;
+            inner.applied += drained as u64;
+            inner.history.reserve(drained);
+            while let Some(item) = inner.queue.pop_front() {
+                inner.history.push(item);
+            }
+        }
+        let opts = self.opts.session.clone();
+        let base = inner.base.clone();
+        let history = std::mem::take(&mut inner.history);
+        #[cfg(any(test, feature = "faults"))]
+        let plan = self.fault_plan().cloned();
+        let outcome = Session::rebuild_quarantining(
+            || match &base {
+                Some(bytes) => Session::restore_with(&mut bytes.as_slice(), opts.clone())
+                    .unwrap_or_else(|_| Session::new(opts.clone())),
+                None => Session::new(opts.clone()),
+            },
+            &history,
+            |session, dialect, text| {
+                #[cfg(any(test, feature = "faults"))]
+                if let Some(plan) = &plan {
+                    plan.check_statement(text);
+                }
+                session.push_text_as(dialect, text);
+            },
+        );
+        inner.session = outcome.session;
+        if outcome.quarantined.is_empty() {
+            inner.history = history;
+            // The rebuild replayed cleanly (a transient panic, or a poisoned lock whose
+            // damage never reached the session) — sample why it ran anyway.
+            let mut samples = lock_or_recover(&self.quarantine_samples);
+            if samples.len() < GAUGE_ERROR_SAMPLES {
+                samples.push(format!(
+                    "{}/{} session rebuilt: {reason}",
+                    tenant.key.0, tenant.key.1
+                ));
+            }
+        } else {
+            self.quarantined_statements
+                .fetch_add(outcome.quarantined.len() as u64, Ordering::Relaxed);
+            let mut samples = lock_or_recover(&self.quarantine_samples);
+            for (index, message) in &outcome.quarantined {
+                if samples.len() >= GAUGE_ERROR_SAMPLES {
+                    break;
+                }
+                let (dialect, text) = &history[*index];
+                let text: String = text.chars().take(120).collect();
+                samples.push(format!(
+                    "{}/{} [{}] {:?}: {message}",
+                    tenant.key.0,
+                    tenant.key.1,
+                    dialect.name(),
+                    text,
+                ));
+            }
+            drop(samples);
+            inner.history = history
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !outcome.quarantined.iter().any(|(q, _)| q == i))
+                .map(|(_, item)| item.clone())
+                .collect();
+        }
+        inner.suspect = false;
+    }
+
+    /// Startup recovery (runs on its own thread): for every tenant the journal scan
+    /// surfaced, rehydrate its spill snapshot, queue the journal tail past the
+    /// snapshot's applied watermark, and apply it through the supervised path.  Ingest
+    /// is refused (`EnqueueError::Recovering`) until this completes, and `recovering`
+    /// clears only on full completion — an aborted recovery must keep checkpoints (and
+    /// their journal prunes) disabled.
+    fn recover(&self, recovered: RecoveredLog) {
+        let start = Instant::now();
+        let mut tenants: Vec<_> = recovered.tenants.into_iter().collect();
+        // Deterministic replay order (the per-tenant outcome is order-independent, but
+        // determinism keeps counters and fault-injection hits reproducible).
+        tenants.sort_by(|a, b| a.0.cmp(&b.0));
+        for (key, tail) in tenants {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let mut guard = self.lock_shard(&self.shards[self.shard_of(&key)]);
+            let tenant = self.resident(&mut guard, &key);
+            let mut inner = self.lock_tenant(&tenant);
+            // The snapshot covers sequences below `applied`; the journal tail must
+            // continue contiguously from there.  A gap means a lost or pruned segment —
+            // replaying past it would silently mis-state the session, so the remainder
+            // is dropped (and counted).
+            let mut expected = inner.applied.max(inner.acked);
+            let mut pushed = 0usize;
+            let mut dropped = 0u64;
+            for statement in tail {
+                if statement.seq < expected {
+                    continue;
+                }
+                if statement.seq > expected {
+                    dropped += 1;
+                    continue;
+                }
+                inner
+                    .queue
+                    .push_back((self.dialect_by_name(&statement.dialect), statement.text));
+                inner.replaying += 1;
+                pushed += 1;
+                expected += 1;
+            }
+            inner.acked = expected;
+            drop(guard);
+            self.queued_statements.fetch_add(pushed, Ordering::Relaxed);
+            self.recovered_statements
+                .fetch_add(pushed as u64, Ordering::Relaxed);
+            self.recovery_dropped.fetch_add(dropped, Ordering::Relaxed);
+            self.recovered_tenants.fetch_add(1, Ordering::Relaxed);
+            self.apply_supervised(&tenant, &mut inner);
+        }
+        self.last_recovery_us
+            .store(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.recovering.store(false, Ordering::Release);
+    }
+
+    /// Maps a journal dialect name back to a registered dialect; unknown names (a
+    /// registry that shrank between processes) fall back to the unrecognized dialect,
+    /// which parses nothing but counts and samples — the statement is preserved in the
+    /// history rather than silently dropped.
+    fn dialect_by_name(&self, name: &str) -> pi_ast::Dialect {
+        self.known_dialects
+            .iter()
+            .copied()
+            .find(|d| d.name() == name)
+            .unwrap_or(crate::wire::UNRECOGNIZED_DIALECT)
+    }
+
+    /// Runs a checkpoint: seal the journal's active segments, persist every tenant's
+    /// spill snapshot (with its applied watermark), and — only if *every* tenant is
+    /// durably covered — prune the sealed segments.  Incomplete checkpoints leave the
+    /// journal intact: recovery replays more than strictly necessary, never less.
+    /// Returns whether the full checkpoint (including the prune) completed.
+    pub fn checkpoint(&self) -> bool {
+        let Some(journal) = &self.journal else {
+            return false;
+        };
+        if self.recovering.load(Ordering::Acquire) {
+            return false;
+        }
+        // One checkpoint at a time; a second caller's work is already being done.
+        let Ok(_running) = self.checkpoint_lock.try_lock() else {
+            return false;
+        };
+        if journal.rotate_all().is_err() {
+            return false;
+        }
+        let mut all_durable = true;
+        for shard in &self.shards {
+            let (tenants, archived) = {
+                let guard = self.lock_shard(shard);
+                let tenants: Vec<Arc<Tenant>> = guard
+                    .tenants
+                    .values()
+                    .map(|r| Arc::clone(&r.tenant))
+                    .collect();
+                // Archived tenants already spilled at eviction; re-spill only the ones
+                // whose eviction-time write failed.
+                let archived: Vec<(TenantId, Option<Vec<u8>>, u64)> = guard
+                    .archive
+                    .iter()
+                    .filter(|(key, _)| !self.has_spill(key))
+                    .map(|(key, entry)| (key.clone(), entry.snapshot.clone(), entry.applied))
+                    .collect();
+                (tenants, archived)
+            };
+            for (key, snapshot, applied) in archived {
+                match snapshot {
+                    Some(bytes) if self.write_spill(&key, &bytes, applied) => {}
+                    _ => all_durable = false,
+                }
+            }
+            for tenant in tenants {
+                let mut inner = self.lock_tenant(&tenant);
+                self.apply_supervised(&tenant, &mut inner);
+                if inner.applied == 0 && inner.base.is_none() {
+                    continue;
+                }
+                let start = Instant::now();
+                let snapshot = inner.session.persist_to_vec().ok();
+                self.persist_us
+                    .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                let applied = inner.applied;
+                drop(inner);
+                match snapshot {
+                    Some(bytes) if self.write_spill(&tenant.key, &bytes, applied) => {}
+                    _ => all_durable = false,
+                }
+            }
+        }
+        if all_durable {
+            let pruned = journal.prune();
+            self.pruned_segments.fetch_add(pruned, Ordering::Relaxed);
+            self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        }
+        all_durable
+    }
+
+    /// True while startup recovery is still replaying the journal.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering.load(Ordering::Acquire)
+    }
+
+    /// Blocks until startup recovery has finished (immediately for a pool without
+    /// durability, or once `close`/`simulate_crash` has begun shutting down).
+    pub fn wait_ready(&self) {
+        while self.recovering.load(Ordering::Acquire) && !self.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// `None` when the pool is ready for traffic; otherwise why it is not — still
+    /// recovering, journal failed, or the apply backlog over the high-water mark.  The
+    /// HTTP readiness endpoint turns `Some` into `503 + Retry-After`.
+    pub fn readiness_blocker(&self) -> Option<String> {
+        if self.recovering.load(Ordering::Acquire) {
+            return Some("recovering: replaying the write-ahead journal".to_string());
+        }
+        if self.journal.as_ref().is_some_and(Journal::is_failed) {
+            return Some("write-ahead journal failed; restart to recover".to_string());
+        }
+        if let Some(high_water) = self.opts.ready_high_water {
+            let queued = self.queued_statements.load(Ordering::Relaxed);
+            if queued >= high_water {
+                return Some(format!(
+                    "ingest backlog {queued} statements >= high water {high_water}"
+                ));
+            }
+        }
+        None
+    }
+
+    /// Whether the pool is ready for traffic; see [`SessionPool::readiness_blocker`].
+    pub fn is_ready(&self) -> bool {
+        self.readiness_blocker().is_none()
+    }
+
+    /// Simulates a process crash for the crash-recovery suite: the workers stop where
+    /// they stand, in-memory state is abandoned (the caller drops the pool without
+    /// `close`, so nothing spills), and the journal truncates to its durable watermark
+    /// plus the fault plan's torn tail — exactly what a kill leaves on disk.  Reopen a
+    /// pool over the same directory to exercise recovery.
+    #[cfg(any(test, feature = "faults"))]
+    pub fn simulate_crash(&self) -> std::io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.dispatch_cv.notify_all();
+        let recovery = lock_or_recover(&self.recovery_thread).take();
+        if let Some(handle) = recovery {
+            let _ = handle.join();
+        }
+        let handles = std::mem::take(&mut *lock_or_recover(&self.workers));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        match &self.journal {
+            Some(journal) => journal.simulate_crash(),
+            None => Ok(()),
         }
     }
 }
@@ -803,7 +1548,7 @@ mod tests {
             shards,
             queue_depth,
             workers: 2,
-            session: PiOptions::default(),
+            ..PoolOptions::default()
         })
     }
 
@@ -955,7 +1700,7 @@ mod tests {
             shards: 1,
             queue_depth: 64,
             workers: 1,
-            session: PiOptions::default(),
+            ..PoolOptions::default()
         };
         // First process lifetime: ingest, then close (which spills residents).
         let first = SessionPool::with_spill(opts.clone(), Some(dir.clone()));
@@ -1005,7 +1750,7 @@ mod tests {
             shards: 1,
             queue_depth: 64,
             workers: 1,
-            session: PiOptions::default(),
+            ..PoolOptions::default()
         };
         let first = SessionPool::with_spill(opts.clone(), Some(dir.clone()));
         first
@@ -1127,5 +1872,249 @@ mod tests {
         assert_eq!(pool.gauge().queued, 0);
         assert_eq!(pool.gauge().queries, 32);
         pool.close();
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pi-pool-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_pool(capacity: usize, durability: DurabilityOptions) -> Arc<SessionPool> {
+        SessionPool::with_spill(
+            PoolOptions {
+                capacity,
+                shards: 1,
+                queue_depth: 256,
+                workers: 1,
+                durability: Some(durability),
+                ..PoolOptions::default()
+            },
+            None,
+        )
+    }
+
+    fn replay_sql(statements: &[String]) -> pi_core::GeneratedInterface {
+        let mut session = Session::new(PiOptions::default());
+        for text in statements {
+            session.push_text_as(Dialect::SQL, text);
+        }
+        session.snapshot()
+    }
+
+    fn assert_same(pooled: &pi_core::GeneratedInterface, solo: &pi_core::GeneratedInterface) {
+        assert_eq!(pooled.version, solo.version, "version");
+        assert_eq!(pooled.skipped, solo.skipped, "skipped");
+        assert_eq!(pooled.graph, solo.graph, "graph");
+        assert_eq!(pooled.interface.describe(), solo.interface.describe());
+    }
+
+    #[test]
+    fn journaled_restart_replays_every_acked_statement() {
+        let dir = scratch("journal-restart");
+        let first = durable_pool(4, DurabilityOptions::new(&dir));
+        first.wait_ready();
+        let script: Vec<String> = (0..7).map(sql).collect();
+        for text in &script[..5] {
+            first
+                .enqueue_tagged("ada", "t1", [(Dialect::SQL, text.as_str())])
+                .unwrap();
+        }
+        // Mix applied and never-applied statements: the first five reach the session via
+        // this snapshot, the last two are acked (journaled) but die queued in memory.
+        first.snapshot("ada", "t1").unwrap();
+        for text in &script[5..] {
+            first
+                .enqueue_tagged("ada", "t1", [(Dialect::SQL, text.as_str())])
+                .unwrap();
+        }
+        first.simulate_crash().unwrap();
+        drop(first);
+        let second = durable_pool(4, DurabilityOptions::new(&dir));
+        second.wait_ready();
+        let after = second
+            .snapshot("ada", "t1")
+            .expect("journaled tenant is known after a kill");
+        assert_same(&after, &replay_sql(&script));
+        let gauge = second.gauge();
+        assert!(!gauge.recovering);
+        assert!(gauge.recovered_tenants >= 1);
+        assert!(gauge.recovered_statements >= 2, "the queued tail replays");
+        second.close();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_prunes_journal_and_recovery_uses_the_snapshot() {
+        let dir = scratch("checkpoint");
+        let first = durable_pool(4, DurabilityOptions::new(&dir));
+        first.wait_ready();
+        let script: Vec<String> = (0..4).map(sql).collect();
+        for text in &script {
+            first
+                .enqueue_tagged("ada", "t1", [(Dialect::SQL, text.as_str())])
+                .unwrap();
+        }
+        assert!(first.checkpoint(), "explicit checkpoint completes");
+        let gauge = first.gauge();
+        assert!(gauge.checkpoints >= 1);
+        assert!(gauge.pruned_segments >= 1, "sealed segments were pruned");
+        first.simulate_crash().unwrap();
+        drop(first);
+        let second = durable_pool(4, DurabilityOptions::new(&dir));
+        second.wait_ready();
+        // Everything was checkpointed, so recovery restores the spill and replays nothing.
+        assert_eq!(second.gauge().recovered_statements, 0);
+        let after = second.snapshot("ada", "t1").unwrap();
+        assert_same(&after, &replay_sql(&script));
+        second.close();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_statement_is_quarantined_and_the_rest_survive() {
+        let dir = scratch("quarantine");
+        let mut durability = DurabilityOptions::new(&dir);
+        durability.faults = Some(Arc::new(FaultPlan::new().with_panic_marker("POISON")));
+        let pool = durable_pool(4, durability);
+        pool.wait_ready();
+        pool.enqueue_tagged(
+            "ada",
+            "t1",
+            [
+                (Dialect::SQL, sql(1).as_str()),
+                (Dialect::SQL, "SELECT POISON FROM t"),
+                (Dialect::SQL, sql(2).as_str()),
+            ],
+        )
+        .unwrap();
+        // The snapshot's inline apply panics on the marker; the supervisor catches it,
+        // rebuilds the session and quarantines only the offender.
+        let snap = pool.snapshot("ada", "t1").unwrap();
+        assert_same(&snap, &replay_sql(&[sql(1), sql(2)]));
+        let gauge = pool.gauge();
+        assert!(gauge.worker_panics >= 1);
+        assert!(gauge.session_rebuilds >= 1);
+        assert_eq!(gauge.quarantined_statements, 1);
+        assert!(
+            gauge
+                .quarantine_samples
+                .iter()
+                .any(|s| s.contains("POISON")),
+            "sample names the offender: {:?}",
+            gauge.quarantine_samples
+        );
+        // Later ingest keeps working on the rebuilt session.
+        pool.enqueue_tagged("ada", "t1", [(Dialect::SQL, sql(3).as_str())])
+            .unwrap();
+        let snap = pool.snapshot("ada", "t1").unwrap();
+        assert_same(&snap, &replay_sql(&[sql(1), sql(2), sql(3)]));
+        pool.close();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_spill_quarantines_and_falls_back_to_journal_replay() {
+        let dir = scratch("spill-fallback");
+        let first = durable_pool(1, DurabilityOptions::new(&dir));
+        first.wait_ready();
+        let script: Vec<String> = (0..3).map(sql).collect();
+        for text in &script {
+            first
+                .enqueue_tagged("ada", "t1", [(Dialect::SQL, text.as_str())])
+                .unwrap();
+        }
+        // Capacity one: a second tenant evicts ada, writing her spill snapshot.
+        first
+            .enqueue_tagged("bob", "t1", [(Dialect::SQL, sql(9).as_str())])
+            .unwrap();
+        first.simulate_crash().unwrap();
+        drop(first);
+        // Flip a byte inside every spill snapshot (journal segments stay intact).
+        let mut flipped = 0;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "pisnap") {
+                let mut bytes = std::fs::read(&path).unwrap();
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x40;
+                std::fs::write(&path, bytes).unwrap();
+                flipped += 1;
+            }
+        }
+        assert!(flipped >= 1, "eviction spilled at least one snapshot");
+        let second = durable_pool(4, DurabilityOptions::new(&dir));
+        second.wait_ready();
+        // The corrupt snapshot was quarantined aside and the un-pruned journal replayed
+        // the tenant's full history instead.
+        let after = second.snapshot("ada", "t1").unwrap();
+        assert_same(&after, &replay_sql(&script));
+        let gauge = second.gauge();
+        assert!(gauge.spill_quarantines >= 1);
+        assert!(
+            std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .any(|e| e.path().to_string_lossy().ends_with(".corrupt")),
+            "the corrupt snapshot is preserved under .corrupt for forensics"
+        );
+        second.close();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_failure_stops_acks_and_readiness() {
+        let dir = scratch("journal-fail");
+        let mut durability = DurabilityOptions::new(&dir);
+        durability.faults = Some(Arc::new(
+            FaultPlan::new().with_io_error(FaultOp::JournalAppend, 2),
+        ));
+        let pool = durable_pool(4, durability);
+        pool.wait_ready();
+        assert!(pool.is_ready());
+        pool.enqueue_tagged("ada", "t1", [(Dialect::SQL, sql(1).as_str())])
+            .unwrap();
+        let err = pool
+            .enqueue_tagged("ada", "t1", [(Dialect::SQL, sql(2).as_str())])
+            .unwrap_err();
+        assert!(matches!(err, EnqueueError::Journal(_)), "{err}");
+        // Fail-stop: the journal stays failed, later batches are refused and readiness
+        // reports the blocker.
+        let err = pool
+            .enqueue_tagged("ada", "t1", [(Dialect::SQL, sql(3).as_str())])
+            .unwrap_err();
+        assert!(matches!(err, EnqueueError::Journal(_)), "{err}");
+        let blocker = pool.readiness_blocker().expect("journal failure blocks");
+        assert!(blocker.contains("journal"), "{blocker}");
+        assert!(pool.gauge().journal.expect("journaled pool").failed);
+        pool.close();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backlog_high_water_blocks_readiness() {
+        // A zero high-water mark is always crossed: deterministic stand-in for "the apply
+        // backlog outgrew the bound", without racing the worker's drain.
+        let pool = SessionPool::new(PoolOptions {
+            capacity: 4,
+            shards: 1,
+            queue_depth: 256,
+            workers: 1,
+            ready_high_water: Some(0),
+            ..PoolOptions::default()
+        });
+        let blocker = pool.readiness_blocker().expect("zero mark always blocks");
+        assert!(blocker.contains("high water"), "{blocker}");
+        assert!(!pool.is_ready());
+        pool.close();
+        // And without the knob, an idle pool is simply ready.
+        let plain = self::pool(4, 1, 64);
+        assert!(plain.is_ready());
+        assert_eq!(plain.readiness_blocker(), None);
+        plain.close();
     }
 }
